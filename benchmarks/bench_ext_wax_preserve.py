@@ -1,0 +1,63 @@
+"""Extension study: wax-preserving VMT ("raising the melting temperature").
+
+Section III sketches, and leaves as future work, the dual of the paper's
+contribution: VMT can also *raise* the apparent melting temperature by
+parking hot jobs on already-melted servers and preserving frozen wax "in
+anticipation of a very hot peak still to come".
+
+Scenario: a day with a long warm shoulder (utilization ~0.8 from
+mid-morning) before the true evening peak.  VMT-TA spends the shoulder
+melting its wax and arrives at the peak nearly empty; VMT-Preserve
+dilutes the shoulder's heat fleet-wide (melting almost nothing), then
+commits the full reserve when the peak arrives.
+"""
+
+import numpy as np
+from paper_reference import comparison_table, emit, once
+
+from repro import paper_cluster_config, make_scheduler, run_simulation
+from repro.workloads.trace import TwoDayTrace
+
+#: Warm-shoulder skeleton: plateau at ~0.8 utilization from 10:00, true
+#: peak at 20:00 (and mirrored on day two).
+SHOULDER_SHAPE = (
+    (0.0, 0.33), (3.0, 0.10), (5.0, 0.00), (8.0, 0.45), (10.0, 0.80),
+    (17.0, 0.82), (20.0, 1.00), (21.0, 0.68), (22.0, 0.48), (24.0, 0.26),
+    (27.0, 0.06), (29.0, 0.00), (32.0, 0.45), (34.0, 0.80), (43.0, 0.82),
+    (46.0, 1.00), (46.5, 0.80), (47.0, 0.58), (48.0, 0.45),
+)
+
+
+def bench_ext_wax_preserve(benchmark, capsys):
+    config = paper_cluster_config(num_servers=100, grouping_value=22.0)
+    trace = TwoDayTrace(config.trace,
+                        shape_points=SHOULDER_SHAPE).generate(100)
+
+    def study():
+        rr = run_simulation(config, make_scheduler("round-robin", config),
+                            trace=trace, record_heatmaps=False)
+        out = {}
+        for name in ("vmt-ta", "vmt-wa", "vmt-preserve"):
+            result = run_simulation(config, make_scheduler(name, config),
+                                    trace=trace, record_heatmaps=False)
+            out[name] = (result.peak_reduction_vs(rr) * 100.0,
+                         float(result.max_melt_fraction))
+        return out
+
+    results = once(benchmark, study)
+
+    rows = [(name, f"{red:.1f}%", f"{melt * 100:.0f}%")
+            for name, (red, melt) in results.items()]
+    emit(capsys, "Extension -- warm-shoulder day (plateau 0.8 from "
+         "10:00, peak at 20:00):",
+         comparison_table(["policy", "peak reduction",
+                           "max mean melt"], rows))
+
+    # The shoulder exhausts VMT-TA's wax before the peak: ~no benefit.
+    assert results["vmt-ta"][0] < 1.0
+    # Preservation rescues the scenario and at least matches VMT-WA.
+    assert results["vmt-preserve"][0] > results["vmt-ta"][0] + 3.0
+    assert results["vmt-preserve"][0] >= results["vmt-wa"][0] - 0.5
+    # It does so by melting *less* wax overall, not more: the reduction
+    # comes from timing, which is the whole point.
+    assert results["vmt-preserve"][1] <= results["vmt-wa"][1] + 0.01

@@ -1,0 +1,47 @@
+"""Figure 1: TTS/VMT/neither regions for six two-workload mixtures.
+
+The paper's point: TTS alone only works in a narrow band of mixtures
+(blended exhaust above the melt point); VMT greatly expands the useful
+range by concentrating the hot share.  We regenerate the six panels and
+assert each panel's region structure.
+"""
+
+from paper_reference import comparison_table, emit, once
+
+from repro.analysis.regions import MixRegion, all_figure1_panels
+
+
+def bench_fig01_mix_regions(benchmark, capsys):
+    panels = once(benchmark, all_figure1_panels)
+
+    rows = []
+    for panel in panels:
+        for region, start, end in panel.region_spans():
+            rows.append((panel.title, f"{start:.0f}..{end:.0f}%",
+                         region.value))
+    emit(capsys, "Figure 1 -- mixture regions vs work ratio "
+         "(share of first workload):",
+         comparison_table(["mixture", "work ratio", "region"], rows))
+
+    assert len(panels) == 6
+    titles = {p.title for p in panels}
+    assert "DataCaching-WebSearch Mix" in titles
+
+    for panel in panels:
+        regions = set(panel.regions)
+        hot_solo = [w for w in (panel.first, panel.second) if w.is_hot]
+        if len(hot_solo) == 2:
+            # Two hot workloads (Clustering-Video): TTS works everywhere.
+            assert regions == {MixRegion.TTS}
+        else:
+            # Mixed panels show the VMT band the paper highlights.
+            assert MixRegion.NEEDS_VMT in regions
+    # Panels pairing a hot and a cold workload end in 'Neither' when the
+    # cold workload dominates.
+    caching_search = panels[0]
+    assert caching_search.regions[-1] is MixRegion.NEITHER
+
+    # Exhaust temperatures stay within the figure's 20-50 C axis.
+    for panel in panels:
+        assert panel.exhaust_temps_c.min() > 20.0
+        assert panel.exhaust_temps_c.max() < 50.0

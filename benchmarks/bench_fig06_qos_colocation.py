@@ -1,0 +1,55 @@
+"""Figure 6: latency scaling for colocated Data Caching and Web Search.
+
+Paper claims reproduced: caching tolerates colocation (solo-6C is best
+only at the extremes; in the middle band a mixture is similar or
+better), while search slows across the entire client range when
+colocated.
+"""
+
+import numpy as np
+from paper_reference import comparison_table, emit, once
+
+from repro.analysis.experiments import figure6_qos
+
+
+def bench_fig06_qos_colocation(benchmark, capsys):
+    curves = once(benchmark, figure6_qos)
+
+    rows = []
+    for i in (0, len(curves.caching_rps) // 2, -1):
+        rps = curves.caching_rps[i]
+        rows.append((f"{rps:,.0f}",
+                     f"{curves.caching_mean_ms['2C+Search'][i]:.2f}",
+                     f"{curves.caching_mean_ms['4C+Search'][i]:.2f}",
+                     f"{curves.caching_mean_ms['6C'][i]:.2f}"))
+    emit(capsys, "Figure 6 (caching mean latency, ms):",
+         comparison_table(["RPS/core", "2C+Search", "4C+Search", "6C"],
+                          rows))
+
+    rows = []
+    for i in (0, len(curves.search_clients) // 2, -1):
+        cpc = curves.search_clients[i]
+        rows.append((f"{cpc:.0f}",
+                     f"{curves.search_mean_s['2C+Caching'][i]:.3f}",
+                     f"{curves.search_mean_s['4C+Caching'][i]:.3f}",
+                     f"{curves.search_mean_s['6C'][i]:.3f}"))
+    emit(capsys, "Figure 6 (search mean latency, s):",
+         comparison_table(["clients/core", "2C+Caching", "4C+Caching",
+                           "6C"], rows))
+
+    # Caching: solo best at the low end...
+    assert curves.caching_mean_ms["6C"][0] < \
+        curves.caching_mean_ms["2C+Search"][0]
+    # ...mixture similar-or-better in the middle band.
+    mid = len(curves.caching_rps) * 3 // 4
+    assert curves.caching_mean_ms["2C+Search"][mid] < \
+        1.1 * curves.caching_mean_ms["6C"][mid]
+
+    # Search: colocation slower across the whole range.
+    solo = curves.search_mean_s["6C"]
+    assert np.all(curves.search_mean_s["2C+Caching"] > solo)
+    assert np.all(curves.search_mean_s["4C+Caching"] > solo)
+
+    # Tails amplify means in both panels.
+    assert np.all(curves.caching_p90_ms["6C"] > curves.caching_mean_ms["6C"])
+    assert np.all(curves.search_p90_s["6C"] > curves.search_mean_s["6C"])

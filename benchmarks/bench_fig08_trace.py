@@ -1,0 +1,40 @@
+"""Figure 8: the normalized two-day datacenter load trace.
+
+Paper landmarks: load peaks near hours 20 and 46 (up to 95% server
+utilization), troughs near hours 5 and 29, and a roughly 60/40 split
+between hot and cold jobs across the five workloads.
+"""
+
+from paper_reference import comparison_table, emit, once
+
+from repro.analysis.experiments import figure8_trace
+
+
+def bench_fig08_trace(benchmark, capsys):
+    trace = once(benchmark, lambda: figure8_trace(num_servers=100))
+
+    rows = [
+        ("peak hours", "~20 / ~46",
+         f"{trace.peak_hours[0]:.1f} / {trace.peak_hours[1]:.1f}"),
+        ("trough hours", "~5 / ~29",
+         f"{trace.trough_hours[0]:.1f} / {trace.trough_hours[1]:.1f}"),
+        ("peak utilization", "95%",
+         f"{trace.peak_utilization * 100:.1f}%"),
+        ("hot job share", "~60%",
+         f"{trace.mean_hot_fraction * 100:.1f}%"),
+    ]
+    emit(capsys, "Figure 8 -- two-day trace landmarks:",
+         comparison_table(["landmark", "paper", "measured"], rows))
+
+    share_rows = [(name, f"{series.sum() / 1e3:,.0f}k job-minutes")
+                  for name, series in trace.per_workload.items()]
+    emit(capsys, "Per-workload totals (stacked series):",
+         comparison_table(["workload", "volume"], share_rows))
+
+    assert abs(trace.peak_hours[0] - 20.0) < 1.0
+    assert abs(trace.peak_hours[1] - 46.0) < 1.0
+    assert abs(trace.trough_hours[0] - 5.0) < 1.5
+    assert abs(trace.trough_hours[1] - 29.0) < 1.5
+    assert 0.92 <= trace.peak_utilization <= 1.0
+    assert abs(trace.mean_hot_fraction - 0.60) < 0.03
+    assert len(trace.per_workload) == 5

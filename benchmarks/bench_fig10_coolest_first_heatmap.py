@@ -1,0 +1,38 @@
+"""Figure 10: coolest-first heatmaps -- tighter temperatures, still no melt.
+
+Paper: coolest-first "maintains a much tighter temperature distribution
+between servers" than round robin, but similarly melts no significant
+wax.
+"""
+
+import numpy as np
+from paper_reference import emit, once
+
+from repro.analysis.experiments import heatmap_experiment
+from repro.analysis.reporting import format_heatmap
+
+
+def bench_fig10_coolest_first_heatmap(benchmark, capsys):
+    result = once(benchmark, lambda: heatmap_experiment("coolest-first"))
+    baseline = heatmap_experiment("round-robin")
+
+    peak_tick = int(np.argmax(baseline.cooling_load_w))
+    cf_spread = float(result.temp_heatmap[peak_tick].std())
+    rr_spread = float(baseline.temp_heatmap[peak_tick].std())
+    emit(capsys,
+         format_heatmap(result.temp_heatmap,
+                        title="Fig. 10a: air temperature, coolest first",
+                        vmin=10, vmax=50),
+         format_heatmap(result.melt_heatmap,
+                        title="Fig. 10b: wax melted, coolest first",
+                        vmin=0, vmax=1),
+         f"temperature spread at peak: coolest-first {cf_spread:.2f} C "
+         f"vs round-robin {rr_spread:.2f} C",
+         f"max per-server melt: {result.melt_heatmap.max() * 100:.1f}% "
+         f"(paper: 0%)")
+
+    # Tighter than round robin at peak load...
+    assert cf_spread < rr_spread
+    # ...and still no melting or cooling benefit.
+    assert result.max_melt_fraction < 0.02
+    assert abs(result.peak_reduction_vs(baseline)) < 0.01

@@ -1,0 +1,44 @@
+"""Figure 11: VMT-TA heatmaps at GV=22 -- the hot group melts its wax.
+
+Paper: the hot/cold group separation is immediately apparent; the hot
+group exceeds the wax melting temperature (storing energy) even though
+the cluster average stays unchanged, and only hot-group wax melts.
+"""
+
+import numpy as np
+from paper_reference import emit, once
+
+from repro.analysis.experiments import heatmap_experiment
+from repro.analysis.reporting import format_heatmap
+from repro.core.grouping import hot_group_size
+
+
+def bench_fig11_vmt_ta_heatmap(benchmark, capsys):
+    result = once(benchmark,
+                  lambda: heatmap_experiment("vmt-ta", grouping_value=22.0))
+
+    hot_size = hot_group_size(22.0, 35.7, 100)
+    emit(capsys,
+         format_heatmap(result.temp_heatmap,
+                        title="Fig. 11a: air temperature, VMT-TA GV=22",
+                        vmin=10, vmax=50),
+         format_heatmap(result.melt_heatmap,
+                        title="Fig. 11b: wax melted, VMT-TA GV=22",
+                        vmin=0, vmax=1),
+         f"hot group: servers 0..{hot_size - 1} (low rows); "
+         f"hot-group peak mean temp "
+         f"{np.nanmax(result.hot_group_mean_temp_c):.1f} C vs melt 35.7 C")
+
+    # The hot group crosses the melt point; the cluster mean does not.
+    assert np.nanmax(result.hot_group_mean_temp_c) > 35.7
+    assert result.mean_temp_c.max() < 35.7
+    # Only hot-group wax melts (Fig. 11b).
+    melt = result.melt_heatmap
+    assert melt[:, :hot_size].max() > 0.9
+    assert melt[:, hot_size:].max() < 0.1
+    # Visible group separation in the temperature field at peak.
+    peak_tick = int(np.argmax(result.cooling_load_w))
+    hot_mean = melt[peak_tick, :hot_size].mean()
+    assert result.temp_heatmap[peak_tick, :hot_size].mean() > \
+        result.temp_heatmap[peak_tick, hot_size:].mean() + 3.0
+    assert hot_mean > 0.3

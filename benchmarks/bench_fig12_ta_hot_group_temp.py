@@ -1,0 +1,35 @@
+"""Figure 12: VMT-TA average hot-group temperature vs GV (1000 servers).
+
+Paper: round robin "almost but does not quite reach the melting
+temperature"; with VMT-TA the hot group exceeds it, and the degree to
+which it does is inversely proportional to the GV.
+"""
+
+import numpy as np
+from paper_reference import comparison_table, emit, once
+
+from repro.analysis.experiments import figure12_hot_group_temps
+
+
+def bench_fig12_ta_hot_group_temp(benchmark, capsys):
+    temps = once(benchmark,
+                 lambda: figure12_hot_group_temps(num_servers=1000))
+
+    rows = [("round-robin (cluster mean)",
+             f"{temps.round_robin_mean.max():.2f}")]
+    for gv, series in sorted(temps.per_gv.items()):
+        rows.append((f"GV={gv:g} hot group", f"{np.nanmax(series):.2f}"))
+    emit(capsys, "Figure 12 -- peak average temperature (deg C), "
+         f"melt point {temps.melt_temp_c} C:",
+         comparison_table(["series", "peak temp"], rows))
+
+    # Round robin almost-but-not-quite reaches the melt point.
+    assert 34.0 < temps.round_robin_mean.max() < temps.melt_temp_c
+    # Every plotted GV's hot group exceeds the melt point at peak...
+    peaks = {gv: float(np.nanmax(series))
+             for gv, series in temps.per_gv.items()}
+    for gv in (21, 22, 23, 24):
+        assert peaks[gv] > temps.melt_temp_c
+    # ...and hotness is inversely proportional to GV.
+    ordered = [peaks[gv] for gv in sorted(peaks)]
+    assert all(a >= b - 0.05 for a, b in zip(ordered, ordered[1:]))

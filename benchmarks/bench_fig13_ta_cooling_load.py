@@ -1,0 +1,38 @@
+"""Figure 13: VMT-TA cooling loads and peak reduction bars (1000 servers).
+
+Paper bars: round-robin 0.0, coolest-first 0.0, GV=20 0.0 (melts out too
+soon), GV=22 -12.8 (best), GV=24 -8.8 (melts too late, ~two-thirds as
+good).
+"""
+
+import numpy as np
+from paper_reference import FIG13_PAPER_BARS, comparison_table, emit, once
+
+from repro.analysis.experiments import figure13_cooling_loads
+
+
+def bench_fig13_ta_cooling_load(benchmark, capsys):
+    study = once(benchmark,
+                 lambda: figure13_cooling_loads(num_servers=1000))
+
+    rows = [(label, f"{FIG13_PAPER_BARS[label]:.1f}%",
+             f"{study.reductions_percent[label]:.1f}%")
+            for label in FIG13_PAPER_BARS]
+    emit(capsys, "Figure 13 -- peak cooling load reduction (VMT-TA):",
+         comparison_table(["policy", "paper", "measured"], rows),
+         f"cluster peak cooling load (round robin): "
+         f"{study.series_kw['round-robin'].max():.0f} kW")
+
+    measured = study.reductions_percent
+    # Baselines and the too-low GV give ~nothing.
+    assert abs(measured["coolest-first"]) < 1.0
+    assert measured["GV=20"] < 2.0
+    # GV=22 is the winner, near the paper's 12.8%.
+    assert 10.0 < measured["GV=22"] < 15.0
+    # GV=24 keeps a partial benefit, below GV=22.
+    assert 6.0 < measured["GV=24"] < measured["GV=22"]
+    # The GV=22 load series is flattened: its peak-hour load sits well
+    # below round robin's at the same tick.
+    peak_tick = int(np.argmax(study.series_kw["round-robin"]))
+    assert study.series_kw["GV=22"][peak_tick] < \
+        study.series_kw["round-robin"][peak_tick] * 0.90

@@ -1,0 +1,42 @@
+"""Figure 14: VMT-WA heatmaps at GV=20 -- the hot group extends itself.
+
+Paper: at GV=20 (where VMT-TA melts everything prematurely) VMT-WA
+extends the hot group once hot-group wax crosses the wax threshold --
+visible around hours 20 and 45 -- and keeps melting fresh wax in the
+newly added servers while holding the melted ones warm.
+"""
+
+import numpy as np
+from paper_reference import emit, once
+
+from repro.analysis.experiments import heatmap_experiment
+from repro.core.grouping import hot_group_size
+
+
+def bench_fig14_wa_heatmap(benchmark, capsys):
+    result = once(benchmark,
+                  lambda: heatmap_experiment("vmt-wa", grouping_value=20.0))
+
+    from repro.analysis.reporting import format_heatmap
+    base_size = hot_group_size(20.0, 35.7, 100)
+    emit(capsys,
+         format_heatmap(result.temp_heatmap,
+                        title="Fig. 14a: air temperature, VMT-WA GV=20",
+                        vmin=10, vmax=50),
+         format_heatmap(result.melt_heatmap,
+                        title="Fig. 14b: wax melted, VMT-WA GV=20",
+                        vmin=0, vmax=1),
+         f"hot group size over time: starts {result.hot_group_size[0]}, "
+         f"max {result.hot_group_size.max()} (Eq. 1 base: {base_size})")
+
+    # The group starts at the Eq. 1 size and extends during the peak.
+    assert result.hot_group_size[0] == base_size
+    assert result.hot_group_size.max() > base_size
+    # Extension coincides with the load peaks (hours ~19-21 and ~44-46).
+    extended = result.hot_group_size > base_size
+    first_extension_h = float(result.times_hours[int(np.argmax(extended))])
+    assert 17.0 < first_extension_h < 22.0
+    # Wax melts beyond the base group: servers above base_size melt too.
+    assert result.melt_heatmap[:, base_size:].max() > 0.3
+    # Base-group wax fully melts.
+    assert result.melt_heatmap[:, :base_size].max() > 0.95

@@ -1,0 +1,39 @@
+"""Figure 15: VMT-WA average hot-group temperature vs GV (1000 servers).
+
+Paper: for GV=20 and 21 the hot-group average drops abruptly (~hours
+20-21) when the original group's wax hits the threshold and the group is
+extended; for larger GVs (wax never fully melts) the curves match
+VMT-TA's.
+"""
+
+import numpy as np
+from paper_reference import comparison_table, emit, once
+
+from repro.analysis.experiments import (figure12_hot_group_temps,
+                                        figure15_hot_group_temps)
+
+
+def bench_fig15_wa_hot_group_temp(benchmark, capsys):
+    temps = once(benchmark,
+                 lambda: figure15_hot_group_temps(num_servers=1000))
+
+    rows = []
+    for gv, series in sorted(temps.per_gv.items()):
+        rows.append((f"GV={gv:g}", f"{np.nanmax(series):.2f}",
+                     f"{np.nanmin(series[1100:1300]):.2f}"))
+    emit(capsys, "Figure 15 -- VMT-WA hot-group temperature "
+         "(peak / around-hour-20 minimum, deg C):",
+         comparison_table(["series", "peak", "h18-22 min"], rows))
+
+    # Low GVs show the *abrupt* drop when the group extends: a large
+    # fall within a couple of ticks, far steeper than anything the load
+    # curve itself produces.  High GVs never extend, so their steepest
+    # mid-peak drop is the gentle load-following slope.
+    window = slice(1080, 1320)  # hours 18..22
+    low_drop = float(np.nanmin(np.diff(temps.per_gv[20][window])))
+    high_drop = float(np.nanmin(np.diff(temps.per_gv[26][window])))
+    assert low_drop < -0.5
+    assert high_drop > -0.3
+    # And for a GV where wax never fully melts, WA matches TA.
+    ta = figure12_hot_group_temps(grouping_values=(26,), num_servers=1000)
+    assert np.nanmax(temps.per_gv[26]) == np.nanmax(ta.per_gv[26])

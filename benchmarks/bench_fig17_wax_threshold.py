@@ -1,0 +1,31 @@
+"""Figure 17: peak reduction vs the VMT-WA wax threshold (GV=22).
+
+Paper: 8.0 / 11.1 / 12.8 / 12.8 / 12.8 / 12.8 percent for thresholds
+0.85 / 0.90 / 0.95 / 0.98 / 0.99 / 1.00 -- maximum reduction is achieved
+at 0.95 and above, so the threshold can be set as low as 0.95 without a
+noticeable loss in capacity.
+"""
+
+from paper_reference import FIG17_PAPER, comparison_table, emit, once
+
+from repro.analysis.experiments import figure17_wax_threshold
+
+
+def bench_fig17_wax_threshold(benchmark, capsys):
+    sweep = once(benchmark, lambda: figure17_wax_threshold(num_servers=100))
+
+    rows = [(f"{threshold:.2f}", f"{FIG17_PAPER[threshold]:.1f}%",
+             f"{measured:.1f}%")
+            for threshold, measured in zip(sweep.thresholds,
+                                           sweep.reductions_percent)]
+    emit(capsys, "Figure 17 -- reduction vs wax threshold (VMT-WA, GV=22):",
+         comparison_table(["threshold", "paper", "measured"], rows))
+
+    by_threshold = dict(zip(sweep.thresholds, sweep.reductions_percent))
+    # Low thresholds flag servers melted too early and lose reduction.
+    assert by_threshold[0.85] < by_threshold[0.98] - 2.0
+    assert by_threshold[0.90] < by_threshold[0.98] + 0.5
+    # The plateau: >= 0.95 all reach the maximum (within half a point).
+    plateau = [by_threshold[t] for t in (0.95, 0.98, 0.99, 1.00)]
+    assert max(plateau) - min(plateau) < 0.5
+    assert 10.0 < by_threshold[0.98] < 15.0

@@ -1,0 +1,41 @@
+"""Figure 18: GV sweep, VMT-TA vs VMT-WA (100 servers).
+
+Paper: both peak at GV=22 and trend down together above it; below 22
+VMT-TA quickly drops to zero while VMT-WA drops to ~6% and then degrades
+much more slowly -- the robustness argument for VMT-WA.
+"""
+
+import numpy as np
+from paper_reference import comparison_table, emit, once
+
+from repro.analysis.experiments import figure18_gv_sweep
+
+
+def bench_fig18_gv_sweep(benchmark, capsys):
+    sweep = once(benchmark,
+                 lambda: figure18_gv_sweep(
+                     grouping_values=tuple(range(10, 31, 2)),
+                     num_servers=100))
+
+    ta = sweep.reductions["vmt-ta"] * 100
+    wa = sweep.reductions["vmt-wa"] * 100
+    rows = [(f"{gv:g}", f"{t:.1f}%", f"{w:.1f}%")
+            for gv, t, w in zip(sweep.values, ta, wa)]
+    emit(capsys, "Figure 18 -- peak reduction vs GV (paper: both peak "
+         "at GV=22; TA collapses below, WA degrades slowly):",
+         comparison_table(["GV", "VMT-TA", "VMT-WA"], rows))
+
+    best_ta_gv, best_ta = sweep.best("vmt-ta")
+    best_wa_gv, best_wa = sweep.best("vmt-wa")
+    # Both algorithms peak at GV=22.
+    assert best_ta_gv == 22.0
+    assert best_wa_gv == 22.0
+    assert 0.10 < best_ta < 0.15
+    # Above the optimum they trend down together.
+    above = sweep.values >= 22
+    assert np.allclose(ta[above], wa[above], atol=1.0)
+    assert all(a >= b for a, b in zip(ta[above], ta[above][1:]))
+    # Below the optimum TA collapses while WA keeps a meaningful floor.
+    below = (sweep.values >= 14) & (sweep.values <= 20)
+    assert np.all(ta[below] < 2.0)
+    assert np.all(wa[below] > 2.0)

@@ -1,0 +1,44 @@
+"""Figure 19: VMT-TA under inlet temperature variation (5 x 100 servers).
+
+Paper: at the no-variation optimum (GV=22), zero variation is best;
+variation pushes the optimal GV upward ("better to miss high than miss
+low") and reduces the attainable peak reduction.
+
+Our reproduction preserves those shapes with a steeper magnitude
+penalty than the paper reports (see EXPERIMENTS.md): the calibrated
+hot-group margin over the melt point is ~3 deg C, so a 1-2 deg C inlet
+sigma perturbs melt timing proportionally more than in the authors'
+model.
+"""
+
+from paper_reference import comparison_table, emit, once
+
+from repro.analysis.experiments import figure19_inlet_variation
+
+GVS = tuple(range(16, 29, 2))
+
+
+def bench_fig19_ta_inlet_variation(benchmark, capsys):
+    sweeps = once(benchmark,
+                  lambda: figure19_inlet_variation(
+                      grouping_values=GVS, num_servers=100,
+                      seeds=range(5)))
+
+    rows = []
+    for i, gv in enumerate(GVS):
+        rows.append((f"{gv:g}",
+                     *(f"{sweeps[s].reductions['vmt-ta'][i] * 100:.1f}%"
+                       for s in (0.0, 1.0, 2.0))))
+    emit(capsys, "Figure 19 -- VMT-TA reduction vs GV under inlet "
+         "variation:",
+         comparison_table(["GV", "stdev=0", "stdev=1", "stdev=2"], rows))
+
+    best = {stdev: sweeps[stdev].best("vmt-ta")
+            for stdev in (0.0, 1.0, 2.0)}
+    # No variation is best at (and near) the nominal optimum.
+    assert best[0.0][1] > best[1.0][1] > best[2.0][1]
+    # Variation pushes the optimal GV upward.
+    assert best[1.0][0] >= best[0.0][0]
+    assert best[2.0][0] >= best[0.0][0]
+    # VMT remains effective under variation (nonzero best reduction).
+    assert best[2.0][1] > 0.02

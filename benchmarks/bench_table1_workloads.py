@@ -1,0 +1,28 @@
+"""Table I: the five-workload suite and its VMT classification.
+
+Beyond echoing the table, this bench verifies the classes are *derived*:
+the thermal model, asked whether a server full of each workload would
+melt wax in isolation, reproduces the paper's hot/cold labels exactly.
+"""
+
+from paper_reference import TABLE1_PAPER, comparison_table, emit, once
+
+from repro.analysis.experiments import table1_workloads
+
+
+def bench_table1_workloads(benchmark, capsys):
+    rows = once(benchmark, table1_workloads)
+
+    table = [(name, f"{power:.1f} W", TABLE1_PAPER[name][1], derived)
+             for name, power, __, derived in rows]
+    emit(capsys, "Table I -- workloads (class derived from the thermal "
+         "model):",
+         comparison_table(["workload", "CPU power", "paper class",
+                           "derived class"], table))
+
+    assert len(rows) == 5
+    for name, power, paper_class, derived_class in rows:
+        expected_power, expected_class = TABLE1_PAPER[name]
+        assert power == expected_power
+        assert paper_class == expected_class
+        assert derived_class == expected_class

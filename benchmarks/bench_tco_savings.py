@@ -1,0 +1,56 @@
+"""Section V-E: TCO benefits of the measured peak cooling load reduction.
+
+Paper: at 12.8% the 25 MW datacenter's peak cooling load drops 3.2 MW,
+worth $2.69M over the cooling system's life, or 7,339 extra servers
+(146 per cluster); the conservative 6% plan is worth $1.26M or 3,191
+servers; matching VMT with low-melt n-paraffin and passive TTS would
+cost on the order of $10M.
+"""
+
+from paper_reference import TCO_PAPER, comparison_table, emit, once
+
+from repro.analysis.experiments import tco_analysis
+
+
+def bench_tco_savings(benchmark, capsys):
+    study = once(benchmark, lambda: tco_analysis(num_servers=1000))
+
+    rows = [
+        ("measured peak reduction", "12.8%",
+         f"{study.measured_reduction * 100:.1f}%"),
+        ("peak cooling reduction", "3.2 MW",
+         f"{study.impact.cooling_reduction_w / 1e6:.1f} MW"),
+        ("cooling savings", "$2,690,000",
+         f"${study.savings.gross_cooling_savings_usd:,.0f}"),
+        ("additional servers", "7,339",
+         f"{study.impact.additional_servers:,}"),
+        ("per cluster", "146",
+         f"{study.impact.additional_servers_per_cluster}"),
+        ("conservative savings (6%)", "$1,260,000",
+         f"${study.conservative_savings.gross_cooling_savings_usd:,.0f}"),
+        ("conservative servers (6%)", "3,191",
+         f"{study.conservative_impact.additional_servers:,}"),
+        ("n-paraffin TTS alternative", "~$10,000,000",
+         f"${study.n_paraffin_cost_usd:,.0f}"),
+    ]
+    emit(capsys, "Section V-E -- TCO benefits at datacenter scale "
+         "(25 MW, 50,000 servers):",
+         comparison_table(["quantity", "paper", "measured"], rows))
+
+    # The measured cluster reduction lands in the paper's band...
+    assert 0.10 < study.measured_reduction < 0.15
+    # ...and the TCO arithmetic at the paper's 12.8% matches exactly.
+    from repro.cluster.datacenter import Datacenter
+    from repro.tco.model import TCOModel
+    exact = TCOModel().cooling_savings_usd(25e6, 0.128)
+    assert abs(exact - TCO_PAPER["savings_at_12_8pct_usd"]) < 5_000
+    impact = Datacenter().impact_of(0.128)
+    assert impact.additional_servers == \
+        TCO_PAPER["additional_servers_at_12_8pct"]
+    assert impact.additional_servers_per_cluster == \
+        TCO_PAPER["additional_servers_per_cluster"]
+    conservative = Datacenter().impact_of(0.06)
+    assert conservative.additional_servers == \
+        TCO_PAPER["additional_servers_at_6pct"]
+    # n-paraffin alternative is order-$10M.
+    assert 5e6 < study.n_paraffin_cost_usd < 2e7

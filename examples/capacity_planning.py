@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Capacity planning: what a VMT deployment is worth (Section V-E).
+
+Given a measured peak cooling load reduction, a datacenter operator can
+either install a smaller cooling plant or add servers under the existing
+one.  This example measures the reduction on a simulated cluster, scales
+it to the paper's 25 MW datacenter, and prints both options' dollar
+values -- including the cautionary comparison against buying low-melt
+n-paraffin and relying on passive TTS instead.
+
+Usage::
+
+    python examples/capacity_planning.py [num_servers]
+"""
+
+import sys
+
+from repro import Datacenter, TCOModel, WaxConfig
+from repro.analysis import tco_analysis
+from repro.tco import wax_deployment_cost_usd
+
+
+def main() -> None:
+    num_servers = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    print(f"Measuring the headline reduction (VMT-TA, GV=22) on "
+          f"{num_servers} servers...\n")
+    study = tco_analysis(num_servers=num_servers)
+    datacenter = study.impact.datacenter
+
+    print(f"Datacenter: {datacenter.critical_power_w / 1e6:.0f} MW "
+          f"critical power, {datacenter.num_servers:,} servers "
+          f"({datacenter.num_clusters} clusters)")
+    print(f"Measured peak cooling load reduction: "
+          f"{study.measured_reduction * 100:.1f}%\n")
+
+    print("Option A -- install a smaller cooling system:")
+    print(f"  peak cooling load: "
+          f"{study.impact.baseline_peak_cooling_w / 1e6:.1f} MW -> "
+          f"{study.impact.reduced_peak_cooling_w / 1e6:.1f} MW "
+          f"(-{study.impact.cooling_reduction_w / 1e6:.1f} MW)")
+    print(f"  lifetime cooling savings: "
+          f"${study.savings.gross_cooling_savings_usd:,.0f}")
+    print(f"  wax deployment cost:      "
+          f"-${study.savings.wax_deployment_cost_usd:,.0f}")
+    print(f"  net savings:              "
+          f"${study.savings.net_savings_usd:,.0f}\n")
+
+    print("Option B -- add servers under the same cooling budget:")
+    print(f"  +{study.impact.additional_server_fraction * 100:.1f}% "
+          f"servers: {study.impact.additional_servers:,} datacenter-wide "
+          f"({study.impact.additional_servers_per_cluster} per cluster)\n")
+
+    print(f"Conservative plan ({study.conservative_reduction * 100:.0f}% "
+          "reduction, to absorb load variation):")
+    print(f"  savings ${study.conservative_savings.gross_cooling_savings_usd:,.0f}"
+          f" or +{study.conservative_impact.additional_servers:,} servers\n")
+
+    print("For contrast, achieving a ~30 C melting point with passive "
+          "TTS would need\nmolecular n-paraffin costing "
+          f"${study.n_paraffin_cost_usd:,.0f} datacenter-wide -- versus "
+          f"${wax_deployment_cost_usd(WaxConfig(), datacenter.num_servers):,.0f} "
+          "for the\ncommercial wax VMT uses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Multi-cluster datacenters: does VMT still help when load is staggered?
+
+A datacenter serving several regions sees each cluster's diurnal peak at
+a different wall-clock hour, which already flattens the aggregate
+cooling load.  This example simulates a small multi-cluster datacenter
+directly (instead of the paper's linear scaling) and asks how VMT
+composes with timezone staggering.
+
+Usage::
+
+    python examples/datacenter_stagger.py [servers_per_cluster] [clusters]
+"""
+
+import sys
+
+from repro import paper_cluster_config
+from repro.cluster.multi import run_datacenter
+
+
+def main() -> None:
+    servers = int(sys.argv[1]) if len(sys.argv) > 1 else 50
+    clusters = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    config = paper_cluster_config(num_servers=servers,
+                                  grouping_value=22.0)
+    print(f"Simulating {clusters} clusters x {servers} servers "
+          f"({clusters * 2} full runs)...\n")
+
+    rows = []
+    results = {}
+    for stagger in (0.0, 8.0):
+        for policy in ("round-robin", "vmt-ta"):
+            result = run_datacenter(config, clusters, policy=policy,
+                                    stagger_hours=stagger)
+            results[(stagger, policy)] = result
+            rows.append((f"{stagger:.0f} h", policy,
+                         f"{result.peak_cooling_load_w / 1e3:.1f} kW"))
+
+    print(f"{'stagger':<8} {'policy':<14} {'aggregate peak':>15}")
+    for stagger, policy, peak in rows:
+        print(f"{stagger:<8} {policy:<14} {peak:>15}")
+
+    aligned = results[(0.0, "round-robin")]
+    for stagger in (0.0, 8.0):
+        rr = results[(stagger, "round-robin")]
+        vmt = results[(stagger, "vmt-ta")]
+        vs_rr = vmt.peak_reduction_vs(rr) * 100
+        print(f"\nstagger {stagger:.0f} h: staggering alone cuts the "
+              f"aligned peak by "
+              f"{rr.peak_reduction_vs(aligned) * 100:.1f}%; "
+              f"per-cluster VMT then changes the aggregate peak by "
+              f"{vs_rr:+.1f}%")
+
+    print(
+        "\nLesson: with aligned clusters VMT's storage attacks the shared"
+        "\npeak directly.  Under heavy staggering the aggregate peak"
+        "\nhappens while some clusters are off-peak -- and *their* wax is"
+        "\nrefreezing, releasing heat into the shared plant at exactly the"
+        "\nwrong moment.  Deploying VMT datacenter-wide therefore needs"
+        "\nGV (and release timing) tuned against the aggregate load, not"
+        "\neach cluster's own -- the kind of what-if this simulator makes"
+        "\ncheap to run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Day-ahead GV planning (the paper's Section V-C workflow).
+
+"In a scenario where the operators can predict load accurately day to
+day, they can actually change the GV to the optimal value each day."
+This example plays an operator: given tomorrow's load forecast, the
+:class:`~repro.core.planner.GVPlanner` recommends a grouping value from
+first principles (cold group just fits the peak cold demand; hot group
+must clear the melting point), and we verify the recommendation against
+a brute-force sweep.
+
+Usage::
+
+    python examples/day_ahead_planning.py [num_servers]
+"""
+
+import sys
+
+from repro import make_scheduler, paper_cluster_config, run_simulation
+from repro.core import GVPlanner, LoadForecast
+
+
+def measure(gv, num_servers, baseline):
+    config = paper_cluster_config(num_servers=num_servers,
+                                  grouping_value=gv)
+    result = run_simulation(config, make_scheduler("vmt-ta", config),
+                            record_heatmaps=False)
+    return result.peak_reduction_vs(baseline) * 100.0
+
+
+def main() -> None:
+    num_servers = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    config = paper_cluster_config(num_servers=num_servers)
+    planner = GVPlanner(config)
+
+    forecast = LoadForecast(peak_utilization=0.955, hot_share=0.60)
+    plan = planner.plan(forecast)
+    plan_ta = planner.plan(forecast, for_algorithm="vmt-ta")
+    print("Tomorrow's forecast: peak utilization "
+          f"{forecast.peak_utilization * 100:.1f}%, hot share "
+          f"{forecast.hot_share * 100:.0f}%")
+    print(f"planner (VMT-WA): GV={plan.grouping_value:.2f} "
+          f"(hot group {plan.hot_fraction * 100:.1f}%, predicted "
+          f"{plan.predicted_hot_group_temp_c:.1f} C)")
+    print(f"planner (VMT-TA, conservative): "
+          f"GV={plan_ta.grouping_value:.2f}\n")
+
+    print(f"Verifying against a sweep on {num_servers} servers...")
+    baseline = run_simulation(config,
+                              make_scheduler("round-robin", config),
+                              record_heatmaps=False)
+    print(f"{'GV':>6} {'reduction':>10}")
+    best_gv, best = None, -1e9
+    for gv in (18.0, 20.0, round(plan.grouping_value, 2), 24.0, 26.0):
+        reduction = measure(gv, num_servers, baseline)
+        marker = "  <- planner" if gv == round(plan.grouping_value, 2) \
+            else ""
+        print(f"{gv:>6g} {reduction:>9.1f}%{marker}")
+        if reduction > best:
+            best_gv, best = gv, reduction
+    print(f"\nbest swept GV: {best_gv:g} ({best:.1f}%)")
+    if best_gv == round(plan.grouping_value, 2):
+        print("The planner's first-principles recommendation matches the "
+              "brute-force optimum\n-- no sweep required in production.")
+    else:
+        print("The planner landed within the optimum's plateau; VMT-WA "
+              "absorbs the residual miss.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Mixture advisor: does this workload blend need VMT? (Fig. 1)
+
+Before buying wax, an operator should know whether their workload
+mixture can melt it at all -- passively (TTS), only with thermal-aware
+placement (VMT), or not at all.  This example classifies every
+two-workload mixture of the paper's suite across work ratios and prints
+the region boundaries, reproducing the six panels of Fig. 1.
+
+Usage::
+
+    python examples/mix_advisor.py
+"""
+
+from repro.analysis import format_table
+from repro.analysis.regions import MixRegion, all_figure1_panels
+
+
+def main() -> None:
+    print("Region of each two-workload mixture as the work ratio (share "
+          "of the\nfirst workload) sweeps 0..100%:\n")
+    for panel in all_figure1_panels():
+        print(panel.title)
+        rows = []
+        for region, start, end in panel.region_spans():
+            i0 = int(round(start))
+            i1 = int(round(end))
+            lo = panel.exhaust_temps_c[min(i0, i1)]
+            hi = panel.exhaust_temps_c[max(i0, i1)]
+            rows.append((f"{start:.0f}%..{end:.0f}%", region.value,
+                         f"{min(lo, hi):.1f}..{max(lo, hi):.1f} C"))
+        print(format_table(["work ratio", "region", "exhaust temp"], rows))
+        print()
+
+    needs_vmt = sum(
+        r is MixRegion.NEEDS_VMT
+        for panel in all_figure1_panels() for r in panel.regions)
+    total = sum(len(panel.regions) for panel in all_figure1_panels())
+    print(f"{needs_vmt}/{total} mixture points across the six panels "
+          "cannot melt wax passively\nbut can with VMT -- the yellow "
+          "band the paper's Fig. 1 highlights.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: reproduce the paper's headline result on a small cluster.
+
+Runs the two-day evaluation trace on a 100-server PCM-enabled cluster
+under four schedulers -- round robin, coolest first, VMT-TA, and VMT-WA
+-- and reports each policy's peak cooling load and its reduction against
+the round-robin baseline (the paper's Figure 13/16 bars).
+
+Usage::
+
+    python examples/quickstart.py [num_servers]
+"""
+
+import sys
+
+from repro import make_scheduler, paper_cluster_config, run_simulation
+
+
+def main() -> None:
+    num_servers = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    config = paper_cluster_config(num_servers=num_servers,
+                                  grouping_value=22.0)
+    print(f"Simulating {num_servers} PCM-enabled servers over the "
+          f"two-day trace ({config.trace.num_steps} one-minute ticks)\n")
+
+    baseline = run_simulation(config,
+                              make_scheduler("round-robin", config),
+                              record_heatmaps=False)
+    print(f"{'policy':<16} {'peak cooling (kW)':>18} {'reduction':>10}")
+    print(f"{baseline.scheduler_name:<16} "
+          f"{baseline.peak_cooling_load_w / 1e3:>18.2f} {'--':>10}")
+
+    for policy in ("coolest-first", "vmt-ta", "vmt-wa"):
+        result = run_simulation(config, make_scheduler(policy, config),
+                                record_heatmaps=False)
+        reduction = result.peak_reduction_vs(baseline) * 100.0
+        print(f"{result.scheduler_name:<16} "
+              f"{result.peak_cooling_load_w / 1e3:>18.2f} "
+              f"{reduction:>9.1f}%")
+
+    print("\nThe VMT policies melt wax in a hot group of servers even "
+          "though the\ncluster average temperature never reaches the "
+          "35.7 C melting point,\nwhich is why the baselines show no "
+          "reduction (the paper's Figs. 9-11).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Wear leveling: is running a hot group bad for the servers? (Fig. 7)
+
+VMT deliberately runs some servers hotter, which raises their failure
+rate (a rule of thumb: +10 C doubles it).  The paper's answer is monthly
+rotation: 20% of servers swap between the hot and cold groups each month
+(three months hot, two cold).  This example reproduces the cumulative
+failure comparison and sweeps the rotation policy to show why rotation
+matters.
+
+Usage::
+
+    python examples/reliability_rotation.py
+"""
+
+from repro.analysis import figure7_reliability, format_table
+from repro.server.reliability import (ReliabilityModel, RotationPolicy,
+                                      failure_curves)
+
+
+def main() -> None:
+    curves = figure7_reliability(months=36)
+    print("Cumulative failure probability, round robin vs rotated VMT:\n")
+    rows = []
+    for month in (6, 12, 24, 36):
+        idx = int(month)
+        rows.append((month,
+                     f"{curves.round_robin[idx] * 100:.2f}%",
+                     f"{curves.vmt[idx] * 100:.2f}%",
+                     f"+{(curves.vmt[idx] - curves.round_robin[idx]) * 100:.2f}%"))
+    print(format_table(["month", "round robin", "VMT (rotated)", "gap"],
+                       rows))
+    print(f"\nAfter 3 years the rotated VMT fleet's cumulative failure "
+          f"rate is only\n{curves.final_gap_percent:.2f}% higher than "
+          f"round robin (the paper reports 0.4-0.6%).\n")
+
+    print("Why rotation matters -- 36-month gap vs policy:\n")
+    model = ReliabilityModel()
+    rows = []
+    for months_hot, months_cold, label in (
+            (3, 2, "paper: 3 hot / 2 cold (20%/month)"),
+            (1, 1, "fast: 1 hot / 1 cold"),
+            (6, 4, "slow: 6 hot / 4 cold"),
+            (1, 0, "none: always hot (no rotation)")):
+        policy = RotationPolicy(months_hot=months_hot,
+                                months_cold=months_cold)
+        # Without rotation a hot-group server sits at the hot temperature
+        # for its whole life; with rotation it averages per the policy.
+        __, rr, vmt = failure_curves(model, policy, months=36)
+        rows.append((label, f"{(vmt[-1] - rr[-1]) * 100:.2f}%"))
+    print(format_table(["rotation policy", "36-month failure gap"], rows))
+    print("\nAny regular rotation keeps the time-averaged exposure (and "
+          "thus the gap)\nsmall; never rotating concentrates all the "
+          "extra wear on the same machines.")
+
+
+if __name__ == "__main__":
+    main()

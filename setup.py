@@ -1,0 +1,7 @@
+"""Legacy entry point so ``python setup.py develop`` works in offline
+environments that lack the ``wheel`` package (PEP 660 editable installs
+need it).  All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

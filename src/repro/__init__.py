@@ -1,0 +1,83 @@
+"""repro: a reproduction of "Virtual Melting Temperature" (ISCA 2018).
+
+The library simulates a datacenter cluster whose servers carry phase
+change material (paraffin wax) and implements the paper's contribution --
+Virtual Melting Temperature job placement (VMT-TA and VMT-WA) -- along
+with every substrate the evaluation needs: an event-driven simulation
+kernel, enthalpy-method PCM physics, a server thermal/power model, the
+five-workload suite with a two-day diurnal trace, baselines (round robin
+and coolest first), reliability and TCO models, and an experiment harness
+that regenerates each of the paper's figures and tables.
+
+Quickstart::
+
+    from repro import paper_cluster_config, make_scheduler, run_simulation
+
+    config = paper_cluster_config(num_servers=100, grouping_value=22.0)
+    vmt = run_simulation(config, make_scheduler("vmt-ta", config))
+    rr = run_simulation(config, make_scheduler("round-robin", config))
+    print(f"peak cooling reduction: "
+          f"{vmt.peak_reduction_vs(rr) * 100:.1f}%")
+"""
+
+from .config import (SchedulerConfig, ServerConfig, SimulationConfig,
+                     ThermalConfig, TraceConfig, WaxConfig,
+                     paper_cluster_config)
+from .errors import (CapacityError, ConfigurationError, ReproError,
+                     SchedulingError, SimulationError, ThermalModelError,
+                     TraceError)
+from .cluster import (Cluster, ClusterSimulation, ClusterView, Datacenter,
+                      DatacenterImpact, DatacenterResult, MetricsCollector,
+                      MultiClusterSimulation, SimulationResult,
+                      run_datacenter, run_simulation)
+from .core import (CoolestFirstScheduler, GroupSizer, Placement,
+                   RoundRobinScheduler, Scheduler, SCHEDULER_NAMES,
+                   VMTPreserveScheduler, VMTThermalAwareScheduler,
+                   VMTWaxAwareScheduler, derive_gv_vmt_mapping,
+                   hot_group_size, make_scheduler)
+from .io import load_result, save_result
+from .tco import (ElectricityTariff, TCOModel, VMTSavings,
+                  compare_cooling_bills, n_paraffin_alternative_cost_usd,
+                  wax_deployment_cost_usd)
+from .thermal import (ChillerPlant, CoolingLoadTracker, CoolingSystem,
+                      MaterialProperties, PCMBank, SensibleStorageBank,
+                      ServerAirModel, WaxStateEstimator)
+from .workloads import (TwoDayTrace, WORKLOADS, WORKLOAD_LIST, Workload,
+                        WorkloadMix, classify_suite, get_workload,
+                        paper_mix)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # configuration
+    "SchedulerConfig", "ServerConfig", "SimulationConfig", "ThermalConfig",
+    "TraceConfig", "WaxConfig", "paper_cluster_config",
+    # errors
+    "CapacityError", "ConfigurationError", "ReproError", "SchedulingError",
+    "SimulationError", "ThermalModelError", "TraceError",
+    # cluster simulation
+    "Cluster", "ClusterSimulation", "ClusterView", "Datacenter",
+    "DatacenterImpact", "DatacenterResult", "MetricsCollector",
+    "MultiClusterSimulation", "SimulationResult", "run_datacenter",
+    "run_simulation",
+    # schedulers (the contribution)
+    "CoolestFirstScheduler", "GroupSizer", "Placement",
+    "RoundRobinScheduler", "Scheduler", "SCHEDULER_NAMES",
+    "VMTPreserveScheduler", "VMTThermalAwareScheduler",
+    "VMTWaxAwareScheduler", "derive_gv_vmt_mapping", "hot_group_size",
+    "make_scheduler",
+    # persistence
+    "load_result", "save_result",
+    # cost models
+    "ElectricityTariff", "TCOModel", "VMTSavings",
+    "compare_cooling_bills", "n_paraffin_alternative_cost_usd",
+    "wax_deployment_cost_usd",
+    # thermal substrate
+    "ChillerPlant", "CoolingLoadTracker", "CoolingSystem",
+    "MaterialProperties", "PCMBank", "SensibleStorageBank",
+    "ServerAirModel", "WaxStateEstimator",
+    # workloads
+    "TwoDayTrace", "WORKLOADS", "WORKLOAD_LIST", "Workload", "WorkloadMix",
+    "classify_suite", "get_workload", "paper_mix",
+    "__version__",
+]

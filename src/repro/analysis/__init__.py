@@ -1,0 +1,36 @@
+"""Experiment harness: one entry point per paper figure/table.
+
+* :mod:`~repro.analysis.experiments` -- runnable reproductions of every
+  quantitative figure and table in the paper's evaluation;
+* :mod:`~repro.analysis.regions` -- the Fig. 1 mixture-region analysis;
+* :mod:`~repro.analysis.sweep` -- generic parameter sweep helpers;
+* :mod:`~repro.analysis.reporting` -- plain-text tables and series for
+  terminal output (benchmarks print these).
+"""
+
+from .reporting import format_table, format_series, format_heatmap
+from .regions import MixRegion, classify_mix_region, figure1_panel
+from .sweep import gv_sweep, seed_averaged_sweep
+from .validation import (Check, validate_calibration,
+                         validate_with_simulation)
+from .experiments import (
+    figure6_qos, figure7_reliability, figure8_trace, heatmap_experiment,
+    figure12_hot_group_temps, figure13_cooling_loads,
+    figure15_hot_group_temps, figure16_cooling_loads,
+    figure17_wax_threshold, figure18_gv_sweep, figure19_inlet_variation,
+    figure20_inlet_variation, table1_workloads, table2_gv_mapping,
+    tco_analysis,
+)
+
+__all__ = [
+    "format_table", "format_series", "format_heatmap", "MixRegion",
+    "classify_mix_region", "figure1_panel", "gv_sweep",
+    "seed_averaged_sweep", "Check", "validate_calibration",
+    "validate_with_simulation", "figure6_qos", "figure7_reliability",
+    "figure8_trace", "heatmap_experiment", "figure12_hot_group_temps",
+    "figure13_cooling_loads", "figure15_hot_group_temps",
+    "figure16_cooling_loads", "figure17_wax_threshold",
+    "figure18_gv_sweep", "figure19_inlet_variation",
+    "figure20_inlet_variation", "table1_workloads", "table2_gv_mapping",
+    "tco_analysis",
+]

@@ -1,0 +1,440 @@
+"""Reproductions of every quantitative figure and table in the paper.
+
+Each ``figureN_*`` / ``tableN_*`` function runs the experiment and
+returns a small result object; the corresponding benchmark under
+``benchmarks/`` calls it and prints the paper-vs-measured rows.  Figure
+numbering follows the paper:
+
+==========  ==========================================================
+Fig. 1      mixture regions (see :mod:`repro.analysis.regions`)
+Fig. 6      colocation QoS curves
+Fig. 7      reliability, round robin vs VMT rotation
+Fig. 8      two-day trace
+Figs. 9-11  heatmaps: round robin / coolest first / VMT-TA
+Fig. 12     VMT-TA hot-group temperature vs GV
+Fig. 13     VMT-TA cooling loads and peak reduction bars
+Fig. 14     heatmap: VMT-WA
+Fig. 15     VMT-WA hot-group temperature vs GV
+Fig. 16     VMT-WA cooling loads and peak reduction bars
+Fig. 17     VMT-WA wax-threshold sweep
+Fig. 18     GV sweep, VMT-TA vs VMT-WA
+Figs. 19-20 inlet-temperature variation sweeps
+Table I     workload suite
+Table II    GV -> VMT mapping
+Sec. V-E    TCO savings
+==========  ==========================================================
+
+The paper runs headline experiments on 1,000 servers and parameter
+sweeps on 100; every function here takes ``num_servers`` so tests can
+shrink further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.datacenter import Datacenter, DatacenterImpact
+from ..cluster.metrics import SimulationResult
+from ..cluster.simulation import run_simulation
+from ..config import SimulationConfig, WaxConfig, paper_cluster_config
+from ..core.grouping import derive_gv_vmt_mapping
+from ..core.policies import make_scheduler
+from ..server.reliability import (ReliabilityModel, RotationPolicy,
+                                  failure_curves)
+from ..tco.model import TCOModel, VMTSavings
+from ..tco.wax_cost import n_paraffin_alternative_cost_usd
+from ..workloads.classification import classify_suite
+from ..workloads.qos import (CACHING_SCENARIOS, SEARCH_SCENARIOS,
+                             CachingLatencyModel, SearchLatencyModel)
+from ..workloads.trace import TwoDayTrace
+from ..workloads.workload import WORKLOAD_LIST
+from .sweep import SweepResult, gv_sweep, seed_averaged_sweep
+
+
+# --------------------------------------------------------------------------
+# Fig. 6 -- colocation QoS
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class QoSCurves:
+    """The four panels of Fig. 6."""
+
+    caching_rps: np.ndarray
+    caching_mean_ms: Dict[str, np.ndarray]
+    caching_p90_ms: Dict[str, np.ndarray]
+    search_clients: np.ndarray
+    search_mean_s: Dict[str, np.ndarray]
+    search_p90_s: Dict[str, np.ndarray]
+
+
+def figure6_qos(num_points: int = 15) -> QoSCurves:
+    """Latency scaling for colocated caching and search (Fig. 6)."""
+    caching_model = CachingLatencyModel()
+    search_model = SearchLatencyModel()
+    rps = np.linspace(25_000, 60_000, num_points)
+    clients = np.linspace(10, 50, num_points)
+    return QoSCurves(
+        caching_rps=rps,
+        caching_mean_ms={s.name: caching_model.mean_latency_ms(rps, s)
+                         for s in CACHING_SCENARIOS},
+        caching_p90_ms={s.name: caching_model.p90_latency_ms(rps, s)
+                        for s in CACHING_SCENARIOS},
+        search_clients=clients,
+        search_mean_s={s.name: search_model.mean_latency_s(clients, s)
+                       for s in SEARCH_SCENARIOS},
+        search_p90_s={s.name: search_model.p90_latency_s(clients, s)
+                      for s in SEARCH_SCENARIOS},
+    )
+
+
+# --------------------------------------------------------------------------
+# Fig. 7 -- reliability
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReliabilityCurves:
+    """Cumulative failure curves (Fig. 7)."""
+
+    months: np.ndarray
+    round_robin: np.ndarray
+    vmt: np.ndarray
+
+    @property
+    def final_gap_percent(self) -> float:
+        """VMT-minus-RR cumulative failure gap at the horizon, in %."""
+        return float((self.vmt[-1] - self.round_robin[-1]) * 100.0)
+
+
+def figure7_reliability(months: int = 36) -> ReliabilityCurves:
+    """RR vs rotated-VMT cumulative failure over ``months`` (Fig. 7)."""
+    model = ReliabilityModel()
+    policy = RotationPolicy()
+    axis, rr, vmt = failure_curves(model, policy, months=months)
+    return ReliabilityCurves(months=axis, round_robin=rr, vmt=vmt)
+
+
+# --------------------------------------------------------------------------
+# Fig. 8 -- trace
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """The two-day trace and its landmarks (Fig. 8)."""
+
+    times_hours: np.ndarray
+    utilization: np.ndarray
+    per_workload: Dict[str, np.ndarray]
+    peak_hours: Tuple[float, float]
+    trough_hours: Tuple[float, float]
+    peak_utilization: float
+    mean_hot_fraction: float
+
+
+def figure8_trace(num_servers: int = 100) -> TraceSummary:
+    """Generate and summarize the evaluation trace (Fig. 8)."""
+    generator = TwoDayTrace()
+    trace = generator.generate(num_servers)
+    util = trace.utilization()
+    hours = trace.times_hours
+    day1 = slice(0, len(hours) // 2)
+    day2 = slice(len(hours) // 2, len(hours))
+    peak1 = float(hours[day1][np.argmax(util[day1])])
+    peak2 = float(hours[day2][np.argmax(util[day2])])
+    trough1 = float(hours[day1][np.argmin(util[day1])])
+    trough2 = float(hours[day2][np.argmin(util[day2])])
+    return TraceSummary(
+        times_hours=hours,
+        utilization=util,
+        per_workload={w.name: trace.workload_series(w)
+                      for w in WORKLOAD_LIST},
+        peak_hours=(peak1, peak2),
+        trough_hours=(trough1, trough2),
+        peak_utilization=float(util.max()),
+        mean_hot_fraction=float(trace.hot_fraction().mean()),
+    )
+
+
+# --------------------------------------------------------------------------
+# Figs. 9, 10, 11, 14 -- heatmaps
+# --------------------------------------------------------------------------
+
+def heatmap_experiment(policy: str, *, grouping_value: float = 22.0,
+                       num_servers: int = 100,
+                       seed: int = 7) -> SimulationResult:
+    """Run one 100-server experiment with heatmaps recorded.
+
+    ``policy`` is a :func:`~repro.core.policies.make_scheduler` name.
+    Fig. 9 uses ``"round-robin"``, Fig. 10 ``"coolest-first"``, Fig. 11
+    ``"vmt-ta"`` with GV=22, Fig. 14 ``"vmt-wa"`` with GV=20.
+    """
+    config = paper_cluster_config(num_servers=num_servers,
+                                  grouping_value=grouping_value, seed=seed)
+    return run_simulation(config, make_scheduler(policy, config),
+                          record_heatmaps=True)
+
+
+# --------------------------------------------------------------------------
+# Figs. 12, 15 -- hot group temperature vs GV
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HotGroupTemps:
+    """Average hot-group temperature series per GV (Figs. 12/15)."""
+
+    times_hours: np.ndarray
+    per_gv: Dict[float, np.ndarray]
+    round_robin_mean: np.ndarray
+    melt_temp_c: float
+
+
+def _hot_group_temps(policy: str, grouping_values: Sequence[float],
+                     num_servers: int, seed: int) -> HotGroupTemps:
+    base = paper_cluster_config(num_servers=num_servers, seed=seed)
+    rr = run_simulation(base, make_scheduler("round-robin", base),
+                        record_heatmaps=False)
+    per_gv: Dict[float, np.ndarray] = {}
+    for gv in grouping_values:
+        config = paper_cluster_config(num_servers=num_servers,
+                                      grouping_value=gv, seed=seed)
+        result = run_simulation(config, make_scheduler(policy, config),
+                                record_heatmaps=False)
+        per_gv[gv] = result.hot_group_mean_temp_c
+    return HotGroupTemps(times_hours=rr.times_hours, per_gv=per_gv,
+                         round_robin_mean=rr.mean_temp_c,
+                         melt_temp_c=base.wax.melt_temp_c)
+
+
+def figure12_hot_group_temps(grouping_values: Sequence[float] = (
+        21, 22, 23, 24, 25, 26), *, num_servers: int = 1000,
+        seed: int = 7) -> HotGroupTemps:
+    """VMT-TA average hot-group temperature vs GV (Fig. 12)."""
+    return _hot_group_temps("vmt-ta", grouping_values, num_servers, seed)
+
+
+def figure15_hot_group_temps(grouping_values: Sequence[float] = (
+        20, 21, 22, 24, 26), *, num_servers: int = 1000,
+        seed: int = 7) -> HotGroupTemps:
+    """VMT-WA average hot-group temperature vs GV (Fig. 15)."""
+    return _hot_group_temps("vmt-wa", grouping_values, num_servers, seed)
+
+
+# --------------------------------------------------------------------------
+# Figs. 13, 16 -- cooling loads and peak reduction bars
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CoolingLoadStudy:
+    """Cooling-load series and reduction bars (Figs. 13/16)."""
+
+    times_hours: np.ndarray
+    series_kw: Dict[str, np.ndarray]        # label -> cooling load series
+    reductions_percent: Dict[str, float]    # label -> peak reduction (%)
+    baseline_label: str = "round-robin"
+
+
+def _cooling_load_study(policy: str, grouping_values: Sequence[float],
+                        num_servers: int, seed: int) -> CoolingLoadStudy:
+    base = paper_cluster_config(num_servers=num_servers, seed=seed)
+    rr = run_simulation(base, make_scheduler("round-robin", base),
+                        record_heatmaps=False)
+    cf = run_simulation(base, make_scheduler("coolest-first", base),
+                        record_heatmaps=False)
+    series = {"round-robin": rr.cooling_load_kw(),
+              "coolest-first": cf.cooling_load_kw()}
+    reductions = {
+        "round-robin": 0.0,
+        "coolest-first": cf.peak_reduction_vs(rr) * 100.0,
+    }
+    for gv in grouping_values:
+        config = paper_cluster_config(num_servers=num_servers,
+                                      grouping_value=gv, seed=seed)
+        result = run_simulation(config, make_scheduler(policy, config),
+                                record_heatmaps=False)
+        label = f"GV={gv:g}"
+        series[label] = result.cooling_load_kw()
+        reductions[label] = result.peak_reduction_vs(rr) * 100.0
+    return CoolingLoadStudy(times_hours=rr.times_hours, series_kw=series,
+                            reductions_percent=reductions)
+
+
+def figure13_cooling_loads(grouping_values: Sequence[float] = (20, 22, 24),
+                           *, num_servers: int = 1000,
+                           seed: int = 7) -> CoolingLoadStudy:
+    """VMT-TA cooling loads at three GVs (Fig. 13).
+
+    Paper bars: RR 0.0, CF 0.0, GV20 0.0, GV22 -12.8%, GV24 -8.8%.
+    """
+    return _cooling_load_study("vmt-ta", grouping_values, num_servers, seed)
+
+
+def figure16_cooling_loads(grouping_values: Sequence[float] = (20, 22, 24),
+                           *, num_servers: int = 1000,
+                           seed: int = 7) -> CoolingLoadStudy:
+    """VMT-WA cooling loads at three GVs (Fig. 16).
+
+    Paper bars: RR 0.0, CF 0.0, GV20 -7.0%, GV22 -12.8%, GV24 -8.9%.
+    """
+    return _cooling_load_study("vmt-wa", grouping_values, num_servers, seed)
+
+
+# --------------------------------------------------------------------------
+# Fig. 17 -- wax threshold sweep
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ThresholdSweep:
+    """Peak reduction vs VMT-WA wax threshold (Fig. 17)."""
+
+    thresholds: np.ndarray
+    reductions_percent: np.ndarray
+
+
+def figure17_wax_threshold(thresholds: Sequence[float] = (
+        0.85, 0.90, 0.95, 0.98, 0.99, 1.00), *, grouping_value: float = 22.0,
+        num_servers: int = 100, seed: int = 7) -> ThresholdSweep:
+    """Sweep the wax threshold for VMT-WA (Fig. 17).
+
+    Paper: 8.0 / 11.1 / 12.8 / 12.8 / 12.8 / 12.8 percent -- maximum
+    reduction is achieved at thresholds of 0.95 and above.
+    """
+    base = paper_cluster_config(num_servers=num_servers, seed=seed)
+    rr = run_simulation(base, make_scheduler("round-robin", base),
+                        record_heatmaps=False)
+    reductions = []
+    for threshold in thresholds:
+        config = paper_cluster_config(num_servers=num_servers,
+                                      grouping_value=grouping_value,
+                                      seed=seed, wax_threshold=threshold)
+        result = run_simulation(config, make_scheduler("vmt-wa", config),
+                                record_heatmaps=False)
+        reductions.append(result.peak_reduction_vs(rr) * 100.0)
+    return ThresholdSweep(
+        thresholds=np.asarray(list(thresholds), dtype=np.float64),
+        reductions_percent=np.asarray(reductions),
+    )
+
+
+# --------------------------------------------------------------------------
+# Figs. 18-20 -- GV sweeps
+# --------------------------------------------------------------------------
+
+def figure18_gv_sweep(grouping_values: Sequence[float] = tuple(
+        range(10, 31, 2)), *, num_servers: int = 100,
+        seed: int = 7) -> SweepResult:
+    """GV sweep for VMT-TA and VMT-WA on 100 servers (Fig. 18)."""
+    return gv_sweep(grouping_values, ("vmt-ta", "vmt-wa"),
+                    num_servers=num_servers, seed=seed)
+
+
+def figure19_inlet_variation(grouping_values: Sequence[float] = tuple(
+        range(16, 29, 2)), *, num_servers: int = 100,
+        stdevs: Sequence[float] = (0.0, 1.0, 2.0),
+        seeds: Sequence[int] = range(5)) -> Dict[float, SweepResult]:
+    """VMT-TA GV sweep under inlet temperature variation (Fig. 19)."""
+    return {stdev: seed_averaged_sweep(grouping_values, "vmt-ta",
+                                       num_servers=num_servers, seeds=seeds,
+                                       inlet_stdev_c=stdev)
+            for stdev in stdevs}
+
+
+def figure20_inlet_variation(grouping_values: Sequence[float] = tuple(
+        range(16, 29, 2)), *, num_servers: int = 100,
+        stdevs: Sequence[float] = (0.0, 1.0, 2.0),
+        seeds: Sequence[int] = range(5)) -> Dict[float, SweepResult]:
+    """VMT-WA GV sweep under inlet temperature variation (Fig. 20)."""
+    return {stdev: seed_averaged_sweep(grouping_values, "vmt-wa",
+                                       num_servers=num_servers, seeds=seeds,
+                                       inlet_stdev_c=stdev)
+            for stdev in stdevs}
+
+
+# --------------------------------------------------------------------------
+# Tables and TCO
+# --------------------------------------------------------------------------
+
+def table1_workloads() -> List[Tuple[str, float, str, str]]:
+    """Table I plus the thermally *derived* class for cross-checking.
+
+    Returns rows ``(name, per-CPU power, paper class, derived class)``;
+    the derived class comes from the thermal model, not the stored label.
+    """
+    config = SimulationConfig()
+    derived = classify_suite(WORKLOAD_LIST, config.server, config.thermal,
+                             config.wax)
+    return [(w.name, w.per_cpu_power_w, w.thermal_class.value,
+             derived[w.name].value) for w in WORKLOAD_LIST]
+
+
+#: The GV column of the paper's Table II.
+TABLE2_GROUPING_VALUES: Tuple[float, ...] = (
+    20.03, 20.14, 20.23, 20.83, 21.25, 21.55, 21.69, 21.84, 23.99, 30.75)
+
+
+def table2_gv_mapping(grouping_values: Sequence[float] =
+                      TABLE2_GROUPING_VALUES, *, num_servers: int = 100,
+                      seed: int = 7) -> List[Tuple[float, float, float]]:
+    """Empirical GV -> VMT mapping (Table II).
+
+    Returns rows ``(gv, vmt_celsius, delta_vs_pmt)``.
+    """
+    config = paper_cluster_config(num_servers=num_servers, seed=seed)
+    mapping = derive_gv_vmt_mapping(config, grouping_values)
+    pmt = config.wax.melt_temp_c
+    return [(gv, vmt, vmt - pmt) for gv, vmt in mapping]
+
+
+@dataclass(frozen=True)
+class TCOStudy:
+    """Section V-E: what the measured peak reduction is worth."""
+
+    measured_reduction: float
+    impact: DatacenterImpact
+    savings: VMTSavings
+    conservative_reduction: float
+    conservative_impact: DatacenterImpact
+    conservative_savings: VMTSavings
+    n_paraffin_cost_usd: float
+
+
+def tco_analysis(peak_reduction: Optional[float] = None, *,
+                 conservative_reduction: float = 0.06,
+                 num_servers: int = 1000,
+                 seed: int = 7) -> TCOStudy:
+    """Quantify the TCO benefits of a peak cooling load reduction.
+
+    When ``peak_reduction`` is None the headline experiment (VMT-TA,
+    GV=22 vs round robin) is run to measure it, as in Section V-E.
+    """
+    if peak_reduction is None:
+        config = paper_cluster_config(num_servers=num_servers,
+                                      grouping_value=22.0, seed=seed)
+        rr = run_simulation(config, make_scheduler("round-robin", config),
+                            record_heatmaps=False)
+        ta = run_simulation(config, make_scheduler("vmt-ta", config),
+                            record_heatmaps=False)
+        peak_reduction = ta.peak_reduction_vs(rr)
+    datacenter = Datacenter()
+    tco = TCOModel()
+    wax = WaxConfig()
+
+    def build(reduction: float) -> Tuple[DatacenterImpact, VMTSavings]:
+        impact = datacenter.impact_of(reduction)
+        savings = tco.vmt_savings(datacenter.critical_power_w, reduction,
+                                  wax, datacenter.num_servers)
+        return impact, savings
+
+    impact, savings = build(peak_reduction)
+    c_impact, c_savings = build(conservative_reduction)
+    return TCOStudy(
+        measured_reduction=peak_reduction,
+        impact=impact,
+        savings=savings,
+        conservative_reduction=conservative_reduction,
+        conservative_impact=c_impact,
+        conservative_savings=c_savings,
+        n_paraffin_cost_usd=n_paraffin_alternative_cost_usd(
+            wax, datacenter.num_servers),
+    )

@@ -1,0 +1,141 @@
+"""Figure 1: which two-workload mixtures need VMT.
+
+For a mixture swept by work ratio, the paper colors three regions by
+what the peak-load exhaust temperature allows:
+
+* **TTS** (green): the *blended* exhaust temperature already exceeds the
+  wax melting point, so passive TTS melts wax with no help;
+* **Needs VMT** (yellow): the blend is too cool, but the mixture contains
+  enough hot work that concentrating it (VMT) melts wax in a subset of
+  servers;
+* **Neither**: even a fully packed server of the mixture's hottest
+  workload stays below the melting point (or there is effectively no hot
+  work to concentrate) -- deploying PCM is useless.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..config import ServerConfig, ThermalConfig, WaxConfig
+from ..errors import ConfigurationError
+from ..workloads.classification import isolated_steady_temp_c
+from ..workloads.mix import FIGURE1_PAIRS, WorkloadMix
+from ..workloads.workload import WORKLOADS, Workload
+
+
+class MixRegion(enum.Enum):
+    """The three regions of Fig. 1."""
+
+    TTS = "VMT/TTS"          # green: TTS alone works (VMT also fine)
+    NEEDS_VMT = "Needs VMT"  # yellow: only VMT can melt wax
+    NEITHER = "Neither"      # grey: PCM is useless for this mix
+
+
+#: Minimum share of hot work for VMT to have anything to concentrate.
+MIN_HOT_SHARE = 0.05
+
+
+def blended_exhaust_temp_c(mix: WorkloadMix, server: ServerConfig,
+                           thermal: ThermalConfig,
+                           utilization: float = 0.95) -> float:
+    """Peak-load exhaust temperature of a server running the blend."""
+    if not 0.0 <= utilization <= 1.0:
+        raise ConfigurationError("utilization must be in [0, 1]")
+    per_core = mix.mean_per_core_power_w(server.cores_per_socket)
+    dynamic = per_core * server.cores * utilization
+    power = min(server.idle_power_w + dynamic, server.peak_power_w)
+    return thermal.inlet_temp_c + thermal.r_air_c_per_w * power
+
+
+def hottest_grouped_temp_c(mix: WorkloadMix, server: ServerConfig,
+                           thermal: ThermalConfig,
+                           wax: WaxConfig) -> float:
+    """Exhaust temperature of a server packed with the mix's hot work.
+
+    This is what VMT can achieve by concentrating the hot jobs: the
+    hottest *hot-classified* workload in the mix fully packing a server.
+    Returns the inlet temperature when the mix has no hot work at all.
+    """
+    hot = [w for w in mix.workloads
+           if isolated_steady_temp_c(w, server, thermal) > wax.melt_temp_c]
+    if not hot:
+        return thermal.inlet_temp_c
+    return max(isolated_steady_temp_c(w, server, thermal) for w in hot)
+
+
+def classify_mix_region(mix: WorkloadMix, server: ServerConfig,
+                        thermal: ThermalConfig, wax: WaxConfig,
+                        utilization: float = 0.95) -> MixRegion:
+    """Classify one mixture point into a Fig. 1 region."""
+    blended = blended_exhaust_temp_c(mix, server, thermal, utilization)
+    if blended > wax.melt_temp_c:
+        return MixRegion.TTS
+    hot_share = sum(
+        mix.share_of(w) for w in mix.workloads
+        if isolated_steady_temp_c(w, server, thermal) > wax.melt_temp_c)
+    if hot_share >= MIN_HOT_SHARE:
+        grouped = hottest_grouped_temp_c(mix, server, thermal, wax)
+        if grouped > wax.melt_temp_c:
+            return MixRegion.NEEDS_VMT
+    return MixRegion.NEITHER
+
+
+@dataclass(frozen=True)
+class Figure1Panel:
+    """One mixture panel: temperatures and regions across work ratios."""
+
+    first: Workload
+    second: Workload
+    work_ratios: np.ndarray
+    exhaust_temps_c: np.ndarray
+    regions: List[MixRegion]
+
+    @property
+    def title(self) -> str:
+        """Panel title, e.g. 'DataCaching-WebSearch Mix'."""
+        return f"{self.first.name}-{self.second.name} Mix"
+
+    def region_spans(self) -> List[Tuple[MixRegion, float, float]]:
+        """Contiguous (region, ratio_start, ratio_end) spans."""
+        spans: List[Tuple[MixRegion, float, float]] = []
+        start = 0
+        for i in range(1, len(self.regions) + 1):
+            if i == len(self.regions) or self.regions[i] != self.regions[start]:
+                spans.append((self.regions[start],
+                              float(self.work_ratios[start]),
+                              float(self.work_ratios[i - 1])))
+                start = i
+        return spans
+
+
+def figure1_panel(first_name: str, second_name: str,
+                  server: ServerConfig = ServerConfig(),
+                  thermal: ThermalConfig = ThermalConfig(),
+                  wax: WaxConfig = WaxConfig(),
+                  num_points: int = 101,
+                  utilization: float = 0.95) -> Figure1Panel:
+    """Compute one Fig. 1 panel for a pair of workloads.
+
+    ``work_ratio`` is the percentage of load belonging to ``first_name``.
+    """
+    first, second = WORKLOADS[first_name], WORKLOADS[second_name]
+    ratios = np.linspace(0.0, 100.0, num_points)
+    temps = np.empty(num_points)
+    regions: List[MixRegion] = []
+    for i, pct in enumerate(ratios):
+        mix = WorkloadMix.pair(first, second, pct / 100.0)
+        temps[i] = blended_exhaust_temp_c(mix, server, thermal, utilization)
+        regions.append(classify_mix_region(mix, server, thermal, wax,
+                                           utilization))
+    return Figure1Panel(first=first, second=second, work_ratios=ratios,
+                        exhaust_temps_c=temps, regions=regions)
+
+
+def all_figure1_panels(**kwargs) -> List[Figure1Panel]:
+    """The six panels of Fig. 1, in the paper's order."""
+    return [figure1_panel(a, b, **kwargs) for a, b in FIGURE1_PAIRS]

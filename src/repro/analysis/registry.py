@@ -1,0 +1,113 @@
+"""Registry of the paper's experiments.
+
+Maps each reproducible artifact (figure, table, TCO section) to its
+runner and metadata, so tools -- the ``repro-sim experiments`` CLI, the
+benchmarks, anything downstream -- can enumerate and launch them by id
+without hard-coding the experiment list in several places.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import ConfigurationError
+from . import experiments as exp
+from .regions import all_figure1_panels
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artifact."""
+
+    id: str
+    title: str
+    paper_ref: str
+    runner: Callable[..., Any]
+    simulated: bool  # whether it runs full cluster simulations
+    default_kwargs: Dict[str, Any]
+
+    def run(self, **overrides: Any) -> Any:
+        """Execute with the default parameters, overridden as given."""
+        kwargs = dict(self.default_kwargs)
+        kwargs.update(overrides)
+        return self.runner(**kwargs)
+
+
+def _registry() -> List[Experiment]:
+    return [
+        Experiment("fig1", "mixture regions vs work ratio", "Fig. 1",
+                   lambda **kw: all_figure1_panels(**kw), False, {}),
+        Experiment("fig6", "colocation QoS curves", "Fig. 6",
+                   exp.figure6_qos, False, {}),
+        Experiment("fig7", "reliability, RR vs rotated VMT", "Fig. 7",
+                   exp.figure7_reliability, False, {"months": 36}),
+        Experiment("fig8", "two-day load trace", "Fig. 8",
+                   exp.figure8_trace, False, {"num_servers": 100}),
+        Experiment("fig9", "round-robin heatmaps", "Fig. 9",
+                   exp.heatmap_experiment, True,
+                   {"policy": "round-robin", "num_servers": 100}),
+        Experiment("fig10", "coolest-first heatmaps", "Fig. 10",
+                   exp.heatmap_experiment, True,
+                   {"policy": "coolest-first", "num_servers": 100}),
+        Experiment("fig11", "VMT-TA heatmaps (GV=22)", "Fig. 11",
+                   exp.heatmap_experiment, True,
+                   {"policy": "vmt-ta", "grouping_value": 22.0,
+                    "num_servers": 100}),
+        Experiment("fig12", "VMT-TA hot-group temps vs GV", "Fig. 12",
+                   exp.figure12_hot_group_temps, True,
+                   {"num_servers": 1000}),
+        Experiment("fig13", "VMT-TA cooling loads / reduction bars",
+                   "Fig. 13", exp.figure13_cooling_loads, True,
+                   {"num_servers": 1000}),
+        Experiment("fig14", "VMT-WA heatmaps (GV=20)", "Fig. 14",
+                   exp.heatmap_experiment, True,
+                   {"policy": "vmt-wa", "grouping_value": 20.0,
+                    "num_servers": 100}),
+        Experiment("fig15", "VMT-WA hot-group temps vs GV", "Fig. 15",
+                   exp.figure15_hot_group_temps, True,
+                   {"num_servers": 1000}),
+        Experiment("fig16", "VMT-WA cooling loads / reduction bars",
+                   "Fig. 16", exp.figure16_cooling_loads, True,
+                   {"num_servers": 1000}),
+        Experiment("fig17", "wax threshold sweep", "Fig. 17",
+                   exp.figure17_wax_threshold, True,
+                   {"num_servers": 100}),
+        Experiment("fig18", "GV sweep, TA vs WA", "Fig. 18",
+                   exp.figure18_gv_sweep, True, {"num_servers": 100}),
+        Experiment("fig19", "VMT-TA under inlet variation", "Fig. 19",
+                   exp.figure19_inlet_variation, True,
+                   {"num_servers": 100}),
+        Experiment("fig20", "VMT-WA under inlet variation", "Fig. 20",
+                   exp.figure20_inlet_variation, True,
+                   {"num_servers": 100}),
+        Experiment("table1", "workload suite + derived classes",
+                   "Table I", exp.table1_workloads, False, {}),
+        Experiment("table2", "GV -> VMT mapping", "Table II",
+                   exp.table2_gv_mapping, True, {"num_servers": 100}),
+        Experiment("tco", "datacenter TCO benefits", "Sec. V-E",
+                   exp.tco_analysis, True, {"num_servers": 1000}),
+    ]
+
+
+#: All experiments, keyed by id.
+EXPERIMENTS: Dict[str, Experiment] = {e.id: e for e in _registry()}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment; raises with the known ids on a typo."""
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def list_experiments(simulated: Optional[bool] = None) -> List[Experiment]:
+    """All experiments, optionally filtered by whether they simulate."""
+    values = list(EXPERIMENTS.values())
+    if simulated is None:
+        return values
+    return [e for e in values if e.simulated == simulated]

@@ -1,0 +1,89 @@
+"""Plain-text rendering of tables, series, and heatmaps.
+
+The benchmark harness prints what the paper plots; these helpers keep
+that output aligned and readable in a terminal (and in the captured
+bench logs recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as a fixed-width table with a header rule."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        for row in str_rows
+    ]
+    return "\n".join([line, rule] + body)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:,.0f}"
+    return str(value)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  *, x_label: str = "x", y_label: str = "y",
+                  max_points: int = 25) -> str:
+    """Render an (x, y) series as aligned rows, downsampled if long."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.shape != ys.shape:
+        raise ConfigurationError("series x and y must have equal length")
+    if len(xs) > max_points:
+        idx = np.linspace(0, len(xs) - 1, max_points).astype(int)
+        xs, ys = xs[idx], ys[idx]
+    rows = [(f"{x:.2f}", f"{y:.3f}") for x, y in zip(xs, ys)]
+    return f"{name}\n" + format_table([x_label, y_label], rows)
+
+
+_HEAT_GLYPHS = " .:-=+*#%@"
+
+
+def format_heatmap(matrix: np.ndarray, *, title: str = "",
+                   vmin: Optional[float] = None,
+                   vmax: Optional[float] = None,
+                   max_rows: int = 20, max_cols: int = 72) -> str:
+    """Render a (time x servers) matrix as an ASCII intensity map.
+
+    Rows are servers (downsampled), columns are time (downsampled); the
+    glyph ramp runs from ' ' (vmin) to '@' (vmax).  This is how the
+    benchmark harness prints the paper's Figs. 9-11/14 without plotting.
+    """
+    m = np.asarray(matrix, dtype=np.float64)
+    if m.ndim != 2:
+        raise ConfigurationError("heatmap expects a 2-D matrix")
+    # Transpose to (servers, time) like the paper's axes.
+    m = m.T
+    rows = min(max_rows, m.shape[0])
+    cols = min(max_cols, m.shape[1])
+    r_idx = np.linspace(0, m.shape[0] - 1, rows).astype(int)
+    c_idx = np.linspace(0, m.shape[1] - 1, cols).astype(int)
+    m = m[np.ix_(r_idx, c_idx)]
+    lo = float(np.min(m)) if vmin is None else vmin
+    hi = float(np.max(m)) if vmax is None else vmax
+    span = hi - lo if hi > lo else 1.0
+    scaled = np.clip((m - lo) / span, 0.0, 1.0)
+    glyph_idx = (scaled * (len(_HEAT_GLYPHS) - 1)).astype(int)
+    lines = ["".join(_HEAT_GLYPHS[g] for g in row) for row in glyph_idx]
+    header = f"{title} (range {lo:.1f}..{hi:.1f}; rows=servers, cols=time)"
+    return "\n".join([header] + lines)

@@ -1,0 +1,85 @@
+"""Generic parameter sweep helpers.
+
+The paper's evaluation is mostly sweeps: grouping value, wax threshold,
+inlet variation.  These helpers run a scheduler across a parameter range
+against a shared round-robin baseline, optionally averaging over seeds
+(Figs. 19/20 average five runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..cluster.simulation import run_simulation
+from ..core.policies import make_scheduler
+from ..config import paper_cluster_config
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Peak-cooling-load reductions across a swept parameter."""
+
+    parameter_name: str
+    values: np.ndarray
+    reductions: Dict[str, np.ndarray]  # policy name -> fraction per value
+
+    def best(self, policy: str) -> tuple:
+        """(best parameter value, best reduction) for a policy."""
+        series = self.reductions[policy]
+        idx = int(np.argmax(series))
+        return float(self.values[idx]), float(series[idx])
+
+
+def gv_sweep(grouping_values: Sequence[float],
+             policies: Sequence[str] = ("vmt-ta", "vmt-wa"), *,
+             num_servers: int = 100, seed: int = 7,
+             inlet_stdev_c: float = 0.0,
+             wax_threshold: float = 0.98) -> SweepResult:
+    """Sweep the grouping value for one or more VMT policies (Fig. 18)."""
+    base = paper_cluster_config(num_servers=num_servers, seed=seed,
+                                inlet_stdev_c=inlet_stdev_c,
+                                wax_threshold=wax_threshold)
+    baseline = run_simulation(base, make_scheduler("round-robin", base),
+                              record_heatmaps=False)
+    reductions: Dict[str, List[float]] = {p: [] for p in policies}
+    for gv in grouping_values:
+        config = paper_cluster_config(num_servers=num_servers,
+                                      grouping_value=gv, seed=seed,
+                                      inlet_stdev_c=inlet_stdev_c,
+                                      wax_threshold=wax_threshold)
+        for policy in policies:
+            result = run_simulation(config,
+                                    make_scheduler(policy, config),
+                                    record_heatmaps=False)
+            reductions[policy].append(result.peak_reduction_vs(baseline))
+    return SweepResult(
+        parameter_name="grouping_value",
+        values=np.asarray(list(grouping_values), dtype=np.float64),
+        reductions={p: np.asarray(v) for p, v in reductions.items()},
+    )
+
+
+def seed_averaged_sweep(grouping_values: Sequence[float], policy: str, *,
+                        num_servers: int = 100, seeds: Sequence[int] = range(5),
+                        inlet_stdev_c: float = 0.0) -> SweepResult:
+    """Average a GV sweep over several seeds (Figs. 19/20).
+
+    Each seed re-draws the inlet temperature distribution (and the
+    trace/scheduler noise streams); reductions are computed against that
+    seed's own round-robin baseline, then averaged.
+    """
+    per_seed: List[np.ndarray] = []
+    for seed in seeds:
+        result = gv_sweep(grouping_values, (policy,),
+                          num_servers=num_servers, seed=seed,
+                          inlet_stdev_c=inlet_stdev_c)
+        per_seed.append(result.reductions[policy])
+    stacked = np.vstack(per_seed)
+    return SweepResult(
+        parameter_name="grouping_value",
+        values=np.asarray(list(grouping_values), dtype=np.float64),
+        reductions={policy: stacked.mean(axis=0)},
+    )

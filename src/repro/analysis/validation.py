@@ -1,0 +1,153 @@
+"""Calibration validation: check the DESIGN.md §4 invariants hold.
+
+The reproduction's credibility rests on a handful of calibration facts
+(round robin peaks just below the melt point, the GV=22 hot group clears
+it, wax capacity roughly matches the peak window's energy, CPUs never
+throttle).  This module checks them programmatically -- fast analytic
+checks first, then an optional simulation-backed pass -- so a user who
+changes a constant learns immediately which paper behaviour they broke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import SimulationConfig, paper_cluster_config
+from ..core.grouping import GroupSizer
+from ..core.vmt_wa import mean_hot_core_power_w
+from ..thermal.throttling import CPUThermalModel, worst_case_junction_temp_c
+from ..workloads.classification import classify_suite
+from ..workloads.mix import paper_mix
+from ..workloads.workload import WORKLOAD_LIST
+
+
+@dataclass(frozen=True)
+class Check:
+    """One validation check's outcome."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+def _steady_temp(config: SimulationConfig, power_w: float) -> float:
+    return (config.thermal.inlet_temp_c
+            + config.thermal.r_air_c_per_w * power_w)
+
+
+def validate_calibration(config: Optional[SimulationConfig] = None
+                         ) -> List[Check]:
+    """Run the analytic calibration checks; returns one entry per check."""
+    if config is None:
+        config = paper_cluster_config()
+    config.validate()
+    checks: List[Check] = []
+    pmt = config.wax.melt_temp_c
+    mix = paper_mix()
+    peak_u = config.trace.peak_utilization
+
+    # 1. Round robin peaks just below the melting point.
+    mixed_per_core = mix.mean_per_core_power_w(
+        config.server.cores_per_socket)
+    rr_power = (config.server.idle_power_w
+                + peak_u * config.server.cores * mixed_per_core)
+    rr_temp = _steady_temp(config, rr_power)
+    checks.append(Check(
+        name="round-robin peak sits just below the melt point",
+        passed=pmt - 2.0 < rr_temp < pmt,
+        detail=f"predicted {rr_temp:.2f} C vs melt {pmt} C"))
+
+    # 2. The GV=22 hot group clears the melting point at peak.
+    sizer = GroupSizer(config.scheduler.grouping_value, pmt,
+                       config.num_servers)
+    hot_cores = mix.hot_share * peak_u * config.total_cores
+    per_server = min(hot_cores / max(sizer.hot_size, 1),
+                     config.server.cores)
+    hot_power = (config.server.idle_power_w
+                 + per_server * mean_hot_core_power_w(config))
+    hot_temp = _steady_temp(config, hot_power)
+    checks.append(Check(
+        name="hot group clears the melt point at peak",
+        passed=hot_temp > pmt + 1.0,
+        detail=f"predicted {hot_temp:.2f} C vs melt {pmt} C "
+               f"(GV={config.scheduler.grouping_value:g}, "
+               f"{sizer.hot_size} servers)"))
+
+    # 3. The cold group can hold the peak cold demand.
+    cold_cores = (1.0 - mix.hot_share) * peak_u * config.total_cores
+    cold_capacity = sizer.cold_size * config.server.cores
+    checks.append(Check(
+        name="cold group holds the peak cold demand",
+        passed=cold_cores <= cold_capacity * 1.02,
+        detail=f"{cold_cores:.0f} cold cores vs "
+               f"{cold_capacity} cold-group capacity"))
+
+    # 4. Wax capacity roughly matches the peak window's absorbable energy
+    #    (within a factor of two either way keeps the GV=22 behaviour).
+    ha = config.thermal.ha_w_per_k
+    window_s = 8.0 * 3600.0
+    mean_excess_c = max(0.0, (hot_temp - pmt) * 0.55)
+    window_energy = ha * mean_excess_c * window_s
+    capacity = config.wax.latent_capacity_j
+    ratio = capacity / window_energy if window_energy > 0 else np.inf
+    checks.append(Check(
+        name="latent capacity matches the peak window",
+        passed=0.5 < ratio < 2.0,
+        detail=f"capacity {capacity / 1e3:.0f} kJ vs window "
+               f"~{window_energy / 1e3:.0f} kJ (ratio {ratio:.2f})"))
+
+    # 5. Table I classes derive correctly from the thermal model.
+    derived = classify_suite(WORKLOAD_LIST, config.server, config.thermal,
+                             config.wax)
+    mismatches = [w.name for w in WORKLOAD_LIST
+                  if derived[w.name] != w.thermal_class]
+    checks.append(Check(
+        name="derived workload classes match Table I",
+        passed=not mismatches,
+        detail="all five match" if not mismatches
+        else f"mismatched: {', '.join(mismatches)}"))
+
+    # 6. No CPU throttling even for a fully packed server at a hot inlet.
+    worst = worst_case_junction_temp_c(config.server, config.thermal)
+    limit = CPUThermalModel().throttle_temp_c
+    checks.append(Check(
+        name="no CPU throttling at worst case",
+        passed=worst < limit,
+        detail=f"worst-case junction {worst:.1f} C vs limit {limit} C"))
+
+    return checks
+
+
+def validate_with_simulation(num_servers: int = 50,
+                             seed: int = 7) -> List[Check]:
+    """Simulation-backed validation (slower; a few seconds).
+
+    Runs round robin and VMT-TA on a small cluster and checks the
+    observed behaviours, not just the analytic predictions.
+    """
+    from ..cluster.simulation import run_simulation
+    from ..core.policies import make_scheduler
+
+    config = paper_cluster_config(num_servers=num_servers, seed=seed)
+    rr = run_simulation(config, make_scheduler("round-robin", config),
+                        record_heatmaps=False)
+    ta = run_simulation(config, make_scheduler("vmt-ta", config),
+                        record_heatmaps=False)
+    reduction = ta.peak_reduction_vs(rr)
+    return [
+        Check(name="round robin melts no wax (simulated)",
+              passed=rr.max_melt_fraction < 0.02,
+              detail=f"max mean melt {rr.max_melt_fraction * 100:.2f}%"),
+        Check(name="VMT-TA melts the hot group (simulated)",
+              passed=ta.max_melt_fraction > 0.4,
+              detail=f"max mean melt {ta.max_melt_fraction * 100:.1f}%"),
+        Check(name="VMT-TA reduction in the paper's band (simulated)",
+              passed=0.08 < reduction < 0.16,
+              detail=f"{reduction * 100:.1f}% vs paper 12.8%"),
+        Check(name="no throttling during the run (simulated)",
+              passed=not ta.throttling_occurred(),
+              detail=f"peak CPU {ta.peak_cpu_temp_c():.1f} C"),
+    ]

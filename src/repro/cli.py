@@ -1,0 +1,301 @@
+"""Command-line interface.
+
+Installs as ``repro-sim`` (see pyproject) and also runs as
+``python -m repro.cli``.  Subcommands cover the everyday workflows:
+
+* ``run``      -- one simulation, summary (optionally saved to .npz)
+* ``compare``  -- policies vs the round-robin baseline
+* ``sweep``    -- grouping-value sweep for the VMT policies
+* ``trace``    -- the two-day trace and its landmarks
+* ``heatmap``  -- ASCII temperature / wax heatmaps for a policy
+* ``tco``      -- datacenter-scale TCO what-if
+* ``info``     -- workload table and calibration constants
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from . import __version__
+from .analysis.reporting import format_heatmap, format_series, format_table
+from .cluster.simulation import run_simulation
+from .config import paper_cluster_config
+from .core.policies import SCHEDULER_NAMES, make_scheduler
+from .errors import ReproError
+from .io import save_result
+from .workloads.workload import WORKLOAD_LIST
+
+
+def _add_cluster_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--servers", type=int, default=100,
+                        help="cluster size (default 100)")
+    parser.add_argument("--gv", type=float, default=22.0,
+                        help="grouping value for VMT policies")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="root RNG seed")
+    parser.add_argument("--inlet-stdev", type=float, default=0.0,
+                        help="per-server inlet temperature stdev (deg C)")
+
+
+def _config_from(args: argparse.Namespace):
+    return paper_cluster_config(num_servers=args.servers,
+                                grouping_value=args.gv, seed=args.seed,
+                                inlet_stdev_c=args.inlet_stdev)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    scheduler = make_scheduler(args.policy, config)
+    result = run_simulation(config, scheduler,
+                            record_heatmaps=bool(args.save))
+    summary = result.summary()
+    rows = [(key, value) for key, value in summary.items()]
+    print(format_table(["metric", "value"], rows))
+    if args.save:
+        path = save_result(result, args.save)
+        print(f"\nsaved result to {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    baseline = run_simulation(config,
+                              make_scheduler("round-robin", config),
+                              record_heatmaps=False)
+    rows = [("round-robin",
+             f"{baseline.peak_cooling_load_w / 1e3:.2f}", "--")]
+    for policy in args.policies:
+        result = run_simulation(config, make_scheduler(policy, config),
+                                record_heatmaps=False)
+        rows.append((result.scheduler_name,
+                     f"{result.peak_cooling_load_w / 1e3:.2f}",
+                     f"{result.peak_reduction_vs(baseline) * 100:.1f}%"))
+    print(format_table(["policy", "peak cooling (kW)", "reduction"],
+                       rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.sweep import gv_sweep
+    values = np.arange(args.start, args.stop + 1e-9, args.step)
+    sweep = gv_sweep([float(v) for v in values], tuple(args.policies),
+                     num_servers=args.servers, seed=args.seed,
+                     inlet_stdev_c=args.inlet_stdev)
+    headers = ["GV"] + list(args.policies)
+    rows = []
+    for i, gv in enumerate(sweep.values):
+        rows.append((f"{gv:g}",
+                     *(f"{sweep.reductions[p][i] * 100:.1f}%"
+                       for p in args.policies)))
+    print(format_table(headers, rows))
+    for policy in args.policies:
+        gv, best = sweep.best(policy)
+        print(f"best {policy}: GV={gv:g} ({best * 100:.1f}%)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .analysis.experiments import figure8_trace
+    trace = figure8_trace(num_servers=args.servers)
+    print(format_series("cluster utilization vs hour",
+                        trace.times_hours, trace.utilization,
+                        x_label="hour", y_label="utilization",
+                        max_points=args.points))
+    print(f"\npeaks at hours {trace.peak_hours[0]:.1f} / "
+          f"{trace.peak_hours[1]:.1f}; troughs at "
+          f"{trace.trough_hours[0]:.1f} / {trace.trough_hours[1]:.1f}; "
+          f"hot share {trace.mean_hot_fraction * 100:.1f}%")
+    return 0
+
+
+def _cmd_heatmap(args: argparse.Namespace) -> int:
+    from .analysis.experiments import heatmap_experiment
+    result = heatmap_experiment(args.policy, grouping_value=args.gv,
+                                num_servers=args.servers, seed=args.seed)
+    print(format_heatmap(result.temp_heatmap,
+                         title=f"air temperature, {args.policy}",
+                         vmin=10, vmax=50))
+    print()
+    print(format_heatmap(result.melt_heatmap,
+                         title=f"wax melted, {args.policy}",
+                         vmin=0, vmax=1))
+    return 0
+
+
+def _cmd_tco(args: argparse.Namespace) -> int:
+    from .analysis.experiments import tco_analysis
+    study = tco_analysis(peak_reduction=args.reduction,
+                         num_servers=args.servers, seed=args.seed)
+    rows = [
+        ("peak reduction", f"{study.measured_reduction * 100:.1f}%"),
+        ("cooling reduction",
+         f"{study.impact.cooling_reduction_w / 1e6:.2f} MW"),
+        ("lifetime cooling savings",
+         f"${study.savings.gross_cooling_savings_usd:,.0f}"),
+        ("wax deployment cost",
+         f"${study.savings.wax_deployment_cost_usd:,.0f}"),
+        ("net savings", f"${study.savings.net_savings_usd:,.0f}"),
+        ("additional servers", f"{study.impact.additional_servers:,}"),
+    ]
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .analysis.registry import EXPERIMENTS, get_experiment
+    if args.id is None:
+        rows = [(e.id, e.paper_ref, "sim" if e.simulated else "model",
+                 e.title) for e in EXPERIMENTS.values()]
+        print(format_table(["id", "paper", "kind", "title"], rows))
+        print("\nrun one with: repro-sim experiments <id>  "
+              "(simulated ones take seconds to minutes)")
+        return 0
+    experiment = get_experiment(args.id)
+    print(f"running {experiment.id} ({experiment.paper_ref}): "
+          f"{experiment.title} ...")
+    overrides = {}
+    if args.servers is not None and "num_servers" \
+            in experiment.default_kwargs:
+        overrides["num_servers"] = args.servers
+    result = experiment.run(**overrides)
+    print(f"done: {type(result).__name__}")
+    summary = getattr(result, "summary", None)
+    if callable(summary):
+        for key, value in summary().items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .analysis.validation import (validate_calibration,
+                                      validate_with_simulation)
+    checks = validate_calibration()
+    if args.simulate:
+        checks += validate_with_simulation(num_servers=args.servers,
+                                           seed=args.seed)
+    rows = [("PASS" if c.passed else "FAIL", c.name, c.detail)
+            for c in checks]
+    print(format_table(["status", "check", "detail"], rows))
+    failed = sum(not c.passed for c in checks)
+    print(f"\n{len(checks) - failed}/{len(checks)} checks passed")
+    return 0 if failed == 0 else 1
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    config = paper_cluster_config(num_servers=args.servers)
+    rows = [(w.name, f"{w.per_cpu_power_w:.1f} W", w.thermal_class.value)
+            for w in WORKLOAD_LIST]
+    print(format_table(["workload", "per-CPU power", "VMT class"], rows))
+    print()
+    rows = [
+        ("servers", config.num_servers),
+        ("cores/server", config.server.cores),
+        ("idle / peak power", f"{config.server.idle_power_w:.0f} / "
+         f"{config.server.peak_power_w:.0f} W"),
+        ("wax", f"{config.wax.volume_liters:.1f} L @ "
+         f"{config.wax.melt_temp_c} C melt"),
+        ("latent capacity/server",
+         f"{config.wax.latent_capacity_j / 1e3:.0f} kJ"),
+        ("inlet / R_air / hA",
+         f"{config.thermal.inlet_temp_c:.0f} C / "
+         f"{config.thermal.r_air_c_per_w} C/W / "
+         f"{config.thermal.ha_w_per_k} W/K"),
+        ("schedulers", ", ".join(SCHEDULER_NAMES)),
+    ]
+    print(format_table(["parameter", "value"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sim",
+        description="VMT (ISCA 2018) datacenter thermal simulator")
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulation")
+    _add_cluster_args(run)
+    run.add_argument("--policy", choices=SCHEDULER_NAMES,
+                     default="vmt-ta")
+    run.add_argument("--save", metavar="PATH",
+                     help="save the result to a .npz file")
+    run.set_defaults(func=_cmd_run)
+
+    compare = sub.add_parser("compare",
+                             help="compare policies vs round robin")
+    _add_cluster_args(compare)
+    compare.add_argument("--policies", nargs="+",
+                         choices=SCHEDULER_NAMES,
+                         default=["coolest-first", "vmt-ta", "vmt-wa"])
+    compare.set_defaults(func=_cmd_compare)
+
+    sweep = sub.add_parser("sweep", help="sweep the grouping value")
+    _add_cluster_args(sweep)
+    sweep.add_argument("--start", type=float, default=14.0)
+    sweep.add_argument("--stop", type=float, default=30.0)
+    sweep.add_argument("--step", type=float, default=2.0)
+    sweep.add_argument("--policies", nargs="+",
+                       choices=("vmt-ta", "vmt-wa", "vmt-preserve"),
+                       default=["vmt-ta", "vmt-wa"])
+    sweep.set_defaults(func=_cmd_sweep)
+
+    trace = sub.add_parser("trace", help="show the two-day trace")
+    trace.add_argument("--servers", type=int, default=100)
+    trace.add_argument("--points", type=int, default=25)
+    trace.set_defaults(func=_cmd_trace)
+
+    heatmap = sub.add_parser("heatmap", help="ASCII cluster heatmaps")
+    _add_cluster_args(heatmap)
+    heatmap.add_argument("--policy", choices=SCHEDULER_NAMES,
+                         default="vmt-ta")
+    heatmap.set_defaults(func=_cmd_heatmap)
+
+    tco = sub.add_parser("tco", help="datacenter TCO what-if")
+    tco.add_argument("--servers", type=int, default=100,
+                     help="cluster size used to measure the reduction")
+    tco.add_argument("--seed", type=int, default=7)
+    tco.add_argument("--reduction", type=float, default=None,
+                     help="skip simulation; use this fraction (e.g. 0.128)")
+    tco.set_defaults(func=_cmd_tco)
+
+    info = sub.add_parser("info", help="workloads and calibration")
+    info.add_argument("--servers", type=int, default=1000)
+    info.set_defaults(func=_cmd_info)
+
+    experiments = sub.add_parser(
+        "experiments", help="list or run the paper's experiments")
+    experiments.add_argument("id", nargs="?", default=None,
+                             help="experiment id (omit to list)")
+    experiments.add_argument("--servers", type=int, default=None,
+                             help="override cluster size where supported")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    validate = sub.add_parser(
+        "validate", help="check the calibration invariants")
+    validate.add_argument("--simulate", action="store_true",
+                          help="also run simulation-backed checks")
+    validate.add_argument("--servers", type=int, default=50)
+    validate.add_argument("--seed", type=int, default=7)
+    validate.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Cluster-level simulation: vectorized state, metrics, scale-out.
+
+* :mod:`~repro.cluster.cluster` -- the vectorized thermal/power state of
+  N servers (one numpy row per server);
+* :mod:`~repro.cluster.state` -- the read-only view schedulers receive;
+* :mod:`~repro.cluster.simulation` -- wires the event engine, trace,
+  scheduler, and cluster into a runnable experiment;
+* :mod:`~repro.cluster.metrics` -- time-series and heatmap collection;
+* :mod:`~repro.cluster.datacenter` -- linear scale-out to the 25 MW
+  datacenter used for the TCO analysis.
+"""
+
+from .cluster import Cluster
+from .state import ClusterView
+from .metrics import MetricsCollector, SimulationResult
+from .simulation import ClusterSimulation, run_simulation
+from .datacenter import Datacenter, DatacenterImpact
+from .multi import (DatacenterResult, MultiClusterSimulation,
+                    run_datacenter)
+
+__all__ = [
+    "Cluster", "ClusterView", "MetricsCollector", "SimulationResult",
+    "ClusterSimulation", "run_simulation", "Datacenter",
+    "DatacenterImpact", "DatacenterResult", "MultiClusterSimulation",
+    "run_datacenter",
+]

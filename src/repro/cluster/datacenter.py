@@ -1,0 +1,97 @@
+"""Datacenter-level scale-out of cluster results.
+
+"The cluster results from DCsim are then multiplied linearly to calculate
+the effects of VMT workload placement policies on the datacenter level."
+(Section IV-E.)  The paper's datacenter sums many 1,000-server clusters
+to 25 MW of critical power (just under the 27.25 MW median for large
+datacenters), i.e. 50,000 servers at 500 W peak each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ServerConfig
+from ..errors import ConfigurationError
+from ..units import MW
+
+
+@dataclass(frozen=True)
+class Datacenter:
+    """A datacenter described by its critical power and server type."""
+
+    critical_power_w: float = 25.0 * MW
+    server: ServerConfig = ServerConfig()
+    servers_per_cluster: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.critical_power_w <= 0:
+            raise ConfigurationError("critical power must be positive")
+        if self.servers_per_cluster <= 0:
+            raise ConfigurationError("cluster size must be positive")
+        self.server.validate()
+
+    @property
+    def num_servers(self) -> int:
+        """Servers supportable at full critical power (50,000 here)."""
+        return int(self.critical_power_w // self.server.peak_power_w)
+
+    @property
+    def num_clusters(self) -> int:
+        """Whole clusters in the datacenter."""
+        return self.num_servers // self.servers_per_cluster
+
+    def impact_of(self, peak_reduction_fraction: float
+                  ) -> "DatacenterImpact":
+        """Scale a cluster-level peak cooling reduction to the datacenter."""
+        if not 0.0 <= peak_reduction_fraction < 1.0:
+            raise ConfigurationError("reduction must be in [0, 1)")
+        return DatacenterImpact(datacenter=self,
+                                peak_reduction=peak_reduction_fraction)
+
+
+@dataclass(frozen=True)
+class DatacenterImpact:
+    """What a given peak cooling load reduction buys at datacenter scale."""
+
+    datacenter: Datacenter
+    peak_reduction: float
+
+    @property
+    def baseline_peak_cooling_w(self) -> float:
+        """Peak heat the cooling system must remove without VMT.
+
+        A fully subscribed plant removes the full critical power at peak.
+        """
+        return self.datacenter.critical_power_w
+
+    @property
+    def reduced_peak_cooling_w(self) -> float:
+        """Peak cooling load with VMT in place."""
+        return self.baseline_peak_cooling_w * (1.0 - self.peak_reduction)
+
+    @property
+    def cooling_reduction_w(self) -> float:
+        """Absolute peak cooling load reduction (the paper's 'up to 3.2 MW')."""
+        return self.baseline_peak_cooling_w - self.reduced_peak_cooling_w
+
+    @property
+    def additional_server_fraction(self) -> float:
+        """Extra servers addable under the same cooling budget.
+
+        A reduction ``r`` lets ``1 / (1 - r)`` times the original fleet
+        dissipate the original peak: 12.8% -> 14.6% more servers.
+        """
+        return 1.0 / (1.0 - self.peak_reduction) - 1.0
+
+    @property
+    def additional_servers(self) -> int:
+        """Datacenter-wide extra server count (7,339 at 12.8%)."""
+        return int(self.datacenter.num_servers
+                   * self.additional_server_fraction)
+
+    @property
+    def additional_servers_per_cluster(self) -> int:
+        """Per-cluster extra server count (146 at 12.8%)."""
+        return int(self.datacenter.servers_per_cluster
+                   * self.additional_server_fraction)

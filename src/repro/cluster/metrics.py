@@ -1,0 +1,186 @@
+"""Metrics collection and simulation results.
+
+The evaluation's figures all derive from a handful of series recorded per
+scheduling tick: the cluster cooling load (Figs. 13/16), per-server air
+temperature and wax-melt heatmaps (Figs. 9-11, 14), and group-mean
+temperatures (Figs. 12/15).  :class:`MetricsCollector` accumulates them;
+:class:`SimulationResult` is the immutable analysis-friendly product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..errors import SimulationError
+
+
+class MetricsCollector:
+    """Accumulates per-tick series during a simulation run.
+
+    ``record_heatmaps=False`` skips the (steps x servers) arrays to keep
+    1,000-server parameter sweeps light.
+    """
+
+    def __init__(self, record_heatmaps: bool = True) -> None:
+        self._record_heatmaps = record_heatmaps
+        self._times_s: List[float] = []
+        self._cooling_w: List[float] = []
+        self._power_w: List[float] = []
+        self._absorbed_w: List[float] = []
+        self._mean_temp: List[float] = []
+        self._hot_mean_temp: List[float] = []
+        self._cold_mean_temp: List[float] = []
+        self._mean_melt: List[float] = []
+        self._hot_group_size: List[int] = []
+        self._jobs: List[int] = []
+        self._max_cpu_temp: List[float] = []
+        self._temp_rows: List[np.ndarray] = []
+        self._melt_rows: List[np.ndarray] = []
+
+    def record(self, time_s: float, *, air_temp_c: np.ndarray,
+               melt_fraction: np.ndarray, power_w: np.ndarray,
+               wax_absorption_w: np.ndarray, jobs: int,
+               hot_mask: Optional[np.ndarray] = None,
+               max_cpu_temp_c: float = float("nan")) -> None:
+        """Record one tick's state."""
+        self._times_s.append(float(time_s))
+        self._max_cpu_temp.append(float(max_cpu_temp_c))
+        total_power = float(power_w.sum())
+        total_absorbed = float(wax_absorption_w.sum())
+        self._power_w.append(total_power)
+        self._absorbed_w.append(total_absorbed)
+        self._cooling_w.append(total_power - total_absorbed)
+        self._mean_temp.append(float(air_temp_c.mean()))
+        self._mean_melt.append(float(melt_fraction.mean()))
+        self._jobs.append(int(jobs))
+        if hot_mask is not None and hot_mask.any():
+            self._hot_mean_temp.append(float(air_temp_c[hot_mask].mean()))
+            cold = ~hot_mask
+            self._cold_mean_temp.append(
+                float(air_temp_c[cold].mean()) if cold.any()
+                else float("nan"))
+            self._hot_group_size.append(int(hot_mask.sum()))
+        else:
+            self._hot_mean_temp.append(float("nan"))
+            self._cold_mean_temp.append(float("nan"))
+            self._hot_group_size.append(0)
+        if self._record_heatmaps:
+            self._temp_rows.append(np.asarray(air_temp_c, dtype=np.float32)
+                                   .copy())
+            self._melt_rows.append(np.asarray(melt_fraction,
+                                              dtype=np.float32).copy())
+
+    def finish(self, config: SimulationConfig,
+               scheduler_name: str) -> "SimulationResult":
+        """Freeze the collected series into a result object."""
+        if not self._times_s:
+            raise SimulationError("no ticks were recorded")
+        heat = (np.vstack(self._temp_rows) if self._temp_rows else None)
+        melt = (np.vstack(self._melt_rows) if self._melt_rows else None)
+        return SimulationResult(
+            config=config,
+            scheduler_name=scheduler_name,
+            times_s=np.asarray(self._times_s),
+            cooling_load_w=np.asarray(self._cooling_w),
+            it_power_w=np.asarray(self._power_w),
+            wax_absorption_w=np.asarray(self._absorbed_w),
+            mean_temp_c=np.asarray(self._mean_temp),
+            hot_group_mean_temp_c=np.asarray(self._hot_mean_temp),
+            cold_group_mean_temp_c=np.asarray(self._cold_mean_temp),
+            mean_melt_fraction=np.asarray(self._mean_melt),
+            hot_group_size=np.asarray(self._hot_group_size),
+            jobs=np.asarray(self._jobs),
+            max_cpu_temp_c=np.asarray(self._max_cpu_temp),
+            temp_heatmap=heat,
+            melt_heatmap=melt,
+        )
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything a run produced, ready for analysis and plotting."""
+
+    config: SimulationConfig
+    scheduler_name: str
+    times_s: np.ndarray
+    cooling_load_w: np.ndarray
+    it_power_w: np.ndarray
+    wax_absorption_w: np.ndarray
+    mean_temp_c: np.ndarray
+    hot_group_mean_temp_c: np.ndarray
+    cold_group_mean_temp_c: np.ndarray
+    mean_melt_fraction: np.ndarray
+    hot_group_size: np.ndarray
+    jobs: np.ndarray
+    max_cpu_temp_c: Optional[np.ndarray] = None
+    temp_heatmap: Optional[np.ndarray] = None
+    melt_heatmap: Optional[np.ndarray] = None
+
+    @property
+    def times_hours(self) -> np.ndarray:
+        """Tick times in hours."""
+        return self.times_s / 3600.0
+
+    @property
+    def peak_cooling_load_w(self) -> float:
+        """Peak cluster cooling load over the run (W)."""
+        return float(self.cooling_load_w.max())
+
+    @property
+    def peak_it_power_w(self) -> float:
+        """Peak cluster IT power over the run (W)."""
+        return float(self.it_power_w.max())
+
+    @property
+    def total_energy_stored_j(self) -> float:
+        """Gross latent+sensible energy absorbed by wax while melting (J)."""
+        dt = float(np.median(np.diff(self.times_s))) if len(self.times_s) > 1 \
+            else 0.0
+        positive = np.clip(self.wax_absorption_w, 0.0, None)
+        return float(positive.sum() * dt)
+
+    @property
+    def max_melt_fraction(self) -> float:
+        """Highest cluster-mean melt fraction reached."""
+        return float(self.mean_melt_fraction.max())
+
+    def peak_cpu_temp_c(self) -> float:
+        """Hottest CPU junction seen anywhere during the run.
+
+        NaN when the run predates CPU-temperature tracking.
+        """
+        if self.max_cpu_temp_c is None or len(self.max_cpu_temp_c) == 0:
+            return float("nan")
+        return float(np.nanmax(self.max_cpu_temp_c))
+
+    def throttling_occurred(self, throttle_temp_c: float = 85.0) -> bool:
+        """Whether any CPU crossed the throttle point during the run."""
+        peak = self.peak_cpu_temp_c()
+        return bool(np.isfinite(peak) and peak > throttle_temp_c)
+
+    def peak_reduction_vs(self, baseline: "SimulationResult") -> float:
+        """Fractional peak cooling load reduction against a baseline run."""
+        base = baseline.peak_cooling_load_w
+        if base <= 0:
+            raise SimulationError("baseline peak must be positive")
+        return 1.0 - self.peak_cooling_load_w / base
+
+    def cooling_load_kw(self) -> np.ndarray:
+        """Cooling load series in kW (Figs. 13/16 plot kW)."""
+        return self.cooling_load_w / 1e3
+
+    def summary(self) -> Dict[str, float]:
+        """Headline scalars for quick inspection."""
+        return {
+            "scheduler": self.scheduler_name,
+            "num_servers": self.config.num_servers,
+            "peak_cooling_kw": self.peak_cooling_load_w / 1e3,
+            "mean_cooling_kw": float(self.cooling_load_w.mean()) / 1e3,
+            "peak_it_kw": self.peak_it_power_w / 1e3,
+            "max_mean_melt": self.max_melt_fraction,
+            "peak_mean_temp_c": float(self.mean_temp_c.max()),
+        }

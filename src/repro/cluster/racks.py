@@ -1,0 +1,93 @@
+"""Rack layout and power balance.
+
+The paper's datacenter packs "approximately 20 servers per rack and 50
+racks per cluster" (Section IV-A) and notes -- twice -- that hot-group
+servers "do not need to be physically clustered: they can be distributed
+throughout the datacenter to maintain the same cluster or DC-level
+temperature distributions" and "to balance load across multiple cooling
+systems".  Server *ids* in this library are logical; this module maps
+them onto racks and quantifies what that remark is about: a hot group
+occupying contiguous racks concentrates power (and heat) into a few
+circuits, while an interleaved mapping keeps every rack near the fleet
+mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RackLayout:
+    """Assignment of logical server ids to physical racks."""
+
+    num_servers: int
+    servers_per_rack: int = 20
+
+    def __post_init__(self) -> None:
+        if self.num_servers <= 0:
+            raise ConfigurationError("need at least one server")
+        if self.servers_per_rack <= 0:
+            raise ConfigurationError("rack size must be positive")
+
+    @property
+    def num_racks(self) -> int:
+        """Rack count (last rack may be partial)."""
+        return -(-self.num_servers // self.servers_per_rack)
+
+    def contiguous_rack_of(self) -> np.ndarray:
+        """Naive mapping: server ``i`` sits in rack ``i // rack_size``.
+
+        Under this mapping VMT's hot group (low ids) fills whole racks.
+        """
+        return np.arange(self.num_servers) // self.servers_per_rack
+
+    def interleaved_rack_of(self) -> np.ndarray:
+        """Round-robin mapping: consecutive ids land in different racks.
+
+        This realizes the paper's "distributed throughout the datacenter"
+        deployment: each rack holds a proportional slice of the hot
+        group.
+        """
+        return np.arange(self.num_servers) % self.num_racks
+
+    def per_rack_power_w(self, server_power_w: np.ndarray,
+                         rack_of: np.ndarray) -> np.ndarray:
+        """Sum per-server power into racks under a mapping."""
+        power = np.asarray(server_power_w, dtype=np.float64)
+        if power.shape != (self.num_servers,):
+            raise ConfigurationError(
+                f"power vector must have {self.num_servers} entries")
+        return np.bincount(np.asarray(rack_of), weights=power,
+                           minlength=self.num_racks)
+
+    def rack_imbalance(self, server_power_w: np.ndarray,
+                       rack_of: np.ndarray) -> float:
+        """Peak-to-mean ratio of rack power (1.0 = perfectly balanced).
+
+        Rack circuits and row-level cooling are provisioned per rack, so
+        this ratio is the overprovisioning a mapping forces.
+        """
+        per_rack = self.per_rack_power_w(server_power_w, rack_of)
+        # Ignore a trailing partial rack when judging balance.
+        full = per_rack[:self.num_servers // self.servers_per_rack] \
+            if self.num_servers % self.servers_per_rack else per_rack
+        mean = float(full.mean())
+        if mean <= 0:
+            return 1.0
+        return float(full.max()) / mean
+
+
+def compare_hot_group_placements(layout: RackLayout,
+                                 server_power_w: np.ndarray
+                                 ) -> Sequence[float]:
+    """(contiguous, interleaved) rack imbalance for a power snapshot."""
+    return (layout.rack_imbalance(server_power_w,
+                                  layout.contiguous_rack_of()),
+            layout.rack_imbalance(server_power_w,
+                                  layout.interleaved_rack_of()))

@@ -1,0 +1,119 @@
+"""Wiring: trace + scheduler + cluster on the event engine.
+
+One :class:`ClusterSimulation` reproduces the paper's experimental loop:
+every minute (the wax model's update period) the scheduler observes the
+sensed cluster state, places the current demand, and the physical models
+advance one tick; a metrics collector records the series the figures
+need.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..core.scheduler import Scheduler
+from ..errors import SimulationError
+from ..sim.engine import Engine
+from ..sim.process import PeriodicProcess
+from ..sim.rng import RngStreams
+from ..workloads.trace import TraceMatrix, TwoDayTrace
+from .cluster import Cluster
+from .metrics import MetricsCollector, SimulationResult
+
+#: Observer signature: (time_s, demand_vector, placement, cluster).
+Observer = Callable[[float, np.ndarray, "object", Cluster], None]
+
+
+class ClusterSimulation:
+    """A complete, runnable cluster experiment.
+
+    Observers registered with :meth:`add_observer` are called after every
+    tick with ``(time_s, demand, placement, cluster)`` -- the extension
+    point for QoS monitoring, custom metrics, or live controllers.
+    """
+
+    def __init__(self, config: SimulationConfig, scheduler: Scheduler, *,
+                 trace: Optional[TraceMatrix] = None,
+                 record_heatmaps: bool = True) -> None:
+        config.validate()
+        if scheduler.config.num_servers != config.num_servers:
+            raise SimulationError(
+                "scheduler was built for a different cluster size")
+        self._config = config
+        self._streams = RngStreams(config.seed)
+        self._cluster = Cluster(config, self._streams)
+        self._scheduler = scheduler
+        if trace is None:
+            trace = TwoDayTrace(config.trace).generate(
+                config.num_servers, config.server.cores,
+                rng=self._streams.stream("trace"))
+        if trace.total_cores != config.total_cores:
+            trace = trace.scaled_to(config.num_servers, config.server.cores)
+        self._trace = trace
+        self._metrics = MetricsCollector(record_heatmaps=record_heatmaps)
+        self._engine = Engine()
+        self._step_index = 0
+        self._observers: List[Observer] = []
+
+    def add_observer(self, observer: Observer) -> None:
+        """Register a per-tick observer (see class docstring)."""
+        self._observers.append(observer)
+
+    @property
+    def cluster(self) -> Cluster:
+        """The physical cluster under simulation."""
+        return self._cluster
+
+    @property
+    def trace(self) -> TraceMatrix:
+        """The demand trace driving the run."""
+        return self._trace
+
+    @property
+    def engine(self) -> Engine:
+        """The discrete-event engine."""
+        return self._engine
+
+    def _tick(self, now_s: float) -> None:
+        if self._step_index >= self._trace.num_steps:
+            return
+        demand = self._trace.demand_at(self._step_index)
+        view = self._cluster.view()
+        placement = self._scheduler.place(demand, view)
+        self._cluster.step(placement.allocation,
+                           self._trace.step_seconds)
+        self._metrics.record(
+            self._cluster.time_s,
+            air_temp_c=self._cluster.air_temp_c,
+            melt_fraction=self._cluster.wax_melt_fraction,
+            power_w=self._cluster.power_w,
+            wax_absorption_w=self._cluster.wax_absorption_w,
+            jobs=int(demand.sum()),
+            hot_mask=placement.hot_group_mask,
+            max_cpu_temp_c=float(self._cluster.cpu_junction_temp_c.max()),
+        )
+        for observer in self._observers:
+            observer(self._cluster.time_s, demand, placement,
+                     self._cluster)
+        self._step_index += 1
+
+    def run(self) -> SimulationResult:
+        """Run the full trace and return the collected result."""
+        self._scheduler.reset()
+        process = PeriodicProcess(self._engine, self._trace.step_seconds,
+                                  self._tick, name="scheduler-tick")
+        duration = self._trace.num_steps * self._trace.step_seconds
+        self._engine.run_until(duration - 1e-9)
+        process.stop()
+        return self._metrics.finish(self._config, self._scheduler.name)
+
+
+def run_simulation(config: SimulationConfig, scheduler: Scheduler, *,
+                   trace: Optional[TraceMatrix] = None,
+                   record_heatmaps: bool = True) -> SimulationResult:
+    """Convenience one-call experiment runner."""
+    return ClusterSimulation(config, scheduler, trace=trace,
+                             record_heatmaps=record_heatmaps).run()

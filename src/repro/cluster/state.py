@@ -1,0 +1,39 @@
+"""The read-only cluster view handed to schedulers.
+
+Schedulers must not reach into the simulator's ground truth: a deployed
+cluster scheduler sees sensor readings and the wax *estimate*, not the
+wax itself.  :class:`ClusterView` packages exactly what Section III says
+the scheduler can observe -- air temperatures (from the container-exterior
+sensors) and the estimated melt state -- plus static cluster facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClusterView:
+    """Scheduler-visible snapshot of the cluster at one scheduling tick."""
+
+    time_s: float
+    num_servers: int
+    cores_per_server: int
+    air_temp_c: np.ndarray       # sensed air temperature at the wax
+    wax_melt_estimate: np.ndarray  # estimated melt fraction in [0, 1]
+    melt_temp_c: float           # PMT of the deployed wax
+
+    @property
+    def total_cores(self) -> int:
+        """Cluster-wide core capacity."""
+        return self.num_servers * self.cores_per_server
+
+    def servers_below_melt(self) -> np.ndarray:
+        """Mask of servers whose air is below the melting temperature."""
+        return self.air_temp_c < self.melt_temp_c
+
+    def servers_melted(self, wax_threshold: float) -> np.ndarray:
+        """Mask of servers whose wax estimate meets the melted threshold."""
+        return self.wax_melt_estimate >= wax_threshold

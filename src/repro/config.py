@@ -1,0 +1,262 @@
+"""Central configuration objects.
+
+Every calibration constant in the reproduction lives here, in one of a
+handful of frozen dataclasses, so experiments can be described as pure data
+and the mapping back to the paper's Section IV (Methodology) stays
+auditable.  The defaults reproduce the paper's test datacenter:
+
+* 2U servers with 4x Xeon E7-4809 v4 (32 cores), 100 W idle / 500 W peak;
+* 4.0 L of commercial paraffin wax at 35.7 deg C melting point per server;
+* 20 deg C nominal inlet air, lumped air-path resistance calibrated so the
+  round-robin cluster peaks *just below* the melt point (paper Fig. 9);
+* a 1-minute wax model / scheduler update period (Section IV-A).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from .errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Physical and electrical description of one server (Section IV-A)."""
+
+    sockets: int = 4
+    cores_per_socket: int = 8
+    idle_power_w: float = 100.0
+    peak_power_w: float = 500.0
+
+    @property
+    def cores(self) -> int:
+        """Total physical cores in the server."""
+        return self.sockets * self.cores_per_socket
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if self.sockets <= 0 or self.cores_per_socket <= 0:
+            raise ConfigurationError("server must have at least one core")
+        if self.idle_power_w < 0:
+            raise ConfigurationError("idle power must be non-negative")
+        if self.peak_power_w <= self.idle_power_w:
+            raise ConfigurationError("peak power must exceed idle power")
+
+
+@dataclass(frozen=True)
+class WaxConfig:
+    """Per-server PCM deployment (Section IV-A, 'Wax Placement').
+
+    The paper deploys 4.0 liters of commercial paraffin (melting point
+    35.7 deg C, the lowest commercially available) split across four
+    aluminum containers behind the CPU heat sinks.
+    """
+
+    volume_liters: float = 4.0
+    density_kg_per_m3: float = 880.0
+    melt_temp_c: float = 35.7
+    latent_heat_j_per_kg: float = 230e3
+    specific_heat_solid_j_per_kg_k: float = 2100.0
+    specific_heat_liquid_j_per_kg_k: float = 2400.0
+
+    @property
+    def mass_kg(self) -> float:
+        """Wax mass per server."""
+        return self.volume_liters / 1000.0 * self.density_kg_per_m3
+
+    @property
+    def latent_capacity_j(self) -> float:
+        """Total latent heat storage per server (J)."""
+        return self.mass_kg * self.latent_heat_j_per_kg
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if self.volume_liters < 0:
+            raise ConfigurationError("wax volume must be non-negative")
+        if self.density_kg_per_m3 <= 0:
+            raise ConfigurationError("wax density must be positive")
+        if self.latent_heat_j_per_kg < 0:
+            raise ConfigurationError("latent heat must be non-negative")
+        if (self.specific_heat_solid_j_per_kg_k <= 0
+                or self.specific_heat_liquid_j_per_kg_k <= 0):
+            raise ConfigurationError("specific heats must be positive")
+
+    def scaled_latent(self, factor: float) -> "WaxConfig":
+        """Return a copy with the heat of fusion scaled by ``factor``.
+
+        Used by the GV -> VMT mapping derivation (Table II), which matches
+        the hot group's available storage by modifying the heat of fusion.
+        """
+        if factor < 0:
+            raise ConfigurationError("latent scale factor must be >= 0")
+        return dataclasses.replace(
+            self, latent_heat_j_per_kg=self.latent_heat_j_per_kg * factor)
+
+    def with_melt_temp(self, melt_temp_c: float) -> "WaxConfig":
+        """Return a copy with a different physical melting temperature."""
+        return dataclasses.replace(self, melt_temp_c=melt_temp_c)
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """Lumped thermal parameters of the server air path and wax coupling.
+
+    ``r_air_c_per_w`` is the steady-state temperature rise of the air at
+    the wax per watt of IT power; ``tau_air_s`` is the first-order time
+    constant of that air node; ``ha_w_per_k`` is the convective
+    conductance between the air and the wax containers.  Defaults are
+    calibrated per DESIGN.md Section 4.
+    """
+
+    inlet_temp_c: float = 20.0
+    inlet_stdev_c: float = 0.0
+    r_air_c_per_w: float = 0.068
+    tau_air_s: float = 300.0
+    ha_w_per_k: float = 14.0
+    air_sensor_noise_c: float = 0.5
+    wax_sensor_noise_c: float = 0.2
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if self.r_air_c_per_w <= 0:
+            raise ConfigurationError("air thermal resistance must be positive")
+        if self.tau_air_s <= 0:
+            raise ConfigurationError("air time constant must be positive")
+        if self.ha_w_per_k < 0:
+            raise ConfigurationError("air-wax conductance must be >= 0")
+        if self.inlet_stdev_c < 0:
+            raise ConfigurationError("inlet stdev must be >= 0")
+        if self.air_sensor_noise_c < 0 or self.wax_sensor_noise_c < 0:
+            raise ConfigurationError("sensor noise must be >= 0")
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Shape of the synthetic two-day diurnal load trace (Fig. 8).
+
+    The paper uses a Google trace normalized per Kontorinis et al. with
+    utilization peaking at 95% around hour 20 (and again around hour 46)
+    and troughs near hours 5 and 29.
+    """
+
+    duration_hours: float = 48.0
+    step_seconds: float = 60.0
+    peak_utilization: float = 0.95
+    trough_utilization: float = 0.35
+    peak_hour: float = 20.0
+    noise_stdev: float = 0.01
+    seed: int = 2018
+
+    @property
+    def num_steps(self) -> int:
+        """Number of simulation steps covered by the trace."""
+        return int(round(self.duration_hours * 3600.0 / self.step_seconds))
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if self.duration_hours <= 0:
+            raise ConfigurationError("trace duration must be positive")
+        if self.step_seconds <= 0:
+            raise ConfigurationError("trace step must be positive")
+        if not 0.0 < self.peak_utilization <= 1.0:
+            raise ConfigurationError("peak utilization must be in (0, 1]")
+        if not 0.0 <= self.trough_utilization < self.peak_utilization:
+            raise ConfigurationError(
+                "trough utilization must be in [0, peak_utilization)")
+        if self.noise_stdev < 0:
+            raise ConfigurationError("noise stdev must be >= 0")
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Parameters shared by the VMT schedulers (Section III).
+
+    ``grouping_value`` (GV) sizes the hot group via Eq. 1,
+    ``hot_group_size = GV / PMT * num_servers``.  ``wax_threshold`` is the
+    melted fraction above which VMT-WA considers a server fully melted
+    (fixed at 0.98 in the paper's experiments, swept in Fig. 17).
+    """
+
+    grouping_value: float = 22.0
+    wax_threshold: float = 0.98
+    update_period_s: float = 60.0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if self.grouping_value <= 0:
+            raise ConfigurationError("grouping value must be positive")
+        if not 0.0 < self.wax_threshold <= 1.0:
+            raise ConfigurationError("wax threshold must be in (0, 1]")
+        if self.update_period_s <= 0:
+            raise ConfigurationError("update period must be positive")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Complete description of one cluster simulation run."""
+
+    num_servers: int = 100
+    server: ServerConfig = field(default_factory=ServerConfig)
+    wax: WaxConfig = field(default_factory=WaxConfig)
+    thermal: ThermalConfig = field(default_factory=ThermalConfig)
+    trace: TraceConfig = field(default_factory=TraceConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    seed: int = 7
+
+    def validate(self) -> None:
+        """Validate the config tree; raise :class:`ConfigurationError`."""
+        if self.num_servers <= 0:
+            raise ConfigurationError("cluster must contain servers")
+        self.server.validate()
+        self.wax.validate()
+        self.thermal.validate()
+        self.trace.validate()
+        self.scheduler.validate()
+
+    @property
+    def total_cores(self) -> int:
+        """Total cores across the cluster."""
+        return self.num_servers * self.server.cores
+
+    def replace(self, **changes: Any) -> "SimulationConfig":
+        """Return a copy with top-level fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the full configuration tree to plain dictionaries."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimulationConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        return cls(
+            num_servers=data.get("num_servers", 100),
+            server=ServerConfig(**data.get("server", {})),
+            wax=WaxConfig(**data.get("wax", {})),
+            thermal=ThermalConfig(**data.get("thermal", {})),
+            trace=TraceConfig(**data.get("trace", {})),
+            scheduler=SchedulerConfig(**data.get("scheduler", {})),
+            seed=data.get("seed", 7),
+        )
+
+
+def paper_cluster_config(num_servers: int = 1000,
+                         grouping_value: float = 22.0,
+                         seed: int = 7,
+                         inlet_stdev_c: float = 0.0,
+                         wax_threshold: float = 0.98) -> SimulationConfig:
+    """Convenience constructor for the paper's evaluation cluster.
+
+    The paper runs most headline experiments on 1,000 servers and the
+    parameter sweeps on 100 servers "to reduce total compute time"
+    (Section IV-A); pass ``num_servers=100`` for the latter.
+    """
+    return SimulationConfig(
+        num_servers=num_servers,
+        scheduler=SchedulerConfig(grouping_value=grouping_value,
+                                  wax_threshold=wax_threshold),
+        thermal=ThermalConfig(inlet_stdev_c=inlet_stdev_c),
+        seed=seed,
+    )

@@ -1,0 +1,147 @@
+"""Day-ahead Grouping Value planning.
+
+Section V-C: "In a scenario where the operators can predict load
+accurately day to day, they can actually change the GV to the optimal
+value each day.  However, with VMT-TA they must choose a conservative
+value because the risk of selecting a value too low is extreme."
+
+This module turns that observation into a planner.  The empirical
+optimum (GV=22 for the paper's mixture) is not magic -- it is where the
+cold group is *just* big enough for the peak cold demand, pushing every
+other server into the hot group.  A bigger hot group maximizes deployed
+latent capacity while the hot-job share keeps it above the melting
+point; any smaller and wax melts out early (the GV=20 collapse), any
+bigger and cold jobs spill into the hot group and dilute it.
+
+    hot_fraction* = 1 - cold_share * peak_utilization
+    GV*           = PMT * hot_fraction*
+
+The planner applies that rule to a load forecast, then verifies the
+resulting group actually clears the melting point under the forecast
+(some mixtures cannot melt wax at any GV -- Fig. 1's "Neither" region)
+and adds the paper's conservative bias for VMT-TA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..config import SimulationConfig
+from ..errors import ConfigurationError
+from .grouping import GroupSizer
+from .vmt_wa import mean_hot_core_power_w
+
+
+@dataclass(frozen=True)
+class LoadForecast:
+    """Tomorrow's expected load, as an operator would forecast it."""
+
+    peak_utilization: float
+    hot_share: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.peak_utilization <= 1.0:
+            raise ConfigurationError("peak utilization must be in (0, 1]")
+        if not 0.0 <= self.hot_share <= 1.0:
+            raise ConfigurationError("hot share must be in [0, 1]")
+
+    @property
+    def cold_share(self) -> float:
+        """Share of demand that is VMT-cold."""
+        return 1.0 - self.hot_share
+
+
+@dataclass(frozen=True)
+class GVPlan:
+    """The planner's recommendation."""
+
+    grouping_value: float
+    hot_fraction: float
+    predicted_hot_group_temp_c: float
+    feasible: bool
+    note: str = ""
+
+
+class GVPlanner:
+    """Pick tomorrow's GV from a load forecast.
+
+    ``melt_margin_c`` is how far above the melting point the hot group
+    must be predicted to sit for the plan to count as feasible;
+    ``ta_conservative_bias`` is added to the GV when planning for VMT-TA
+    (missing high costs a little, missing low costs everything).
+    """
+
+    def __init__(self, config: SimulationConfig, *,
+                 melt_margin_c: float = 1.0,
+                 ta_conservative_bias: float = 0.5) -> None:
+        config.validate()
+        if melt_margin_c < 0:
+            raise ConfigurationError("melt margin must be >= 0")
+        self._config = config
+        self._margin = melt_margin_c
+        self._ta_bias = ta_conservative_bias
+
+    def predicted_hot_group_temp_c(self, forecast: LoadForecast,
+                                   grouping_value: float) -> float:
+        """Steady-state hot-group temperature at the forecast peak."""
+        config = self._config
+        pmt = config.wax.melt_temp_c
+        sizer = GroupSizer(grouping_value, pmt, config.num_servers)
+        if sizer.hot_size == 0:
+            return config.thermal.inlet_temp_c
+        hot_cores = (forecast.hot_share * forecast.peak_utilization
+                     * config.total_cores)
+        cores_per_server = min(hot_cores / sizer.hot_size,
+                               float(config.server.cores))
+        p_hot = mean_hot_core_power_w(config)
+        dynamic = cores_per_server * p_hot
+        power = min(config.server.idle_power_w + dynamic,
+                    config.server.peak_power_w)
+        return (config.thermal.inlet_temp_c
+                + config.thermal.r_air_c_per_w * power)
+
+    def plan(self, forecast: LoadForecast, *,
+             for_algorithm: str = "vmt-wa") -> GVPlan:
+        """Recommend a GV for tomorrow.
+
+        ``for_algorithm`` is ``"vmt-wa"`` (plan at the optimum; the
+        wax-aware machinery absorbs a miss) or ``"vmt-ta"`` (bias the GV
+        upward per the paper's risk argument).
+        """
+        if for_algorithm not in ("vmt-ta", "vmt-wa", "vmt-preserve"):
+            raise ConfigurationError(
+                f"unknown algorithm {for_algorithm!r}")
+        config = self._config
+        pmt = config.wax.melt_temp_c
+        hot_fraction = 1.0 - forecast.cold_share * forecast.peak_utilization
+        gv = pmt * hot_fraction
+        if for_algorithm == "vmt-ta":
+            gv += self._ta_bias
+
+        predicted = self.predicted_hot_group_temp_c(forecast, gv)
+        target = pmt + self._margin
+        note = ""
+        if predicted < target:
+            # Shrink the hot group (lower GV) until it runs hot enough,
+            # or conclude the mixture cannot melt wax at all.
+            feasible = False
+            for candidate in [gv - step * 0.25
+                              for step in range(1, int(gv * 4))]:
+                if candidate <= 0:
+                    break
+                temp = self.predicted_hot_group_temp_c(forecast, candidate)
+                if temp >= target:
+                    gv, predicted, feasible = candidate, temp, True
+                    note = ("capacity-optimal group too cool for this "
+                            "forecast; shrunk to reach the melt point")
+                    break
+            if not feasible:
+                return GVPlan(grouping_value=gv,
+                              hot_fraction=hot_fraction,
+                              predicted_hot_group_temp_c=predicted,
+                              feasible=False,
+                              note=("forecast mixture cannot melt wax at "
+                                    "any GV (Fig. 1 'Neither' region)"))
+        return GVPlan(grouping_value=gv,
+                      hot_fraction=min(1.0, gv / pmt),
+                      predicted_hot_group_temp_c=predicted,
+                      feasible=True, note=note)

@@ -1,0 +1,49 @@
+"""Name-based scheduler factory.
+
+Experiments, benchmarks, and examples refer to policies by the short
+names used throughout the paper's figures; this module maps those names
+to constructors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..config import SimulationConfig
+from ..errors import ConfigurationError
+from ..sim.rng import RngStreams
+from .coolest_first import CoolestFirstScheduler
+from .round_robin import RoundRobinScheduler
+from .scheduler import Scheduler
+from .vmt_preserve import VMTPreserveScheduler
+from .vmt_ta import VMTThermalAwareScheduler
+from .vmt_wa import VMTWaxAwareScheduler
+
+_FACTORIES: Dict[str, Callable[..., Scheduler]] = {
+    "round-robin": RoundRobinScheduler,
+    "coolest-first": CoolestFirstScheduler,
+    "vmt-ta": VMTThermalAwareScheduler,
+    "vmt-wa": VMTWaxAwareScheduler,
+    "vmt-preserve": VMTPreserveScheduler,
+}
+
+#: The policy names accepted by :func:`make_scheduler`.
+SCHEDULER_NAMES = tuple(sorted(_FACTORIES))
+
+
+def make_scheduler(name: str, config: SimulationConfig,
+                   rng_streams: Optional[RngStreams] = None,
+                   **kwargs) -> Scheduler:
+    """Build a scheduler by name.
+
+    VMT policies read their grouping value and wax threshold from
+    ``config.scheduler``; extra keyword arguments (e.g. VMT-WA's
+    ``keep_warm_min_utilization``) pass through to the constructor.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(SCHEDULER_NAMES)
+        raise ConfigurationError(
+            f"unknown scheduler {name!r}; known: {known}") from None
+    return factory(config, rng_streams=rng_streams, **kwargs)

@@ -1,0 +1,111 @@
+"""VMT with wax-preserving job placement (the paper's extension).
+
+Section III notes that "VMT can also *raise* the melting temperature by
+locating hot jobs in a subset of servers with already melted wax,
+preserving wax in anticipation of a very hot peak still to come" -- the
+paper leaves this direction as future work and focuses on lowering the
+melting point.  This module implements it.
+
+The policy is two-phase:
+
+* **Preserve phase** (utilization below ``release_utilization``): hot
+  jobs first pack onto servers whose wax is *already melted* (liquid wax
+  absorbs nothing, so their heat is free), and the remainder is diluted
+  evenly across the entire rest of the fleet.  Spreading minimizes
+  melting because absorption is ``hA * (T - T_melt)+`` -- a convex
+  function of per-server power -- so the same total heat melts the least
+  wax when no server pokes far above the melt point;
+* **Release phase** (utilization at or above the threshold, i.e. the
+  very hot peak has arrived): the policy behaves exactly like VMT-WA --
+  melted servers are held just warm, the preserved frozen servers take
+  the peak's heat and melt, and the group extends if they too fill up.
+
+Compared to VMT-TA, which would smear a long warm shoulder across the
+whole hot group and arrive at the true peak with little latent capacity
+left, preservation trades some shoulder-time absorption for capacity at
+the moment the cooling plant actually needs it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cluster.state import ClusterView
+from ..config import SimulationConfig
+from ..errors import ConfigurationError
+from .scheduler import NUM_WORKLOADS, Placement
+from .vmt_ta import split_demand
+from .vmt_wa import VMTWaxAwareScheduler
+
+
+class VMTPreserveScheduler(VMTWaxAwareScheduler):
+    """Preserve frozen wax for the hottest part of the day."""
+
+    def __init__(self, config: SimulationConfig, *,
+                 release_utilization: float = 0.85, **kwargs) -> None:
+        super().__init__(config, **kwargs)
+        if not 0.0 < release_utilization <= 1.0:
+            raise ConfigurationError(
+                "release utilization must be in (0, 1]")
+        self._release_util = release_utilization
+        self._released = False
+
+    @property
+    def name(self) -> str:
+        return (f"vmt-preserve(gv="
+                f"{self._config.scheduler.grouping_value:g})")
+
+    @property
+    def release_utilization(self) -> float:
+        """Utilization at which the frozen reserve is committed."""
+        return self._release_util
+
+    def reset(self) -> None:
+        super().reset()
+        self._released = False
+
+    def _place(self, demand: np.ndarray, view: ClusterView) -> Placement:
+        utilization = demand.sum() / view.total_cores
+        # Hysteresis: once the reserve is committed, stay in release mode
+        # through the whole peak and its descent (VMT-WA's keep-warm
+        # taper paces the refreeze); re-arm only after the load has
+        # fallen to the deep off-peak level.
+        if utilization >= self._release_util:
+            self._released = True
+        elif utilization < self._keep_warm_release_util:
+            self._released = False
+        if self._released:
+            # The very hot peak: spend the reserve, VMT-WA style.
+            return super()._place(demand, view)
+        return self._place_preserving(demand, view)
+
+    def _place_preserving(self, demand: np.ndarray,
+                          view: ClusterView) -> Placement:
+        """Park hot load on melted servers; dilute the rest fleet-wide."""
+        self._update_group_size(view)
+        hot_demand, cold_demand = split_demand(demand)
+        hot_size = self._hot_size
+
+        free = np.full(view.num_servers, view.cores_per_server,
+                       dtype=np.int64)
+        allocation = np.zeros((view.num_servers, NUM_WORKLOADS),
+                              dtype=np.int64)
+
+        # Hot jobs: servers whose wax is already melted first -- their
+        # liquid wax absorbs nothing, so the heat costs no reserve.
+        melted_ids = np.flatnonzero(
+            view.wax_melt_estimate >= self._wax_threshold)
+        self._spread(hot_demand, melted_ids, free, allocation, pack=True)
+
+        # Everything else -- hot remainder and all cold jobs -- spreads
+        # evenly over the whole remaining fleet so no server approaches
+        # the melting point.
+        frozen_ids = np.flatnonzero(
+            view.wax_melt_estimate < self._wax_threshold)
+        self._spread(hot_demand, frozen_ids, free, allocation)
+        self._spread(cold_demand, frozen_ids, free, allocation)
+        self._spread(cold_demand, melted_ids, free, allocation, pack=True)
+
+        hot_mask = np.zeros(view.num_servers, dtype=bool)
+        hot_mask[:hot_size] = True
+        return Placement(allocation=allocation, hot_group_mask=hot_mask)

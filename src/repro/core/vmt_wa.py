@@ -1,0 +1,349 @@
+"""VMT with Wax Aware job placement (Section III-B).
+
+VMT-WA starts exactly like VMT-TA (Eq. 1 group sizing) but monitors the
+per-server wax state and reacts when hot-group servers become fully
+melted:
+
+* the hot group is re-derived every update: "the scheduler restarts from
+  the minimum hot group size and adds servers in order" -- one extra
+  server per fully melted server (estimate >= the wax threshold);
+* melted servers receive *just enough* hot load to stay above the melting
+  temperature (releasing stored heat mid-peak would raise the cooling
+  load), while the displaced load moves to the newly added servers to
+  melt fresh wax;
+* hot jobs that do not fit go to cold-group servers sequentially; cold
+  jobs that do not fit prefer already-melted hot servers (minimal thermal
+  impact), then anything else.
+
+The "current load trends" that gate the keep-warm behaviour are modeled
+with a utilization threshold: during the load peak melted servers are
+held warm; once the cluster drops toward the trough, keep-warm disengages
+so the wax can refreeze and release its energy overnight, as TTS
+requires.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..cluster.state import ClusterView
+from ..config import SimulationConfig
+from ..errors import SchedulingError
+from ..workloads.workload import HOT_INDICES, WORKLOAD_LIST
+from .grouping import GroupSizer
+from .scheduler import (NUM_WORKLOADS, Placement, Scheduler, deal_types,
+                        pack_quotas, waterfill_quotas)
+from .vmt_ta import split_demand
+
+
+def keep_warm_power_w(config: SimulationConfig,
+                      margin_c: float = 1.0) -> float:
+    """Dynamic power needed to hold a server just above the melt point.
+
+    Solves the steady-state air model ``T = inlet + R_air * P`` for
+    ``T = melt + margin`` and subtracts the idle floor.
+    """
+    thermal = config.thermal
+    target = config.wax.melt_temp_c + margin_c
+    power_needed = (target - thermal.inlet_temp_c) / thermal.r_air_c_per_w
+    return max(0.0, power_needed - config.server.idle_power_w)
+
+
+def mean_hot_core_power_w(config: SimulationConfig,
+                          hot_demand: Optional[np.ndarray] = None) -> float:
+    """Mean per-core power of the hot workloads.
+
+    When the current hot demand vector is supplied the mean is weighted
+    by the observed mix (what a deployed scheduler would compute from its
+    power sensors); otherwise the unweighted mean is used.
+    """
+    per_core = [WORKLOAD_LIST[i].per_core_power_w(
+        config.server.cores_per_socket) for i in HOT_INDICES]
+    if hot_demand is not None:
+        weights = [float(hot_demand[i]) for i in HOT_INDICES]
+        total = sum(weights)
+        if total > 0:
+            return sum(w * p for w, p in zip(weights, per_core)) / total
+    return sum(per_core) / len(per_core)
+
+
+def keep_warm_cores(config: SimulationConfig, margin_c: float = 1.0,
+                    hot_demand: Optional[np.ndarray] = None) -> int:
+    """Hot job-cores needed to hold an otherwise idle server melted."""
+    mean_hot = mean_hot_core_power_w(config, hot_demand)
+    dynamic = keep_warm_power_w(config, margin_c)
+    cores = math.ceil(dynamic / mean_hot) if mean_hot > 0 else 0
+    return min(cores, config.server.cores)
+
+
+class VMTWaxAwareScheduler(Scheduler):
+    """Dynamic hot-group extension driven by the wax state estimate."""
+
+    def __init__(self, config: SimulationConfig, *,
+                 keep_warm_margin_c: float = 0.4,
+                 keep_warm_min_utilization: float = 0.6,
+                 keep_warm_release_utilization: float = 0.35,
+                 **kwargs) -> None:
+        super().__init__(config, **kwargs)
+        self._base_sizer = GroupSizer(
+            grouping_value=config.scheduler.grouping_value,
+            melt_temp_c=config.wax.melt_temp_c,
+            num_servers=config.num_servers,
+        )
+        self._wax_threshold = config.scheduler.wax_threshold
+        self._keep_warm_margin_c = keep_warm_margin_c
+        self._keep_warm_min_util = keep_warm_min_utilization
+        self._keep_warm_release_util = keep_warm_release_utilization
+        self._hot_size = self._base_sizer.hot_size
+        self._per_core_power = np.array(
+            [w.per_core_power_w(config.server.cores_per_socket)
+             for w in WORKLOAD_LIST])
+
+    @property
+    def name(self) -> str:
+        return f"vmt-wa(gv={self._config.scheduler.grouping_value:g})"
+
+    @property
+    def base_sizer(self) -> GroupSizer:
+        """The Eq. 1/2 minimum group sizing."""
+        return self._base_sizer
+
+    @property
+    def hot_group_size(self) -> int:
+        """Current (possibly extended) hot group size."""
+        return self._hot_size
+
+    def reset(self) -> None:
+        super().reset()
+        self._hot_size = self._base_sizer.hot_size
+
+    # -- group management ---------------------------------------------------
+
+    def _update_group_size(self, view: ClusterView) -> None:
+        """Restart from the minimum size and add one per melted server."""
+        melted = int(np.count_nonzero(
+            view.wax_melt_estimate >= self._wax_threshold))
+        self._hot_size = min(view.num_servers,
+                             self._base_sizer.hot_size + melted)
+
+    # -- placement helpers ---------------------------------------------------
+
+    def _take(self, demand_part: np.ndarray, amount: int) -> np.ndarray:
+        """Remove up to ``amount`` jobs from ``demand_part`` (in place).
+
+        Jobs are taken proportionally across the part's workloads so the
+        spilled remainder keeps its type mix.
+        """
+        total = int(demand_part.sum())
+        amount = min(amount, total)
+        if amount == 0:
+            return np.zeros(NUM_WORKLOADS, dtype=np.int64)
+        taken = np.minimum(demand_part, (demand_part * amount) // total)
+        shortfall = amount - int(taken.sum())
+        if shortfall > 0:
+            leftovers = demand_part - taken
+            for idx in np.argsort(-leftovers):
+                grab = min(shortfall, int(leftovers[idx]))
+                taken[idx] += grab
+                shortfall -= grab
+                if shortfall == 0:
+                    break
+        demand_part -= taken
+        return taken
+
+    def _spread(self, demand_part: np.ndarray, ids: np.ndarray,
+                free: np.ndarray, allocation: np.ndarray, *,
+                pack: bool = False,
+                per_server_cap: Optional[int] = None) -> None:
+        """Place as much of ``demand_part`` as fits on ``ids``.
+
+        ``pack=False`` spreads evenly (waterfill); ``pack=True`` fills
+        servers in id order ("added sequentially").  ``per_server_cap``
+        limits how much any one server may receive in this pass (the
+        keep-warm cap).  Mutates ``demand_part``, ``free``, and
+        ``allocation``.
+        """
+        if len(ids) == 0 or demand_part.sum() == 0:
+            return
+        caps = free[ids].copy()
+        if per_server_cap is not None:
+            caps = np.minimum(caps, per_server_cap)
+        capacity = int(caps.sum())
+        taken = self._take(demand_part, capacity)
+        amount = int(taken.sum())
+        if amount == 0:
+            return
+        if pack:
+            quotas = pack_quotas(amount, caps, np.arange(len(ids)))
+        else:
+            quotas = waterfill_quotas(amount, caps, tie_offset=self._tick)
+        allocation[ids] += deal_types(taken, quotas, rng=self._rng)
+        free[ids] -= quotas
+
+    def _fill_targets(self, demand_part: np.ndarray, ids: np.ndarray,
+                      targets: np.ndarray, free: np.ndarray,
+                      allocation: np.ndarray) -> None:
+        """Give each server in ``ids`` its per-server core target.
+
+        When demand is insufficient the targets are scaled down
+        proportionally.  Mutates ``demand_part``, ``free``, ``allocation``.
+        """
+        if len(ids) == 0:
+            return
+        targets = np.minimum(np.asarray(targets, dtype=np.int64),
+                             free[ids])
+        total_target = int(targets.sum())
+        available = int(demand_part.sum())
+        if total_target == 0 or available == 0:
+            return
+        if available < total_target:
+            scaled = (targets * available) // total_target
+            shortfall = available - int(scaled.sum())
+            remainders = targets * available - scaled * total_target
+            order = np.argsort(-remainders)
+            scaled[order[:shortfall]] += 1
+            targets = scaled
+        taken = self._take(demand_part, int(targets.sum()))
+        allocation[ids] += deal_types(taken, targets, rng=self._rng)
+        free[ids] -= targets
+
+    def _cold_cap_on_melted(self, hot_demand: np.ndarray,
+                            cold_demand: np.ndarray) -> int:
+        """Max cold cores per melted server that leaves room for keep-warm.
+
+        Cold jobs draw far less power than hot ones, so a melted server
+        stuffed with cold jobs could not reach the keep-warm power target
+        with its remaining cores.  This bounds the cold overflow so the
+        hot top-up always fits.
+        """
+        p_hot = mean_hot_core_power_w(self._config, hot_demand)
+        cold_weights = [float(cold_demand[i])
+                        for i in range(NUM_WORKLOADS)
+                        if i not in HOT_INDICES]
+        cold_powers = [self._per_core_power[i]
+                       for i in range(NUM_WORKLOADS)
+                       if i not in HOT_INDICES]
+        total = sum(cold_weights)
+        p_cold = (sum(w * p for w, p in zip(cold_weights, cold_powers))
+                  / total) if total > 0 else 0.0
+        if p_hot <= 0:
+            return 0
+        capacity = self._config.server.cores
+        target_w = keep_warm_power_w(self._config,
+                                     self._keep_warm_margin_c)
+        denom = 1.0 - p_cold / p_hot
+        if denom <= 0:
+            return capacity
+        cap = int((capacity - target_w / p_hot) / denom)
+        return max(0, min(capacity, cap))
+
+    # -- the policy -----------------------------------------------------------
+
+    def _place(self, demand: np.ndarray, view: ClusterView) -> Placement:
+        if view.num_servers != self._config.num_servers:
+            raise SchedulingError("view does not match configured cluster")
+        self._update_group_size(view)
+
+        hot_demand, cold_demand = split_demand(demand)
+        base_size = min(self._base_sizer.hot_size, view.num_servers)
+        hot_ids = np.arange(self._hot_size)
+        cold_ids = np.arange(self._hot_size, view.num_servers)
+        melted = view.wax_melt_estimate >= self._wax_threshold
+        in_base = hot_ids < base_size
+        hot_melted = melted[hot_ids] if len(hot_ids) else \
+            np.zeros(0, dtype=bool)
+        melted_hot = hot_ids[hot_melted]
+        unmelted_base = hot_ids[in_base & ~hot_melted]
+        # Extension servers (added because others melted): concentrate
+        # load on as few of them as possible so each one actually exceeds
+        # the melting temperature -- the paper adds servers "sequentially".
+        extension = hot_ids[~in_base & ~hot_melted]
+
+        free = np.full(view.num_servers, view.cores_per_server,
+                       dtype=np.int64)
+        allocation = np.zeros((view.num_servers, NUM_WORKLOADS),
+                              dtype=np.int64)
+
+        utilization = demand.sum() / view.total_cores
+        # Keep-warm follows the load trend: fully engaged during the peak,
+        # then tapered as utilization falls so melted servers refreeze a
+        # few at a time.  An abrupt cutoff would release every server's
+        # stored heat simultaneously and spike the cooling load above the
+        # peak VMT just shaved off.
+        span = self._keep_warm_min_util - self._keep_warm_release_util
+        if span > 0:
+            warm_fraction = min(
+                1.0, max(0.0, (utilization - self._keep_warm_release_util)
+                         / span))
+        else:
+            warm_fraction = 1.0 if utilization >= self._keep_warm_min_util \
+                else 0.0
+        warm_count = int(round(warm_fraction * len(melted_hot)))
+        released = melted_hot[warm_count:]
+        melted_hot = melted_hot[:warm_count]
+        keep_warm_active = warm_count > 0
+        # Servers released from keep-warm rejoin the general pool: they
+        # keep carrying an even share of load, so their wax refreezes at
+        # the pace the falling load dictates instead of all at once.
+        if len(released):
+            unmelted_base = np.sort(np.concatenate(
+                [unmelted_base, released]))
+
+        # Cold jobs prefer the cold group (Section III-B ordering).
+        self._spread(cold_demand, cold_ids, free, allocation)
+
+        if keep_warm_active and len(melted_hot):
+            # Cold overflow lands on melted servers first ("minimal
+            # thermal impact") -- and usefully contributes keep-warm power
+            # -- but bounded so the hot top-up below still fits.
+            cold_cap = self._cold_cap_on_melted(hot_demand, cold_demand)
+            self._spread(cold_demand, melted_hot, free, allocation,
+                         per_server_cap=cold_cap)
+            # Top melted servers up with hot jobs to the keep-warm power
+            # target: just enough to hold the wax melted, no more.
+            target_w = keep_warm_power_w(self._config,
+                                         self._keep_warm_margin_c)
+            p_hot = mean_hot_core_power_w(self._config, hot_demand)
+            existing_w = (allocation[melted_hot].astype(np.float64)
+                          @ self._per_core_power)
+            need_w = np.maximum(0.0, target_w - existing_w)
+            if p_hot > 0:
+                top_up = np.ceil(need_w / p_hot).astype(np.int64)
+                self._fill_targets(hot_demand, melted_hot, top_up, free,
+                                   allocation)
+            # Remaining capacity on melted servers is reserved: extra
+            # load must go to servers that can still store heat.
+            reserved = free[melted_hot].copy()
+            free[melted_hot] = 0
+        else:
+            reserved = None
+
+        # Hot jobs: the unmelted part of the base group, evenly.
+        self._spread(hot_demand, unmelted_base, free, allocation)
+        # Displaced load: pack extension servers to full, sequentially, so
+        # each one actually exceeds the melting temperature.
+        self._spread(hot_demand, extension, free, allocation, pack=True)
+        # Overflow: cold-group servers, sequentially (de-facto extension).
+        self._spread(hot_demand, cold_ids, free, allocation, pack=True)
+
+        if reserved is not None:
+            free[melted_hot] = reserved
+
+        # Corner case: everything else is full -- melted servers take the
+        # remainder (any server below the threshold no longer exists).
+        self._spread(hot_demand, melted_hot, free, allocation)
+
+        # Cold leftovers: melted hot servers, then the rest of the fleet.
+        self._spread(cold_demand, melted_hot, free, allocation, pack=True)
+        self._spread(cold_demand, extension, free, allocation, pack=True)
+        self._spread(cold_demand, unmelted_base, free, allocation)
+
+        if hot_demand.sum() or cold_demand.sum():
+            raise SchedulingError("VMT-WA failed to place all jobs")
+
+        hot_mask = np.zeros(view.num_servers, dtype=bool)
+        hot_mask[:self._hot_size] = True
+        return Placement(allocation=allocation, hot_group_mask=hot_mask)

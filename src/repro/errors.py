@@ -1,0 +1,41 @@
+"""Exception hierarchy for the VMT reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the simulator with a single ``except`` clause
+while still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of range or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an invalid state."""
+
+
+class SchedulingError(SimulationError):
+    """A scheduler could not produce a legal placement.
+
+    Raised only when demand exceeds the total computational capacity of the
+    cluster; the paper explicitly does not model that case, so hitting this
+    error means the experiment itself is misconfigured.
+    """
+
+
+class CapacityError(SchedulingError):
+    """Demanded job slots exceed the cluster's total core count."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed (wrong shape, values out of range)."""
+
+
+class ThermalModelError(ReproError):
+    """A thermal model was given physically impossible parameters."""

@@ -1,0 +1,75 @@
+"""Saving and loading simulation results.
+
+Sweeps at 1,000-server scale take minutes; analyses of their output
+should not require re-running them.  A :class:`SimulationResult` round-
+trips through a single ``.npz`` file: the numeric series as arrays, the
+configuration as JSON in a metadata entry.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .cluster.metrics import SimulationResult
+from .config import SimulationConfig
+from .errors import ReproError
+
+#: Array fields persisted verbatim (order matters for round-tripping).
+_ARRAY_FIELDS = (
+    "times_s", "cooling_load_w", "it_power_w", "wax_absorption_w",
+    "mean_temp_c", "hot_group_mean_temp_c", "cold_group_mean_temp_c",
+    "mean_melt_fraction", "hot_group_size", "jobs",
+)
+_OPTIONAL_FIELDS = ("max_cpu_temp_c", "temp_heatmap", "melt_heatmap")
+
+_FORMAT_VERSION = 1
+
+
+def save_result(result: SimulationResult,
+                path: Union[str, Path]) -> Path:
+    """Write a result to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    payload = {field: getattr(result, field) for field in _ARRAY_FIELDS}
+    for field in _OPTIONAL_FIELDS:
+        value = getattr(result, field)
+        if value is not None:
+            payload[field] = value
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "scheduler_name": result.scheduler_name,
+        "config": result.config.to_dict(),
+    }
+    payload["meta_json"] = np.array(json.dumps(meta))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_result(path: Union[str, Path]) -> SimulationResult:
+    """Read a result previously written by :func:`save_result`."""
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no such result file: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            meta = json.loads(str(data["meta_json"]))
+        except KeyError:
+            raise ReproError(f"{path} is not a repro result file") from None
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ReproError(
+                f"{path}: unsupported format version "
+                f"{meta.get('format_version')!r}")
+        kwargs = {field: data[field] for field in _ARRAY_FIELDS}
+        for field in _OPTIONAL_FIELDS:
+            kwargs[field] = data[field] if field in data else None
+    return SimulationResult(
+        config=SimulationConfig.from_dict(meta["config"]),
+        scheduler_name=meta["scheduler_name"],
+        **kwargs,
+    )

@@ -1,0 +1,23 @@
+"""Server substrate: CPUs, power modeling, sensors, and reliability.
+
+* :mod:`~repro.server.cpu` -- CPU specs (the paper's Xeon E7-4809 v4);
+* :mod:`~repro.server.power` -- the linear idle..peak power model;
+* :mod:`~repro.server.server` -- a single server's core inventory and
+  job slots (object-level twin of the vectorized cluster state);
+* :mod:`~repro.server.sensors` -- noisy temperature/power sensors;
+* :mod:`~repro.server.reliability` -- temperature-dependent failure rates
+  and the hot/cold rotation policy (Fig. 7).
+"""
+
+from .cpu import CPUSpec, XEON_E7_4809_V4
+from .power import LinearPowerModel
+from .server import Server
+from .sensors import PowerSensor, TemperatureSensor
+from .reliability import (ReliabilityModel, RotationPolicy,
+                          cumulative_failure_probability)
+
+__all__ = [
+    "CPUSpec", "XEON_E7_4809_V4", "LinearPowerModel", "Server",
+    "PowerSensor", "TemperatureSensor", "ReliabilityModel",
+    "RotationPolicy", "cumulative_failure_probability",
+]

@@ -1,0 +1,39 @@
+"""CPU specifications.
+
+The paper's test server carries four Intel Xeon E7-4809 v4 processors
+(8 cores each).  Table I's workload powers are normalized to one such CPU,
+so per-core job power is the table value divided by the core count here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """A processor model as the power model sees it."""
+
+    name: str
+    cores: int
+    tdp_w: float
+    base_clock_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError("CPU must have at least one core")
+        if self.tdp_w <= 0:
+            raise ConfigurationError("CPU TDP must be positive")
+
+    def per_core_power(self, per_cpu_power_w: float) -> float:
+        """Convert a per-CPU workload power (Table I) to per-core watts."""
+        if per_cpu_power_w < 0:
+            raise ConfigurationError("workload power must be non-negative")
+        return per_cpu_power_w / self.cores
+
+
+#: The paper's CPU: 8 cores, 115 W TDP, 2.1 GHz base.
+XEON_E7_4809_V4 = CPUSpec(name="Xeon E7-4809 v4", cores=8, tdp_w=115.0,
+                          base_clock_ghz=2.1)

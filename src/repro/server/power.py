@@ -1,0 +1,78 @@
+"""Linear server power model.
+
+"Each server has a peak power consumption of 500 W, and an idle power
+consumption of 100 W.  Per core power consumption is approximated using a
+linear model." (Section IV-A, following Kontorinis et al.)
+
+Power therefore decomposes as::
+
+    P = P_idle + sum_over_busy_cores(per_core_dynamic_power)
+
+where each busy core's dynamic power comes from the workload it runs
+(Table I, normalized per 8-core CPU).  The 500 W peak acts as a cap: the
+model clamps and reports if a pathological assignment would exceed it.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..config import ServerConfig
+from ..errors import ConfigurationError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class LinearPowerModel:
+    """Maps per-server core assignments to IT power draw."""
+
+    def __init__(self, server: ServerConfig) -> None:
+        server.validate()
+        self._server = server
+
+    @property
+    def idle_power_w(self) -> float:
+        """Power drawn with zero busy cores."""
+        return self._server.idle_power_w
+
+    @property
+    def peak_power_w(self) -> float:
+        """Hard cap on server power."""
+        return self._server.peak_power_w
+
+    @property
+    def dynamic_range_w(self) -> float:
+        """Headroom between idle and peak."""
+        return self._server.peak_power_w - self._server.idle_power_w
+
+    def server_power(self, dynamic_power_w: ArrayLike) -> np.ndarray:
+        """Total IT power for given per-server dynamic (core) power.
+
+        ``dynamic_power_w`` is the sum over busy cores of their workload's
+        per-core power; the result is clamped to the server's peak.
+        """
+        dynamic = np.asarray(dynamic_power_w, dtype=np.float64)
+        if np.any(dynamic < 0):
+            raise ConfigurationError("dynamic power must be non-negative")
+        return np.minimum(self._server.idle_power_w + dynamic,
+                          self._server.peak_power_w)
+
+    def utilization_power(self, utilization: ArrayLike) -> np.ndarray:
+        """Power for a utilization fraction assuming peak-power workloads.
+
+        This is the classic linear utilization model
+        ``P = P_idle + u * (P_peak - P_idle)``; used for datacenter-level
+        critical-power accounting where workload detail is unavailable.
+        """
+        u = np.asarray(utilization, dtype=np.float64)
+        if np.any((u < 0) | (u > 1)):
+            raise ConfigurationError("utilization must be within [0, 1]")
+        return self._server.idle_power_w + u * self.dynamic_range_w
+
+    def would_exceed_peak(self, dynamic_power_w: ArrayLike) -> np.ndarray:
+        """Boolean mask of servers whose assignment hits the power cap."""
+        dynamic = np.asarray(dynamic_power_w, dtype=np.float64)
+        return (self._server.idle_power_w + dynamic
+                > self._server.peak_power_w)

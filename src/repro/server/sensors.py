@@ -1,0 +1,66 @@
+"""Noisy on-server sensors.
+
+VMT classifies jobs "using on-package thermal sensors and/or power sensors
+or models (e.g. Intel RAPL)" (Section III-A), and VMT-WA's wax estimator
+reads a container-exterior temperature sensor.  These classes model such
+sensors: a true value passes through additive Gaussian noise and optional
+quantization, vectorized over a cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class _NoisySensor:
+    """Shared implementation: Gaussian noise plus quantization."""
+
+    def __init__(self, noise_stdev: float, quantization: float,
+                 rng: Optional[np.random.Generator]) -> None:
+        if noise_stdev < 0:
+            raise ConfigurationError("sensor noise must be non-negative")
+        if quantization < 0:
+            raise ConfigurationError("quantization step must be >= 0")
+        self._noise = float(noise_stdev)
+        self._quant = float(quantization)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def read(self, true_value: ArrayLike) -> np.ndarray:
+        """Return a noisy, quantized reading of ``true_value``."""
+        value = np.asarray(true_value, dtype=np.float64)
+        if self._noise > 0:
+            value = value + self._rng.normal(0.0, self._noise,
+                                             size=value.shape)
+        if self._quant > 0:
+            value = np.round(value / self._quant) * self._quant
+        return value
+
+
+class TemperatureSensor(_NoisySensor):
+    """A thermal sensor: ~0.5 deg C accuracy, 0.25 deg C steps by default."""
+
+    def __init__(self, noise_stdev_c: float = 0.5,
+                 quantization_c: float = 0.25,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(noise_stdev_c, quantization_c, rng)
+
+
+class PowerSensor(_NoisySensor):
+    """A RAPL-style power meter: ~1 W noise, 0.1 W steps by default.
+
+    Power cannot be negative, so readings are clamped at zero.
+    """
+
+    def __init__(self, noise_stdev_w: float = 1.0,
+                 quantization_w: float = 0.1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(noise_stdev_w, quantization_w, rng)
+
+    def read(self, true_value: ArrayLike) -> np.ndarray:
+        return np.maximum(super().read(true_value), 0.0)

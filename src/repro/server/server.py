@@ -1,0 +1,106 @@
+"""Object-level server model.
+
+The scale-out cluster keeps its state in numpy arrays for speed
+(:mod:`repro.cluster.cluster`); this class is the readable, object-level
+twin used by examples, small tests, and anyone extending the library who
+wants to reason about one machine at a time.  Both share the same power
+model, so a :class:`Server` and one row of the vectorized cluster agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..config import ServerConfig
+from ..errors import CapacityError, ConfigurationError
+from ..workloads.workload import Workload
+from .power import LinearPowerModel
+
+
+class Server:
+    """One server: a core inventory with per-workload job assignments."""
+
+    def __init__(self, server_id: int, spec: ServerConfig) -> None:
+        spec.validate()
+        self.server_id = int(server_id)
+        self._spec = spec
+        self._power_model = LinearPowerModel(spec)
+        self._assignments: Dict[Workload, int] = {}
+
+    @property
+    def spec(self) -> ServerConfig:
+        """Physical server description."""
+        return self._spec
+
+    @property
+    def total_cores(self) -> int:
+        """Core inventory size."""
+        return self._spec.cores
+
+    @property
+    def busy_cores(self) -> int:
+        """Cores currently running a job."""
+        return sum(self._assignments.values())
+
+    @property
+    def free_cores(self) -> int:
+        """Cores available for new jobs."""
+        return self.total_cores - self.busy_cores
+
+    @property
+    def assignments(self) -> Mapping[Workload, int]:
+        """Read-only view of per-workload core counts."""
+        return dict(self._assignments)
+
+    def assign(self, workload: Workload, cores: int = 1) -> None:
+        """Place ``cores`` jobs of ``workload`` on this server.
+
+        Raises :class:`CapacityError` when the server lacks free cores --
+        schedulers are expected to check first, so this is a hard error.
+        """
+        if cores < 0:
+            raise ConfigurationError("cannot assign a negative core count")
+        if cores > self.free_cores:
+            raise CapacityError(
+                f"server {self.server_id}: requested {cores} cores, "
+                f"only {self.free_cores} free")
+        if cores:
+            self._assignments[workload] = (
+                self._assignments.get(workload, 0) + cores)
+
+    def release(self, workload: Workload, cores: int = 1) -> None:
+        """Remove ``cores`` jobs of ``workload`` from this server."""
+        held = self._assignments.get(workload, 0)
+        if cores < 0 or cores > held:
+            raise ConfigurationError(
+                f"server {self.server_id}: cannot release {cores} of "
+                f"{held} {workload.name} cores")
+        remaining = held - cores
+        if remaining:
+            self._assignments[workload] = remaining
+        else:
+            self._assignments.pop(workload, None)
+
+    def clear(self) -> None:
+        """Release every job."""
+        self._assignments.clear()
+
+    @property
+    def dynamic_power_w(self) -> float:
+        """Sum of per-core dynamic power over all assigned jobs."""
+        return sum(w.per_core_power_w(self._spec.cores_per_socket) * n
+                   for w, n in self._assignments.items())
+
+    @property
+    def power_w(self) -> float:
+        """Total IT power including idle floor, clamped at peak."""
+        return float(self._power_model.server_power(self.dynamic_power_w))
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cores busy."""
+        return self.busy_cores / self.total_cores
+
+    def __repr__(self) -> str:
+        return (f"Server(id={self.server_id}, busy={self.busy_cores}/"
+                f"{self.total_cores}, power={self.power_w:.1f} W)")

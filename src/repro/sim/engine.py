@@ -1,0 +1,107 @@
+"""The discrete-event engine: clock, scheduling, and run loop."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import SimulationError
+from .events import Event, EventCallback, EventQueue
+
+
+class Engine:
+    """A deterministic discrete-event simulation engine.
+
+    Time is in seconds.  Events are dispatched strictly in non-decreasing
+    time order; ties break by event priority, then by scheduling order.
+
+    Example::
+
+        engine = Engine()
+        engine.schedule_at(60.0, lambda ev: print("one minute in"))
+        engine.run_until(3600.0)
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._running = False
+        self._dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total events fired since construction (for diagnostics)."""
+        return self._dispatched
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: EventCallback, *,
+                    priority: int = 0, name: str = "",
+                    payload: Any = None) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self._now}")
+        return self._queue.push(
+            Event(time=time, callback=callback, priority=priority,
+                  name=name, payload=payload))
+
+    def schedule_after(self, delay: float, callback: EventCallback, *,
+                       priority: int = 0, name: str = "",
+                       payload: Any = None) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError("delay must be non-negative")
+        return self.schedule_at(self._now + delay, callback,
+                                priority=priority, name=name, payload=payload)
+
+    def run_until(self, end_time: float) -> None:
+        """Dispatch all events with ``time <= end_time`` in order.
+
+        The clock is left at ``end_time`` even when the queue drains early,
+        matching the usual discrete-event convention.
+        """
+        if end_time < self._now:
+            raise SimulationError("end_time is in the past")
+        self._running = True
+        try:
+            while self._running:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                event = self._queue.pop()
+                self._now = event.time
+                event.fire()
+                self._dispatched += 1
+        finally:
+            self._running = False
+        self._now = max(self._now, end_time)
+
+    def run(self) -> None:
+        """Dispatch every queued event (the queue must be finite)."""
+        self._running = True
+        try:
+            while self._running and self._queue.peek_time() is not None:
+                event = self._queue.pop()
+                self._now = event.time
+                event.fire()
+                self._dispatched += 1
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event returns."""
+        self._running = False
+
+    def reset(self) -> None:
+        """Clear the queue and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._dispatched = 0

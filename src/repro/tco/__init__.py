@@ -1,0 +1,21 @@
+"""TCO model for the cooling system (Section IV-F and V-E).
+
+Adapts the Kontorinis et al. cost methodology the paper uses: cooling
+infrastructure depreciates linearly over 10 years at $7.00 per kW of
+critical power per month ($84,000 per MW-year), so a 25 MW datacenter
+carries a $21M lifetime cooling cost and a 12.8% peak reduction is worth
+~$2.69M.  Wax deployment costs come from the materials database.
+"""
+
+from .energy import (ElectricityTariff, EnergyBill, compare_cooling_bills,
+                     cooling_energy_cost_usd)
+from .model import TCOModel, VMTSavings
+from .wax_cost import (n_paraffin_alternative_cost_usd,
+                       wax_deployment_cost_usd, wax_cost_fraction_of_server)
+
+__all__ = [
+    "TCOModel", "VMTSavings", "wax_deployment_cost_usd",
+    "n_paraffin_alternative_cost_usd", "wax_cost_fraction_of_server",
+    "ElectricityTariff", "EnergyBill", "compare_cooling_bills",
+    "cooling_energy_cost_usd",
+]

@@ -1,0 +1,118 @@
+"""Electricity tariffs and cooling energy costs.
+
+Section V-E: "There may be additional benefits offered by the ability to
+control the melting temperature day-to-day, such as leveraging less
+expensive off-peak power or green power when cooling energy can be
+temporally shifted as well."  This module prices that: a time-of-use
+tariff, the cooling plant's electrical energy under a load series, and
+the bill comparison between scheduling policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..thermal.plant import ChillerPlant
+
+
+@dataclass(frozen=True)
+class ElectricityTariff:
+    """A two-rate time-of-use tariff.
+
+    ``peak_window_h`` is the daily interval (start, end) billed at the
+    peak rate; everything else is off-peak.  Defaults reflect a typical
+    US commercial TOU spread.
+    """
+
+    peak_rate_usd_per_kwh: float = 0.16
+    off_peak_rate_usd_per_kwh: float = 0.08
+    peak_window_h: Tuple[float, float] = (12.0, 22.0)
+
+    def __post_init__(self) -> None:
+        if self.peak_rate_usd_per_kwh < 0 \
+                or self.off_peak_rate_usd_per_kwh < 0:
+            raise ConfigurationError("rates must be non-negative")
+        start, end = self.peak_window_h
+        if not 0.0 <= start < end <= 24.0:
+            raise ConfigurationError(
+                "peak window must satisfy 0 <= start < end <= 24")
+
+    def is_peak(self, times_h: np.ndarray) -> np.ndarray:
+        """Mask of samples falling in the daily peak-rate window."""
+        hour_of_day = np.mod(np.asarray(times_h, dtype=np.float64), 24.0)
+        start, end = self.peak_window_h
+        return (hour_of_day >= start) & (hour_of_day < end)
+
+    def rate_usd_per_kwh(self, times_h: np.ndarray) -> np.ndarray:
+        """Per-sample rate."""
+        return np.where(self.is_peak(times_h),
+                        self.peak_rate_usd_per_kwh,
+                        self.off_peak_rate_usd_per_kwh)
+
+
+def cooling_energy_cost_usd(plant: ChillerPlant,
+                            thermal_load_w: Sequence[float],
+                            times_h: Sequence[float],
+                            tariff: ElectricityTariff,
+                            dt_s: float) -> float:
+    """Electricity bill to remove a thermal load series.
+
+    Integrates the plant's electrical draw against the time-of-use rate.
+    """
+    if dt_s <= 0:
+        raise ConfigurationError("dt must be positive")
+    load = np.asarray(thermal_load_w, dtype=np.float64)
+    times = np.asarray(times_h, dtype=np.float64)
+    if load.shape != times.shape:
+        raise ConfigurationError("load and time series must align")
+    electrical_kw = plant.electrical_power_w(load) / 1e3
+    rates = tariff.rate_usd_per_kwh(times)
+    return float((electrical_kw * rates).sum() * dt_s / 3600.0)
+
+
+@dataclass(frozen=True)
+class EnergyBill:
+    """Cooling energy comparison between a baseline and a VMT policy."""
+
+    baseline_cost_usd: float
+    vmt_cost_usd: float
+    baseline_energy_kwh: float
+    vmt_energy_kwh: float
+
+    @property
+    def cost_savings_usd(self) -> float:
+        """Positive when the VMT policy's bill is lower."""
+        return self.baseline_cost_usd - self.vmt_cost_usd
+
+    @property
+    def peak_energy_shifted(self) -> bool:
+        """Whether VMT moved cooling energy without inflating it much.
+
+        TTS/VMT do not remove heat; total energy stays within a few
+        percent while its *timing* (and therefore its price) changes.
+        """
+        if self.baseline_energy_kwh == 0:
+            return False
+        drift = abs(self.vmt_energy_kwh - self.baseline_energy_kwh)
+        return drift / self.baseline_energy_kwh < 0.05
+
+
+def compare_cooling_bills(plant: ChillerPlant,
+                          baseline_load_w: Sequence[float],
+                          vmt_load_w: Sequence[float],
+                          times_h: Sequence[float],
+                          tariff: ElectricityTariff,
+                          dt_s: float) -> EnergyBill:
+    """Price two cooling load series under the same plant and tariff."""
+    return EnergyBill(
+        baseline_cost_usd=cooling_energy_cost_usd(
+            plant, baseline_load_w, times_h, tariff, dt_s),
+        vmt_cost_usd=cooling_energy_cost_usd(
+            plant, vmt_load_w, times_h, tariff, dt_s),
+        baseline_energy_kwh=plant.energy_kwh(baseline_load_w, dt_s),
+        vmt_energy_kwh=plant.energy_kwh(vmt_load_w, dt_s),
+    )

@@ -1,0 +1,78 @@
+"""Cooling-system TCO and VMT savings arithmetic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import WaxConfig
+from ..errors import ConfigurationError
+from ..units import MONTHS_PER_YEAR, MW
+from .wax_cost import wax_deployment_cost_usd
+
+
+@dataclass(frozen=True)
+class TCOModel:
+    """Kontorinis-style cooling cost model.
+
+    ``cooling_usd_per_kw_month`` is the reported depreciation cost of the
+    cooling system per kilowatt of critical power per month ($7.00); with
+    a 10-year depreciation horizon that is $84,000 per MW-year and $21M
+    total for 25 MW.
+    """
+
+    cooling_usd_per_kw_month: float = 7.00
+    cooling_lifetime_years: float = 10.0
+    server_lifetime_years: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.cooling_usd_per_kw_month <= 0:
+            raise ConfigurationError("cooling cost must be positive")
+        if self.cooling_lifetime_years <= 0:
+            raise ConfigurationError("cooling lifetime must be positive")
+
+    def cooling_cost_usd_per_mw_year(self) -> float:
+        """$84,000 with the defaults."""
+        return self.cooling_usd_per_kw_month * 1000.0 * MONTHS_PER_YEAR
+
+    def lifetime_cooling_cost_usd(self, critical_power_w: float) -> float:
+        """Total cooling cost over the depreciation horizon ($21M @25 MW)."""
+        if critical_power_w <= 0:
+            raise ConfigurationError("critical power must be positive")
+        return (self.cooling_cost_usd_per_mw_year()
+                * (critical_power_w / MW)
+                * self.cooling_lifetime_years)
+
+    def cooling_savings_usd(self, critical_power_w: float,
+                            peak_reduction_fraction: float) -> float:
+        """Lifetime savings from a smaller cooling plant (gross of wax)."""
+        if not 0.0 <= peak_reduction_fraction < 1.0:
+            raise ConfigurationError("reduction must be in [0, 1)")
+        return (self.lifetime_cooling_cost_usd(critical_power_w)
+                * peak_reduction_fraction)
+
+    def vmt_savings(self, critical_power_w: float,
+                    peak_reduction_fraction: float, wax: WaxConfig,
+                    num_servers: int) -> "VMTSavings":
+        """Full savings breakdown for a VMT deployment."""
+        gross = self.cooling_savings_usd(critical_power_w,
+                                         peak_reduction_fraction)
+        wax_cost = wax_deployment_cost_usd(wax, num_servers)
+        return VMTSavings(
+            peak_reduction=peak_reduction_fraction,
+            gross_cooling_savings_usd=gross,
+            wax_deployment_cost_usd=wax_cost,
+        )
+
+
+@dataclass(frozen=True)
+class VMTSavings:
+    """Savings breakdown: smaller cooling plant minus wax deployment."""
+
+    peak_reduction: float
+    gross_cooling_savings_usd: float
+    wax_deployment_cost_usd: float
+
+    @property
+    def net_savings_usd(self) -> float:
+        """Cooling savings net of the (small) wax deployment cost."""
+        return self.gross_cooling_savings_usd - self.wax_deployment_cost_usd

@@ -1,0 +1,55 @@
+"""Wax deployment costs.
+
+"The cost to add wax to each server is very small (less than 0.5% of the
+purchase cost per server at a wax price of $1000/ton)" (Section IV-F),
+while reaching a ~30 deg C melting point with molecular n-paraffin and
+plain TTS "would cost on the order of $10 million" datacenter-wide
+(Section V-E).
+"""
+
+from __future__ import annotations
+
+from ..config import WaxConfig
+from ..errors import ConfigurationError
+from ..thermal.materials import (MaterialProperties, N_PARAFFIN,
+                                 material_cost_usd)
+
+
+def wax_deployment_cost_usd(wax: WaxConfig, num_servers: int,
+                            cost_usd_per_ton: float = 1000.0) -> float:
+    """Fleet-wide cost of the deployed commercial wax."""
+    if num_servers < 0:
+        raise ConfigurationError("server count must be non-negative")
+    material = MaterialProperties(
+        name="deployed-paraffin",
+        melt_temp_c=wax.melt_temp_c,
+        latent_heat_j_per_kg=wax.latent_heat_j_per_kg,
+        density_kg_per_m3=wax.density_kg_per_m3,
+        specific_heat_solid_j_per_kg_k=wax.specific_heat_solid_j_per_kg_k,
+        specific_heat_liquid_j_per_kg_k=wax.specific_heat_liquid_j_per_kg_k,
+        cost_usd_per_ton=cost_usd_per_ton,
+    )
+    return material_cost_usd(material, wax.mass_kg) * num_servers
+
+
+def n_paraffin_alternative_cost_usd(wax: WaxConfig,
+                                    num_servers: int) -> float:
+    """Cost of deploying low-melt n-paraffin instead (the TTS-only path)."""
+    if num_servers < 0:
+        raise ConfigurationError("server count must be non-negative")
+    return material_cost_usd(N_PARAFFIN, wax.mass_kg) * num_servers
+
+
+def wax_cost_fraction_of_server(wax: WaxConfig,
+                                server_cost_usd: float = 6500.0,
+                                cost_usd_per_ton: float = 1000.0) -> float:
+    """Per-server wax cost as a fraction of server purchase cost.
+
+    The default server price is representative of the paper's 4-socket 2U
+    configuration; the paper's claim is that the fraction stays below
+    0.5%, which holds across any realistic price.
+    """
+    if server_cost_usd <= 0:
+        raise ConfigurationError("server cost must be positive")
+    per_server = wax_deployment_cost_usd(wax, 1, cost_usd_per_ton)
+    return per_server / server_cost_usd

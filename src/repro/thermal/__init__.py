@@ -1,0 +1,42 @@
+"""Thermal substrate: materials, PCM physics, server air path, cooling.
+
+The paper's thermal stack (Section IV) is a CFD-validated lumped model of
+(a) the air path from the CPU heat sinks to the wax containers, (b) the
+wax's phase change, and (c) the cooling load left over after the wax has
+absorbed or released heat.  This subpackage implements each layer:
+
+* :mod:`~repro.thermal.materials` -- PCM property database (paraffin
+  grades, molecular n-paraffin, water for sensible-storage comparisons);
+* :mod:`~repro.thermal.pcm` -- enthalpy-method phase change model,
+  vectorized over a cluster of servers;
+* :mod:`~repro.thermal.server_thermal` -- first-order RC model of the air
+  temperature at the wax;
+* :mod:`~repro.thermal.cooling` -- cooling load accounting and peak
+  tracking;
+* :mod:`~repro.thermal.inlet` -- per-server inlet temperature variation
+  (Figs. 19-20);
+* :mod:`~repro.thermal.wax_estimator` -- the sensor-driven lookup-table
+  wax state estimator the schedulers actually read (ref. [24]).
+"""
+
+from .materials import (MaterialProperties, PARAFFIN_COMMERCIAL_GRADES,
+                        N_PARAFFIN, WATER, commercial_grade_for,
+                        material_cost_usd)
+from .pcm import PCMBank, PCMState
+from .server_thermal import ServerAirModel
+from .cooling import CoolingLoadTracker, CoolingSystem
+from .inlet import draw_inlet_temperatures
+from .plant import ChillerPlant
+from .sensible import SensibleStorageBank, water_tank_equivalent
+from .throttling import CPUThermalModel, worst_case_junction_temp_c
+from .wax_estimator import WaxStateEstimator
+
+__all__ = [
+    "MaterialProperties", "PARAFFIN_COMMERCIAL_GRADES", "N_PARAFFIN",
+    "WATER", "commercial_grade_for", "material_cost_usd",
+    "PCMBank", "PCMState", "ServerAirModel", "CoolingLoadTracker",
+    "CoolingSystem", "ChillerPlant", "CPUThermalModel",
+    "SensibleStorageBank", "water_tank_equivalent",
+    "worst_case_junction_temp_c", "draw_inlet_temperatures",
+    "WaxStateEstimator",
+]

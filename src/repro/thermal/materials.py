@@ -1,0 +1,127 @@
+"""Phase change material property database.
+
+The paper (Section II, 'PCM Selection') motivates commercial paraffin wax:
+non-corrosive, non-conductive, cheap (~$1,000/ton), but only available with
+melting temperatures in roughly the 35.7-60 deg C band.  Molecularly pure
+n-paraffins reach lower melting points but cost >$75,000/ton, which is what
+makes *virtual* melting temperature adjustment valuable.  This module holds
+those materials and the helpers the TCO model uses to price them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..units import KG_PER_TON
+
+
+@dataclass(frozen=True)
+class MaterialProperties:
+    """Thermophysical and economic properties of a storage material."""
+
+    name: str
+    melt_temp_c: float
+    latent_heat_j_per_kg: float
+    density_kg_per_m3: float
+    specific_heat_solid_j_per_kg_k: float
+    specific_heat_liquid_j_per_kg_k: float
+    cost_usd_per_ton: float
+    commercially_available: bool = True
+
+    @property
+    def volumetric_latent_j_per_l(self) -> float:
+        """Latent storage per liter (J/L)."""
+        return self.latent_heat_j_per_kg * self.density_kg_per_m3 / 1000.0
+
+    def energy_for_mass(self, mass_kg: float) -> float:
+        """Latent storage (J) for ``mass_kg`` of this material."""
+        if mass_kg < 0:
+            raise ConfigurationError("mass must be non-negative")
+        return mass_kg * self.latent_heat_j_per_kg
+
+
+def _paraffin(name: str, melt: float, *, cost: float = 1000.0,
+              commercial: bool = True) -> MaterialProperties:
+    """Build a paraffin grade; thermophysics vary little across grades."""
+    return MaterialProperties(
+        name=name,
+        melt_temp_c=melt,
+        latent_heat_j_per_kg=200e3,
+        density_kg_per_m3=800.0,
+        specific_heat_solid_j_per_kg_k=2100.0,
+        specific_heat_liquid_j_per_kg_k=2400.0,
+        cost_usd_per_ton=cost,
+        commercially_available=commercial,
+    )
+
+
+#: Commercial paraffin grades.  35.7 deg C is "the lowest commercially
+#: available temperature" deployed in the paper's test server; grades run
+#: up to roughly 60 deg C in ~5 degree steps.
+PARAFFIN_COMMERCIAL_GRADES: Sequence[MaterialProperties] = (
+    _paraffin("paraffin-35.7", 35.7),
+    _paraffin("paraffin-40", 40.0),
+    _paraffin("paraffin-45", 45.0),
+    _paraffin("paraffin-50", 50.0),
+    _paraffin("paraffin-55", 55.0),
+    _paraffin("paraffin-60", 60.0),
+)
+
+#: Molecularly pure n-paraffin: melting points below the commercial band
+#: are possible (the paper prices one near 30 deg C) but cost-prohibitive.
+N_PARAFFIN = _paraffin("n-paraffin-30", 30.0, cost=75000.0,
+                       commercial=False)
+
+#: Water, for comparisons against sensible-heat storage proposals
+#: (Section VI); latent heat listed is fusion at 0 deg C, unusable in a
+#: 20-50 deg C datacenter, which is the point of the comparison.
+WATER = MaterialProperties(
+    name="water",
+    melt_temp_c=0.0,
+    latent_heat_j_per_kg=334e3,
+    density_kg_per_m3=1000.0,
+    specific_heat_solid_j_per_kg_k=2100.0,
+    specific_heat_liquid_j_per_kg_k=4186.0,
+    cost_usd_per_ton=5.0,
+)
+
+
+def commercial_grade_for(required_melt_temp_c: float,
+                         tolerance_c: float = 0.5) -> Optional[MaterialProperties]:
+    """Return the commercial paraffin grade matching a required melt point.
+
+    Returns ``None`` when no commercial grade lies within ``tolerance_c``
+    of the requirement -- the situation that forces either expensive
+    n-paraffin (TTS) or VMT.
+    """
+    best: Optional[MaterialProperties] = None
+    best_gap = tolerance_c
+    for grade in PARAFFIN_COMMERCIAL_GRADES:
+        gap = abs(grade.melt_temp_c - required_melt_temp_c)
+        if gap <= best_gap:
+            best = grade
+            best_gap = gap
+    return best
+
+
+def material_cost_usd(material: MaterialProperties, mass_kg: float) -> float:
+    """Purchase cost in USD for ``mass_kg`` of ``material``."""
+    if mass_kg < 0:
+        raise ConfigurationError("mass must be non-negative")
+    return material.cost_usd_per_ton * mass_kg / KG_PER_TON
+
+
+def cheapest_material_for(required_melt_temp_c: float,
+                          tolerance_c: float = 0.5) -> MaterialProperties:
+    """Cheapest material meeting a melt-point requirement.
+
+    Falls back to n-paraffin when no commercial grade fits, mirroring the
+    paper's cost argument (Section V-E): achieving a ~30 deg C melt point
+    with TTS alone would cost on the order of $10M datacenter-wide.
+    """
+    grade = commercial_grade_for(required_melt_temp_c, tolerance_c)
+    if grade is not None:
+        return grade
+    return N_PARAFFIN

@@ -1,0 +1,196 @@
+"""Enthalpy-method phase change model, vectorized over a bank of servers.
+
+Each server carries ``mass_kg`` of wax.  The model tracks specific
+enthalpy ``h`` (J/kg, referenced to solid wax at 0 deg C) and derives
+temperature and melt fraction from the piecewise enthalpy curve::
+
+    h < h_sol            solid,   T = h / cp_s
+    h_sol <= h <= h_liq  melting, T = T_melt (temperature pinned)
+    h > h_liq            liquid,  T = T_melt + (h - h_liq) / cp_l
+
+with ``h_sol = cp_s * T_melt`` and ``h_liq = h_sol + L``.  The enthalpy
+method makes the melt-front bookkeeping trivial and conserves energy by
+construction: whatever heat flows in across a step is exactly the enthalpy
+gained.
+
+Heat exchange with the server's air stream is convective,
+``q = hA * (T_air - T_wax)``, the same lumped coupling the paper derives
+from its CFD study for use inside DCsim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..config import WaxConfig
+from ..errors import ThermalModelError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class PCMState:
+    """Immutable snapshot of a PCM bank (copies of the state arrays)."""
+
+    temperature_c: np.ndarray
+    melt_fraction: np.ndarray
+    stored_latent_j: np.ndarray
+
+
+class PCMBank:
+    """Wax state for ``n`` servers, advanced with a shared timestep.
+
+    Parameters
+    ----------
+    wax:
+        Material and quantity per server.
+    n:
+        Number of servers in the bank.
+    initial_temp_c:
+        Starting wax temperature; must be at or below the melt point for
+        the usual "starts solid" initial condition, but any value works.
+    """
+
+    def __init__(self, wax: WaxConfig, n: int,
+                 initial_temp_c: float = 20.0) -> None:
+        if n <= 0:
+            raise ThermalModelError("PCM bank needs at least one server")
+        wax.validate()
+        self._wax = wax
+        self._n = int(n)
+        self._mass = wax.mass_kg
+        self._cp_s = wax.specific_heat_solid_j_per_kg_k
+        self._cp_l = wax.specific_heat_liquid_j_per_kg_k
+        self._latent = wax.latent_heat_j_per_kg
+        self._t_melt = wax.melt_temp_c
+        self._h_sol = self._cp_s * self._t_melt
+        self._h_liq = self._h_sol + self._latent
+        self._h = np.full(self._n, self._enthalpy_at(initial_temp_c),
+                          dtype=np.float64)
+
+    # -- enthalpy curve -------------------------------------------------
+
+    def _enthalpy_at(self, temp_c: float) -> float:
+        """Specific enthalpy of fully relaxed wax at ``temp_c``.
+
+        Inside the melt band the curve is not invertible; at exactly the
+        melt temperature we return the solidus (all-solid) enthalpy.
+        """
+        if temp_c <= self._t_melt:
+            return self._cp_s * temp_c
+        return self._h_liq + self._cp_l * (temp_c - self._t_melt)
+
+    def temperature_of_enthalpy(self, h: ArrayLike) -> np.ndarray:
+        """Map specific enthalpy (J/kg) to temperature (deg C)."""
+        h = np.asarray(h, dtype=np.float64)
+        solid = h / self._cp_s
+        liquid = self._t_melt + (h - self._h_liq) / self._cp_l
+        temp = np.where(h < self._h_sol, solid,
+                        np.where(h > self._h_liq, liquid, self._t_melt))
+        return temp
+
+    def melt_fraction_of_enthalpy(self, h: ArrayLike) -> np.ndarray:
+        """Map specific enthalpy (J/kg) to melt fraction in [0, 1]."""
+        h = np.asarray(h, dtype=np.float64)
+        if self._latent <= 0:
+            # Degenerate material: no latent band; treat anything past the
+            # melt point as fully melted.
+            return np.where(h >= self._h_sol, 1.0, 0.0)
+        return np.clip((h - self._h_sol) / self._latent, 0.0, 1.0)
+
+    # -- read-only state ------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of servers in the bank."""
+        return self._n
+
+    @property
+    def wax(self) -> WaxConfig:
+        """Wax configuration this bank was built from."""
+        return self._wax
+
+    @property
+    def melt_temp_c(self) -> float:
+        """Physical melting temperature (PMT)."""
+        return self._t_melt
+
+    @property
+    def latent_capacity_j(self) -> float:
+        """Total latent storage per server (J)."""
+        return self._mass * self._latent
+
+    @property
+    def temperature_c(self) -> np.ndarray:
+        """Current wax temperatures (deg C), one per server."""
+        return self.temperature_of_enthalpy(self._h)
+
+    @property
+    def melt_fraction(self) -> np.ndarray:
+        """Current melt fractions in [0, 1], one per server."""
+        return self.melt_fraction_of_enthalpy(self._h)
+
+    @property
+    def stored_latent_j(self) -> np.ndarray:
+        """Latent energy currently stored per server (J)."""
+        return self.melt_fraction * self.latent_capacity_j
+
+    def snapshot(self) -> PCMState:
+        """Return an immutable copy of the current state."""
+        return PCMState(
+            temperature_c=self.temperature_c.copy(),
+            melt_fraction=self.melt_fraction.copy(),
+            stored_latent_j=self.stored_latent_j.copy(),
+        )
+
+    # -- dynamics --------------------------------------------------------
+
+    def step(self, t_air_c: ArrayLike, ha_w_per_k: float,
+             dt_s: float) -> np.ndarray:
+        """Advance the wax by ``dt_s`` seconds against air at ``t_air_c``.
+
+        Returns the per-server heat absorbed by the wax over the step in
+        watts (negative while the wax releases heat back to the air).
+        The integrator subdivides the step when the sensible time constant
+        ``m*cp / hA`` is short relative to ``dt_s`` so explicit updates
+        stay stable for any configuration.
+        """
+        if dt_s <= 0:
+            raise ThermalModelError("dt must be positive")
+        if ha_w_per_k < 0:
+            raise ThermalModelError("hA must be non-negative")
+        t_air = np.broadcast_to(
+            np.asarray(t_air_c, dtype=np.float64), (self._n,))
+        if self._mass <= 0 or ha_w_per_k == 0:
+            return np.zeros(self._n)
+
+        cp_min = min(self._cp_s, self._cp_l)
+        tau = self._mass * cp_min / ha_w_per_k
+        n_sub = max(1, int(math.ceil(dt_s / (0.25 * tau))))
+        sub_dt = dt_s / n_sub
+
+        h_before = self._h.copy()
+        for __ in range(n_sub):
+            t_wax = self.temperature_of_enthalpy(self._h)
+            q = ha_w_per_k * (t_air - t_wax)  # W into the wax
+            self._h += q * sub_dt / self._mass
+        return (self._h - h_before) * self._mass / dt_s
+
+    def set_melt_fraction(self, fraction: ArrayLike) -> None:
+        """Force the melt fraction (temperature pinned at the melt point).
+
+        Useful for constructing test scenarios and for the estimator's
+        lookup-table calibration runs.
+        """
+        fraction = np.clip(
+            np.broadcast_to(np.asarray(fraction, dtype=np.float64),
+                            (self._n,)), 0.0, 1.0)
+        self._h = self._h_sol + fraction * self._latent
+
+    def reset(self, temp_c: float) -> None:
+        """Re-initialize every server's wax to relaxed state at ``temp_c``."""
+        self._h[:] = self._enthalpy_at(temp_c)

@@ -1,0 +1,97 @@
+"""Chiller plant model: from heat removed to electricity consumed.
+
+The evaluation's figure of merit is the peak *thermal* cooling load (it
+sizes the plant), but the paper's TCO discussion also points at energy:
+TTS/VMT shift cooling work into the off-peak hours, "leveraging less
+expensive off-peak power" (Section V-E).  Pricing that requires a model
+of the chiller's electrical draw.
+
+We use the standard DOE-2-style part-load curve: a chiller rated at
+``capacity_w`` thermal with nominal COP ``cop_nominal`` draws
+
+    P_el(PLR) = (capacity_w / cop_nominal) * (c0 + c1*PLR + c2*PLR^2)
+
+where ``PLR`` is the part-load ratio (thermal load / capacity).  With
+the default coefficients the machine is most efficient near ~70% load
+and pays a constant-term penalty for idling -- which is exactly why a
+smaller, better-utilized plant (what VMT enables) also saves energy,
+not just capital.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ChillerPlant:
+    """An electrically driven cooling plant with part-load behaviour."""
+
+    capacity_w: float
+    cop_nominal: float = 4.5
+    part_load_coefficients: Tuple[float, float, float] = (0.20, 0.50, 0.30)
+
+    def __post_init__(self) -> None:
+        if self.capacity_w <= 0:
+            raise ConfigurationError("plant capacity must be positive")
+        if self.cop_nominal <= 0:
+            raise ConfigurationError("COP must be positive")
+        c0, c1, c2 = self.part_load_coefficients
+        if abs(c0 + c1 + c2 - 1.0) > 1e-9:
+            raise ConfigurationError(
+                "part-load coefficients must sum to 1 (full-load anchor)")
+
+    @property
+    def rated_electrical_w(self) -> float:
+        """Electrical draw at full thermal load."""
+        return self.capacity_w / self.cop_nominal
+
+    def part_load_ratio(self, thermal_load_w: np.ndarray) -> np.ndarray:
+        """Thermal load as a fraction of capacity, clipped to [0, 1].
+
+        Loads above capacity mean the plant is undersized; callers should
+        check :meth:`overloaded` -- the energy model saturates.
+        """
+        load = np.asarray(thermal_load_w, dtype=np.float64)
+        if np.any(load < 0):
+            raise ConfigurationError("thermal load must be non-negative")
+        return np.clip(load / self.capacity_w, 0.0, 1.0)
+
+    def electrical_power_w(self, thermal_load_w: np.ndarray) -> np.ndarray:
+        """Instantaneous electrical draw for a thermal load (series ok)."""
+        plr = self.part_load_ratio(thermal_load_w)
+        c0, c1, c2 = self.part_load_coefficients
+        return self.rated_electrical_w * (c0 + c1 * plr + c2 * plr ** 2)
+
+    def effective_cop(self, thermal_load_w: np.ndarray) -> np.ndarray:
+        """Delivered COP at a given load (degrades at low part load)."""
+        load = np.asarray(thermal_load_w, dtype=np.float64)
+        power = self.electrical_power_w(load)
+        return np.divide(load, power, out=np.zeros_like(power),
+                         where=power > 0)
+
+    def overloaded(self, thermal_load_w: Sequence[float]) -> bool:
+        """True when any sample exceeds the plant's thermal capacity."""
+        return bool(np.any(np.asarray(thermal_load_w) > self.capacity_w))
+
+    def energy_kwh(self, thermal_load_w: Sequence[float],
+                   dt_s: float) -> float:
+        """Total electrical energy (kWh) to serve a load series."""
+        if dt_s <= 0:
+            raise ConfigurationError("dt must be positive")
+        power = self.electrical_power_w(np.asarray(thermal_load_w))
+        return float(power.sum() * dt_s / 3.6e6)
+
+    def resized(self, reduction_fraction: float) -> "ChillerPlant":
+        """A plant shrunk by ``reduction_fraction`` (VMT oversubscription)."""
+        if not 0.0 <= reduction_fraction < 1.0:
+            raise ConfigurationError("reduction must be in [0, 1)")
+        return ChillerPlant(
+            capacity_w=self.capacity_w * (1.0 - reduction_fraction),
+            cop_nominal=self.cop_nominal,
+            part_load_coefficients=self.part_load_coefficients)

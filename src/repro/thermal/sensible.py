@@ -1,0 +1,105 @@
+"""Sensible (non-phase-change) thermal storage, for comparison.
+
+Related work (Section VI) proposes water tanks for datacenter thermal
+storage.  Water stores heat *sensibly* -- by changing temperature -- so
+the energy available in a server's narrow usable band (roughly the few
+degrees between the exhaust air and the refreeze temperature) is
+``m * cp * dT``, typically several times less than a PCM's latent heat
+over the same band (Section II).  This module implements a sensible
+storage bank with the same interface as :class:`~repro.thermal.pcm.PCMBank`
+so the two can be compared head-to-head.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from ..errors import ThermalModelError
+from .materials import MaterialProperties, WATER
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class SensibleStorageBank:
+    """Per-server sensible heat storage (e.g. a small water tank)."""
+
+    def __init__(self, material: MaterialProperties, mass_kg: float,
+                 n: int, initial_temp_c: float = 20.0) -> None:
+        if n <= 0:
+            raise ThermalModelError("bank needs at least one server")
+        if mass_kg < 0:
+            raise ThermalModelError("mass must be non-negative")
+        self._material = material
+        self._mass = float(mass_kg)
+        self._cp = material.specific_heat_liquid_j_per_kg_k
+        self._n = int(n)
+        self._temp = np.full(self._n, float(initial_temp_c))
+
+    @property
+    def n(self) -> int:
+        """Number of servers."""
+        return self._n
+
+    @property
+    def temperature_c(self) -> np.ndarray:
+        """Current storage temperatures."""
+        return self._temp.copy()
+
+    @property
+    def heat_capacity_j_per_k(self) -> float:
+        """Per-server heat capacity (J/K)."""
+        return self._mass * self._cp
+
+    def stored_energy_j(self, reference_temp_c: float) -> np.ndarray:
+        """Energy stored above a reference temperature, per server."""
+        return self.heat_capacity_j_per_k * (self._temp - reference_temp_c)
+
+    def usable_capacity_j(self, band_low_c: float,
+                          band_high_c: float) -> float:
+        """Max energy storable across a usable temperature band.
+
+        This is the number to compare with a PCM's latent capacity: for
+        4 L of water across the ~6-degree band between a server's normal
+        exhaust and the wax melt point it is several times smaller than
+        the paraffin's heat of fusion -- the paper's Section II point.
+        """
+        if band_high_c <= band_low_c:
+            raise ThermalModelError("band must have positive width")
+        return self.heat_capacity_j_per_k * (band_high_c - band_low_c)
+
+    def step(self, t_air_c: ArrayLike, ha_w_per_k: float,
+             dt_s: float) -> np.ndarray:
+        """Advance the tank against air at ``t_air_c``.
+
+        Returns the per-server heat absorbed (W), mirroring
+        :meth:`PCMBank.step`.  The update is the exact exponential
+        relaxation, so any timestep is stable.
+        """
+        if dt_s <= 0:
+            raise ThermalModelError("dt must be positive")
+        if ha_w_per_k < 0:
+            raise ThermalModelError("hA must be non-negative")
+        t_air = np.broadcast_to(
+            np.asarray(t_air_c, dtype=np.float64), (self._n,))
+        if self._mass == 0 or ha_w_per_k == 0:
+            return np.zeros(self._n)
+        tau = self.heat_capacity_j_per_k / ha_w_per_k
+        alpha = 1.0 - math.exp(-dt_s / tau)
+        before = self._temp.copy()
+        self._temp = before + (t_air - before) * alpha
+        return (self._temp - before) * self.heat_capacity_j_per_k / dt_s
+
+    def reset(self, temp_c: float) -> None:
+        """Re-initialize every server's storage to ``temp_c``."""
+        self._temp[:] = float(temp_c)
+
+
+def water_tank_equivalent(volume_liters: float, n: int,
+                          initial_temp_c: float = 20.0
+                          ) -> SensibleStorageBank:
+    """A water tank of the same volume as the paper's wax deployment."""
+    mass = volume_liters / 1000.0 * WATER.density_kg_per_m3
+    return SensibleStorageBank(WATER, mass, n, initial_temp_c)

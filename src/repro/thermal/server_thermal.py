@@ -1,0 +1,80 @@
+"""First-order RC model of the air temperature at the wax containers.
+
+The paper's CFD study reduces, inside DCsim, to a lumped model of the air
+arriving at the wax: a steady-state rise proportional to IT power on top
+of the server's inlet temperature, with a first-order lag from the thermal
+mass of heat sinks and chassis air::
+
+    T_ss(t)  = T_inlet + R_air * P_it(t)
+    dT/dt    = (T_ss - T) / tau_air
+
+The exact discrete update ``T += (T_ss - T) * (1 - exp(-dt/tau))`` is used
+so the model is unconditionally stable for any timestep.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from ..config import ThermalConfig
+from ..errors import ThermalModelError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class ServerAirModel:
+    """Air temperature at the wax for a bank of ``n`` servers."""
+
+    def __init__(self, thermal: ThermalConfig, n: int,
+                 inlet_temp_c: ArrayLike = None) -> None:
+        if n <= 0:
+            raise ThermalModelError("air model needs at least one server")
+        thermal.validate()
+        self._cfg = thermal
+        self._n = int(n)
+        if inlet_temp_c is None:
+            inlet = np.full(self._n, thermal.inlet_temp_c)
+        else:
+            inlet = np.broadcast_to(
+                np.asarray(inlet_temp_c, dtype=np.float64),
+                (self._n,)).copy()
+        self._inlet = inlet
+        # Servers start idle and thermally relaxed at the idle steady state.
+        self._temp = self._inlet.copy()
+
+    @property
+    def n(self) -> int:
+        """Number of servers."""
+        return self._n
+
+    @property
+    def inlet_temp_c(self) -> np.ndarray:
+        """Per-server inlet temperatures (deg C)."""
+        return self._inlet
+
+    @property
+    def temperature_c(self) -> np.ndarray:
+        """Current air temperatures at the wax (deg C)."""
+        return self._temp
+
+    def steady_state(self, power_w: ArrayLike) -> np.ndarray:
+        """Steady-state air temperature for a given IT power draw."""
+        power = np.broadcast_to(np.asarray(power_w, dtype=np.float64),
+                                (self._n,))
+        return self._inlet + self._cfg.r_air_c_per_w * power
+
+    def step(self, power_w: ArrayLike, dt_s: float) -> np.ndarray:
+        """Advance the air node by ``dt_s`` seconds and return temperatures."""
+        if dt_s <= 0:
+            raise ThermalModelError("dt must be positive")
+        target = self.steady_state(power_w)
+        alpha = 1.0 - math.exp(-dt_s / self._cfg.tau_air_s)
+        self._temp = self._temp + (target - self._temp) * alpha
+        return self._temp
+
+    def reset(self, power_w: ArrayLike = 0.0) -> None:
+        """Snap the air node to the steady state for ``power_w``."""
+        self._temp = self.steady_state(power_w).copy()

@@ -1,0 +1,96 @@
+"""CPU junction temperatures and thermal throttling checks.
+
+The paper's CFD study sizes the wax so the server "can hold 4.0 liters
+of wax without exceeding CPU thermal limits", and TTS's premise is that
+the right configuration accommodates load "without overheating or
+thermal downclocking" (Section II).  VMT deliberately runs a hot group
+hotter, so a reproduction should *verify* the CPUs stay inside their
+limits rather than assume it.
+
+The junction model is the standard lumped stack: each CPU's die sits at
+
+    T_junction = T_inlet + theta_sa * (P_cpu_idle + P_cpu_dynamic)
+
+where ``theta_sa`` is the sink-to-air thermal resistance of the CPU's
+heatsink.  Throttling engages above ``throttle_temp_c`` (Intel's PROCHOT
+for this class of Xeon is ~88-98 deg C; we use a conservative 85).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..config import ServerConfig, ThermalConfig
+from ..errors import ConfigurationError
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class CPUThermalModel:
+    """Per-CPU junction temperature and throttle detection."""
+
+    theta_sa_c_per_w: float = 0.30
+    throttle_temp_c: float = 85.0
+    idle_power_per_cpu_w: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.theta_sa_c_per_w <= 0:
+            raise ConfigurationError("theta_sa must be positive")
+        if self.throttle_temp_c <= 0:
+            raise ConfigurationError("throttle temp must be positive")
+        if self.idle_power_per_cpu_w < 0:
+            raise ConfigurationError("idle power must be non-negative")
+
+    def junction_temp_c(self, inlet_temp_c: ArrayLike,
+                        dynamic_power_per_server_w: ArrayLike,
+                        server: ServerConfig) -> np.ndarray:
+        """Hottest CPU junction temperature per server.
+
+        ``dynamic_power_per_server_w`` is the server's total dynamic
+        (core) power; it divides evenly across the sockets, which is an
+        upper bound per socket only when placement is balanced -- the
+        schedulers here fill cores without socket affinity, so the even
+        split is the right model.
+        """
+        server.validate()
+        inlet = np.asarray(inlet_temp_c, dtype=np.float64)
+        dynamic = np.asarray(dynamic_power_per_server_w, dtype=np.float64)
+        if np.any(dynamic < 0):
+            raise ConfigurationError("dynamic power must be non-negative")
+        per_cpu = dynamic / server.sockets + self.idle_power_per_cpu_w
+        return inlet + self.theta_sa_c_per_w * per_cpu
+
+    def throttled(self, inlet_temp_c: ArrayLike,
+                  dynamic_power_per_server_w: ArrayLike,
+                  server: ServerConfig) -> np.ndarray:
+        """Mask of servers whose hottest CPU would throttle."""
+        temps = self.junction_temp_c(inlet_temp_c,
+                                     dynamic_power_per_server_w, server)
+        return temps > self.throttle_temp_c
+
+    def headroom_c(self, inlet_temp_c: ArrayLike,
+                   dynamic_power_per_server_w: ArrayLike,
+                   server: ServerConfig) -> np.ndarray:
+        """Degrees below the throttle point (negative when throttling)."""
+        temps = self.junction_temp_c(inlet_temp_c,
+                                     dynamic_power_per_server_w, server)
+        return self.throttle_temp_c - temps
+
+
+def worst_case_junction_temp_c(server: ServerConfig,
+                               thermal: ThermalConfig,
+                               model: CPUThermalModel = CPUThermalModel(),
+                               inlet_margin_c: float = 4.0) -> float:
+    """Junction temperature of a fully packed server at a hot inlet.
+
+    The deployment sanity check: even a server packed with the hottest
+    workload at an unlucky (+``inlet_margin_c``) inlet must not throttle.
+    Used by the calibration validator.
+    """
+    max_dynamic = server.peak_power_w - server.idle_power_w
+    inlet = thermal.inlet_temp_c + inlet_margin_c
+    return float(model.junction_temp_c(inlet, max_dynamic, server))

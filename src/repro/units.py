@@ -1,0 +1,69 @@
+"""Unit helpers and physical constants.
+
+The library uses SI units internally: watts, joules, kilograms, seconds,
+degrees Celsius (temperatures never cross 0 K so Celsius is safe for
+differences and lookups alike).  These helpers keep unit conversions
+explicit at API boundaries instead of scattering magic factors through the
+code.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+HOURS_PER_MONTH = 730.5  # 365.25 * 24 / 12, used by the reliability model
+MONTHS_PER_YEAR = 12
+
+KJ = 1e3  # joules per kilojoule
+MJ = 1e6  # joules per megajoule
+KW = 1e3  # watts per kilowatt
+MW = 1e6  # watts per megawatt
+
+LITERS_PER_CUBIC_METER = 1e3
+KG_PER_TON = 907.185  # US (short) ton, as in "paraffin at $1,000 per ton"
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return value * SECONDS_PER_MINUTE
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return value * SECONDS_PER_HOUR
+
+
+def days(value: float) -> float:
+    """Convert days to seconds."""
+    return value * SECONDS_PER_DAY
+
+
+def to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return seconds / SECONDS_PER_HOUR
+
+
+def kilojoules(value: float) -> float:
+    """Convert kilojoules to joules."""
+    return value * KJ
+
+
+def to_kilowatts(watts: float) -> float:
+    """Convert watts to kilowatts."""
+    return watts / KW
+
+
+def to_megawatts(watts: float) -> float:
+    """Convert watts to megawatts."""
+    return watts / MW
+
+
+def liters_to_cubic_meters(liters: float) -> float:
+    """Convert liters to cubic meters."""
+    return liters / LITERS_PER_CUBIC_METER
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert a Celsius temperature to Kelvin."""
+    return celsius + 273.15

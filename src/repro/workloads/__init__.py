@@ -1,0 +1,30 @@
+"""Workload substrate: the five-workload suite, traces, jobs, and QoS.
+
+* :mod:`~repro.workloads.workload` -- Table I's workload registry
+  (per-CPU power, VMT hot/cold class, QoS class);
+* :mod:`~repro.workloads.classification` -- derives hot/cold classes from
+  the thermal model instead of trusting labels;
+* :mod:`~repro.workloads.jobs` -- job and demand-vector types;
+* :mod:`~repro.workloads.trace` -- the two-day diurnal trace generator
+  (Fig. 8);
+* :mod:`~repro.workloads.mix` -- workload mixes and hot/cold splits;
+* :mod:`~repro.workloads.qos` -- colocation latency models (Fig. 6).
+"""
+
+from .workload import (QoSClass, ThermalClass, Workload, WORKLOADS,
+                       WORKLOAD_LIST, get_workload)
+from .classification import classify_workload, classify_suite
+from .jobs import DemandVector, Job
+from .trace import TwoDayTrace, TraceMatrix
+from .mix import WorkloadMix, paper_mix
+from .qos import (CachingLatencyModel, SearchLatencyModel,
+                  ColocationScenario)
+from .qos_monitor import QoSMonitor, QoSTargets
+
+__all__ = [
+    "QoSClass", "ThermalClass", "Workload", "WORKLOADS", "WORKLOAD_LIST",
+    "get_workload", "classify_workload", "classify_suite", "DemandVector",
+    "Job", "TwoDayTrace", "TraceMatrix", "WorkloadMix", "paper_mix",
+    "CachingLatencyModel", "SearchLatencyModel", "ColocationScenario",
+    "QoSMonitor", "QoSTargets",
+]

@@ -1,0 +1,54 @@
+"""Thermal classification of workloads from first principles.
+
+Table I's hot/cold labels are not arbitrary: "jobs are classified as
+either 'hot' or 'cold' based upon whether their power and temperature
+profile would enable them to melt significant wax if run in isolation"
+(Section IV-B).  This module derives the label by asking the thermal
+model the same question: *if a server were filled with only this
+workload, would its steady-state air temperature at the wax exceed the
+physical melting temperature?*
+
+With the default calibration this reproduces Table I's labels exactly
+(a regression test pins that), and it stays correct if a user changes
+the wax grade, airflow, or workload powers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from ..config import ServerConfig, ThermalConfig, WaxConfig
+from .workload import ThermalClass, Workload
+
+
+def isolated_server_power_w(workload: Workload,
+                            server: ServerConfig) -> float:
+    """IT power of a server fully packed with one workload."""
+    per_core = workload.per_core_power_w(server.cores_per_socket)
+    dynamic = per_core * server.cores
+    return min(server.idle_power_w + dynamic, server.peak_power_w)
+
+
+def isolated_steady_temp_c(workload: Workload, server: ServerConfig,
+                           thermal: ThermalConfig) -> float:
+    """Steady-state air temperature at the wax for an isolated full server."""
+    power = isolated_server_power_w(workload, server)
+    return thermal.inlet_temp_c + thermal.r_air_c_per_w * power
+
+
+def classify_workload(workload: Workload, server: ServerConfig,
+                      thermal: ThermalConfig,
+                      wax: WaxConfig) -> ThermalClass:
+    """Derive the VMT hot/cold class for one workload."""
+    temp = isolated_steady_temp_c(workload, server, thermal)
+    if temp > wax.melt_temp_c:
+        return ThermalClass.HOT
+    return ThermalClass.COLD
+
+
+def classify_suite(workloads: Iterable[Workload], server: ServerConfig,
+                   thermal: ThermalConfig,
+                   wax: WaxConfig) -> Dict[str, ThermalClass]:
+    """Classify a whole suite; returns ``{workload name: class}``."""
+    return {w.name: classify_workload(w, server, thermal, wax)
+            for w in workloads}

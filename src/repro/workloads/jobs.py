@@ -1,0 +1,110 @@
+"""Jobs and demand vectors.
+
+At the cluster scheduler's 1-minute granularity a "job" is one core's
+worth of a workload for one interval; the trace reduces each minute to a
+*demand vector*: how many job-cores of each workload must be placed.
+:class:`Job` is the object-level representation used by examples and the
+object-level :class:`~repro.server.server.Server`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..errors import ConfigurationError, TraceError
+from .workload import WORKLOAD_LIST, Workload
+
+_job_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Job:
+    """One core's worth of work belonging to a workload."""
+
+    workload: Workload
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+
+    @property
+    def is_hot(self) -> bool:
+        """True when the owning workload is VMT-hot."""
+        return self.workload.is_hot
+
+
+class DemandVector:
+    """Per-workload job-core counts for one scheduling interval.
+
+    Internally an integer numpy vector in :data:`WORKLOAD_LIST` column
+    order, which is what the vectorized schedulers consume.
+    """
+
+    def __init__(self, counts: Mapping[Workload, int]) -> None:
+        vector = np.zeros(len(WORKLOAD_LIST), dtype=np.int64)
+        for workload, count in counts.items():
+            if count < 0:
+                raise ConfigurationError("job counts must be >= 0")
+            try:
+                index = WORKLOAD_LIST.index(workload)
+            except ValueError:
+                raise ConfigurationError(
+                    f"workload {workload.name!r} is not in the suite"
+                ) from None
+            vector[index] = count
+        self._vector = vector
+
+    @classmethod
+    def from_array(cls, vector: np.ndarray) -> "DemandVector":
+        """Wrap a raw per-workload count vector (column order)."""
+        arr = np.asarray(vector)
+        if arr.shape != (len(WORKLOAD_LIST),):
+            raise TraceError(
+                f"demand vector must have {len(WORKLOAD_LIST)} entries")
+        if np.any(arr < 0):
+            raise TraceError("demand vector entries must be >= 0")
+        instance = cls({})
+        instance._vector = arr.astype(np.int64)
+        return instance
+
+    @property
+    def as_array(self) -> np.ndarray:
+        """The underlying per-workload counts (copy)."""
+        return self._vector.copy()
+
+    @property
+    def total_jobs(self) -> int:
+        """Total job-cores demanded this interval."""
+        return int(self._vector.sum())
+
+    @property
+    def hot_jobs(self) -> int:
+        """Job-cores belonging to hot workloads."""
+        return int(sum(self._vector[i]
+                       for i, w in enumerate(WORKLOAD_LIST) if w.is_hot))
+
+    @property
+    def cold_jobs(self) -> int:
+        """Job-cores belonging to cold workloads."""
+        return self.total_jobs - self.hot_jobs
+
+    def count(self, workload: Workload) -> int:
+        """Demand for a single workload."""
+        return int(self._vector[WORKLOAD_LIST.index(workload)])
+
+    def jobs(self) -> Iterator[Job]:
+        """Materialize individual :class:`Job` objects (object-level API)."""
+        for index, workload in enumerate(WORKLOAD_LIST):
+            for __ in range(int(self._vector[index])):
+                yield Job(workload=workload)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DemandVector):
+            return NotImplemented
+        return bool(np.array_equal(self._vector, other._vector))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{w.name}={int(c)}" for w, c in
+                          zip(WORKLOAD_LIST, self._vector) if c)
+        return f"DemandVector({parts or 'empty'})"

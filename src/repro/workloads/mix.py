@@ -1,0 +1,109 @@
+"""Workload mixes.
+
+Figure 1 studies two-workload mixtures swept by *work ratio* -- the share
+of total load belonging to the first workload -- and asks whether TTS
+alone, TTS+VMT, or neither can melt wax for that mixture.  This module
+provides the mix abstraction those analyses (and the trace generator's
+defaults) build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .workload import WORKLOADS, WORKLOAD_LIST, Workload
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A normalized blend of workloads (shares sum to 1)."""
+
+    shares: Tuple[Tuple[Workload, float], ...]
+
+    @classmethod
+    def of(cls, shares: Mapping[Workload, float]) -> "WorkloadMix":
+        """Build a mix, normalizing shares; rejects empty/negative input."""
+        total = float(sum(shares.values()))
+        if total <= 0:
+            raise ConfigurationError("mix must have positive total share")
+        if any(v < 0 for v in shares.values()):
+            raise ConfigurationError("mix shares must be non-negative")
+        normalized = tuple((w, v / total) for w, v in shares.items() if v > 0)
+        return cls(shares=normalized)
+
+    @classmethod
+    def pair(cls, first: Workload, second: Workload,
+             work_ratio: float) -> "WorkloadMix":
+        """Two-workload mix: ``work_ratio`` is the share of ``first``."""
+        if not 0.0 <= work_ratio <= 1.0:
+            raise ConfigurationError("work ratio must be in [0, 1]")
+        if work_ratio == 0.0:
+            return cls.of({second: 1.0})
+        if work_ratio == 1.0:
+            return cls.of({first: 1.0})
+        return cls.of({first: work_ratio, second: 1.0 - work_ratio})
+
+    @property
+    def workloads(self) -> List[Workload]:
+        """Workloads with non-zero share."""
+        return [w for w, __ in self.shares]
+
+    def share_of(self, workload: Workload) -> float:
+        """Share of one workload (0 when absent)."""
+        for w, v in self.shares:
+            if w == workload:
+                return v
+        return 0.0
+
+    @property
+    def hot_share(self) -> float:
+        """Total share held by hot workloads."""
+        return sum(v for w, v in self.shares if w.is_hot)
+
+    def mean_per_core_power_w(self, cores_per_cpu: int = 8) -> float:
+        """Share-weighted mean per-core dynamic power of the mix."""
+        return sum(v * w.per_core_power_w(cores_per_cpu)
+                   for w, v in self.shares)
+
+    def hot_mean_per_core_power_w(self, cores_per_cpu: int = 8) -> float:
+        """Mean per-core power over the hot portion only (0 if none)."""
+        hot = [(w, v) for w, v in self.shares if w.is_hot]
+        total = sum(v for __, v in hot)
+        if total == 0:
+            return 0.0
+        return sum(v * w.per_core_power_w(cores_per_cpu)
+                   for w, v in hot) / total
+
+    def as_share_vector(self) -> np.ndarray:
+        """Shares in :data:`WORKLOAD_LIST` column order."""
+        vector = np.zeros(len(WORKLOAD_LIST))
+        for w, v in self.shares:
+            vector[WORKLOAD_LIST.index(w)] = v
+        return vector
+
+
+def paper_mix() -> WorkloadMix:
+    """The evaluation's five-workload blend (~60/40 hot/cold)."""
+    return WorkloadMix.of({
+        WORKLOADS["WebSearch"]: 0.30,
+        WORKLOADS["DataCaching"]: 0.25,
+        WORKLOADS["VideoEncoding"]: 0.15,
+        WORKLOADS["VirusScan"]: 0.15,
+        WORKLOADS["Clustering"]: 0.15,
+    })
+
+
+#: The six mixture panels of Fig. 1, as (first, second) workload names;
+#: the x-axis work ratio is the share of the *first* workload.
+FIGURE1_PAIRS: Sequence[Tuple[str, str]] = (
+    ("DataCaching", "WebSearch"),     # Caching-Search Mix
+    ("VirusScan", "Clustering"),      # Scanning-Clustering Mix
+    ("Clustering", "VideoEncoding"),  # Clustering-Video Mix
+    ("VirusScan", "VideoEncoding"),   # Scanning-Video Mix
+    ("VirusScan", "WebSearch"),       # Scanning-Search Mix
+    ("WebSearch", "Clustering"),      # Search-Clustering Mix
+)

@@ -1,0 +1,119 @@
+"""The paper's five-workload suite (Table I).
+
+All five are user-facing to some degree: Web Search and Data Caching are
+latency-critical (millisecond/microsecond QoS); Video Encoding, Virus
+Scanning, and Clustering tolerate seconds of slack but cannot be deferred
+to off-hours batch windows.  Power numbers are normalized to a single
+8-core Xeon E7-4809 v4; each server carries four such CPUs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+
+
+class ThermalClass(enum.Enum):
+    """VMT's job classification: can a server full of this melt wax?"""
+
+    HOT = "hot"
+    COLD = "cold"
+
+
+class QoSClass(enum.Enum):
+    """How strict the workload's latency requirement is."""
+
+    LATENCY_CRITICAL = "latency-critical"   # ms/us budgets (search, caching)
+    LATENCY_SENSITIVE = "latency-sensitive"  # seconds of slack, not batchable
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One workload type: its power profile and scheduling metadata."""
+
+    name: str
+    per_cpu_power_w: float
+    thermal_class: ThermalClass
+    qos_class: QoSClass
+    migratable: bool = True
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.per_cpu_power_w < 0:
+            raise ConfigurationError("workload power must be non-negative")
+
+    def per_core_power_w(self, cores_per_cpu: int = 8) -> float:
+        """Dynamic power of one job occupying one core."""
+        if cores_per_cpu <= 0:
+            raise ConfigurationError("cores per CPU must be positive")
+        return self.per_cpu_power_w / cores_per_cpu
+
+    @property
+    def is_hot(self) -> bool:
+        """True for VMT 'hot' jobs."""
+        return self.thermal_class is ThermalClass.HOT
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Table I, verbatim.
+WORKLOADS: Dict[str, Workload] = {
+    "WebSearch": Workload(
+        name="WebSearch", per_cpu_power_w=37.2,
+        thermal_class=ThermalClass.HOT,
+        qos_class=QoSClass.LATENCY_CRITICAL,
+        description=("CloudSuite 2.0 Web Search: sharded index serving "
+                     "with strict millisecond QoS.")),
+    "DataCaching": Workload(
+        name="DataCaching", per_cpu_power_w=13.5,
+        thermal_class=ThermalClass.COLD,
+        qos_class=QoSClass.LATENCY_CRITICAL,
+        description=("CloudSuite 2.0 Memcached data caching: "
+                     "memory-bound, low CPU power.")),
+    "VideoEncoding": Workload(
+        name="VideoEncoding", per_cpu_power_w=60.9,
+        thermal_class=ThermalClass.HOT,
+        qos_class=QoSClass.LATENCY_SENSITIVE,
+        description=("SPEC 2006 h264: re-encoding uploaded video; "
+                     "seconds-to-minutes of acceptable delay.")),
+    "VirusScan": Workload(
+        name="VirusScan", per_cpu_power_w=3.4,
+        thermal_class=ThermalClass.COLD,
+        qos_class=QoSClass.LATENCY_SENSITIVE,
+        description=("Scanning freshly uploaded files; very low CPU "
+                     "power, not batchable.")),
+    "Clustering": Workload(
+        name="Clustering", per_cpu_power_w=59.5,
+        thermal_class=ThermalClass.HOT,
+        qos_class=QoSClass.LATENCY_SENSITIVE,
+        description=("Ad-targeting clustering: compute-intensive with "
+                     "some scheduling leeway.")),
+}
+
+#: Deterministic iteration order used throughout the cluster simulator:
+#: column ``k`` of every demand/allocation matrix is ``WORKLOAD_LIST[k]``.
+WORKLOAD_LIST: List[Workload] = [
+    WORKLOADS["WebSearch"], WORKLOADS["DataCaching"],
+    WORKLOADS["VideoEncoding"], WORKLOADS["VirusScan"],
+    WORKLOADS["Clustering"],
+]
+
+#: Column indices of hot / cold workloads in ``WORKLOAD_LIST`` order.
+HOT_INDICES: Tuple[int, ...] = tuple(
+    i for i, w in enumerate(WORKLOAD_LIST) if w.is_hot)
+COLD_INDICES: Tuple[int, ...] = tuple(
+    i for i, w in enumerate(WORKLOAD_LIST) if not w.is_hot)
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by name; raises ``ConfigurationError`` if unknown."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise ConfigurationError(
+            f"unknown workload {name!r}; known: {known}") from None

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite.
+
+Most tests run on deliberately small clusters and short traces; the
+integration tests that verify the paper's headline shapes use the full
+two-day trace on 100 servers (the paper's own sweep size) and are the
+slowest things in the suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import (SchedulerConfig, SimulationConfig, ThermalConfig,
+                          TraceConfig, WaxConfig, paper_cluster_config)
+
+
+@pytest.fixture
+def small_config() -> SimulationConfig:
+    """A 20-server cluster with a short 6-hour trace for fast tests."""
+    return SimulationConfig(
+        num_servers=20,
+        trace=TraceConfig(duration_hours=6.0, step_seconds=60.0),
+        seed=123,
+    )
+
+
+@pytest.fixture
+def paper_config() -> SimulationConfig:
+    """The paper's 100-server sweep configuration."""
+    return paper_cluster_config(num_servers=100, grouping_value=22.0,
+                                seed=7)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded generator for tests that need controlled randomness."""
+    return np.random.default_rng(42)

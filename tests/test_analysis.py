@@ -1,0 +1,136 @@
+"""Unit tests for the analysis helpers: reporting, regions, sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.regions import (MIN_HOT_SHARE, MixRegion,
+                                    all_figure1_panels,
+                                    blended_exhaust_temp_c,
+                                    classify_mix_region, figure1_panel,
+                                    hottest_grouped_temp_c)
+from repro.analysis.reporting import (format_heatmap, format_series,
+                                      format_table)
+from repro.config import ServerConfig, ThermalConfig, WaxConfig
+from repro.errors import ConfigurationError
+from repro.workloads.mix import WorkloadMix
+from repro.workloads.workload import WORKLOADS
+
+SERVER = ServerConfig()
+THERMAL = ThermalConfig()
+WAX = WaxConfig()
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        out = format_table(["a", "value"], [("x", 1.5), ("yy", 22.25)])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_large_floats_get_thousands_separator(self):
+        out = format_table(["n"], [(2_688_000.0,)])
+        assert "2,688,000" in out
+
+
+class TestFormatSeries:
+    def test_downsamples_long_series(self):
+        xs = np.arange(1000.0)
+        out = format_series("s", xs, xs, max_points=10)
+        assert len(out.splitlines()) == 13  # title + header + rule + 10
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            format_series("s", [1.0, 2.0], [1.0])
+
+
+class TestFormatHeatmap:
+    def test_renders_rows_and_header(self):
+        matrix = np.random.default_rng(0).random((100, 30))
+        out = format_heatmap(matrix, title="T", max_rows=10, max_cols=40)
+        lines = out.splitlines()
+        assert "T (range" in lines[0]
+        assert len(lines) == 11
+        # Input is (time=100, servers=30): rows are the 30 servers capped
+        # at 10, columns the 100 ticks capped at max_cols=40.
+        assert all(len(line) == 40 for line in lines[1:])
+
+    def test_constant_matrix_does_not_crash(self):
+        out = format_heatmap(np.full((5, 5), 3.0))
+        assert "3.0..3.0" in out
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigurationError):
+            format_heatmap(np.zeros(5))
+
+
+class TestRegions:
+    def test_blended_temperature_interpolates_between_endpoints(self):
+        hot = WORKLOADS["VideoEncoding"]
+        cold = WORKLOADS["VirusScan"]
+        t_hot = blended_exhaust_temp_c(WorkloadMix.pair(hot, cold, 1.0),
+                                       SERVER, THERMAL)
+        t_cold = blended_exhaust_temp_c(WorkloadMix.pair(hot, cold, 0.0),
+                                        SERVER, THERMAL)
+        t_mid = blended_exhaust_temp_c(WorkloadMix.pair(hot, cold, 0.5),
+                                       SERVER, THERMAL)
+        assert t_cold < t_mid < t_hot
+
+    def test_all_hot_mix_is_tts_region(self):
+        mix = WorkloadMix.of({WORKLOADS["VideoEncoding"]: 1.0})
+        assert classify_mix_region(mix, SERVER, THERMAL, WAX) is \
+            MixRegion.TTS
+
+    def test_all_cold_mix_is_neither(self):
+        mix = WorkloadMix.of({WORKLOADS["VirusScan"]: 1.0})
+        assert classify_mix_region(mix, SERVER, THERMAL, WAX) is \
+            MixRegion.NEITHER
+
+    def test_lukewarm_mix_needs_vmt(self):
+        mix = WorkloadMix.of({WORKLOADS["WebSearch"]: 0.4,
+                              WORKLOADS["DataCaching"]: 0.6})
+        assert classify_mix_region(mix, SERVER, THERMAL, WAX) is \
+            MixRegion.NEEDS_VMT
+
+    def test_tiny_hot_share_is_neither(self):
+        mix = WorkloadMix.of({
+            WORKLOADS["WebSearch"]: MIN_HOT_SHARE / 2,
+            WORKLOADS["VirusScan"]: 1.0 - MIN_HOT_SHARE / 2})
+        assert classify_mix_region(mix, SERVER, THERMAL, WAX) is \
+            MixRegion.NEITHER
+
+    def test_grouped_temp_of_cold_mix_is_inlet(self):
+        mix = WorkloadMix.of({WORKLOADS["VirusScan"]: 1.0})
+        assert hottest_grouped_temp_c(mix, SERVER, THERMAL, WAX) == \
+            THERMAL.inlet_temp_c
+
+    def test_panel_structure(self):
+        panel = figure1_panel("DataCaching", "WebSearch", num_points=21)
+        assert len(panel.work_ratios) == 21
+        assert len(panel.regions) == 21
+        assert panel.title == "DataCaching-WebSearch Mix"
+        spans = panel.region_spans()
+        assert spans[0][1] == 0.0
+        assert spans[-1][2] == 100.0
+
+    def test_temps_within_figure_axis_range(self):
+        """Fig. 1's y-axis spans 20-50 C; our curves must too."""
+        for panel in all_figure1_panels(num_points=21):
+            assert panel.exhaust_temps_c.min() > 20.0
+            assert panel.exhaust_temps_c.max() < 50.0
+
+    def test_every_region_type_appears_across_panels(self):
+        seen = set()
+        for panel in all_figure1_panels(num_points=51):
+            seen.update(panel.regions)
+        assert seen == {MixRegion.TTS, MixRegion.NEEDS_VMT,
+                        MixRegion.NEITHER}
+
+    def test_rejects_bad_utilization(self):
+        mix = WorkloadMix.of({WORKLOADS["WebSearch"]: 1.0})
+        with pytest.raises(ConfigurationError):
+            blended_exhaust_temp_c(mix, SERVER, THERMAL, utilization=1.5)

@@ -1,0 +1,129 @@
+"""Unit tests for the vectorized cluster and its scheduler view."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.state import ClusterView
+from repro.config import SimulationConfig, ThermalConfig
+from repro.errors import CapacityError, SimulationError
+from repro.workloads.workload import WORKLOAD_LIST
+
+CONFIG = SimulationConfig(num_servers=5)
+NUM_W = len(WORKLOAD_LIST)
+
+
+def allocation_with(cores_per_server, workload_index=0, n=5):
+    allocation = np.zeros((n, NUM_W), dtype=np.int64)
+    allocation[:, workload_index] = cores_per_server
+    return allocation
+
+
+class TestClusterStep:
+    def test_idle_cluster_draws_idle_power(self):
+        cluster = Cluster(CONFIG)
+        summary = cluster.step(np.zeros((5, NUM_W), dtype=int), 60.0)
+        assert summary["power_w"] == pytest.approx(500.0)
+        assert summary["cooling_load_w"] == pytest.approx(
+            summary["power_w"] - summary["wax_absorption_w"])
+
+    def test_power_follows_allocation(self):
+        cluster = Cluster(CONFIG)
+        # 8 cores of WebSearch per server: 100 + 8*4.65 = 137.2 W each.
+        summary = cluster.step(allocation_with(8, 0), 60.0)
+        assert summary["power_w"] == pytest.approx(5 * 137.2)
+
+    def test_air_temperature_rises_under_load(self):
+        cluster = Cluster(CONFIG)
+        before = cluster.air_temp_c.copy()
+        for __ in range(30):
+            cluster.step(allocation_with(32, 2), 60.0)  # video encoding
+        assert np.all(cluster.air_temp_c > before)
+
+    def test_sustained_hot_load_melts_wax_and_absorbs_heat(self):
+        cluster = Cluster(CONFIG)
+        for __ in range(240):
+            summary = cluster.step(allocation_with(32, 2), 60.0)
+        assert np.all(cluster.wax_melt_fraction > 0.1)
+        assert summary["wax_absorption_w"] > 0.0
+
+    def test_cooling_load_equals_power_minus_absorption(self):
+        cluster = Cluster(CONFIG)
+        for __ in range(60):
+            summary = cluster.step(allocation_with(32, 2), 60.0)
+        assert summary["cooling_load_w"] == pytest.approx(
+            summary["power_w"] - summary["wax_absorption_w"])
+
+    def test_time_advances(self):
+        cluster = Cluster(CONFIG)
+        cluster.step(np.zeros((5, NUM_W), dtype=int), 60.0)
+        cluster.step(np.zeros((5, NUM_W), dtype=int), 60.0)
+        assert cluster.time_s == pytest.approx(120.0)
+
+    def test_rejects_wrong_allocation_shape(self):
+        cluster = Cluster(CONFIG)
+        with pytest.raises(SimulationError):
+            cluster.step(np.zeros((4, NUM_W), dtype=int), 60.0)
+
+    def test_rejects_over_capacity_server(self):
+        cluster = Cluster(CONFIG)
+        with pytest.raises(CapacityError):
+            cluster.step(allocation_with(33), 60.0)
+
+    def test_rejects_negative_allocation(self):
+        cluster = Cluster(CONFIG)
+        bad = np.zeros((5, NUM_W), dtype=int)
+        bad[0, 0] = -1
+        with pytest.raises(SimulationError):
+            cluster.step(bad, 60.0)
+
+    def test_rejects_nonpositive_dt(self):
+        cluster = Cluster(CONFIG)
+        with pytest.raises(SimulationError):
+            cluster.step(np.zeros((5, NUM_W), dtype=int), 0.0)
+
+    def test_deterministic_given_seed(self):
+        a = Cluster(CONFIG)
+        b = Cluster(CONFIG)
+        for __ in range(10):
+            a.step(allocation_with(16, 0), 60.0)
+            b.step(allocation_with(16, 0), 60.0)
+        assert np.array_equal(a.air_temp_c, b.air_temp_c)
+        assert np.array_equal(a.wax_melt_fraction, b.wax_melt_fraction)
+
+    def test_inlet_variation_spreads_temperatures(self):
+        config = SimulationConfig(
+            num_servers=50, thermal=ThermalConfig(inlet_stdev_c=2.0))
+        cluster = Cluster(config)
+        assert cluster.inlet_temp_c.std() > 0.5
+
+
+class TestClusterView:
+    def test_view_exposes_estimates_not_truth(self):
+        cluster = Cluster(CONFIG)
+        for __ in range(120):
+            cluster.step(allocation_with(32, 2), 60.0)
+        view = cluster.view()
+        assert isinstance(view, ClusterView)
+        assert view.num_servers == 5
+        assert view.melt_temp_c == pytest.approx(35.7)
+        # Estimates track truth but come from the estimator pipeline.
+        assert np.all(view.wax_melt_estimate >= 0.0)
+        assert np.all(view.wax_melt_estimate <= 1.0)
+
+    def test_view_helpers(self):
+        view = ClusterView(
+            time_s=0.0, num_servers=3, cores_per_server=32,
+            air_temp_c=np.array([30.0, 36.0, 40.0]),
+            wax_melt_estimate=np.array([0.0, 0.5, 0.99]),
+            melt_temp_c=35.7)
+        assert list(view.servers_below_melt()) == [True, False, False]
+        assert list(view.servers_melted(0.98)) == [False, False, True]
+        assert view.total_cores == 96
+
+    def test_estimator_correction_anchors_at_boundaries(self):
+        """While the wax is fully solid the estimate is re-anchored to 0."""
+        cluster = Cluster(CONFIG)
+        for __ in range(30):
+            cluster.step(np.zeros((5, NUM_W), dtype=int), 60.0)
+        assert np.all(cluster.view().wax_melt_estimate == 0.0)

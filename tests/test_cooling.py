@@ -1,0 +1,86 @@
+"""Unit tests for cooling load accounting and plant sizing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ThermalModelError
+from repro.thermal.cooling import CoolingLoadTracker, CoolingSystem
+
+
+class TestCoolingLoadTracker:
+    def test_cooling_load_is_power_minus_absorption(self):
+        tracker = CoolingLoadTracker()
+        load = tracker.record(0.0, np.array([200.0, 300.0]),
+                              np.array([40.0, 10.0]))
+        assert load == pytest.approx(450.0)
+
+    def test_wax_release_adds_to_load(self):
+        tracker = CoolingLoadTracker()
+        load = tracker.record(0.0, np.array([200.0]), np.array([-60.0]))
+        assert load == pytest.approx(260.0)
+
+    def test_peak_and_mean(self):
+        tracker = CoolingLoadTracker()
+        for t, p in enumerate([100.0, 300.0, 200.0]):
+            tracker.record(float(t), np.array([p]), np.array([0.0]))
+        assert tracker.peak_w == pytest.approx(300.0)
+        assert tracker.mean_w == pytest.approx(200.0)
+
+    def test_peak_reduction_vs_baseline(self):
+        tracker = CoolingLoadTracker()
+        tracker.record(0.0, np.array([174.4]), np.array([0.0]))
+        assert tracker.peak_reduction_vs(200.0) == pytest.approx(0.128)
+
+    def test_empty_tracker_raises(self):
+        with pytest.raises(ThermalModelError):
+            __ = CoolingLoadTracker().peak_w
+
+    def test_bad_baseline_raises(self):
+        tracker = CoolingLoadTracker()
+        tracker.record(0.0, np.array([1.0]), np.array([0.0]))
+        with pytest.raises(ThermalModelError):
+            tracker.peak_reduction_vs(0.0)
+
+    def test_series_accessors(self):
+        tracker = CoolingLoadTracker()
+        tracker.record(0.0, np.array([100.0]), np.array([0.0]))
+        tracker.record(60.0, np.array([110.0]), np.array([5.0]))
+        assert np.allclose(tracker.times_s, [0.0, 60.0])
+        assert np.allclose(tracker.loads_w, [100.0, 105.0])
+
+
+class TestCoolingSystem:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            CoolingSystem(0.0)
+
+    def test_utilization_and_overload(self):
+        plant = CoolingSystem(1000.0)
+        loads = [500.0, 900.0, 1100.0]
+        assert np.allclose(plant.utilization(loads), [0.5, 0.9, 1.1])
+        assert plant.overloaded(loads)
+        assert not plant.overloaded([500.0, 999.0])
+
+    def test_headroom(self):
+        plant = CoolingSystem(1000.0)
+        assert plant.headroom_w([600.0, 800.0]) == pytest.approx(200.0)
+        assert plant.headroom_w([1200.0]) == pytest.approx(-200.0)
+
+    def test_resized_by_vmt_reduction(self):
+        plant = CoolingSystem(25e6)
+        smaller = plant.resized(0.128)
+        assert smaller.capacity_w == pytest.approx(21.8e6)
+
+    def test_resized_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            CoolingSystem(1.0).resized(1.0)
+        with pytest.raises(ConfigurationError):
+            CoolingSystem(1.0).resized(-0.1)
+
+    def test_oversubscription_workflow(self):
+        """The Section V-E what-if: shrink the plant by the measured
+        reduction and confirm the reduced load series still fits."""
+        baseline_peak = 1000.0
+        reduced_series = [700.0, 872.0, 850.0]  # peak shaved by 12.8%
+        plant = CoolingSystem(baseline_peak).resized(0.128)
+        assert not plant.overloaded(reduced_series)

@@ -1,0 +1,124 @@
+"""Unit tests for datacenter scale-out and the TCO model (Section V-E).
+
+These pin the paper's exact arithmetic: $84k per MW-year of cooling,
+$21M lifetime cost at 25 MW, $2.69M savings at 12.8%, $1.26M at 6%,
++7,339 servers (or +3,191 conservatively), and wax under 0.5% of server
+cost.
+"""
+
+import pytest
+
+from repro.cluster.datacenter import Datacenter, DatacenterImpact
+from repro.config import ServerConfig, WaxConfig
+from repro.errors import ConfigurationError
+from repro.tco.model import TCOModel
+from repro.tco.wax_cost import (n_paraffin_alternative_cost_usd,
+                                wax_cost_fraction_of_server,
+                                wax_deployment_cost_usd)
+from repro.units import MW
+
+DC = Datacenter()
+TCO = TCOModel()
+WAX = WaxConfig()
+
+
+class TestDatacenter:
+    def test_paper_dimensions(self):
+        assert DC.critical_power_w == pytest.approx(25 * MW)
+        assert DC.num_servers == 50_000
+        assert DC.num_clusters == 50
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Datacenter(critical_power_w=0)
+        with pytest.raises(ConfigurationError):
+            Datacenter(servers_per_cluster=0)
+
+    def test_impact_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            DC.impact_of(1.0)
+
+
+class TestDatacenterImpact:
+    def test_headline_reduction_numbers(self):
+        impact = DC.impact_of(0.128)
+        assert impact.reduced_peak_cooling_w == pytest.approx(21.8 * MW)
+        assert impact.cooling_reduction_w == pytest.approx(3.2 * MW)
+        assert impact.additional_servers == 7_339
+        assert impact.additional_servers_per_cluster == 146
+        assert impact.additional_server_fraction == pytest.approx(
+            0.1468, abs=1e-4)
+
+    def test_conservative_numbers(self):
+        impact = DC.impact_of(0.06)
+        assert impact.additional_servers == 3_191
+        assert impact.additional_server_fraction == pytest.approx(
+            0.0638, abs=1e-3)
+
+    def test_zero_reduction_changes_nothing(self):
+        impact = DC.impact_of(0.0)
+        assert impact.additional_servers == 0
+        assert impact.reduced_peak_cooling_w == pytest.approx(25 * MW)
+
+
+class TestTCOModel:
+    def test_cooling_cost_per_mw_year(self):
+        assert TCO.cooling_cost_usd_per_mw_year() == pytest.approx(84_000.0)
+
+    def test_lifetime_cost_at_25mw_is_21m(self):
+        assert TCO.lifetime_cooling_cost_usd(25 * MW) == pytest.approx(
+            21_000_000.0)
+
+    def test_headline_savings(self):
+        """12.8% of $21M = $2.688M, the paper's '$2,690,000'."""
+        savings = TCO.cooling_savings_usd(25 * MW, 0.128)
+        assert savings == pytest.approx(2_688_000.0)
+
+    def test_conservative_savings(self):
+        """6% of $21M = $1.26M, the paper's '$1,260,000'."""
+        assert TCO.cooling_savings_usd(25 * MW, 0.06) == pytest.approx(
+            1_260_000.0)
+
+    def test_vmt_savings_nets_out_wax(self):
+        savings = TCO.vmt_savings(25 * MW, 0.128, WAX, 50_000)
+        assert savings.net_savings_usd == pytest.approx(
+            savings.gross_cooling_savings_usd
+            - savings.wax_deployment_cost_usd)
+        assert savings.wax_deployment_cost_usd > 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            TCO.lifetime_cooling_cost_usd(0)
+        with pytest.raises(ConfigurationError):
+            TCO.cooling_savings_usd(25 * MW, 1.0)
+        with pytest.raises(ConfigurationError):
+            TCOModel(cooling_usd_per_kw_month=0)
+
+
+class TestWaxCosts:
+    def test_commercial_wax_cost_is_small(self):
+        cost = wax_deployment_cost_usd(WAX, 50_000)
+        # ~3.5 kg/server at $1,000/ton: a few dollars per server.
+        assert cost / 50_000 < 10.0
+
+    def test_wax_under_half_percent_of_server_cost(self):
+        """Section IV-F: 'less than 0.5% of the purchase cost per server'."""
+        assert wax_cost_fraction_of_server(WAX) < 0.005
+
+    def test_n_paraffin_is_order_10m(self):
+        """Section V-E: the TTS-only alternative costs ~$10M."""
+        cost = n_paraffin_alternative_cost_usd(WAX, 50_000)
+        assert 5e6 < cost < 2e7
+
+    def test_n_paraffin_vs_commercial_ratio(self):
+        commercial = wax_deployment_cost_usd(WAX, 50_000)
+        n_paraffin = n_paraffin_alternative_cost_usd(WAX, 50_000)
+        assert n_paraffin / commercial == pytest.approx(75.0)
+
+    def test_rejects_negative_fleet(self):
+        with pytest.raises(ConfigurationError):
+            wax_deployment_cost_usd(WAX, -1)
+        with pytest.raises(ConfigurationError):
+            n_paraffin_alternative_cost_usd(WAX, -1)
+        with pytest.raises(ConfigurationError):
+            wax_cost_fraction_of_server(WAX, server_cost_usd=0)

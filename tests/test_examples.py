@@ -1,0 +1,79 @@
+"""Smoke tests: every example script runs and prints sane output.
+
+Examples are the library's front door; broken examples are broken docs.
+Each runs in a subprocess exactly as a user would invoke it, with a small
+cluster argument where supported to keep runtime low.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart_reports_reduction():
+    out = run_example("quickstart.py", "30")
+    assert "round-robin" in out
+    assert "vmt-ta" in out
+    assert "%" in out
+
+
+def test_gv_sweep_reports_best_settings():
+    out = run_example("gv_sweep.py", "20")
+    assert "Best VMT-TA" in out and "Best VMT-WA" in out
+    assert "GV=" in out
+
+
+def test_capacity_planning_reports_savings():
+    out = run_example("capacity_planning.py", "30")
+    assert "Option A" in out and "Option B" in out
+    assert "$" in out
+    assert "25 MW" in out
+
+
+def test_reliability_rotation_reports_gap():
+    out = run_example("reliability_rotation.py")
+    assert "round robin" in out
+    assert "rotation" in out.lower()
+
+
+def test_thermal_heatmap_renders(tmp_path):
+    out = run_example("thermal_heatmap.py", "round-robin")
+    assert "Air temperature" in out or "air temperature" in out.lower()
+    assert "wax" in out.lower()
+
+
+def test_mix_advisor_lists_regions():
+    out = run_example("mix_advisor.py")
+    assert "Needs VMT" in out
+    assert "VMT/TTS" in out
+    assert "Mix" in out
+
+
+def test_energy_bill_reports_savings():
+    out = run_example("energy_bill.py", "20")
+    assert "chiller plant" in out
+    assert "savings over two days" in out
+
+
+def test_datacenter_stagger_reports_peaks():
+    out = run_example("datacenter_stagger.py", "15", "2")
+    assert "aggregate peak" in out
+    assert "stagger" in out
+
+
+def test_day_ahead_planning_verifies_plan():
+    out = run_example("day_ahead_planning.py", "20")
+    assert "planner (VMT-WA)" in out
+    assert "best swept GV" in out

@@ -1,0 +1,98 @@
+"""Tests for the analysis experiment harness (shrunken sizes).
+
+The benchmarks run the full-size experiments; these tests exercise the
+same entry points at reduced scale so the harness logic itself (shapes,
+bookkeeping, parameter plumbing) is covered quickly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import (figure6_qos, figure7_reliability,
+                                        figure8_trace,
+                                        figure12_hot_group_temps,
+                                        figure13_cooling_loads,
+                                        figure17_wax_threshold,
+                                        figure18_gv_sweep,
+                                        heatmap_experiment,
+                                        table1_workloads, tco_analysis)
+from repro.analysis.sweep import gv_sweep, seed_averaged_sweep
+
+
+class TestLightweightExperiments:
+    def test_figure6_structure(self):
+        curves = figure6_qos(num_points=5)
+        assert len(curves.caching_rps) == 5
+        assert set(curves.caching_mean_ms) == {"2C+Search", "4C+Search",
+                                               "6C"}
+        assert set(curves.search_mean_s) == {"2C+Caching", "4C+Caching",
+                                             "6C"}
+
+    def test_figure7_structure(self):
+        curves = figure7_reliability(months=12)
+        assert len(curves.months) == 13
+        assert curves.final_gap_percent > 0
+
+    def test_figure8_landmarks(self):
+        trace = figure8_trace(num_servers=20)
+        assert len(trace.per_workload) == 5
+        assert trace.peak_utilization > 0.9
+
+    def test_table1_rows(self):
+        rows = table1_workloads()
+        assert [r[0] for r in rows] == ["WebSearch", "DataCaching",
+                                        "VideoEncoding", "VirusScan",
+                                        "Clustering"]
+
+    def test_tco_with_fixed_reduction_skips_simulation(self):
+        study = tco_analysis(peak_reduction=0.128)
+        assert study.savings.gross_cooling_savings_usd == pytest.approx(
+            2_688_000.0)
+        assert study.impact.additional_servers == 7_339
+
+
+class TestSimulationBackedExperiments:
+    """Small clusters keep these under a second or two apiece."""
+
+    def test_heatmap_experiment_records_heatmaps(self):
+        result = heatmap_experiment("round-robin", num_servers=20)
+        assert result.temp_heatmap is not None
+        assert result.temp_heatmap.shape[1] == 20
+
+    def test_figure12_hot_group_series(self):
+        temps = figure12_hot_group_temps(grouping_values=(22,),
+                                         num_servers=20)
+        assert 22 in temps.per_gv
+        assert len(temps.per_gv[22]) == len(temps.round_robin_mean)
+        assert np.isfinite(temps.per_gv[22]).all()
+
+    def test_figure13_reduction_labels(self):
+        study = figure13_cooling_loads(grouping_values=(22,),
+                                       num_servers=20)
+        assert set(study.reductions_percent) == {"round-robin",
+                                                 "coolest-first", "GV=22"}
+        assert study.reductions_percent["round-robin"] == 0.0
+        assert "GV=22" in study.series_kw
+
+    def test_figure17_threshold_axis(self):
+        sweep = figure17_wax_threshold(thresholds=(0.9, 0.98),
+                                       num_servers=20)
+        assert list(sweep.thresholds) == [0.9, 0.98]
+        assert len(sweep.reductions_percent) == 2
+
+    def test_figure18_policies(self):
+        sweep = figure18_gv_sweep(grouping_values=(20, 22),
+                                  num_servers=20)
+        assert set(sweep.reductions) == {"vmt-ta", "vmt-wa"}
+        assert len(sweep.values) == 2
+
+    def test_gv_sweep_best(self):
+        sweep = gv_sweep((20, 22), ("vmt-ta",), num_servers=20)
+        gv, value = sweep.best("vmt-ta")
+        assert gv in (20.0, 22.0)
+        assert isinstance(value, float)
+
+    def test_seed_averaged_sweep_averages(self):
+        sweep = seed_averaged_sweep((22,), "vmt-ta", num_servers=20,
+                                    seeds=(0, 1), inlet_stdev_c=1.0)
+        assert sweep.reductions["vmt-ta"].shape == (1,)

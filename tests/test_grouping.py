@@ -1,0 +1,55 @@
+"""Unit tests for Eq. 1/2 group sizing and the GroupSizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import (GroupSizer, cold_group_size,
+                                 hot_group_size)
+from repro.errors import ConfigurationError
+
+
+class TestEquation1:
+    def test_paper_example_gv22(self):
+        """GV=22, PMT=35.7, 1000 servers -> 616-server hot group."""
+        assert hot_group_size(22.0, 35.7, 1000) == 616
+
+    def test_gv20_and_gv24(self):
+        assert hot_group_size(20.0, 35.7, 1000) == 560
+        assert hot_group_size(24.0, 35.7, 1000) == 672
+
+    def test_scales_linearly_with_cluster_size(self):
+        assert hot_group_size(22.0, 35.7, 100) == 62
+
+    def test_clipped_to_cluster(self):
+        assert hot_group_size(50.0, 35.7, 100) == 100
+
+    def test_equation2_complement(self):
+        assert cold_group_size(22.0, 35.7, 1000) == 384
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            hot_group_size(0.0, 35.7, 100)
+        with pytest.raises(ConfigurationError):
+            hot_group_size(22.0, 0.0, 100)
+        with pytest.raises(ConfigurationError):
+            hot_group_size(22.0, 35.7, 0)
+
+    def test_monotonic_in_gv(self):
+        sizes = [hot_group_size(gv, 35.7, 1000)
+                 for gv in np.arange(10, 31, 0.5)]
+        assert all(b >= a for a, b in zip(sizes, sizes[1:]))
+
+
+class TestGroupSizer:
+    def test_sizes_and_fraction(self):
+        sizer = GroupSizer(22.0, 35.7, 1000)
+        assert sizer.hot_size == 616
+        assert sizer.cold_size == 384
+        assert sizer.hot_fraction == pytest.approx(0.616)
+
+    def test_mask_low_ids_are_hot(self):
+        sizer = GroupSizer(22.0, 35.7, 10)
+        mask = sizer.hot_mask()
+        assert mask.sum() == sizer.hot_size
+        assert mask[:sizer.hot_size].all()
+        assert not mask[sizer.hot_size:].any()

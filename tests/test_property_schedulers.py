@@ -1,0 +1,110 @@
+"""Property-based tests: scheduler invariants under adversarial inputs.
+
+Whatever the demand sequence, sensor state, or estimator garbage, every
+policy must (a) place exactly the demanded jobs, (b) respect per-server
+core capacity, and (c) never crash.  Hypothesis drives random demand
+mixes and corrupted views at the placement layer.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.state import ClusterView
+from repro.config import SimulationConfig
+from repro.core import make_scheduler
+from repro.core.policies import SCHEDULER_NAMES
+from repro.core.scheduler import NUM_WORKLOADS
+
+CONFIG = SimulationConfig(num_servers=8)
+CAPACITY = CONFIG.total_cores
+
+
+def make_view(temps, melt):
+    return ClusterView(
+        time_s=0.0,
+        num_servers=CONFIG.num_servers,
+        cores_per_server=CONFIG.server.cores,
+        air_temp_c=np.asarray(temps, dtype=np.float64),
+        wax_melt_estimate=np.asarray(melt, dtype=np.float64),
+        melt_temp_c=CONFIG.wax.melt_temp_c,
+    )
+
+
+demand_strategy = st.lists(
+    st.integers(min_value=0, max_value=CAPACITY // NUM_WORKLOADS),
+    min_size=NUM_WORKLOADS, max_size=NUM_WORKLOADS)
+
+temps_strategy = st.lists(
+    st.floats(min_value=-10.0, max_value=90.0, allow_nan=False),
+    min_size=CONFIG.num_servers, max_size=CONFIG.num_servers)
+
+melt_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    min_size=CONFIG.num_servers, max_size=CONFIG.num_servers)
+
+
+@pytest.mark.parametrize("policy", SCHEDULER_NAMES)
+@given(demand=demand_strategy, temps=temps_strategy, melt=melt_strategy)
+@settings(max_examples=25, deadline=None)
+def test_property_placement_invariants(policy, demand, temps, melt):
+    scheduler = make_scheduler(policy, CONFIG)
+    demand = np.asarray(demand, dtype=np.int64)
+    placement = scheduler.place(demand, make_view(temps, melt))
+    assert np.array_equal(placement.allocation.sum(axis=0), demand)
+    assert placement.allocation.min() >= 0
+    assert placement.allocation.sum(axis=1).max() <= CONFIG.server.cores
+
+
+@pytest.mark.parametrize("policy", SCHEDULER_NAMES)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_property_stateful_sequences(policy, seed):
+    """Multi-tick sequences with swinging demand keep all invariants.
+
+    Stateful policies (persistent baselines, VMT-WA's group size,
+    VMT-Preserve's hysteresis) must stay consistent while demand ramps,
+    spikes to full capacity, and collapses to zero.
+    """
+    rng = np.random.default_rng(seed)
+    scheduler = make_scheduler(policy, CONFIG)
+    levels = [0.1, 0.6, 1.0, 0.95, 0.3, 0.0, 0.8]
+    melt = np.zeros(CONFIG.num_servers)
+    for level in levels:
+        total = int(level * CAPACITY)
+        split = rng.multinomial(total, np.full(NUM_WORKLOADS,
+                                               1.0 / NUM_WORKLOADS))
+        temps = rng.uniform(20.0, 45.0, CONFIG.num_servers)
+        melt = np.clip(melt + rng.uniform(-0.2, 0.3,
+                                          CONFIG.num_servers), 0, 1)
+        placement = scheduler.place(split.astype(np.int64),
+                                    make_view(temps, melt))
+        assert np.array_equal(placement.allocation.sum(axis=0), split)
+        assert placement.allocation.sum(axis=1).max() <= \
+            CONFIG.server.cores
+
+
+@pytest.mark.parametrize("policy", ("vmt-ta", "vmt-wa", "vmt-preserve"))
+def test_garbage_estimator_never_breaks_placement(policy):
+    """Failure injection: an estimator stuck at all-melted or flapping
+    between extremes must never cause a placement failure."""
+    scheduler = make_scheduler(policy, CONFIG)
+    demand = np.array([40, 40, 40, 40, 40], dtype=np.int64)
+    for melt in (np.ones(8), np.zeros(8),
+                 np.tile([0.0, 1.0], 4), np.full(8, 0.98)):
+        placement = scheduler.place(
+            demand, make_view(np.full(8, 36.0), melt))
+        assert placement.jobs_placed == int(demand.sum())
+
+
+@pytest.mark.parametrize("policy", SCHEDULER_NAMES)
+def test_full_capacity_demand_is_always_placeable(policy):
+    scheduler = make_scheduler(policy, CONFIG)
+    demand = np.zeros(NUM_WORKLOADS, dtype=np.int64)
+    demand[0] = CAPACITY
+    placement = scheduler.place(demand,
+                                make_view(np.full(8, 30.0), np.zeros(8)))
+    assert placement.jobs_placed == CAPACITY
+    assert np.all(placement.allocation.sum(axis=1)
+                  == CONFIG.server.cores)

@@ -1,0 +1,94 @@
+"""Property-based tests on thermal invariants at the cluster level.
+
+Physics the whole reproduction leans on: energy bookkeeping closes,
+state stays in bounds, and the cooling-load identity holds under random
+workloads and timesteps.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.config import SimulationConfig, ThermalConfig, WaxConfig
+from repro.core.scheduler import NUM_WORKLOADS
+from repro.thermal.pcm import PCMBank
+
+CONFIG = SimulationConfig(num_servers=6)
+
+
+@given(loads=st.lists(
+    st.lists(st.integers(min_value=0, max_value=32),
+             min_size=6, max_size=6),
+    min_size=3, max_size=12))
+@settings(max_examples=25, deadline=None)
+def test_property_cooling_identity_under_random_loads(loads):
+    """cooling = power - absorption, exactly, every tick."""
+    cluster = Cluster(CONFIG)
+    for row in loads:
+        allocation = np.zeros((6, NUM_WORKLOADS), dtype=np.int64)
+        allocation[:, 2] = row  # video encoding, the hottest workload
+        summary = cluster.step(allocation, 60.0)
+        assert summary["cooling_load_w"] == pytest.approx(
+            summary["power_w"] - summary["wax_absorption_w"], abs=1e-6)
+        assert np.all(cluster.wax_melt_fraction >= 0.0)
+        assert np.all(cluster.wax_melt_fraction <= 1.0)
+
+
+@given(st.floats(min_value=20.0, max_value=50.0),
+       st.integers(min_value=1, max_value=40),
+       st.floats(min_value=10.0, max_value=600.0))
+@settings(max_examples=30, deadline=None)
+def test_property_pcm_energy_bookkeeping(air_temp, steps, dt):
+    """Integrated absorbed power equals the enthalpy gained, always."""
+    wax = WaxConfig()
+    bank = PCMBank(wax, 2, initial_temp_c=25.0)
+    total_j = 0.0
+    for __ in range(steps):
+        q = bank.step(air_temp, 14.0, dt)
+        total_j += float(q.sum()) * dt
+    # Reconstruct enthalpy change from final state.
+    cp_s = wax.specific_heat_solid_j_per_kg_k
+    cp_l = wax.specific_heat_liquid_j_per_kg_k
+    final_t = bank.temperature_c
+    final_f = bank.melt_fraction
+    per_server = np.where(
+        final_f <= 0.0,
+        cp_s * (final_t - 25.0) * wax.mass_kg,
+        np.where(final_f >= 1.0,
+                 (cp_s * (wax.melt_temp_c - 25.0)
+                  + wax.latent_heat_j_per_kg
+                  + cp_l * (final_t - wax.melt_temp_c)) * wax.mass_kg,
+                 (cp_s * (wax.melt_temp_c - 25.0)
+                  + final_f * wax.latent_heat_j_per_kg) * wax.mass_kg))
+    assert total_j == pytest.approx(float(per_server.sum()),
+                                    rel=1e-6, abs=1e-3)
+
+
+@given(st.floats(min_value=0.0, max_value=3.0),
+       st.integers(min_value=0, max_value=1000))
+@settings(max_examples=20, deadline=None)
+def test_property_inlet_variation_preserves_mean(stdev, seed):
+    """Inlet draws stay centered on the nominal inlet temperature."""
+    from repro.thermal.inlet import draw_inlet_temperatures
+    thermal = ThermalConfig(inlet_stdev_c=stdev)
+    temps = draw_inlet_temperatures(thermal, 2000,
+                                    np.random.default_rng(seed))
+    assert abs(float(temps.mean()) - thermal.inlet_temp_c) < \
+        max(0.3, 6 * stdev / np.sqrt(2000))
+
+
+@given(st.floats(min_value=25.0, max_value=45.0))
+@settings(max_examples=20, deadline=None)
+def test_property_melt_then_freeze_is_reversible(air_temp):
+    """A melt/freeze round trip returns all stored energy (no leaks)."""
+    bank = PCMBank(WaxConfig(), 1, initial_temp_c=30.0)
+    absorbed = 0.0
+    for __ in range(600):
+        absorbed += float(bank.step(air_temp, 14.0, 60.0)[0]) * 60.0
+    for __ in range(3000):
+        absorbed += float(bank.step(30.0, 14.0, 60.0)[0]) * 60.0
+    # Back at 30 C fully relaxed: the books must balance to ~zero.
+    assert bank.temperature_c[0] == pytest.approx(30.0, abs=0.05)
+    assert abs(absorbed) < 2e3  # J; < 0.3% of the latent capacity

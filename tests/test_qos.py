@@ -1,0 +1,107 @@
+"""Unit tests for the colocation QoS models (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.qos import (CACHING_SCENARIOS, SEARCH_SCENARIOS,
+                                 CachingLatencyModel, ColocationScenario,
+                                 SearchLatencyModel)
+
+CACHING = CachingLatencyModel()
+SEARCH = SearchLatencyModel()
+C_2C, C_4C, C_6C = CACHING_SCENARIOS
+S_2C, S_4C, S_6C = SEARCH_SCENARIOS
+
+
+class TestScenarios:
+    def test_panel_configurations(self):
+        assert [s.subject_cores for s in CACHING_SCENARIOS] == [2, 4, 6]
+        assert C_6C.colocated is False
+
+    def test_rejects_more_than_six_cores(self):
+        with pytest.raises(ConfigurationError):
+            ColocationScenario("8C", 8, False)
+
+
+class TestCachingModel:
+    def test_latency_increases_with_load(self):
+        rps = np.array([30_000, 45_000, 58_000])
+        lat = CACHING.mean_latency_ms(rps, C_6C)
+        assert np.all(np.diff(lat) > 0)
+
+    def test_solo_best_at_low_load(self):
+        """At very low load 6 cores of pure caching wins (no LLC noise)."""
+        low = 26_000
+        solo = CACHING.mean_latency_ms(low, C_6C)
+        assert solo < CACHING.mean_latency_ms(low, C_2C)
+        assert solo < CACHING.mean_latency_ms(low, C_4C)
+
+    def test_mixture_competitive_in_middle_band(self):
+        """Mid-range: colocation's bandwidth relief matches or beats solo."""
+        mid = 55_000
+        solo = CACHING.mean_latency_ms(mid, C_6C)
+        colocated = CACHING.mean_latency_ms(mid, C_2C)
+        assert colocated < solo * 1.1
+
+    def test_colocation_raises_capacity(self):
+        assert CACHING.capacity_rps(C_2C) > CACHING.capacity_rps(C_6C)
+
+    def test_p90_above_mean(self):
+        rps = np.linspace(25_000, 60_000, 8)
+        for scenario in CACHING_SCENARIOS:
+            assert np.all(CACHING.p90_latency_ms(rps, scenario)
+                          > CACHING.mean_latency_ms(rps, scenario))
+
+    def test_latency_in_paper_plot_range(self):
+        """Fig. 6 caching panels span roughly 0-20 ms."""
+        rps = np.linspace(25_000, 60_000, 20)
+        for scenario in CACHING_SCENARIOS:
+            lat = CACHING.mean_latency_ms(rps, scenario)
+            assert lat.min() > 0.3
+            assert lat.max() < 25.0
+
+    def test_rejects_negative_rps(self):
+        with pytest.raises(ConfigurationError):
+            CACHING.mean_latency_ms(-1.0, C_6C)
+
+
+class TestSearchModel:
+    def test_colocation_slows_search_across_whole_range(self):
+        """The paper's observation: decreased performance at every load."""
+        clients = np.linspace(10, 50, 9)
+        solo = SEARCH.mean_latency_s(clients, S_6C)
+        for scenario in (S_2C, S_4C):
+            assert np.all(SEARCH.mean_latency_s(clients, scenario) > solo)
+
+    def test_fewer_cores_hurts_more(self):
+        clients = 30.0
+        assert SEARCH.mean_latency_s(clients, S_2C) > \
+            SEARCH.mean_latency_s(clients, S_4C)
+
+    def test_latency_in_paper_plot_range(self):
+        """Fig. 6 search panels span roughly 0.05-0.5 s."""
+        clients = np.linspace(10, 50, 20)
+        for scenario in SEARCH_SCENARIOS:
+            lat = SEARCH.mean_latency_s(clients, scenario)
+            assert lat.min() > 0.03
+            assert lat.max() < 0.9
+
+    def test_p90_amplifies_mean(self):
+        clients = np.linspace(10, 50, 5)
+        assert np.allclose(SEARCH.p90_latency_s(clients, S_6C),
+                           1.35 * SEARCH.mean_latency_s(clients, S_6C))
+
+    def test_service_time_inflation(self):
+        assert SEARCH.service_time_s(S_2C) > SEARCH.service_time_s(S_4C) \
+            > SEARCH.service_time_s(S_6C)
+
+    def test_rejects_negative_clients(self):
+        with pytest.raises(ConfigurationError):
+            SEARCH.mean_latency_s(-5.0, S_6C)
+
+    def test_rejects_bad_model_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SearchLatencyModel(base_service_s=0.0)
+        with pytest.raises(ConfigurationError):
+            CachingLatencyModel(solo_capacity_rps=0.0)

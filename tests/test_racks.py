@@ -1,0 +1,92 @@
+"""Tests for rack layout and hot-group power balance."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.racks import RackLayout, compare_hot_group_placements
+from repro.errors import ConfigurationError
+
+
+class TestRackLayout:
+    def test_paper_dimensions(self):
+        layout = RackLayout(num_servers=1000, servers_per_rack=20)
+        assert layout.num_racks == 50
+
+    def test_partial_last_rack(self):
+        layout = RackLayout(num_servers=45, servers_per_rack=20)
+        assert layout.num_racks == 3
+
+    def test_contiguous_mapping(self):
+        layout = RackLayout(num_servers=40, servers_per_rack=20)
+        racks = layout.contiguous_rack_of()
+        assert racks[0] == 0 and racks[19] == 0 and racks[20] == 1
+
+    def test_interleaved_mapping_spreads_neighbors(self):
+        layout = RackLayout(num_servers=40, servers_per_rack=20)
+        racks = layout.interleaved_rack_of()
+        assert racks[0] != racks[1]
+        # Every rack receives the same number of servers.
+        assert set(np.bincount(racks)) == {20}
+
+    def test_per_rack_power_sums(self):
+        layout = RackLayout(num_servers=4, servers_per_rack=2)
+        power = np.array([100.0, 200.0, 300.0, 400.0])
+        per_rack = layout.per_rack_power_w(power,
+                                           layout.contiguous_rack_of())
+        assert list(per_rack) == [300.0, 700.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RackLayout(num_servers=0)
+        with pytest.raises(ConfigurationError):
+            RackLayout(num_servers=10, servers_per_rack=0)
+        layout = RackLayout(num_servers=4, servers_per_rack=2)
+        with pytest.raises(ConfigurationError):
+            layout.per_rack_power_w(np.zeros(3),
+                                    layout.contiguous_rack_of())
+
+
+class TestHotGroupPlacement:
+    def test_interleaving_balances_a_vmt_power_profile(self):
+        """The paper's deployment remark, quantified: a hot group on
+        contiguous racks overloads them; interleaved racks stay near the
+        mean."""
+        layout = RackLayout(num_servers=100, servers_per_rack=20)
+        power = np.full(100, 150.0)
+        power[:62] = 290.0  # the GV=22 hot group at peak
+        contiguous, interleaved = compare_hot_group_placements(layout,
+                                                               power)
+        assert contiguous > 1.2          # whole racks run ~30% hot
+        assert interleaved < 1.05        # every rack near the mean
+        assert interleaved < contiguous
+
+    def test_uniform_power_is_balanced_either_way(self):
+        layout = RackLayout(num_servers=100, servers_per_rack=20)
+        power = np.full(100, 225.0)
+        contiguous, interleaved = compare_hot_group_placements(layout,
+                                                               power)
+        assert contiguous == pytest.approx(1.0)
+        assert interleaved == pytest.approx(1.0)
+
+    def test_end_to_end_with_simulated_power(self):
+        from repro import paper_cluster_config, make_scheduler
+        from repro.cluster.simulation import ClusterSimulation
+
+        config = paper_cluster_config(num_servers=60, grouping_value=22.0)
+        sim = ClusterSimulation(config,
+                                make_scheduler("vmt-ta", config),
+                                record_heatmaps=False)
+        peak_power = {}
+
+        def observe(time_s, demand, placement, cluster):
+            snapshot = cluster.power_w
+            if snapshot.sum() > peak_power.get("total", -1):
+                peak_power["total"] = snapshot.sum()
+                peak_power["servers"] = snapshot
+
+        sim.add_observer(observe)
+        sim.run()
+        layout = RackLayout(num_servers=60, servers_per_rack=20)
+        contiguous, interleaved = compare_hot_group_placements(
+            layout, peak_power["servers"])
+        assert interleaved < contiguous

@@ -1,0 +1,58 @@
+"""Tests for the experiment registry and its CLI surface."""
+
+import pytest
+
+from repro.analysis.registry import (EXPERIMENTS, get_experiment,
+                                     list_experiments)
+from repro.cli import main
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_covers_every_paper_artifact(self):
+        expected = {"fig1", "fig6", "fig7", "fig8", "fig9", "fig10",
+                    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+                    "fig17", "fig18", "fig19", "fig20", "table1",
+                    "table2", "tco"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_lookup_and_error(self):
+        assert get_experiment("fig13").paper_ref == "Fig. 13"
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+    def test_filter_by_kind(self):
+        model_only = list_experiments(simulated=False)
+        assert {e.id for e in model_only} == {"fig1", "fig6", "fig7",
+                                              "fig8", "table1"}
+        assert len(list_experiments()) == 19
+
+    def test_run_with_override(self):
+        result = get_experiment("fig9").run(num_servers=15)
+        assert result.config.num_servers == 15
+
+    def test_model_experiments_run_instantly(self):
+        for exp_id in ("fig6", "fig7", "table1"):
+            assert get_experiment(exp_id).run() is not None
+
+
+class TestExperimentsCLI:
+    def test_list(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "Table II" in out
+
+    def test_run_model_experiment(self, capsys):
+        assert main(["experiments", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "done:" in out
+
+    def test_run_simulated_with_size_override(self, capsys):
+        assert main(["experiments", "fig9", "--servers", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "num_servers: 12" in out
+
+    def test_unknown_id_fails_cleanly(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err

@@ -1,0 +1,107 @@
+"""Unit tests for the reliability model and rotation policy (Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.server.reliability import (ReliabilityModel, RotationPolicy,
+                                      cumulative_failure_probability,
+                                      failure_curves)
+
+MODEL = ReliabilityModel()
+
+
+class TestReliabilityModel:
+    def test_rate_at_reference_temperature(self):
+        assert MODEL.failure_rate_per_hour(30.0) == pytest.approx(
+            1.0 / 70_000.0)
+
+    def test_ten_degrees_doubles_rate(self):
+        assert MODEL.failure_rate_per_hour(40.0) == pytest.approx(
+            2.0 / 70_000.0)
+        assert MODEL.failure_rate_per_hour(20.0) == pytest.approx(
+            0.5 / 70_000.0)
+
+    def test_three_year_failure_near_paper_value(self):
+        """70,000 h MTBF at 30 C -> ~31% cumulative failure at 3 years,
+        matching the scale of the paper's Fig. 7 y-axis."""
+        prob = cumulative_failure_probability(MODEL, 30.0, 36)
+        assert 0.28 < prob < 0.35
+
+    def test_cumulative_failure_multiplies_segments(self):
+        segmented = MODEL.cumulative_failure([(30.0, 100.0), (40.0, 50.0)])
+        lumped = 1.0 - np.exp(-(100.0 / 70_000.0 + 50.0 * 2 / 70_000.0))
+        assert segmented == pytest.approx(lumped)
+
+    def test_rejects_negative_exposure(self):
+        with pytest.raises(ConfigurationError):
+            MODEL.cumulative_failure([(30.0, -1.0)])
+
+    def test_rejects_bad_model_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ReliabilityModel(mtbf_hours_at_ref=0)
+        with pytest.raises(ConfigurationError):
+            ReliabilityModel(doubling_delta_c=0)
+
+
+class TestRotationPolicy:
+    def test_paper_policy_rotates_20_percent_per_month(self):
+        policy = RotationPolicy(months_hot=3, months_cold=2)
+        assert policy.rotation_fraction_per_month == pytest.approx(0.2)
+        assert policy.cycle_months == 5
+
+    def test_membership_is_periodic(self):
+        policy = RotationPolicy()
+        pattern = [policy.in_hot_group(0, m) for m in range(10)]
+        assert pattern[:5] == pattern[5:]
+        assert sum(pattern[:5]) == 3
+
+    def test_cohorts_are_staggered(self):
+        policy = RotationPolicy()
+        # In any month, exactly 3/5 of a 5-server cohort is hot.
+        for month in range(5):
+            hot = sum(policy.in_hot_group(s, month) for s in range(5))
+            assert hot == 3
+
+    def test_exposure_months_split(self):
+        policy = RotationPolicy()
+        hot, cold = policy.exposure_months(36)
+        assert hot == pytest.approx(21.6)
+        assert cold == pytest.approx(14.4)
+
+    def test_rejects_empty_cycle(self):
+        with pytest.raises(ConfigurationError):
+            RotationPolicy(months_hot=0, months_cold=0)
+
+
+class TestFailureCurves:
+    def test_paper_gap_band(self):
+        """VMT-WA with rotation ends only ~0.4-0.6% above round robin."""
+        __, rr, vmt = failure_curves(ReliabilityModel(), RotationPolicy(),
+                                     months=36)
+        gap = (vmt[-1] - rr[-1]) * 100
+        assert 0.3 < gap < 0.8
+
+    def test_curves_are_monotonic(self):
+        axis, rr, vmt = failure_curves(ReliabilityModel(),
+                                       RotationPolicy(), months=36)
+        assert np.all(np.diff(rr) > 0)
+        assert np.all(np.diff(vmt) > 0)
+        assert len(axis) == 37
+
+    def test_vmt_always_at_or_above_rr(self):
+        __, rr, vmt = failure_curves(ReliabilityModel(), RotationPolicy(),
+                                     months=36)
+        assert np.all(vmt >= rr - 1e-12)
+
+    def test_no_rotation_is_worse_than_rotation(self):
+        model = ReliabilityModel()
+        __, rr, rotated = failure_curves(model, RotationPolicy(3, 2),
+                                         months=36)
+        __, __, pinned = failure_curves(model, RotationPolicy(1, 0),
+                                        months=36)
+        assert pinned[-1] > rotated[-1]
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(ConfigurationError):
+            failure_curves(ReliabilityModel(), RotationPolicy(), months=0)

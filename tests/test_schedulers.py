@@ -1,0 +1,271 @@
+"""Unit tests for the four placement policies.
+
+These drive the schedulers directly against synthetic cluster views, so
+placement rules can be checked precisely (conservation, group
+preference, spillover, keep-warm) without running full simulations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.state import ClusterView
+from repro.config import SimulationConfig, TraceConfig
+from repro.core import (CoolestFirstScheduler, RoundRobinScheduler,
+                        VMTThermalAwareScheduler, VMTWaxAwareScheduler,
+                        make_scheduler)
+from repro.core.policies import SCHEDULER_NAMES
+from repro.core.scheduler import NUM_WORKLOADS
+from repro.core.vmt_wa import (keep_warm_cores, keep_warm_power_w,
+                               mean_hot_core_power_w)
+from repro.errors import CapacityError, ConfigurationError, SchedulingError
+from repro.workloads.workload import COLD_INDICES, HOT_INDICES
+
+CONFIG = SimulationConfig(num_servers=10)
+
+
+def view_for(config, temps=None, melt=None):
+    n = config.num_servers
+    return ClusterView(
+        time_s=0.0,
+        num_servers=n,
+        cores_per_server=config.server.cores,
+        air_temp_c=np.full(n, 25.0) if temps is None else np.asarray(temps,
+                                                                     float),
+        wax_melt_estimate=np.zeros(n) if melt is None else np.asarray(melt,
+                                                                      float),
+        melt_temp_c=config.wax.melt_temp_c,
+    )
+
+
+def demand(hot=0, cold=0):
+    vector = np.zeros(NUM_WORKLOADS, dtype=np.int64)
+    if hot:
+        per = hot // len(HOT_INDICES)
+        for i in HOT_INDICES:
+            vector[i] = per
+        vector[HOT_INDICES[0]] += hot - per * len(HOT_INDICES)
+    if cold:
+        per = cold // len(COLD_INDICES)
+        for i in COLD_INDICES:
+            vector[i] = per
+        vector[COLD_INDICES[0]] += cold - per * len(COLD_INDICES)
+    return vector
+
+
+class TestSchedulerContract:
+    @pytest.mark.parametrize("name", SCHEDULER_NAMES)
+    def test_conservation_is_verified(self, name):
+        scheduler = make_scheduler(name, CONFIG)
+        placement = scheduler.place(demand(hot=60, cold=40),
+                                    view_for(CONFIG))
+        assert placement.jobs_placed == 100
+        assert np.all(placement.allocation >= 0)
+        per_server = placement.allocation.sum(axis=1)
+        assert per_server.max() <= CONFIG.server.cores
+
+    def test_over_capacity_demand_raises(self):
+        scheduler = RoundRobinScheduler(CONFIG)
+        with pytest.raises(CapacityError):
+            scheduler.place(demand(hot=CONFIG.total_cores + 1),
+                            view_for(CONFIG))
+
+    def test_negative_demand_raises(self):
+        scheduler = RoundRobinScheduler(CONFIG)
+        bad = demand(hot=5)
+        bad[0] = -1
+        with pytest.raises(SchedulingError):
+            scheduler.place(bad, view_for(CONFIG))
+
+    def test_wrong_demand_width_raises(self):
+        scheduler = RoundRobinScheduler(CONFIG)
+        with pytest.raises(SchedulingError):
+            scheduler.place(np.array([1, 2]), view_for(CONFIG))
+
+    def test_unknown_policy_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("hottest-first", CONFIG)
+
+
+class TestRoundRobin:
+    def test_spreads_jobs_evenly(self):
+        scheduler = RoundRobinScheduler(CONFIG)
+        placement = scheduler.place(demand(hot=55, cold=45),
+                                    view_for(CONFIG))
+        per_server = placement.allocation.sum(axis=1)
+        assert per_server.max() - per_server.min() <= 1
+
+    def test_no_hot_group_reported(self):
+        scheduler = RoundRobinScheduler(CONFIG)
+        placement = scheduler.place(demand(hot=10), view_for(CONFIG))
+        assert placement.hot_group_mask is None
+
+    def test_mix_varies_between_servers(self):
+        """Arrival-order dealing leaves servers with different blends."""
+        scheduler = RoundRobinScheduler(CONFIG)
+        placement = scheduler.place(demand(hot=160, cold=160),
+                                    view_for(CONFIG))
+        hot_cols = list(HOT_INDICES)
+        hot_per_server = placement.allocation[:, hot_cols].sum(axis=1)
+        assert hot_per_server.std() > 0.0
+
+
+class TestCoolestFirst:
+    def test_packs_coolest_servers(self):
+        scheduler = CoolestFirstScheduler(CONFIG)
+        temps = np.arange(10, dtype=float) + 20.0  # server 0 coolest
+        placement = scheduler.place(demand(hot=64),
+                                    view_for(CONFIG, temps=temps))
+        per_server = placement.allocation.sum(axis=1)
+        assert per_server[0] == 32 and per_server[1] == 32
+        assert per_server[2:].sum() == 0
+
+    def test_hottest_servers_rest(self):
+        scheduler = CoolestFirstScheduler(CONFIG)
+        temps = np.array([30.0] * 9 + [45.0])
+        placement = scheduler.place(demand(hot=32 * 9),
+                                    view_for(CONFIG, temps=temps))
+        assert placement.allocation[9].sum() == 0
+
+
+class TestVMTThermalAware:
+    def test_group_sizes_follow_equation1(self):
+        scheduler = VMTThermalAwareScheduler(CONFIG)
+        assert scheduler.sizer.hot_size == 6  # 22/35.7*10 = 6.16 -> 6
+
+    def test_hot_jobs_go_to_hot_group(self):
+        scheduler = VMTThermalAwareScheduler(CONFIG)
+        placement = scheduler.place(demand(hot=60), view_for(CONFIG))
+        hot_ids = np.flatnonzero(placement.hot_group_mask)
+        cold_ids = np.flatnonzero(~placement.hot_group_mask)
+        assert placement.allocation[hot_ids].sum() == 60
+        assert placement.allocation[cold_ids].sum() == 0
+
+    def test_cold_jobs_go_to_cold_group(self):
+        scheduler = VMTThermalAwareScheduler(CONFIG)
+        placement = scheduler.place(demand(cold=40), view_for(CONFIG))
+        cold_ids = np.flatnonzero(~placement.hot_group_mask)
+        assert placement.allocation[cold_ids].sum() == 40
+
+    def test_hot_overflow_spills_to_cold_group(self):
+        scheduler = VMTThermalAwareScheduler(CONFIG)
+        hot_capacity = 6 * 32
+        placement = scheduler.place(demand(hot=hot_capacity + 10),
+                                    view_for(CONFIG))
+        cold_ids = np.flatnonzero(~placement.hot_group_mask)
+        assert placement.allocation[cold_ids].sum() == 10
+
+    def test_cold_overflow_spills_to_hot_group(self):
+        scheduler = VMTThermalAwareScheduler(CONFIG)
+        cold_capacity = 4 * 32
+        placement = scheduler.place(demand(cold=cold_capacity + 8),
+                                    view_for(CONFIG))
+        hot_ids = np.flatnonzero(placement.hot_group_mask)
+        assert placement.allocation[hot_ids].sum() == 8
+
+    def test_spill_preserves_type_mix(self):
+        scheduler = VMTThermalAwareScheduler(CONFIG)
+        placement = scheduler.place(demand(hot=300, cold=20),
+                                    view_for(CONFIG))
+        assert placement.jobs_placed == 320
+
+    def test_even_distribution_within_group(self):
+        scheduler = VMTThermalAwareScheduler(CONFIG)
+        placement = scheduler.place(demand(hot=60), view_for(CONFIG))
+        hot_ids = np.flatnonzero(placement.hot_group_mask)
+        counts = placement.allocation[hot_ids].sum(axis=1)
+        assert counts.max() - counts.min() <= 1
+
+    def test_full_cluster_demand_places_everything(self):
+        scheduler = VMTThermalAwareScheduler(CONFIG)
+        placement = scheduler.place(demand(hot=200, cold=120),
+                                    view_for(CONFIG))
+        assert placement.jobs_placed == 320
+
+
+class TestVMTWaxAware:
+    def test_starts_at_equation1_size(self):
+        scheduler = VMTWaxAwareScheduler(CONFIG)
+        assert scheduler.hot_group_size == scheduler.base_sizer.hot_size
+
+    def test_group_extends_per_melted_server(self):
+        scheduler = VMTWaxAwareScheduler(CONFIG)
+        melt = np.zeros(10)
+        melt[:3] = 0.99  # three fully melted servers
+        scheduler.place(demand(hot=60, cold=40),
+                        view_for(CONFIG, melt=melt))
+        assert scheduler.hot_group_size == scheduler.base_sizer.hot_size + 3
+
+    def test_group_shrinks_when_wax_refreezes(self):
+        scheduler = VMTWaxAwareScheduler(CONFIG)
+        melt = np.zeros(10)
+        melt[:4] = 0.99
+        scheduler.place(demand(hot=60, cold=40),
+                        view_for(CONFIG, melt=melt))
+        scheduler.place(demand(hot=60, cold=40),
+                        view_for(CONFIG, melt=np.zeros(10)))
+        assert scheduler.hot_group_size == scheduler.base_sizer.hot_size
+
+    def test_extension_capped_at_cluster(self):
+        scheduler = VMTWaxAwareScheduler(CONFIG)
+        scheduler.place(demand(hot=60, cold=40),
+                        view_for(CONFIG, melt=np.full(10, 0.99)))
+        assert scheduler.hot_group_size == 10
+
+    def test_keep_warm_caps_melted_server_load(self):
+        scheduler = VMTWaxAwareScheduler(CONFIG)
+        melt = np.zeros(10)
+        melt[0] = 0.99
+        # High utilization so keep-warm engages: 70% of 320 cores.
+        placement = scheduler.place(demand(hot=140, cold=84),
+                                    view_for(CONFIG, melt=melt))
+        warm_cores = placement.allocation[0].sum()
+        assert 0 < warm_cores < CONFIG.server.cores
+
+    def test_keep_warm_disengages_at_low_utilization(self):
+        scheduler = VMTWaxAwareScheduler(CONFIG)
+        melt = np.zeros(10)
+        melt[0] = 0.99
+        placement = scheduler.place(demand(hot=20, cold=10),
+                                    view_for(CONFIG, melt=melt))
+        # Low load: melted server is just a normal member again; all jobs
+        # still placed.
+        assert placement.jobs_placed == 30
+
+    def test_reset_restores_base_group(self):
+        scheduler = VMTWaxAwareScheduler(CONFIG)
+        scheduler.place(demand(hot=60, cold=40),
+                        view_for(CONFIG, melt=np.full(10, 0.99)))
+        scheduler.reset()
+        assert scheduler.hot_group_size == scheduler.base_sizer.hot_size
+
+    def test_full_cluster_demand_with_melted_servers(self):
+        scheduler = VMTWaxAwareScheduler(CONFIG)
+        melt = np.zeros(10)
+        melt[:6] = 0.99
+        placement = scheduler.place(demand(hot=200, cold=120),
+                                    view_for(CONFIG, melt=melt))
+        assert placement.jobs_placed == 320
+
+
+class TestKeepWarmHelpers:
+    def test_power_target_above_idle(self):
+        power = keep_warm_power_w(CONFIG)
+        # Must exceed what's needed to sit at the melt point.
+        needed = ((CONFIG.wax.melt_temp_c - CONFIG.thermal.inlet_temp_c)
+                  / CONFIG.thermal.r_air_c_per_w
+                  - CONFIG.server.idle_power_w)
+        assert power > needed
+
+    def test_mean_hot_power_weighted_by_demand(self):
+        hot_demand = np.zeros(NUM_WORKLOADS)
+        hot_demand[HOT_INDICES[0]] = 100  # all WebSearch
+        weighted = mean_hot_core_power_w(CONFIG, hot_demand)
+        assert weighted == pytest.approx(37.2 / 8)
+
+    def test_mean_hot_power_unweighted_fallback(self):
+        unweighted = mean_hot_core_power_w(CONFIG)
+        assert unweighted == pytest.approx((37.2 + 60.9 + 59.5) / 3 / 8)
+
+    def test_keep_warm_cores_bounded_by_capacity(self):
+        cores = keep_warm_cores(CONFIG)
+        assert 0 < cores <= CONFIG.server.cores

@@ -1,0 +1,144 @@
+"""Unit tests for the server substrate: CPU, power, server, sensors."""
+
+import numpy as np
+import pytest
+
+from repro.config import ServerConfig
+from repro.errors import CapacityError, ConfigurationError
+from repro.server.cpu import CPUSpec, XEON_E7_4809_V4
+from repro.server.power import LinearPowerModel
+from repro.server.sensors import PowerSensor, TemperatureSensor
+from repro.server.server import Server
+from repro.workloads.workload import WORKLOADS
+
+SPEC = ServerConfig()
+
+
+class TestCPUSpec:
+    def test_paper_cpu(self):
+        assert XEON_E7_4809_V4.cores == 8
+        assert "4809" in XEON_E7_4809_V4.name
+
+    def test_per_core_power_divides_table1_value(self):
+        assert XEON_E7_4809_V4.per_core_power(37.2) == pytest.approx(4.65)
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ConfigurationError):
+            CPUSpec(name="x", cores=0, tdp_w=100, base_clock_ghz=2.0)
+        with pytest.raises(ConfigurationError):
+            CPUSpec(name="x", cores=8, tdp_w=0, base_clock_ghz=2.0)
+        with pytest.raises(ConfigurationError):
+            XEON_E7_4809_V4.per_core_power(-1.0)
+
+
+class TestLinearPowerModel:
+    def test_idle_floor(self):
+        model = LinearPowerModel(SPEC)
+        assert model.server_power(0.0) == pytest.approx(100.0)
+
+    def test_linear_in_dynamic_power(self):
+        model = LinearPowerModel(SPEC)
+        assert model.server_power(150.0) == pytest.approx(250.0)
+
+    def test_clamped_at_peak(self):
+        model = LinearPowerModel(SPEC)
+        assert model.server_power(1000.0) == pytest.approx(500.0)
+
+    def test_vectorized(self):
+        model = LinearPowerModel(SPEC)
+        out = model.server_power(np.array([0.0, 100.0, 900.0]))
+        assert np.allclose(out, [100.0, 200.0, 500.0])
+
+    def test_rejects_negative_dynamic(self):
+        with pytest.raises(ConfigurationError):
+            LinearPowerModel(SPEC).server_power(-1.0)
+
+    def test_utilization_power_endpoints(self):
+        model = LinearPowerModel(SPEC)
+        assert model.utilization_power(0.0) == pytest.approx(100.0)
+        assert model.utilization_power(1.0) == pytest.approx(500.0)
+
+    def test_utilization_power_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            LinearPowerModel(SPEC).utilization_power(1.5)
+
+    def test_would_exceed_peak(self):
+        model = LinearPowerModel(SPEC)
+        mask = model.would_exceed_peak(np.array([100.0, 450.0]))
+        assert list(mask) == [False, True]
+
+
+class TestServer:
+    def test_assignment_and_power(self):
+        server = Server(0, SPEC)
+        search = WORKLOADS["WebSearch"]
+        server.assign(search, 8)
+        assert server.busy_cores == 8
+        # 8 cores * 4.65 W + 100 W idle
+        assert server.power_w == pytest.approx(137.2)
+
+    def test_mixed_assignments_sum(self):
+        server = Server(0, SPEC)
+        server.assign(WORKLOADS["WebSearch"], 4)
+        server.assign(WORKLOADS["DataCaching"], 4)
+        expected = 100.0 + 4 * 4.65 + 4 * (13.5 / 8)
+        assert server.power_w == pytest.approx(expected)
+
+    def test_capacity_enforced(self):
+        server = Server(0, SPEC)
+        with pytest.raises(CapacityError):
+            server.assign(WORKLOADS["VirusScan"], 33)
+
+    def test_release_and_clear(self):
+        server = Server(0, SPEC)
+        caching = WORKLOADS["DataCaching"]
+        server.assign(caching, 10)
+        server.release(caching, 4)
+        assert server.busy_cores == 6
+        server.clear()
+        assert server.busy_cores == 0
+        assert server.power_w == pytest.approx(100.0)
+
+    def test_release_more_than_held_raises(self):
+        server = Server(0, SPEC)
+        server.assign(WORKLOADS["DataCaching"], 2)
+        with pytest.raises(ConfigurationError):
+            server.release(WORKLOADS["DataCaching"], 3)
+
+    def test_utilization(self):
+        server = Server(0, SPEC)
+        server.assign(WORKLOADS["Clustering"], 16)
+        assert server.utilization == pytest.approx(0.5)
+
+    def test_full_server_of_each_workload_matches_classifier_power(self):
+        # A server packed with one workload draws idle + 4 * per-CPU power.
+        for workload in WORKLOADS.values():
+            server = Server(0, SPEC)
+            server.assign(workload, 32)
+            expected = min(100.0 + 4 * workload.per_cpu_power_w, 500.0)
+            assert server.power_w == pytest.approx(expected)
+
+
+class TestSensors:
+    def test_noise_free_sensor_reads_truth_quantized(self):
+        sensor = TemperatureSensor(noise_stdev_c=0.0, quantization_c=0.25)
+        assert sensor.read(35.62) == pytest.approx(35.5)
+
+    def test_zero_quantization_reads_exactly(self):
+        sensor = TemperatureSensor(noise_stdev_c=0.0, quantization_c=0.0)
+        assert sensor.read(35.62) == pytest.approx(35.62)
+
+    def test_noise_has_expected_scale(self, rng):
+        sensor = TemperatureSensor(noise_stdev_c=0.5, quantization_c=0.0,
+                                   rng=rng)
+        readings = sensor.read(np.full(10_000, 30.0))
+        assert abs(readings.std() - 0.5) < 0.05
+
+    def test_power_sensor_never_negative(self, rng):
+        sensor = PowerSensor(noise_stdev_w=5.0, rng=rng)
+        readings = sensor.read(np.full(1000, 0.5))
+        assert np.all(readings >= 0.0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ConfigurationError):
+            TemperatureSensor(noise_stdev_c=-0.5)

@@ -1,0 +1,94 @@
+"""Unit tests for the server air-path thermal model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ThermalConfig
+from repro.errors import ThermalModelError
+from repro.thermal.server_thermal import ServerAirModel
+
+THERMAL = ThermalConfig()
+
+
+def test_steady_state_is_inlet_plus_resistance_times_power():
+    model = ServerAirModel(THERMAL, 1)
+    expected = THERMAL.inlet_temp_c + THERMAL.r_air_c_per_w * 200.0
+    assert model.steady_state(200.0)[0] == pytest.approx(expected)
+
+
+def test_converges_to_steady_state():
+    model = ServerAirModel(THERMAL, 1)
+    for __ in range(100):
+        model.step(300.0, 60.0)
+    assert model.temperature_c[0] == pytest.approx(
+        model.steady_state(300.0)[0], abs=0.01)
+
+
+def test_first_order_lag_is_exponential():
+    model = ServerAirModel(THERMAL, 1)
+    model.reset(0.0)
+    start = model.temperature_c[0]
+    target = model.steady_state(300.0)[0]
+    model.step(300.0, THERMAL.tau_air_s)  # exactly one time constant
+    progress = (model.temperature_c[0] - start) / (target - start)
+    assert progress == pytest.approx(1.0 - np.exp(-1.0), abs=1e-9)
+
+
+def test_unconditionally_stable_for_huge_timestep():
+    model = ServerAirModel(THERMAL, 1)
+    model.step(300.0, 1e9)
+    assert model.temperature_c[0] == pytest.approx(
+        model.steady_state(300.0)[0])
+
+
+def test_per_server_inlet_offsets_carry_through():
+    inlets = np.array([18.0, 20.0, 22.0])
+    model = ServerAirModel(THERMAL, 3, inlet_temp_c=inlets)
+    steady = model.steady_state(100.0)
+    assert np.allclose(np.diff(steady), 2.0)
+
+
+def test_reset_to_power_level():
+    model = ServerAirModel(THERMAL, 2)
+    model.reset(250.0)
+    assert np.allclose(model.temperature_c, model.steady_state(250.0))
+
+
+def test_rejects_zero_servers():
+    with pytest.raises(ThermalModelError):
+        ServerAirModel(THERMAL, 0)
+
+
+def test_rejects_nonpositive_dt():
+    model = ServerAirModel(THERMAL, 1)
+    with pytest.raises(ThermalModelError):
+        model.step(100.0, 0.0)
+
+
+@given(st.floats(min_value=0.0, max_value=500.0),
+       st.floats(min_value=1.0, max_value=3600.0))
+@settings(max_examples=50, deadline=None)
+def test_property_temperature_bounded_by_inlet_and_steady(power, dt):
+    model = ServerAirModel(THERMAL, 1)
+    model.reset(0.0)
+    steady = model.steady_state(power)[0]
+    model.step(power, dt)
+    temp = model.temperature_c[0]
+    assert THERMAL.inlet_temp_c - 1e-9 <= temp <= steady + 1e-9
+
+
+def test_calibration_round_robin_peak_sits_below_melt_point():
+    """DESIGN.md section 4: ~227 W/server must stay just under 35.7 C."""
+    model = ServerAirModel(THERMAL, 1)
+    peak_mixed_power = 227.0
+    steady = model.steady_state(peak_mixed_power)[0]
+    assert 34.5 < steady < 35.7
+
+
+def test_calibration_hot_group_peak_exceeds_melt_point():
+    """A GV=22 hot-group server (~294 W) must exceed 35.7 C."""
+    model = ServerAirModel(THERMAL, 1)
+    steady = model.steady_state(294.0)[0]
+    assert steady > 35.7

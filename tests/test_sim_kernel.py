@@ -1,0 +1,212 @@
+"""Unit tests for the event-driven simulation kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import Engine, Event, EventQueue, PeriodicProcess, RngStreams
+
+
+class TestEventQueue:
+    def test_pop_returns_events_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        for time in (5.0, 1.0, 3.0):
+            queue.push(Event(time=time, callback=fired.append))
+        times = [queue.pop().time for __ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_ties_break_by_priority_then_insertion(self):
+        queue = EventQueue()
+        order = []
+        queue.push(Event(time=1.0, callback=lambda e: order.append("b"),
+                         priority=1))
+        queue.push(Event(time=1.0, callback=lambda e: order.append("a"),
+                         priority=0))
+        queue.push(Event(time=1.0, callback=lambda e: order.append("c"),
+                         priority=1))
+        while len(queue):
+            queue.pop().fire()
+        assert order == ["a", "b", "c"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        keep = Event(time=2.0, callback=lambda e: None, name="keep")
+        drop = queue.push(Event(time=1.0, callback=lambda e: None))
+        queue.push(keep)
+        drop.cancel()
+        assert queue.pop() is keep
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(Event(time=1.0, callback=lambda e: None))
+        queue.push(Event(time=2.0, callback=lambda e: None))
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(Event(time=-1.0, callback=lambda e: None))
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1,
+                    max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_pop_order_is_sorted(self, times):
+        queue = EventQueue()
+        for t in times:
+            queue.push(Event(time=t, callback=lambda e: None))
+        popped = [queue.pop().time for __ in range(len(times))]
+        assert popped == sorted(popped)
+
+
+class TestEngine:
+    def test_run_until_dispatches_in_order_and_advances_clock(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(10.0, lambda e: seen.append(engine.now))
+        engine.schedule_at(5.0, lambda e: seen.append(engine.now))
+        engine.run_until(20.0)
+        assert seen == [5.0, 10.0]
+        assert engine.now == 20.0
+
+    def test_run_until_leaves_future_events_queued(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(5.0, lambda e: seen.append("early"))
+        engine.schedule_at(50.0, lambda e: seen.append("late"))
+        engine.run_until(10.0)
+        assert seen == ["early"]
+        engine.run_until(60.0)
+        assert seen == ["early", "late"]
+
+    def test_schedule_in_past_raises(self):
+        engine = Engine()
+        engine.run_until(100.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(50.0, lambda e: None)
+
+    def test_schedule_after_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_after(-1.0, lambda e: None)
+
+    def test_events_can_schedule_events(self):
+        engine = Engine()
+        seen = []
+
+        def chain(event):
+            seen.append(engine.now)
+            if engine.now < 3.0:
+                engine.schedule_after(1.0, chain)
+
+        engine.schedule_at(1.0, chain)
+        engine.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_stop_halts_dispatch(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(1.0, lambda e: (seen.append(1), engine.stop()))
+        engine.schedule_at(2.0, lambda e: seen.append(2))
+        engine.run()
+        assert seen == [1]
+
+    def test_reset_rewinds_clock_and_clears_queue(self):
+        engine = Engine()
+        engine.schedule_at(5.0, lambda e: None)
+        engine.run_until(3.0)
+        engine.reset()
+        assert engine.now == 0.0
+        assert engine.pending_events == 0
+
+    def test_events_dispatched_counter(self):
+        engine = Engine()
+        for t in range(5):
+            engine.schedule_at(float(t), lambda e: None)
+        engine.run()
+        assert engine.events_dispatched == 5
+
+
+class TestPeriodicProcess:
+    def test_fires_at_fixed_period(self):
+        engine = Engine()
+        ticks = []
+        PeriodicProcess(engine, 60.0, ticks.append)
+        engine.run_until(300.0)
+        assert ticks == [0.0, 60.0, 120.0, 180.0, 240.0, 300.0]
+
+    def test_stop_cancels_future_ticks(self):
+        engine = Engine()
+        ticks = []
+        process = PeriodicProcess(engine, 10.0, ticks.append)
+        engine.run_until(25.0)
+        process.stop()
+        engine.run_until(100.0)
+        assert ticks == [0.0, 10.0, 20.0]
+        assert process.ticks == 3
+
+    def test_stop_from_inside_callback(self):
+        engine = Engine()
+        ticks = []
+
+        def tick(now):
+            ticks.append(now)
+            if len(ticks) == 2:
+                process.stop()
+
+        process = PeriodicProcess(engine, 5.0, tick)
+        engine.run_until(100.0)
+        assert ticks == [0.0, 5.0]
+
+    def test_start_at_offsets_first_tick(self):
+        engine = Engine()
+        ticks = []
+        PeriodicProcess(engine, 10.0, ticks.append, start_at=7.0)
+        engine.run_until(30.0)
+        assert ticks == [7.0, 17.0, 27.0]
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(SimulationError):
+            PeriodicProcess(Engine(), 0.0, lambda now: None)
+
+
+class TestRngStreams:
+    def test_same_seed_and_name_reproduce(self):
+        a = RngStreams(7).stream("trace").normal(size=10)
+        b = RngStreams(7).stream("trace").normal(size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_names_are_independent(self):
+        streams = RngStreams(7)
+        a = streams.stream("alpha").normal(size=100)
+        b = streams.stream("beta").normal(size=100)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x").normal(size=10)
+        b = RngStreams(2).stream("x").normal(size=10)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(7)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_reset_recreates_streams(self):
+        streams = RngStreams(7)
+        first = streams.stream("x").normal(size=5)
+        streams.reset()
+        again = streams.stream("x").normal(size=5)
+        assert np.array_equal(first, again)
+
+    def test_adding_a_stream_does_not_perturb_others(self):
+        solo = RngStreams(7)
+        solo_draw = solo.stream("main").normal(size=20)
+        paired = RngStreams(7)
+        paired.stream("extra").normal(size=3)  # extra subsystem appears
+        paired_draw = paired.stream("main").normal(size=20)
+        assert np.array_equal(solo_draw, paired_draw)

@@ -1,0 +1,67 @@
+"""Stateful property test for the discrete-event kernel.
+
+Hypothesis drives a random interleaving of schedule / cancel / run-until
+operations against the real :class:`~repro.sim.engine.Engine` and a
+naive reference model (a plain list), checking that dispatch order and
+the clock always agree.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (Bundle, RuleBasedStateMachine, invariant,
+                                 rule)
+
+from repro.sim import Engine
+
+
+class EngineMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.engine = Engine()
+        self.fired = []
+        # Reference model: list of (time, seq, id, cancelled).
+        self.expected = []
+        self.seq = 0
+
+    events = Bundle("events")
+
+    @rule(target=events, delay=st.floats(min_value=0.0, max_value=100.0))
+    def schedule(self, delay):
+        self.seq += 1
+        ident = self.seq
+        time = self.engine.now + delay
+        event = self.engine.schedule_after(
+            delay, lambda ev, i=ident: self.fired.append(i))
+        self.expected.append([time, self.seq, ident, False])
+        return (event, ident)
+
+    @rule(item=events)
+    def cancel(self, item):
+        event, ident = item
+        event.cancel()
+        for record in self.expected:
+            if record[2] == ident:
+                record[3] = True
+
+    @rule(advance=st.floats(min_value=0.0, max_value=50.0))
+    def run_until(self, advance):
+        deadline = self.engine.now + advance
+        self.engine.run_until(deadline)
+        due = sorted((r for r in self.expected
+                      if r[0] <= deadline and not r[3]),
+                     key=lambda r: (r[0], r[1]))
+        expected_ids = [r[2] for r in due]
+        already = len(self.fired) - len(expected_ids)
+        # Remove dispatched records from the pending model.
+        self.expected = [r for r in self.expected
+                         if r[0] > deadline or r[3]]
+        assert self.fired[already:] == expected_ids
+        assert self.engine.now == deadline
+
+    @invariant()
+    def clock_never_runs_backwards(self):
+        assert self.engine.now >= 0.0
+
+
+TestEngineStateful = EngineMachine.TestCase
+TestEngineStateful.settings = __import__("hypothesis").settings(
+    max_examples=30, stateful_step_count=30, deadline=None)

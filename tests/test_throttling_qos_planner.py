@@ -1,0 +1,192 @@
+"""Tests for CPU throttling checks, the QoS monitor, and the GV planner."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import ClusterSimulation, run_simulation
+from repro.config import (ServerConfig, SimulationConfig, ThermalConfig,
+                          TraceConfig, paper_cluster_config)
+from repro.core import (GVPlanner, LoadForecast, RoundRobinScheduler,
+                        VMTThermalAwareScheduler, make_scheduler)
+from repro.errors import ConfigurationError
+from repro.thermal.throttling import (CPUThermalModel,
+                                      worst_case_junction_temp_c)
+from repro.workloads.qos_monitor import QoSMonitor, QoSTargets
+
+SERVER = ServerConfig()
+
+
+class TestCPUThermalModel:
+    def test_junction_above_inlet(self):
+        model = CPUThermalModel()
+        temp = model.junction_temp_c(20.0, 200.0, SERVER)
+        assert temp > 20.0
+
+    def test_junction_scales_with_power(self):
+        model = CPUThermalModel()
+        low = model.junction_temp_c(20.0, 100.0, SERVER)
+        high = model.junction_temp_c(20.0, 400.0, SERVER)
+        assert high > low
+
+    def test_full_power_server_does_not_throttle_at_nominal_inlet(self):
+        """The paper's CFD constraint: wax deployment must not push CPUs
+        past their limits even at peak power."""
+        worst = worst_case_junction_temp_c(SERVER, ThermalConfig())
+        assert worst < CPUThermalModel().throttle_temp_c
+
+    def test_throttle_mask(self):
+        model = CPUThermalModel(throttle_temp_c=30.0)
+        mask = model.throttled(np.array([20.0, 20.0]),
+                               np.array([0.0, 400.0]), SERVER)
+        assert list(mask) == [False, True]
+
+    def test_headroom_sign(self):
+        model = CPUThermalModel()
+        head = model.headroom_c(20.0, 100.0, SERVER)
+        assert head > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CPUThermalModel(theta_sa_c_per_w=0)
+        with pytest.raises(ConfigurationError):
+            CPUThermalModel().junction_temp_c(20.0, -1.0, SERVER)
+
+
+class TestClusterThrottlingIntegration:
+    def test_simulation_records_cpu_temps(self, small_config):
+        result = run_simulation(small_config,
+                                RoundRobinScheduler(small_config))
+        assert result.max_cpu_temp_c is not None
+        assert np.isfinite(result.max_cpu_temp_c).all()
+        assert result.peak_cpu_temp_c() > small_config.thermal.inlet_temp_c
+
+    def test_no_throttling_in_the_paper_configuration(self):
+        """VMT's hot group must stay inside CPU thermal limits."""
+        config = paper_cluster_config(num_servers=50, grouping_value=20.0)
+        result = run_simulation(config,
+                                VMTThermalAwareScheduler(config),
+                                record_heatmaps=False)
+        assert not result.throttling_occurred()
+        assert result.peak_cpu_temp_c() < 80.0
+
+
+class TestQoSMonitor:
+    def _run_with_monitor(self, policy, num_servers=30):
+        config = SimulationConfig(num_servers=num_servers,
+                                  trace=TraceConfig(duration_hours=8.0),
+                                  seed=11)
+        sim = ClusterSimulation(config, make_scheduler(policy, config),
+                                record_heatmaps=False)
+        monitor = QoSMonitor(config)
+        sim.add_observer(monitor.observe)
+        sim.run()
+        return monitor
+
+    def test_monitor_collects_series(self):
+        monitor = self._run_with_monitor("round-robin")
+        assert len(monitor.times_s) == 480
+        assert monitor.mean_caching_latency_ms > 0
+        assert monitor.mean_search_latency_s > 0
+
+    def test_latencies_above_uncontended_floor(self):
+        monitor = self._run_with_monitor("round-robin")
+        uncontended_caching = monitor.caching_base_ms / \
+            (1.0 - monitor.caching_utilization)
+        assert monitor.mean_caching_latency_ms >= uncontended_caching
+
+    def test_vmt_keeps_violations_comparable_to_round_robin(self):
+        """The paper's QoS argument: VMT's colocations are acceptable."""
+        rr = self._run_with_monitor("round-robin")
+        ta = self._run_with_monitor("vmt-ta")
+        assert ta.violation_fraction <= rr.violation_fraction + 0.05
+        assert ta.violation_fraction < 0.2
+
+    def test_summary_keys(self):
+        monitor = self._run_with_monitor("vmt-wa", num_servers=20)
+        summary = monitor.summary()
+        assert set(summary) == {"mean_caching_ms", "mean_search_s",
+                                "violation_fraction"}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QoSMonitor(SimulationConfig(num_servers=5),
+                       caching_utilization=1.5)
+
+
+class TestGVPlanner:
+    PLANNER = GVPlanner(paper_cluster_config(100))
+
+    def test_paper_forecast_recovers_the_empirical_optimum(self):
+        """The planner's rule lands on GV~22 for the paper's mixture."""
+        plan = self.PLANNER.plan(
+            LoadForecast(peak_utilization=0.955, hot_share=0.60))
+        assert plan.feasible
+        assert 21.5 < plan.grouping_value < 22.5
+        assert plan.predicted_hot_group_temp_c > 35.7 + 1.0
+
+    def test_ta_plan_is_biased_high(self):
+        forecast = LoadForecast(peak_utilization=0.955, hot_share=0.60)
+        wa = self.PLANNER.plan(forecast, for_algorithm="vmt-wa")
+        ta = self.PLANNER.plan(forecast, for_algorithm="vmt-ta")
+        assert ta.grouping_value > wa.grouping_value
+
+    def test_slightly_milder_day_gets_bigger_hot_group(self):
+        """Lower peak -> cold group can shrink -> GV rises (while the
+        group still clears the melt point)."""
+        hot_day = self.PLANNER.plan(
+            LoadForecast(peak_utilization=0.95, hot_share=0.6))
+        mild_day = self.PLANNER.plan(
+            LoadForecast(peak_utilization=0.85, hot_share=0.6))
+        assert mild_day.feasible and mild_day.note == ""
+        assert mild_day.grouping_value > hot_day.grouping_value
+
+    def test_much_milder_day_becomes_melt_constrained(self):
+        """A 70% peak leaves the capacity-optimal group too cool; the
+        planner shrinks it until it melts again."""
+        plan = self.PLANNER.plan(
+            LoadForecast(peak_utilization=0.70, hot_share=0.6))
+        assert plan.feasible
+        assert "shrunk" in plan.note
+        assert plan.predicted_hot_group_temp_c >= 35.7 + 1.0
+
+    def test_cool_forecast_shrinks_the_group(self):
+        plan = self.PLANNER.plan(
+            LoadForecast(peak_utilization=0.5, hot_share=0.2))
+        assert plan.feasible
+        assert "shrunk" in plan.note
+
+    def test_all_cold_mixture_is_infeasible(self):
+        plan = self.PLANNER.plan(
+            LoadForecast(peak_utilization=0.9, hot_share=0.0))
+        assert not plan.feasible
+        assert "Neither" in plan.note
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoadForecast(peak_utilization=0.0, hot_share=0.5)
+        with pytest.raises(ConfigurationError):
+            LoadForecast(peak_utilization=0.9, hot_share=1.5)
+        with pytest.raises(ConfigurationError):
+            self.PLANNER.plan(
+                LoadForecast(peak_utilization=0.9, hot_share=0.5),
+                for_algorithm="hottest-first")
+
+    def test_planned_gv_beats_a_bad_fixed_gv_in_simulation(self):
+        """End to end: following the planner beats guessing low."""
+        config = paper_cluster_config(num_servers=50)
+        rr = run_simulation(config, make_scheduler("round-robin", config),
+                            record_heatmaps=False)
+        plan = GVPlanner(config).plan(
+            LoadForecast(peak_utilization=0.955, hot_share=0.60))
+        planned_config = paper_cluster_config(
+            num_servers=50, grouping_value=plan.grouping_value)
+        guessed_config = paper_cluster_config(num_servers=50,
+                                              grouping_value=19.0)
+        planned = run_simulation(
+            planned_config, make_scheduler("vmt-ta", planned_config),
+            record_heatmaps=False)
+        guessed = run_simulation(
+            guessed_config, make_scheduler("vmt-ta", guessed_config),
+            record_heatmaps=False)
+        assert planned.peak_reduction_vs(rr) > \
+            guessed.peak_reduction_vs(rr) + 0.05

@@ -1,0 +1,164 @@
+"""Unit and property tests for the two-day trace generator (Fig. 8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TraceConfig
+from repro.errors import TraceError
+from repro.workloads.trace import (TraceMatrix, TwoDayTrace,
+                                   _largest_remainder_round)
+from repro.workloads.workload import WORKLOADS, WORKLOAD_LIST
+
+
+class TestLargestRemainderRound:
+    def test_preserves_total(self):
+        out = _largest_remainder_round(np.array([1.4, 2.3, 3.3]), 7)
+        assert out.sum() == 7
+
+    def test_integral_targets_unchanged(self):
+        out = _largest_remainder_round(np.array([2.0, 3.0]), 5)
+        assert list(out) == [2, 3]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1,
+                    max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_property_total_and_proximity(self, targets):
+        targets = np.asarray(targets)
+        total = int(round(targets.sum()))
+        out = _largest_remainder_round(targets, total)
+        assert out.sum() == total
+        assert np.all(out >= 0)
+        # Each entry within 1 of its target (largest remainder property),
+        # except when negatives had to be compensated.
+        assert np.all(np.abs(out - targets) <= 1.0 + 1e-9)
+
+
+class TestTraceMatrix:
+    def test_validation_rejects_wrong_width(self):
+        with pytest.raises(TraceError):
+            TraceMatrix(np.zeros((10, 3)), 60.0, 3200)
+
+    def test_validation_rejects_negative(self):
+        counts = np.zeros((5, 5), dtype=int)
+        counts[0, 0] = -1
+        with pytest.raises(TraceError):
+            TraceMatrix(counts, 60.0, 3200)
+
+    def test_validation_rejects_overcapacity(self):
+        counts = np.full((2, 5), 1000, dtype=int)
+        with pytest.raises(TraceError):
+            TraceMatrix(counts, 60.0, 3200)
+
+    def test_utilization_and_hot_fraction(self):
+        counts = np.zeros((1, 5), dtype=int)
+        counts[0, WORKLOAD_LIST.index(WORKLOADS["WebSearch"])] = 16
+        counts[0, WORKLOAD_LIST.index(WORKLOADS["VirusScan"])] = 16
+        trace = TraceMatrix(counts, 60.0, 64)
+        assert trace.utilization()[0] == pytest.approx(0.5)
+        assert trace.hot_fraction()[0] == pytest.approx(0.5)
+
+    def test_hot_fraction_zero_when_idle(self):
+        trace = TraceMatrix(np.zeros((3, 5), dtype=int), 60.0, 64)
+        assert np.all(trace.hot_fraction() == 0.0)
+
+    def test_scaled_to_preserves_utilization(self):
+        generator = TwoDayTrace(TraceConfig(duration_hours=6))
+        trace = generator.generate(10)
+        scaled = trace.scaled_to(40, 32)
+        assert scaled.total_cores == 1280
+        assert np.allclose(scaled.utilization(), trace.utilization(),
+                           atol=0.02)
+
+
+class TestTwoDayTrace:
+    def test_paper_landmarks(self):
+        trace = TwoDayTrace().generate(100)
+        util = trace.utilization()
+        hours = trace.times_hours
+        half = len(hours) // 2
+        peak1 = hours[np.argmax(util[:half])]
+        peak2 = hours[half + np.argmax(util[half:])]
+        trough1 = hours[np.argmin(util[:half])]
+        trough2 = hours[half + np.argmin(util[half:])]
+        assert abs(peak1 - 20.0) < 1.0
+        assert abs(peak2 - 46.0) < 1.0
+        assert abs(trough1 - 5.0) < 1.5
+        assert abs(trough2 - 29.0) < 1.5
+
+    def test_peak_utilization_near_95_percent(self):
+        trace = TwoDayTrace().generate(100)
+        assert 0.92 <= trace.utilization().max() <= 1.0
+
+    def test_hot_cold_split_is_roughly_60_40(self):
+        trace = TwoDayTrace().generate(100)
+        assert abs(trace.hot_fraction().mean() - 0.60) < 0.03
+
+    def test_demand_never_exceeds_capacity(self):
+        trace = TwoDayTrace().generate(100)
+        assert trace.counts.sum(axis=1).max() <= trace.total_cores
+
+    def test_every_workload_present(self):
+        trace = TwoDayTrace().generate(100)
+        for workload in WORKLOAD_LIST:
+            assert trace.workload_series(workload).sum() > 0
+
+    def test_deterministic_given_rng(self):
+        a = TwoDayTrace().generate(50, rng=np.random.default_rng(1))
+        b = TwoDayTrace().generate(50, rng=np.random.default_rng(1))
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_share_matrix_rows_sum_to_one(self):
+        shares = TwoDayTrace().share_matrix()
+        assert np.allclose(shares.sum(axis=1), 1.0)
+        assert np.all(shares >= 0)
+
+    def test_noise_free_trace_is_smooth(self):
+        config = TraceConfig(noise_stdev=0.0)
+        util = TwoDayTrace(config).utilization_series()
+        # One-minute steps of a piecewise-linear skeleton: tiny increments.
+        assert np.abs(np.diff(util)).max() < 0.01
+
+    def test_rejects_bad_shares(self):
+        with pytest.raises(TraceError):
+            TwoDayTrace(shares=(0.5, 0.5, 0.0, 0.0, 0.1))
+        with pytest.raises(TraceError):
+            TwoDayTrace(shares=(1.0, 0.0, 0.0))
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(TraceError):
+            TwoDayTrace(share_amplitude=1.5)
+
+    def test_rejects_bad_cluster_dimensions(self):
+        with pytest.raises(TraceError):
+            TwoDayTrace().generate(0)
+
+    def test_day_scales_damp_the_chosen_day(self):
+        scaled = TwoDayTrace(day_scales=(0.7, 1.0)).utilization_series()
+        full = TwoDayTrace().utilization_series()
+        half = len(full) // 2
+        assert scaled[:half].max() < full[:half].max() - 0.05
+        assert scaled[half:].max() == pytest.approx(full[half:].max(),
+                                                    abs=0.02)
+
+    def test_day_scales_validation(self):
+        with pytest.raises(TraceError):
+            TwoDayTrace(day_scales=(1.5, 1.0))
+        with pytest.raises(TraceError):
+            TwoDayTrace(day_scales=(0.5,))
+
+    def test_custom_shape_points(self):
+        flat = ((0.0, 0.5), (48.0, 0.5))
+        util = TwoDayTrace(TraceConfig(noise_stdev=0.0),
+                           shape_points=flat).utilization_series()
+        assert np.allclose(util, 0.35 + 0.6 * 0.5)
+
+    @given(st.integers(min_value=1, max_value=40))
+    @settings(max_examples=10, deadline=None)
+    def test_property_counts_conserved_per_step(self, num_servers):
+        config = TraceConfig(duration_hours=2.0)
+        trace = TwoDayTrace(config).generate(num_servers)
+        util = trace.utilization()
+        assert np.all(util <= 1.0)
+        assert np.all(util >= 0.0)

@@ -1,0 +1,37 @@
+"""Unit tests for unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_minutes_hours_days():
+    assert units.minutes(2) == 120.0
+    assert units.hours(1.5) == 5400.0
+    assert units.days(2) == 172800.0
+
+
+def test_to_hours_inverts_hours():
+    assert units.to_hours(units.hours(7.25)) == pytest.approx(7.25)
+
+
+def test_kilojoules():
+    assert units.kilojoules(3.5) == 3500.0
+
+
+def test_power_conversions():
+    assert units.to_kilowatts(2500.0) == pytest.approx(2.5)
+    assert units.to_megawatts(25e6) == pytest.approx(25.0)
+
+
+def test_liters_to_cubic_meters():
+    assert units.liters_to_cubic_meters(4.0) == pytest.approx(0.004)
+
+
+def test_celsius_to_kelvin():
+    assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+    assert units.celsius_to_kelvin(35.7) == pytest.approx(308.85)
+
+
+def test_hours_per_month_is_annual_twelfth():
+    assert units.HOURS_PER_MONTH * 12 == pytest.approx(365.25 * 24)

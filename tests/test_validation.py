@@ -1,0 +1,84 @@
+"""Tests for the calibration validator and its CLI surface."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.validation import (Check, validate_calibration,
+                                       validate_with_simulation)
+from repro.cli import main
+from repro.config import ThermalConfig, WaxConfig, paper_cluster_config
+
+
+class TestValidateCalibration:
+    def test_default_configuration_passes_everything(self):
+        checks = validate_calibration()
+        assert len(checks) == 6
+        failed = [c.name for c in checks if not c.passed]
+        assert not failed
+
+    def test_detects_round_robin_melting(self):
+        """Raise the air resistance: round robin would cross the melt
+        point and the first invariant must fail."""
+        config = paper_cluster_config()
+        config = config.replace(thermal=dataclasses.replace(
+            config.thermal, r_air_c_per_w=0.085))
+        checks = {c.name: c for c in validate_calibration(config)}
+        assert not checks[
+            "round-robin peak sits just below the melt point"].passed
+
+    def test_detects_unmeltable_wax(self):
+        """A 50 C wax grade cannot melt in this datacenter: the
+        hot-group invariant must fail."""
+        config = paper_cluster_config()
+        config = config.replace(wax=config.wax.with_melt_temp(50.0))
+        checks = {c.name: c for c in validate_calibration(config)}
+        assert not checks["hot group clears the melt point at peak"].passed
+
+    def test_detects_capacity_mismatch(self):
+        """Triple the heat of fusion: capacity no longer matches the
+        peak window."""
+        config = paper_cluster_config()
+        config = config.replace(wax=config.wax.scaled_latent(3.0))
+        checks = {c.name: c for c in validate_calibration(config)}
+        assert not checks[
+            "latent capacity matches the peak window"].passed
+
+    def test_detects_undersized_cold_group(self):
+        """A large GV leaves the cold group too small for the peak."""
+        config = paper_cluster_config(grouping_value=26.0)
+        checks = {c.name: c for c in validate_calibration(config)}
+        assert not checks["cold group holds the peak cold demand"].passed
+
+    def test_check_is_immutable_record(self):
+        check = Check(name="x", passed=True, detail="y")
+        with pytest.raises(AttributeError):
+            check.passed = False
+
+
+class TestValidateWithSimulation:
+    def test_small_cluster_passes(self):
+        checks = validate_with_simulation(num_servers=40)
+        assert len(checks) == 4
+        assert all(c.passed for c in checks)
+
+
+class TestValidateCLI:
+    def test_exit_zero_on_pass(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "6/6 checks passed" in out
+
+    def test_reports_failures_with_nonzero_exit(self, capsys,
+                                                monkeypatch):
+        from repro.analysis import validation
+
+        def broken(config=None):
+            return [Check(name="synthetic", passed=False, detail="boom")]
+
+        monkeypatch.setattr(validation, "validate_calibration", broken)
+        monkeypatch.setattr("repro.analysis.validation.validate_calibration",
+                            broken)
+        assert main(["validate"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out

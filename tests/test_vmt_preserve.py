@@ -1,0 +1,116 @@
+"""Tests for the wax-preserving VMT extension (Section III future work)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.state import ClusterView
+from repro.config import SimulationConfig
+from repro.core import VMTPreserveScheduler, make_scheduler
+from repro.core.scheduler import NUM_WORKLOADS
+from repro.errors import ConfigurationError
+from repro.workloads.workload import COLD_INDICES, HOT_INDICES
+
+CONFIG = SimulationConfig(num_servers=10)
+
+
+def view_for(config, melt=None, temps=None):
+    n = config.num_servers
+    return ClusterView(
+        time_s=0.0, num_servers=n, cores_per_server=config.server.cores,
+        air_temp_c=np.full(n, 25.0) if temps is None else np.asarray(temps,
+                                                                     float),
+        wax_melt_estimate=np.zeros(n) if melt is None else np.asarray(melt,
+                                                                      float),
+        melt_temp_c=config.wax.melt_temp_c)
+
+
+def demand(hot=0, cold=0):
+    vector = np.zeros(NUM_WORKLOADS, dtype=np.int64)
+    if hot:
+        vector[HOT_INDICES[0]] = hot
+    if cold:
+        vector[COLD_INDICES[0]] = cold
+    return vector
+
+
+class TestPreservePhase:
+    def test_low_load_dilutes_across_whole_fleet(self):
+        scheduler = VMTPreserveScheduler(CONFIG)
+        placement = scheduler.place(demand(hot=60, cold=40),
+                                    view_for(CONFIG))
+        per_server = placement.allocation.sum(axis=1)
+        # All ten servers share the load evenly -- no hot concentration.
+        assert per_server.max() - per_server.min() <= 1
+
+    def test_melted_servers_absorb_hot_load_first(self):
+        scheduler = VMTPreserveScheduler(CONFIG)
+        melt = np.zeros(10)
+        melt[3] = 0.99
+        placement = scheduler.place(demand(hot=40, cold=0),
+                                    view_for(CONFIG, melt=melt))
+        # The melted server is packed to capacity before anyone else.
+        assert placement.allocation[3].sum() == CONFIG.server.cores
+
+    def test_factory_name(self):
+        scheduler = make_scheduler("vmt-preserve", CONFIG)
+        assert "preserve" in scheduler.name
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            VMTPreserveScheduler(CONFIG, release_utilization=0.0)
+
+
+class TestReleasePhase:
+    def test_high_load_switches_to_wax_aware_grouping(self):
+        scheduler = VMTPreserveScheduler(CONFIG, release_utilization=0.5)
+        placement = scheduler.place(demand(hot=120, cold=80),
+                                    view_for(CONFIG))
+        # Release phase groups hot jobs into the Eq. 1 hot group.
+        hot_ids = np.flatnonzero(placement.hot_group_mask)
+        hot_col = HOT_INDICES[0]
+        assert placement.allocation[hot_ids, hot_col].sum() == 120
+
+    def test_hysteresis_keeps_release_mode_through_descent(self):
+        scheduler = VMTPreserveScheduler(CONFIG, release_utilization=0.5)
+        # Cross the release threshold...
+        scheduler.place(demand(hot=120, cold=80), view_for(CONFIG))
+        assert scheduler._released
+        # ...then drop below it but above the re-arm floor: still released.
+        scheduler.place(demand(hot=80, cold=50), view_for(CONFIG))
+        assert scheduler._released
+        # Deep off-peak re-arms the preserve mode.
+        scheduler.place(demand(hot=10, cold=10), view_for(CONFIG))
+        assert not scheduler._released
+
+    def test_reset_rearms(self):
+        scheduler = VMTPreserveScheduler(CONFIG, release_utilization=0.5)
+        scheduler.place(demand(hot=120, cold=80), view_for(CONFIG))
+        scheduler.reset()
+        assert not scheduler._released
+
+
+class TestPreserveEndToEnd:
+    def test_beats_ta_on_a_warm_shoulder_day(self):
+        """The motivating scenario: a long warm shoulder would exhaust
+        VMT-TA's wax before the true peak; preservation keeps it."""
+        from repro import paper_cluster_config, run_simulation
+        from repro.workloads.trace import TwoDayTrace
+
+        shoulder = (
+            (0.0, 0.33), (3.0, 0.10), (5.0, 0.00), (8.0, 0.45),
+            (10.0, 0.80), (17.0, 0.82), (20.0, 1.00), (21.0, 0.68),
+            (22.0, 0.48), (24.0, 0.26), (27.0, 0.06), (29.0, 0.00),
+            (32.0, 0.45), (34.0, 0.80), (43.0, 0.82), (46.0, 1.00),
+            (46.5, 0.80), (47.0, 0.58), (48.0, 0.45))
+        config = paper_cluster_config(num_servers=50, grouping_value=22.0)
+        trace = TwoDayTrace(config.trace,
+                            shape_points=shoulder).generate(50)
+        rr = run_simulation(config, make_scheduler("round-robin", config),
+                            trace=trace, record_heatmaps=False)
+        ta = run_simulation(config, make_scheduler("vmt-ta", config),
+                            trace=trace, record_heatmaps=False)
+        preserve = run_simulation(
+            config, make_scheduler("vmt-preserve", config), trace=trace,
+            record_heatmaps=False)
+        assert preserve.peak_reduction_vs(rr) > \
+            ta.peak_reduction_vs(rr) + 0.02

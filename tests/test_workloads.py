@@ -1,0 +1,176 @@
+"""Unit tests for the workload registry, classification, jobs, and mixes."""
+
+import numpy as np
+import pytest
+
+from repro.config import ServerConfig, SimulationConfig, ThermalConfig, WaxConfig
+from repro.errors import ConfigurationError, TraceError
+from repro.workloads.classification import (classify_suite,
+                                            classify_workload,
+                                            isolated_server_power_w,
+                                            isolated_steady_temp_c)
+from repro.workloads.jobs import DemandVector, Job
+from repro.workloads.mix import FIGURE1_PAIRS, WorkloadMix, paper_mix
+from repro.workloads.workload import (COLD_INDICES, HOT_INDICES,
+                                      ThermalClass, WORKLOADS,
+                                      WORKLOAD_LIST, get_workload)
+
+CONFIG = SimulationConfig()
+
+
+class TestWorkloadRegistry:
+    def test_table1_powers(self):
+        expected = {"WebSearch": 37.2, "DataCaching": 13.5,
+                    "VideoEncoding": 60.9, "VirusScan": 3.4,
+                    "Clustering": 59.5}
+        for name, power in expected.items():
+            assert WORKLOADS[name].per_cpu_power_w == pytest.approx(power)
+
+    def test_table1_classes(self):
+        hot = {"WebSearch", "VideoEncoding", "Clustering"}
+        for name, workload in WORKLOADS.items():
+            assert workload.is_hot == (name in hot)
+
+    def test_hot_and_cold_indices_partition_the_suite(self):
+        assert sorted(HOT_INDICES + COLD_INDICES) == list(range(5))
+
+    def test_per_core_power(self):
+        assert WORKLOADS["WebSearch"].per_core_power_w(8) == pytest.approx(
+            4.65)
+
+    def test_get_workload_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("Bitcoin")
+
+    def test_rejects_negative_power(self):
+        from repro.workloads.workload import QoSClass, Workload
+        with pytest.raises(ConfigurationError):
+            Workload(name="x", per_cpu_power_w=-1.0,
+                     thermal_class=ThermalClass.HOT,
+                     qos_class=QoSClass.LATENCY_CRITICAL)
+
+
+class TestClassification:
+    def test_derived_classes_match_table1(self):
+        """The thermal model reproduces Table I's labels from physics."""
+        derived = classify_suite(WORKLOAD_LIST, CONFIG.server,
+                                 CONFIG.thermal, CONFIG.wax)
+        for workload in WORKLOAD_LIST:
+            assert derived[workload.name] == workload.thermal_class
+
+    def test_isolated_power_capped_at_peak(self):
+        hot_server = ServerConfig(peak_power_w=200.0)
+        power = isolated_server_power_w(WORKLOADS["VideoEncoding"],
+                                        hot_server)
+        assert power == pytest.approx(200.0)
+
+    def test_cooler_wax_flips_classification(self):
+        """With a 30 C melt point even DataCaching would classify hot."""
+        cool_wax = WaxConfig(melt_temp_c=29.0)
+        cls = classify_workload(WORKLOADS["DataCaching"], CONFIG.server,
+                                CONFIG.thermal, cool_wax)
+        assert cls is ThermalClass.HOT
+
+    def test_isolated_steady_temp_ordering(self):
+        temps = {w.name: isolated_steady_temp_c(w, CONFIG.server,
+                                                CONFIG.thermal)
+                 for w in WORKLOAD_LIST}
+        assert temps["VideoEncoding"] > temps["WebSearch"] > \
+            temps["DataCaching"] > temps["VirusScan"]
+
+
+class TestDemandVector:
+    def test_counts_by_class(self):
+        demand = DemandVector({WORKLOADS["WebSearch"]: 10,
+                               WORKLOADS["VirusScan"]: 4})
+        assert demand.total_jobs == 14
+        assert demand.hot_jobs == 10
+        assert demand.cold_jobs == 4
+
+    def test_as_array_in_column_order(self):
+        demand = DemandVector({WORKLOADS["DataCaching"]: 3})
+        arr = demand.as_array
+        assert arr[WORKLOAD_LIST.index(WORKLOADS["DataCaching"])] == 3
+        assert arr.sum() == 3
+
+    def test_from_array_round_trip(self):
+        arr = np.array([1, 2, 3, 4, 5])
+        demand = DemandVector.from_array(arr)
+        assert np.array_equal(demand.as_array, arr)
+
+    def test_from_array_rejects_bad_shapes(self):
+        with pytest.raises(TraceError):
+            DemandVector.from_array(np.array([1, 2]))
+        with pytest.raises(TraceError):
+            DemandVector.from_array(np.array([1, -2, 3, 4, 5]))
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ConfigurationError):
+            DemandVector({WORKLOADS["WebSearch"]: -1})
+
+    def test_jobs_materialization(self):
+        demand = DemandVector({WORKLOADS["Clustering"]: 2,
+                               WORKLOADS["VirusScan"]: 1})
+        jobs = list(demand.jobs())
+        assert len(jobs) == 3
+        assert sum(j.is_hot for j in jobs) == 2
+        assert len({j.job_id for j in jobs}) == 3
+
+    def test_equality(self):
+        a = DemandVector({WORKLOADS["WebSearch"]: 1})
+        b = DemandVector({WORKLOADS["WebSearch"]: 1})
+        assert a == b
+
+
+class TestWorkloadMix:
+    def test_normalization(self):
+        mix = WorkloadMix.of({WORKLOADS["WebSearch"]: 2.0,
+                              WORKLOADS["VirusScan"]: 2.0})
+        assert mix.share_of(WORKLOADS["WebSearch"]) == pytest.approx(0.5)
+
+    def test_pair_endpoints_collapse(self):
+        mix = WorkloadMix.pair(WORKLOADS["WebSearch"],
+                               WORKLOADS["VirusScan"], 1.0)
+        assert mix.workloads == [WORKLOADS["WebSearch"]]
+
+    def test_pair_rejects_out_of_range_ratio(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadMix.pair(WORKLOADS["WebSearch"],
+                             WORKLOADS["VirusScan"], 1.5)
+
+    def test_hot_share_of_paper_mix_is_60_percent(self):
+        assert paper_mix().hot_share == pytest.approx(0.60)
+
+    def test_mean_per_core_power(self):
+        mix = WorkloadMix.pair(WORKLOADS["WebSearch"],
+                               WORKLOADS["DataCaching"], 0.5)
+        expected = (4.65 + 13.5 / 8) / 2
+        assert mix.mean_per_core_power_w() == pytest.approx(expected)
+
+    def test_hot_mean_per_core_power_ignores_cold(self):
+        mix = paper_mix()
+        hot_only = mix.hot_mean_per_core_power_w()
+        assert hot_only > mix.mean_per_core_power_w()
+
+    def test_hot_mean_of_cold_mix_is_zero(self):
+        mix = WorkloadMix.pair(WORKLOADS["DataCaching"],
+                               WORKLOADS["VirusScan"], 0.5)
+        assert mix.hot_mean_per_core_power_w() == 0.0
+
+    def test_share_vector_order(self):
+        mix = paper_mix()
+        vector = mix.as_share_vector()
+        assert vector.sum() == pytest.approx(1.0)
+        assert vector[WORKLOAD_LIST.index(WORKLOADS["WebSearch"])] == \
+            pytest.approx(0.30)
+
+    def test_rejects_empty_and_negative(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadMix.of({})
+        with pytest.raises(ConfigurationError):
+            WorkloadMix.of({WORKLOADS["WebSearch"]: -1.0})
+
+    def test_figure1_pairs_cover_six_panels(self):
+        assert len(FIGURE1_PAIRS) == 6
+        for a, b in FIGURE1_PAIRS:
+            assert a in WORKLOADS and b in WORKLOADS
