@@ -20,12 +20,13 @@ Quickstart::
           f"{vmt.peak_reduction_vs(rr) * 100:.1f}%")
 """
 
-from .config import (SchedulerConfig, ServerConfig, SimulationConfig,
-                     ThermalConfig, TraceConfig, WaxConfig,
-                     paper_cluster_config)
-from .errors import (CapacityError, ConfigurationError, ReproError,
-                     SchedulingError, SimulationError, ThermalModelError,
-                     TraceError)
+from .config import (CoolingFaultSpec, FaultConfig, SchedulerConfig,
+                     SensorFaultSpec, ServerConfig, ServerFaultSpec,
+                     SimulationConfig, ThermalConfig, TraceConfig,
+                     WaxConfig, paper_cluster_config)
+from .errors import (CapacityError, ConfigurationError, FaultInjectionError,
+                     ReproError, SchedulingError, SensorError,
+                     SimulationError, ThermalModelError, TraceError)
 from .cluster import (Cluster, ClusterSimulation, ClusterView, Datacenter,
                       DatacenterImpact, DatacenterResult, MetricsCollector,
                       MultiClusterSimulation, SimulationResult,
@@ -35,6 +36,12 @@ from .core import (CoolestFirstScheduler, GroupSizer, Placement,
                    VMTPreserveScheduler, VMTThermalAwareScheduler,
                    VMTWaxAwareScheduler, derive_gv_vmt_mapping,
                    hot_group_size, make_scheduler)
+# Imported after .cluster/.core: the fault scenarios lean on the group
+# sizing helpers, so importing them first would close an import cycle.
+from .faults import (FaultInjector, FaultState, cooling_derate,
+                     kill_hot_group_fraction, kill_servers,
+                     merge_scenarios, stuck_wax_sensors,
+                     temperature_hazard)
 from .io import load_result, save_result
 from .tco import (ElectricityTariff, TCOModel, VMTSavings,
                   compare_cooling_bills, n_paraffin_alternative_cost_usd,
@@ -50,11 +57,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     # configuration
-    "SchedulerConfig", "ServerConfig", "SimulationConfig", "ThermalConfig",
+    "CoolingFaultSpec", "FaultConfig", "SchedulerConfig", "SensorFaultSpec",
+    "ServerConfig", "ServerFaultSpec", "SimulationConfig", "ThermalConfig",
     "TraceConfig", "WaxConfig", "paper_cluster_config",
     # errors
-    "CapacityError", "ConfigurationError", "ReproError", "SchedulingError",
-    "SimulationError", "ThermalModelError", "TraceError",
+    "CapacityError", "ConfigurationError", "FaultInjectionError",
+    "ReproError", "SchedulingError", "SensorError", "SimulationError",
+    "ThermalModelError", "TraceError",
+    # fault injection
+    "FaultInjector", "FaultState", "cooling_derate",
+    "kill_hot_group_fraction", "kill_servers", "merge_scenarios",
+    "stuck_wax_sensors", "temperature_hazard",
     # cluster simulation
     "Cluster", "ClusterSimulation", "ClusterView", "Datacenter",
     "DatacenterImpact", "DatacenterResult", "MetricsCollector",

@@ -3,8 +3,10 @@
 Installs as ``repro-sim`` (see pyproject) and also runs as
 ``python -m repro.cli``.  Subcommands cover the everyday workflows:
 
-* ``run``      -- one simulation, summary (optionally saved to .npz)
+* ``run``      -- one simulation, summary (optionally saved to .npz);
+  ``--kill``/``--stuck-wax``/``--derate``/``--hazard`` inject faults
 * ``compare``  -- policies vs the round-robin baseline
+* ``resilience`` -- policies under an injected fault scenario
 * ``sweep``    -- grouping-value sweep for the VMT policies
 * ``trace``    -- the two-day trace and its landmarks
 * ``heatmap``  -- ASCII temperature / wax heatmaps for a policy
@@ -15,8 +17,9 @@ Installs as ``repro-sim`` (see pyproject) and also runs as
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -47,8 +50,75 @@ def _config_from(args: argparse.Namespace):
                                 inlet_stdev_c=args.inlet_stdev)
 
 
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "fault injection", "inject failures mid-run (all off by default)")
+    group.add_argument("--kill", metavar="IDS",
+                       help="comma-separated server ids to fail")
+    group.add_argument("--kill-hot-fraction", type=float, metavar="FRAC",
+                       help="fail this fraction of the hot group instead")
+    group.add_argument("--kill-at", type=float, default=10.0,
+                       metavar="HOUR", help="failure hour (default 10)")
+    group.add_argument("--repair-after", type=float, metavar="HOURS",
+                       help="repair killed servers after this many hours")
+    group.add_argument("--stuck-wax", metavar="IDS",
+                       help="comma-separated ids whose wax sensor sticks")
+    group.add_argument("--stuck-at", type=float, default=10.0,
+                       metavar="HOUR", help="sensor-fault hour (default 10)")
+    group.add_argument("--derate", type=float, metavar="FACTOR",
+                       help="derate cooling to this capacity factor [0,1]")
+    group.add_argument("--derate-at", type=float, default=10.0,
+                       metavar="HOUR", help="derate hour (default 10)")
+    group.add_argument("--derate-restore", type=float, metavar="HOURS",
+                       help="restore full cooling after this many hours")
+    group.add_argument("--hazard", type=float, metavar="ACCEL",
+                       help="temperature-dependent random failures, "
+                            "hazard accelerated by this factor")
+
+
+def _parse_ids(spec: str) -> List[int]:
+    try:
+        return [int(part) for part in spec.split(",") if part.strip()]
+    except ValueError:
+        raise ReproError(f"bad server id list: {spec!r}") from None
+
+
+def _faults_from(args: argparse.Namespace, config):
+    """Build a FaultConfig from CLI flags, or None when all are off."""
+    from .faults.scenarios import (cooling_derate, kill_hot_group_fraction,
+                                   kill_servers, merge_scenarios,
+                                   stuck_wax_sensors, temperature_hazard)
+    parts = []
+    if args.kill:
+        parts.append(kill_servers(_parse_ids(args.kill), args.kill_at,
+                                  repair_after_hours=args.repair_after))
+    if args.kill_hot_fraction is not None:
+        parts.append(kill_hot_group_fraction(
+            config, args.kill_hot_fraction, args.kill_at,
+            repair_after_hours=args.repair_after))
+    if args.stuck_wax:
+        parts.append(stuck_wax_sensors(_parse_ids(args.stuck_wax),
+                                       args.stuck_at))
+    if args.derate is not None:
+        parts.append(cooling_derate(
+            args.derate, args.derate_at,
+            restore_after_hours=args.derate_restore))
+    if args.hazard is not None:
+        parts.append(temperature_hazard(args.hazard))
+    if not parts:
+        return None
+    return merge_scenarios(*parts)
+
+
+def _with_faults(config, args: argparse.Namespace):
+    faults = _faults_from(args, config)
+    if faults is None:
+        return config
+    return dataclasses.replace(config, faults=faults)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = _config_from(args)
+    config = _with_faults(_config_from(args), args)
     scheduler = make_scheduler(args.policy, config)
     result = run_simulation(config, scheduler,
                             record_heatmaps=bool(args.save))
@@ -185,6 +255,37 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if failed == 0 else 1
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    if args.kill is None and args.kill_hot_fraction is None \
+            and args.stuck_wax is None and args.derate is None \
+            and args.hazard is None:
+        # Default scenario: lose part of the hot group right at the peak.
+        args.kill_hot_fraction = args.fraction
+        args.kill_at = args.at
+    config = _with_faults(config, args)
+    rows = []
+    for policy in args.policies:
+        scheduler = make_scheduler(policy, config)
+        result = run_simulation(config, scheduler,
+                                record_heatmaps=False)
+        mean_recovery = result.mean_recovery_time_s
+        recovery = ("--" if not np.isfinite(mean_recovery)
+                    else f"{mean_recovery / 60.0:.1f} min")
+        degraded = getattr(scheduler, "degraded", False)
+        rows.append((result.scheduler_name,
+                     f"{result.peak_cooling_load_w / 1e3:.2f}",
+                     f"{result.min_availability * 100:.1f}%",
+                     f"{result.total_displaced_jobs}",
+                     recovery,
+                     f"{float(result.max_cpu_temp_c.max()):.1f}",
+                     "yes" if degraded else "no"))
+    print(format_table(
+        ["policy", "peak cooling (kW)", "min avail", "displaced",
+         "mean recovery", "max cpu (C)", "degraded"], rows))
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     config = paper_cluster_config(num_servers=args.servers)
     rows = [(w.name, f"{w.per_cpu_power_w:.1f} W", w.thermal_class.value)
@@ -221,11 +322,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one simulation")
     _add_cluster_args(run)
+    _add_fault_args(run)
     run.add_argument("--policy", choices=SCHEDULER_NAMES,
                      default="vmt-ta")
     run.add_argument("--save", metavar="PATH",
                      help="save the result to a .npz file")
     run.set_defaults(func=_cmd_run)
+
+    resilience = sub.add_parser(
+        "resilience",
+        help="compare policies under an injected fault scenario")
+    _add_cluster_args(resilience)
+    _add_fault_args(resilience)
+    resilience.add_argument("--policies", nargs="+",
+                            choices=SCHEDULER_NAMES,
+                            default=["round-robin", "coolest-first",
+                                     "vmt-ta", "vmt-wa"])
+    resilience.add_argument("--fraction", type=float, default=0.05,
+                            help="default scenario: hot-group fraction "
+                                 "to kill (default 0.05)")
+    resilience.add_argument("--at", type=float, default=20.0,
+                            help="default scenario: failure hour "
+                                 "(default 20, the load peak)")
+    resilience.set_defaults(func=_cmd_resilience)
 
     compare = sub.add_parser("compare",
                              help="compare policies vs round robin")

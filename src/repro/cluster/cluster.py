@@ -20,13 +20,16 @@ The physical pipeline per tick mirrors the paper's DCsim model:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
 from ..config import SimulationConfig
 from ..errors import CapacityError, SimulationError
 from ..sim.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.state import FaultState
 from ..server.power import LinearPowerModel
 from ..server.sensors import TemperatureSensor
 from ..thermal.inlet import draw_inlet_temperatures
@@ -39,13 +42,23 @@ from .state import ClusterView
 
 
 class Cluster:
-    """The vectorized physical cluster (no scheduling policy inside)."""
+    """The vectorized physical cluster (no scheduling policy inside).
+
+    ``fault_state`` (a :class:`~repro.faults.state.FaultState`) plugs the
+    fault-injection subsystem into the physics: failed servers draw no
+    power and accept no jobs, sensor faults corrupt the readings handed
+    to the scheduler and the wax estimator, and a cooling derate warms
+    every inlet.  Without one, every code path is identical to the
+    fault-free build.
+    """
 
     def __init__(self, config: SimulationConfig,
-                 rng_streams: Optional[RngStreams] = None) -> None:
+                 rng_streams: Optional[RngStreams] = None, *,
+                 fault_state: Optional["FaultState"] = None) -> None:
         config.validate()
         self._config = config
         self._n = config.num_servers
+        self._faults = fault_state
         streams = rng_streams if rng_streams is not None \
             else RngStreams(config.seed)
 
@@ -140,11 +153,29 @@ class Cluster:
         return self._cpu_model.throttled(
             self._air.inlet_temp_c, self._dynamic_w, self._config.server)
 
+    # -- fault interface ----------------------------------------------------
+
+    @property
+    def fault_state(self) -> Optional["FaultState"]:
+        """The attached fault state, or ``None`` on a fault-free build."""
+        return self._faults
+
+    @property
+    def active_mask(self) -> np.ndarray:
+        """Mask of servers currently alive (all-true without faults)."""
+        if self._faults is None:
+            return np.ones(self._n, dtype=bool)
+        return self._faults.active.copy()
+
     # -- scheduler interface ----------------------------------------------
 
     def view(self) -> ClusterView:
         """Snapshot the *scheduler-visible* state (sensed, estimated)."""
         sensed = self._sensor.read(self._air.temperature_c)
+        active = None
+        if self._faults is not None:
+            sensed = self._faults.corrupt_air(sensed, self._time_s)
+            active = self._faults.active.copy()
         return ClusterView(
             time_s=self._time_s,
             num_servers=self._n,
@@ -152,6 +183,7 @@ class Cluster:
             air_temp_c=sensed,
             wax_melt_estimate=self._estimator.estimate.copy(),
             melt_temp_c=self._pcm.melt_temp_c,
+            active_mask=active,
         )
 
     # -- dynamics -----------------------------------------------------------
@@ -182,18 +214,39 @@ class Cluster:
         if dt_s <= 0:
             raise SimulationError("dt must be positive")
         allocation = self._check_allocation(allocation)
+        faults = self._faults
+        if faults is not None:
+            dead_load = ~faults.active & (allocation.sum(axis=1) > 0)
+            if np.any(dead_load):
+                raise SimulationError(
+                    "allocation places jobs on failed server "
+                    f"{int(np.flatnonzero(dead_load)[0])}")
+            self._air.set_inlet_offset(faults.inlet_offset_c)
 
         dynamic = allocation.astype(np.float64) @ self._per_core_power
         self._dynamic_w = dynamic
         self._power_w = self._power_model.server_power(dynamic)
+        if faults is not None:
+            # Dead servers draw nothing -- not even the idle floor.
+            self._power_w = np.where(faults.active, self._power_w, 0.0)
+            self._dynamic_w = np.where(faults.active, dynamic, 0.0)
         t_air = self._air.step(self._power_w, dt_s)
         self._last_q_wax = self._pcm.step(
             t_air, self._config.thermal.ha_w_per_k, dt_s)
-        self._estimator.update(t_air, dt_s)
+        estimator_input = t_air
+        if faults is not None:
+            # The container-exterior sensor is what the estimator reads;
+            # its faults corrupt the estimate, not the physics.
+            estimator_input = faults.corrupt_wax(t_air, self._time_s)
+        self._estimator.update(estimator_input, dt_s)
         # Re-anchor the estimate at the unambiguous sensor events: the
         # container-exterior sensor pins full-solid / full-liquid states.
+        # A faulted wax sensor cannot signal those events, so its servers
+        # are excluded from anchoring.
         truth = self._pcm.melt_fraction
         anchored = (truth <= 0.0) | (truth >= 1.0)
+        if faults is not None:
+            anchored = anchored & ~faults.wax_sensor_faulty
         if np.any(anchored):
             self._estimator.correct(truth, mask=anchored)
         self._time_s += dt_s

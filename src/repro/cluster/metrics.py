@@ -38,6 +38,9 @@ class MetricsCollector:
         self._hot_group_size: List[int] = []
         self._jobs: List[int] = []
         self._max_cpu_temp: List[float] = []
+        self._availability: List[float] = []
+        self._displaced: List[int] = []
+        self._cooling_factor: List[float] = []
         self._temp_rows: List[np.ndarray] = []
         self._melt_rows: List[np.ndarray] = []
 
@@ -45,10 +48,15 @@ class MetricsCollector:
                melt_fraction: np.ndarray, power_w: np.ndarray,
                wax_absorption_w: np.ndarray, jobs: int,
                hot_mask: Optional[np.ndarray] = None,
-               max_cpu_temp_c: float = float("nan")) -> None:
+               max_cpu_temp_c: float = float("nan"),
+               availability: float = 1.0, displaced_jobs: int = 0,
+               cooling_capacity_factor: float = 1.0) -> None:
         """Record one tick's state."""
         self._times_s.append(float(time_s))
         self._max_cpu_temp.append(float(max_cpu_temp_c))
+        self._availability.append(float(availability))
+        self._displaced.append(int(displaced_jobs))
+        self._cooling_factor.append(float(cooling_capacity_factor))
         total_power = float(power_w.sum())
         total_absorbed = float(wax_absorption_w.sum())
         self._power_w.append(total_power)
@@ -74,13 +82,17 @@ class MetricsCollector:
             self._melt_rows.append(np.asarray(melt_fraction,
                                               dtype=np.float32).copy())
 
-    def finish(self, config: SimulationConfig,
-               scheduler_name: str) -> "SimulationResult":
+    def finish(self, config: SimulationConfig, scheduler_name: str,
+               recovery_times_s: Optional[List[float]] = None
+               ) -> "SimulationResult":
         """Freeze the collected series into a result object."""
         if not self._times_s:
             raise SimulationError("no ticks were recorded")
         heat = (np.vstack(self._temp_rows) if self._temp_rows else None)
         melt = (np.vstack(self._melt_rows) if self._melt_rows else None)
+        recovery = (np.asarray(recovery_times_s, dtype=np.float64)
+                    if recovery_times_s is not None
+                    else np.zeros(0))
         return SimulationResult(
             config=config,
             scheduler_name=scheduler_name,
@@ -95,6 +107,10 @@ class MetricsCollector:
             hot_group_size=np.asarray(self._hot_group_size),
             jobs=np.asarray(self._jobs),
             max_cpu_temp_c=np.asarray(self._max_cpu_temp),
+            availability=np.asarray(self._availability),
+            displaced_jobs=np.asarray(self._displaced),
+            cooling_capacity_factor=np.asarray(self._cooling_factor),
+            recovery_times_s=recovery,
             temp_heatmap=heat,
             melt_heatmap=melt,
         )
@@ -117,6 +133,10 @@ class SimulationResult:
     hot_group_size: np.ndarray
     jobs: np.ndarray
     max_cpu_temp_c: Optional[np.ndarray] = None
+    availability: Optional[np.ndarray] = None
+    displaced_jobs: Optional[np.ndarray] = None
+    cooling_capacity_factor: Optional[np.ndarray] = None
+    recovery_times_s: Optional[np.ndarray] = None
     temp_heatmap: Optional[np.ndarray] = None
     melt_heatmap: Optional[np.ndarray] = None
 
@@ -147,6 +167,36 @@ class SimulationResult:
     def max_melt_fraction(self) -> float:
         """Highest cluster-mean melt fraction reached."""
         return float(self.mean_melt_fraction.max())
+
+    @property
+    def min_availability(self) -> float:
+        """Lowest fraction of the fleet alive at any tick (1.0 = no
+        failures, or a run that predates availability tracking)."""
+        if self.availability is None or len(self.availability) == 0:
+            return 1.0
+        return float(self.availability.min())
+
+    @property
+    def total_displaced_jobs(self) -> int:
+        """Job-cores displaced by server failures over the run."""
+        if self.displaced_jobs is None or len(self.displaced_jobs) == 0:
+            return 0
+        return int(self.displaced_jobs.sum())
+
+    @property
+    def mean_recovery_time_s(self) -> float:
+        """Mean failure-to-replacement delay (NaN when nothing failed)."""
+        if self.recovery_times_s is None or len(self.recovery_times_s) == 0:
+            return float("nan")
+        return float(self.recovery_times_s.mean())
+
+    @property
+    def min_cooling_capacity_factor(self) -> float:
+        """Deepest cooling derate seen during the run (1.0 = none)."""
+        if (self.cooling_capacity_factor is None
+                or len(self.cooling_capacity_factor) == 0):
+            return 1.0
+        return float(self.cooling_capacity_factor.min())
 
     def peak_cpu_temp_c(self) -> float:
         """Hottest CPU junction seen anywhere during the run.
@@ -183,4 +233,6 @@ class SimulationResult:
             "peak_it_kw": self.peak_it_power_w / 1e3,
             "max_mean_melt": self.max_melt_fraction,
             "peak_mean_temp_c": float(self.mean_temp_c.max()),
+            "min_availability": self.min_availability,
+            "displaced_jobs": self.total_displaced_jobs,
         }

@@ -5,6 +5,13 @@ every minute (the wax model's update period) the scheduler observes the
 sensed cluster state, places the current demand, and the physical models
 advance one tick; a metrics collector records the series the figures
 need.
+
+When the configuration carries an enabled
+:class:`~repro.config.FaultConfig` (or a
+:class:`~repro.faults.injector.FaultInjector` is passed explicitly), the
+injector's events run on the same engine: servers fail and recover,
+sensors corrupt, cooling derates -- and the per-tick loop additionally
+tracks availability, displaced jobs, and failure-to-replacement times.
 """
 
 from __future__ import annotations
@@ -37,14 +44,24 @@ class ClusterSimulation:
 
     def __init__(self, config: SimulationConfig, scheduler: Scheduler, *,
                  trace: Optional[TraceMatrix] = None,
-                 record_heatmaps: bool = True) -> None:
+                 record_heatmaps: bool = True,
+                 fault_injector: Optional["FaultInjector"] = None) -> None:
         config.validate()
         if scheduler.config.num_servers != config.num_servers:
             raise SimulationError(
                 "scheduler was built for a different cluster size")
         self._config = config
         self._streams = RngStreams(config.seed)
-        self._cluster = Cluster(config, self._streams)
+        if fault_injector is None and config.faults.enabled:
+            from ..faults.injector import FaultInjector
+            fault_injector = FaultInjector(config,
+                                           rng_streams=self._streams)
+        self._injector = fault_injector
+        fault_state = (fault_injector.state
+                       if fault_injector is not None else None)
+        self._fault_state = fault_state
+        self._cluster = Cluster(config, self._streams,
+                                fault_state=fault_state)
         self._scheduler = scheduler
         if trace is None:
             trace = TwoDayTrace(config.trace).generate(
@@ -57,6 +74,7 @@ class ClusterSimulation:
         self._engine = Engine()
         self._step_index = 0
         self._observers: List[Observer] = []
+        self._last_allocation: Optional[np.ndarray] = None
 
     def add_observer(self, observer: Observer) -> None:
         """Register a per-tick observer (see class docstring)."""
@@ -77,43 +95,108 @@ class ClusterSimulation:
         """The discrete-event engine."""
         return self._engine
 
+    @property
+    def fault_injector(self) -> Optional["FaultInjector"]:
+        """The attached fault injector, if any."""
+        return self._injector
+
+    def _displaced_this_tick(self) -> int:
+        """Job-cores orphaned by failures since the previous tick."""
+        if self._fault_state is None:
+            return 0
+        newly_failed = self._fault_state.drain_newly_failed()
+        if not newly_failed or self._last_allocation is None:
+            return 0
+        return int(self._last_allocation[newly_failed].sum())
+
+    def _notify_observers(self, demand: np.ndarray, placement) -> None:
+        """Dispatch observers; a raising observer aborts the run loudly.
+
+        Without the wrapper an exception from one observer would unwind
+        through the event engine mid-tick and leave the run silently
+        truncated; instead it surfaces as a :class:`SimulationError`
+        naming the culprit.
+        """
+        for observer in self._observers:
+            try:
+                observer(self._cluster.time_s, demand, placement,
+                         self._cluster)
+            except Exception as exc:
+                name = getattr(observer, "__qualname__",
+                               getattr(observer, "__name__",
+                                       repr(observer)))
+                raise SimulationError(
+                    f"observer {name} raised {type(exc).__name__}: {exc}"
+                ) from exc
+
     def _tick(self, now_s: float) -> None:
         if self._step_index >= self._trace.num_steps:
             return
         demand = self._trace.demand_at(self._step_index)
+        displaced = self._displaced_this_tick()
         view = self._cluster.view()
         placement = self._scheduler.place(demand, view)
+        if self._fault_state is not None:
+            # The full demand (including any displaced jobs) has been
+            # re-placed on surviving servers: pending failures recovered.
+            self._fault_state.note_recovered(now_s)
         self._cluster.step(placement.allocation,
                            self._trace.step_seconds)
-        self._metrics.record(
-            self._cluster.time_s,
-            air_temp_c=self._cluster.air_temp_c,
-            melt_fraction=self._cluster.wax_melt_fraction,
-            power_w=self._cluster.power_w,
-            wax_absorption_w=self._cluster.wax_absorption_w,
-            jobs=int(demand.sum()),
-            hot_mask=placement.hot_group_mask,
-            max_cpu_temp_c=float(self._cluster.cpu_junction_temp_c.max()),
-        )
-        for observer in self._observers:
-            observer(self._cluster.time_s, demand, placement,
-                     self._cluster)
+        if self._fault_state is None:
+            self._metrics.record(
+                self._cluster.time_s,
+                air_temp_c=self._cluster.air_temp_c,
+                melt_fraction=self._cluster.wax_melt_fraction,
+                power_w=self._cluster.power_w,
+                wax_absorption_w=self._cluster.wax_absorption_w,
+                jobs=int(demand.sum()),
+                hot_mask=placement.hot_group_mask,
+                max_cpu_temp_c=float(
+                    self._cluster.cpu_junction_temp_c.max()),
+            )
+        else:
+            self._metrics.record(
+                self._cluster.time_s,
+                air_temp_c=self._cluster.air_temp_c,
+                melt_fraction=self._cluster.wax_melt_fraction,
+                power_w=self._cluster.power_w,
+                wax_absorption_w=self._cluster.wax_absorption_w,
+                jobs=int(demand.sum()),
+                hot_mask=placement.hot_group_mask,
+                max_cpu_temp_c=float(
+                    self._cluster.cpu_junction_temp_c.max()),
+                availability=self._fault_state.availability,
+                displaced_jobs=displaced,
+                cooling_capacity_factor=self._fault_state.cooling_factor,
+            )
+        self._last_allocation = placement.allocation
+        self._notify_observers(demand, placement)
         self._step_index += 1
 
     def run(self) -> SimulationResult:
         """Run the full trace and return the collected result."""
         self._scheduler.reset()
+        if self._injector is not None:
+            self._injector.attach(self._engine, self._cluster)
         process = PeriodicProcess(self._engine, self._trace.step_seconds,
                                   self._tick, name="scheduler-tick")
         duration = self._trace.num_steps * self._trace.step_seconds
         self._engine.run_until(duration - 1e-9)
         process.stop()
+        if self._injector is not None:
+            self._injector.detach()
+            return self._metrics.finish(
+                self._config, self._scheduler.name,
+                recovery_times_s=self._fault_state.recovery_times_s)
         return self._metrics.finish(self._config, self._scheduler.name)
 
 
 def run_simulation(config: SimulationConfig, scheduler: Scheduler, *,
                    trace: Optional[TraceMatrix] = None,
-                   record_heatmaps: bool = True) -> SimulationResult:
+                   record_heatmaps: bool = True,
+                   fault_injector: Optional["FaultInjector"] = None
+                   ) -> SimulationResult:
     """Convenience one-call experiment runner."""
     return ClusterSimulation(config, scheduler, trace=trace,
-                             record_heatmaps=record_heatmaps).run()
+                             record_heatmaps=record_heatmaps,
+                             fault_injector=fault_injector).run()

@@ -4,12 +4,15 @@ Schedulers must not reach into the simulator's ground truth: a deployed
 cluster scheduler sees sensor readings and the wax *estimate*, not the
 wax itself.  :class:`ClusterView` packages exactly what Section III says
 the scheduler can observe -- air temperatures (from the container-exterior
-sensors) and the estimated melt state -- plus static cluster facts.
+sensors) and the estimated melt state -- plus static cluster facts and,
+when fault injection is live, the availability mask a cluster manager's
+health checks would provide.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -24,11 +27,44 @@ class ClusterView:
     air_temp_c: np.ndarray       # sensed air temperature at the wax
     wax_melt_estimate: np.ndarray  # estimated melt fraction in [0, 1]
     melt_temp_c: float           # PMT of the deployed wax
+    active_mask: Optional[np.ndarray] = None  # bool; None = all healthy
 
     @property
     def total_cores(self) -> int:
-        """Cluster-wide core capacity."""
+        """Cluster-wide core capacity (ignoring failures)."""
         return self.num_servers * self.cores_per_server
+
+    @property
+    def active(self) -> np.ndarray:
+        """Mask of servers alive this tick (all-true without faults)."""
+        if self.active_mask is None:
+            return np.ones(self.num_servers, dtype=bool)
+        return self.active_mask
+
+    @property
+    def num_active(self) -> int:
+        """Servers currently alive."""
+        if self.active_mask is None:
+            return self.num_servers
+        return int(np.count_nonzero(self.active_mask))
+
+    @property
+    def available_cores(self) -> int:
+        """Core capacity on surviving servers."""
+        return self.num_active * self.cores_per_server
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the fleet alive this tick."""
+        return self.num_active / self.num_servers
+
+    def capacity_vector(self) -> np.ndarray:
+        """Per-server core capacity; failed servers contribute zero."""
+        caps = np.full(self.num_servers, self.cores_per_server,
+                       dtype=np.int64)
+        if self.active_mask is not None:
+            caps[~self.active_mask] = 0
+        return caps
 
     def servers_below_melt(self) -> np.ndarray:
         """Mask of servers whose air is below the melting temperature."""

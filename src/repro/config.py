@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional, Tuple
 
 from .errors import ConfigurationError
 
@@ -193,6 +193,154 @@ class SchedulerConfig:
             raise ConfigurationError("update period must be positive")
 
 
+#: Sensor channels a fault can target.
+SENSOR_TARGETS = ("air", "wax")
+
+#: Supported sensor fault modes (see ``repro.server.sensors``).
+SENSOR_FAULT_MODES = ("stuck", "dropout", "drift")
+
+
+@dataclass(frozen=True)
+class ServerFaultSpec:
+    """One scripted server failure.
+
+    The server goes dark at ``time_s`` (zero power, zero capacity, jobs
+    displaced); when ``repair_after_s`` is set it rejoins the cluster
+    that many seconds later, otherwise it stays down for the run.
+    """
+
+    time_s: float
+    server_id: int
+    repair_after_s: Optional[float] = None
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if self.time_s < 0:
+            raise ConfigurationError("fault time must be >= 0")
+        if self.server_id < 0:
+            raise ConfigurationError("server id must be >= 0")
+        if self.repair_after_s is not None and self.repair_after_s <= 0:
+            raise ConfigurationError("repair delay must be positive")
+
+
+@dataclass(frozen=True)
+class SensorFaultSpec:
+    """One scripted sensor fault on a server's air or wax sensor.
+
+    Modes: ``stuck`` freezes the reading at its value when the fault
+    fires, ``dropout`` replaces it with the sensor's fallback value, and
+    ``drift`` adds ``drift_c_per_hour`` times the elapsed hours.
+    """
+
+    time_s: float
+    server_id: int
+    sensor: str = "wax"          # one of SENSOR_TARGETS
+    mode: str = "stuck"          # one of SENSOR_FAULT_MODES
+    drift_c_per_hour: float = 0.0
+    stuck_value_c: Optional[float] = None
+    clear_after_s: Optional[float] = None
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if self.time_s < 0:
+            raise ConfigurationError("fault time must be >= 0")
+        if self.server_id < 0:
+            raise ConfigurationError("server id must be >= 0")
+        if self.sensor not in SENSOR_TARGETS:
+            raise ConfigurationError(
+                f"sensor must be one of {SENSOR_TARGETS}")
+        if self.mode not in SENSOR_FAULT_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {SENSOR_FAULT_MODES}")
+        if self.clear_after_s is not None and self.clear_after_s <= 0:
+            raise ConfigurationError("clear delay must be positive")
+
+
+@dataclass(frozen=True)
+class CoolingFaultSpec:
+    """One scripted cooling-plant derating.
+
+    At ``time_s`` the plant's deliverable capacity drops to
+    ``capacity_factor`` of nominal; supply air warms accordingly (see
+    ``FaultConfig.derate_inlet_rise_c``).  ``restore_after_s`` brings the
+    plant back to full capacity.
+    """
+
+    time_s: float
+    capacity_factor: float
+    restore_after_s: Optional[float] = None
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if self.time_s < 0:
+            raise ConfigurationError("fault time must be >= 0")
+        if not 0.0 <= self.capacity_factor <= 1.0:
+            raise ConfigurationError("capacity factor must be in [0, 1]")
+        if self.restore_after_s is not None and self.restore_after_s <= 0:
+            raise ConfigurationError("restore delay must be positive")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection scenario for one run (Section IV-D made live).
+
+    Disabled by default: a default-constructed config injects nothing
+    and leaves every simulation bit-identical to a fault-free build.
+    ``hazard_failures`` samples random failures each tick from the
+    reliability hazard at each server's current temperature (hot-group
+    servers genuinely fail more often); ``hazard_acceleration`` scales
+    that rate so multi-year MTBFs produce visible failures inside a
+    two-day trace.  Scripted specs fire deterministically.
+    """
+
+    enabled: bool = False
+    hazard_failures: bool = False
+    hazard_acceleration: float = 1.0
+    mtbf_hours: float = 70_000.0
+    repair_time_s: float = 4 * 3600.0
+    auto_repair: bool = True
+    derate_inlet_rise_c: float = 8.0
+    server_faults: Tuple[ServerFaultSpec, ...] = ()
+    sensor_faults: Tuple[SensorFaultSpec, ...] = ()
+    cooling_faults: Tuple[CoolingFaultSpec, ...] = ()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if self.hazard_acceleration < 0:
+            raise ConfigurationError(
+                "hazard acceleration must be >= 0")
+        if self.mtbf_hours <= 0:
+            raise ConfigurationError("MTBF must be positive")
+        if self.repair_time_s <= 0:
+            raise ConfigurationError("repair time must be positive")
+        if self.derate_inlet_rise_c < 0:
+            raise ConfigurationError("derate inlet rise must be >= 0")
+        for spec in (self.server_faults + self.sensor_faults
+                     + self.cooling_faults):
+            spec.validate()
+
+    @property
+    def any_scripted(self) -> bool:
+        """Whether the scenario contains any deterministic events."""
+        return bool(self.server_faults or self.sensor_faults
+                    or self.cooling_faults)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultConfig":
+        """Rebuild a fault scenario from :meth:`to_dict`-style output."""
+        def build(spec_cls, entries):
+            return tuple(spec_cls(**e) if isinstance(e, dict) else e
+                         for e in entries)
+        fields = dict(data)
+        fields["server_faults"] = build(
+            ServerFaultSpec, fields.get("server_faults", ()))
+        fields["sensor_faults"] = build(
+            SensorFaultSpec, fields.get("sensor_faults", ()))
+        fields["cooling_faults"] = build(
+            CoolingFaultSpec, fields.get("cooling_faults", ()))
+        return cls(**fields)
+
+
 @dataclass(frozen=True)
 class SimulationConfig:
     """Complete description of one cluster simulation run."""
@@ -203,6 +351,7 @@ class SimulationConfig:
     thermal: ThermalConfig = field(default_factory=ThermalConfig)
     trace: TraceConfig = field(default_factory=TraceConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
     seed: int = 7
 
     def validate(self) -> None:
@@ -214,6 +363,12 @@ class SimulationConfig:
         self.thermal.validate()
         self.trace.validate()
         self.scheduler.validate()
+        self.faults.validate()
+        for spec in (self.faults.server_faults + self.faults.sensor_faults):
+            if spec.server_id >= self.num_servers:
+                raise ConfigurationError(
+                    f"fault targets server {spec.server_id} but the "
+                    f"cluster has {self.num_servers} servers")
 
     @property
     def total_cores(self) -> int:
@@ -238,6 +393,7 @@ class SimulationConfig:
             thermal=ThermalConfig(**data.get("thermal", {})),
             trace=TraceConfig(**data.get("trace", {})),
             scheduler=SchedulerConfig(**data.get("scheduler", {})),
+            faults=FaultConfig.from_dict(data.get("faults", {})),
             seed=data.get("seed", 7),
         )
 

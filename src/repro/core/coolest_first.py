@@ -49,6 +49,10 @@ class CoolestFirstScheduler(Scheduler):
             self._alloc = np.zeros((view.num_servers, NUM_WORKLOADS),
                                    dtype=np.int64)
         alloc = self._alloc
+        # Failures: clear dead rows so the displaced jobs re-enter the
+        # arrival stream and pack onto surviving coolest servers.
+        if view.active_mask is not None:
+            alloc[~view.active_mask] = 0
         # Stable sorts on sensed temperature; ties break by server id.
         coolest_first = np.argsort(view.air_temp_c, kind="stable")
         hottest_first = coolest_first[::-1]
@@ -70,7 +74,7 @@ class CoolestFirstScheduler(Scheduler):
         new = np.maximum(demand - alloc.sum(axis=0), 0)
         total_new = int(new.sum())
         if total_new:
-            free = view.cores_per_server - alloc.sum(axis=1)
+            free = view.capacity_vector() - alloc.sum(axis=1)
             quotas = pack_quotas(total_new, free, coolest_first)
             alloc += deal_types(new, quotas, rng=self._rng)
 

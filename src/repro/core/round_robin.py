@@ -56,6 +56,12 @@ class RoundRobinScheduler(Scheduler):
                                    dtype=np.int64)
         alloc = self._alloc
 
+        # Failures: jobs on dead servers are lost; clearing their rows
+        # drops the placed count, so the displaced jobs re-enter the
+        # arrival stream below and land on survivors.
+        if view.active_mask is not None:
+            alloc[~view.active_mask] = 0
+
         # Churn: a fraction of running jobs completes this minute; the
         # replacements re-enter the arrival stream below.
         if self._churn > 0 and alloc.sum():
@@ -76,7 +82,7 @@ class RoundRobinScheduler(Scheduler):
         new = np.maximum(demand - alloc.sum(axis=0), 0)
         total_new = int(new.sum())
         if total_new:
-            free = view.cores_per_server - alloc.sum(axis=1)
+            free = view.capacity_vector() - alloc.sum(axis=1)
             quotas = waterfill_quotas(total_new, free,
                                       tie_offset=self._tick)
             alloc += deal_types(new, quotas, rng=self._rng)

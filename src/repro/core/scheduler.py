@@ -83,7 +83,13 @@ class Scheduler(abc.ABC):
         if np.any(demand < 0):
             raise SchedulingError("demand must be non-negative")
         total = int(demand.sum())
-        if total > view.total_cores:
+        available = view.available_cores
+        if total > available:
+            if available < view.total_cores:
+                failed = view.num_servers - view.num_active
+                raise CapacityError(
+                    f"demand {total} exceeds surviving capacity "
+                    f"{available} ({failed} servers failed)")
             raise CapacityError(
                 f"demand {total} exceeds cluster capacity "
                 f"{view.total_cores}")

@@ -65,6 +65,12 @@ class VMTPreserveScheduler(VMTWaxAwareScheduler):
         self._released = False
 
     def _place(self, demand: np.ndarray, view: ClusterView) -> Placement:
+        self._check_divergence(view)
+        if self._degraded:
+            # Preservation is steered entirely by the melt estimate; with
+            # the estimator untrusted, fall through to the VMT-WA path,
+            # which itself degrades to TA behaviour.
+            return super()._place(demand, view)
         utilization = demand.sum() / view.total_cores
         # Hysteresis: once the reserve is committed, stay in release mode
         # through the whole peak and its descent (VMT-WA's keep-warm
@@ -86,8 +92,8 @@ class VMTPreserveScheduler(VMTWaxAwareScheduler):
         hot_demand, cold_demand = split_demand(demand)
         hot_size = self._hot_size
 
-        free = np.full(view.num_servers, view.cores_per_server,
-                       dtype=np.int64)
+        # Failed servers expose zero capacity to every dealing pass.
+        free = view.capacity_vector()
         allocation = np.zeros((view.num_servers, NUM_WORKLOADS),
                               dtype=np.int64)
 

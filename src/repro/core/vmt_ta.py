@@ -103,8 +103,9 @@ class VMTThermalAwareScheduler(Scheduler):
         hot_ids = np.flatnonzero(hot_mask)
         cold_ids = np.flatnonzero(~hot_mask)
 
-        free = np.full(view.num_servers, view.cores_per_server,
-                       dtype=np.int64)
+        # Failed servers contribute zero capacity, so the dealing passes
+        # below route around them and displaced demand spills naturally.
+        free = view.capacity_vector()
         allocation = np.zeros((view.num_servers, NUM_WORKLOADS),
                               dtype=np.int64)
 

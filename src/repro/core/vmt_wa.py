@@ -86,6 +86,9 @@ class VMTWaxAwareScheduler(Scheduler):
                  keep_warm_margin_c: float = 0.4,
                  keep_warm_min_utilization: float = 0.6,
                  keep_warm_release_utilization: float = 0.35,
+                 detect_divergence: bool = True,
+                 divergence_margin_c: float = 2.0,
+                 divergence_ticks: int = 12,
                  **kwargs) -> None:
         super().__init__(config, **kwargs)
         self._base_sizer = GroupSizer(
@@ -101,6 +104,15 @@ class VMTWaxAwareScheduler(Scheduler):
         self._per_core_power = np.array(
             [w.per_core_power_w(config.server.cores_per_socket)
              for w in WORKLOAD_LIST])
+        if divergence_ticks < 1:
+            raise SchedulingError("divergence_ticks must be >= 1")
+        self._detect_divergence = detect_divergence
+        self._divergence_margin_c = divergence_margin_c
+        self._divergence_ticks = divergence_ticks
+        self._degraded = False
+        self._prev_estimate: Optional[np.ndarray] = None
+        self._suspect_ticks: Optional[np.ndarray] = None
+        self._divergence_checked_tick = -1
 
     @property
     def name(self) -> str:
@@ -116,14 +128,76 @@ class VMTWaxAwareScheduler(Scheduler):
         """Current (possibly extended) hot group size."""
         return self._hot_size
 
+    @property
+    def degraded(self) -> bool:
+        """True once estimator divergence has forced the TA fallback."""
+        return self._degraded
+
     def reset(self) -> None:
         super().reset()
         self._hot_size = self._base_sizer.hot_size
+        self._degraded = False
+        self._prev_estimate = None
+        self._suspect_ticks = None
+        self._divergence_checked_tick = -1
+
+    # -- estimator health ---------------------------------------------------
+
+    def _check_divergence(self, view: ClusterView) -> None:
+        """Watch for a wax estimate that contradicts the air sensors.
+
+        A healthy estimate moves toward melted whenever the air is
+        clearly above the melting point and toward frozen whenever it is
+        clearly below.  A stuck or drifting container-exterior sensor
+        breaks that coupling: the estimate freezes (or runs the wrong
+        way) while the air says otherwise.  After ``divergence_ticks``
+        consecutive contradictions on any server the estimate can no
+        longer be trusted, and the policy degrades to VMT-TA behaviour
+        (static minimum hot group, no melt tracking) for the rest of the
+        run -- hotter cooling peaks, but no thermal violations.
+
+        Idempotent per scheduling tick so the preserve subclass may call
+        it from either placement path.
+        """
+        if not self._detect_divergence or self._degraded:
+            return
+        if self._divergence_checked_tick == self._tick:
+            return
+        self._divergence_checked_tick = self._tick
+        est = view.wax_melt_estimate
+        if (self._prev_estimate is None
+                or len(self._prev_estimate) != len(est)):
+            self._prev_estimate = est.copy()
+            self._suspect_ticks = np.zeros(len(est), dtype=np.int64)
+            return
+        delta = est - self._prev_estimate
+        air = view.air_temp_c
+        melt = view.melt_temp_c
+        margin = self._divergence_margin_c
+        # Air well above the melt point but the estimate refuses to rise
+        # toward melted -- or well below it while the estimate refuses to
+        # fall toward frozen.  The margin keeps sensor noise out; the
+        # consecutive-tick count keeps transients out.
+        stuck_low = ((air > melt + margin)
+                     & (est < self._wax_threshold) & (delta <= 1e-9))
+        stuck_high = ((air < melt - margin)
+                      & (est > 0.0) & (delta >= -1e-9))
+        suspect = stuck_low | stuck_high
+        self._suspect_ticks = np.where(
+            suspect, self._suspect_ticks + 1, 0)
+        self._prev_estimate = est.copy()
+        if np.any(self._suspect_ticks >= self._divergence_ticks):
+            self._degraded = True
 
     # -- group management ---------------------------------------------------
 
     def _update_group_size(self, view: ClusterView) -> None:
         """Restart from the minimum size and add one per melted server."""
+        if self._degraded:
+            # The estimate is untrustworthy: hold the static TA sizing.
+            self._hot_size = min(self._base_sizer.hot_size,
+                                 view.num_servers)
+            return
         melted = int(np.count_nonzero(
             view.wax_melt_estimate >= self._wax_threshold))
         self._hot_size = min(view.num_servers,
@@ -245,13 +319,20 @@ class VMTWaxAwareScheduler(Scheduler):
     def _place(self, demand: np.ndarray, view: ClusterView) -> Placement:
         if view.num_servers != self._config.num_servers:
             raise SchedulingError("view does not match configured cluster")
+        self._check_divergence(view)
         self._update_group_size(view)
 
         hot_demand, cold_demand = split_demand(demand)
         base_size = min(self._base_sizer.hot_size, view.num_servers)
         hot_ids = np.arange(self._hot_size)
         cold_ids = np.arange(self._hot_size, view.num_servers)
-        melted = view.wax_melt_estimate >= self._wax_threshold
+        if self._degraded:
+            # TA fallback: without a trusted estimate no server counts as
+            # melted, so keep-warm disengages and the base group carries
+            # the hot load evenly -- exactly VMT-TA's behaviour.
+            melted = np.zeros(view.num_servers, dtype=bool)
+        else:
+            melted = view.wax_melt_estimate >= self._wax_threshold
         in_base = hot_ids < base_size
         hot_melted = melted[hot_ids] if len(hot_ids) else \
             np.zeros(0, dtype=bool)
@@ -262,8 +343,9 @@ class VMTWaxAwareScheduler(Scheduler):
         # the melting temperature -- the paper adds servers "sequentially".
         extension = hot_ids[~in_base & ~hot_melted]
 
-        free = np.full(view.num_servers, view.cores_per_server,
-                       dtype=np.int64)
+        # Failed servers expose zero capacity; every dealing pass below
+        # routes around them.
+        free = view.capacity_vector()
         allocation = np.zeros((view.num_servers, NUM_WORKLOADS),
                               dtype=np.int64)
 

@@ -33,6 +33,25 @@ class CapacityError(SchedulingError):
     """Demanded job slots exceed the cluster's total core count."""
 
 
+class FaultInjectionError(SimulationError):
+    """A fault-injection event or scenario is invalid.
+
+    Raised when a scripted fault targets a server outside the cluster,
+    fires outside the simulated horizon, or tries to fail a server that
+    is already down -- all symptoms of a misconfigured scenario rather
+    than of the simulated system misbehaving.
+    """
+
+
+class SensorError(ReproError):
+    """A sensor was given an invalid fault mode or channel.
+
+    Distinct from :class:`FaultInjectionError` so substrate-level sensor
+    misuse (an unknown fault mode, an out-of-range channel) can be told
+    apart from scenario-level scripting mistakes.
+    """
+
+
 class TraceError(ReproError):
     """A workload trace is malformed (wrong shape, values out of range)."""
 

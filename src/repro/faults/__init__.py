@@ -1,0 +1,30 @@
+"""Fault injection and graceful degradation.
+
+The paper's Section IV-D treats reliability analytically; this package
+makes failures *happen* inside the event-driven simulation: servers die
+mid-trace (scripted, or sampled from the temperature-dependent hazard so
+hot-group servers fail more often), sensors stick/drop/drift so the
+VMT-WA estimator sees corrupted readings, and the cooling plant derates
+mid-run.  The cluster and schedulers degrade gracefully: failed servers
+are masked out, displaced jobs re-place via the existing spillover
+machinery, and VMT-WA falls back to thermal-aware placement when its
+wax estimate diverges from physical plausibility.
+"""
+
+from .injector import FAULT_EVENT_PRIORITY, FaultInjector
+from .scenarios import (cooling_derate, kill_hot_group_fraction,
+                        kill_servers, merge_scenarios, stuck_wax_sensors,
+                        temperature_hazard)
+from .state import FaultState
+
+__all__ = [
+    "FAULT_EVENT_PRIORITY",
+    "FaultInjector",
+    "FaultState",
+    "cooling_derate",
+    "kill_hot_group_fraction",
+    "kill_servers",
+    "merge_scenarios",
+    "stuck_wax_sensors",
+    "temperature_hazard",
+]

@@ -1,0 +1,185 @@
+"""Schedules failure, sensor, and cooling events on the event engine.
+
+The injector turns a :class:`~repro.config.FaultConfig` scenario into
+engine events that mutate a shared :class:`~repro.faults.state.FaultState`:
+
+* **scripted faults** fire deterministically at their configured times;
+* **hazard failures** are sampled every tick from the Section IV-D
+  reliability model evaluated at each server's *current* air temperature,
+  so hot-group servers really do fail more often -- the closed loop the
+  paper only estimates analytically.
+
+Fault events use a negative priority so that at a shared timestamp they
+fire before the scheduler tick: a scheduler never places work on a
+server that died "this minute".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..errors import FaultInjectionError
+from ..server.reliability import ReliabilityModel
+from ..sim.engine import Engine
+from ..sim.process import PeriodicProcess
+from ..sim.rng import RngStreams
+
+#: Priority of fault events; ticks run at 0, so faults at the same
+#: timestamp land first.
+FAULT_EVENT_PRIORITY = -10
+
+#: Seconds per hour (hazard rates are per hour).
+_SECONDS_PER_HOUR = 3600.0
+
+
+class FaultInjector:
+    """Drives a fault scenario against one cluster simulation."""
+
+    def __init__(self, config: SimulationConfig, *,
+                 rng_streams: Optional[RngStreams] = None,
+                 reliability: Optional[ReliabilityModel] = None) -> None:
+        config.validate()
+        self._config = config
+        self._fault_cfg = config.faults
+        streams = rng_streams if rng_streams is not None \
+            else RngStreams(config.seed)
+        self._rng = streams.stream("fault-injector")
+        self._reliability = reliability if reliability is not None \
+            else ReliabilityModel(
+                mtbf_hours_at_ref=config.faults.mtbf_hours)
+        # Imported here to avoid a cycle: faults.state imports config only.
+        from .state import FaultState
+        self._state = FaultState(config)
+        self._cluster = None
+        self._hazard_process: Optional[PeriodicProcess] = None
+
+    @property
+    def state(self):
+        """The live :class:`~repro.faults.state.FaultState`."""
+        return self._state
+
+    @property
+    def reliability(self) -> ReliabilityModel:
+        """The hazard model sampled for random failures."""
+        return self._reliability
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, engine: Engine, cluster) -> None:
+        """Register the scenario's events on a simulation's engine."""
+        if self._cluster is not None:
+            raise FaultInjectionError(
+                "fault injector is already attached to a simulation")
+        self._cluster = cluster
+
+        for spec in self._fault_cfg.server_faults:
+            engine.schedule_at(
+                spec.time_s, self._fire_server_fault,
+                priority=FAULT_EVENT_PRIORITY,
+                name=f"fail-server-{spec.server_id}", payload=spec)
+            if spec.repair_after_s is not None:
+                engine.schedule_at(
+                    spec.time_s + spec.repair_after_s,
+                    self._fire_server_repair,
+                    priority=FAULT_EVENT_PRIORITY,
+                    name=f"repair-server-{spec.server_id}",
+                    payload=spec.server_id)
+
+        for spec in self._fault_cfg.sensor_faults:
+            engine.schedule_at(
+                spec.time_s, self._fire_sensor_fault,
+                priority=FAULT_EVENT_PRIORITY,
+                name=f"{spec.sensor}-sensor-{spec.mode}-{spec.server_id}",
+                payload=spec)
+            if spec.clear_after_s is not None:
+                engine.schedule_at(
+                    spec.time_s + spec.clear_after_s,
+                    self._fire_sensor_clear,
+                    priority=FAULT_EVENT_PRIORITY,
+                    name=f"{spec.sensor}-sensor-clear-{spec.server_id}",
+                    payload=spec)
+
+        for spec in self._fault_cfg.cooling_faults:
+            engine.schedule_at(
+                spec.time_s, self._fire_cooling_derate,
+                priority=FAULT_EVENT_PRIORITY,
+                name=f"cooling-derate-{spec.capacity_factor:g}",
+                payload=spec.capacity_factor)
+            if spec.restore_after_s is not None:
+                engine.schedule_at(
+                    spec.time_s + spec.restore_after_s,
+                    self._fire_cooling_derate,
+                    priority=FAULT_EVENT_PRIORITY,
+                    name="cooling-restore", payload=1.0)
+
+        if (self._fault_cfg.hazard_failures
+                and self._fault_cfg.hazard_acceleration > 0):
+            self._hazard_process = PeriodicProcess(
+                engine, self._config.trace.step_seconds,
+                self._hazard_tick, priority=FAULT_EVENT_PRIORITY,
+                name="fault-hazard")
+        self._engine = engine
+
+    def detach(self) -> None:
+        """Stop the hazard process (scripted events stay scheduled)."""
+        if self._hazard_process is not None:
+            self._hazard_process.stop()
+            self._hazard_process = None
+
+    # -- event callbacks ----------------------------------------------------
+
+    def _fire_server_fault(self, event) -> None:
+        spec = event.payload
+        self._state.fail_server(spec.server_id, event.time)
+
+    def _fire_server_repair(self, event) -> None:
+        self._state.repair_server(event.payload)
+
+    def _fire_sensor_fault(self, event) -> None:
+        spec = event.payload
+        bank = (self._state.air_faults if spec.sensor == "air"
+                else self._state.wax_faults)
+        bank.set_fault(spec.server_id, spec.mode, time_s=event.time,
+                       drift_per_hour=spec.drift_c_per_hour,
+                       stuck_value=spec.stuck_value_c)
+        self._state.sensor_fault_count += 1
+
+    def _fire_sensor_clear(self, event) -> None:
+        spec = event.payload
+        bank = (self._state.air_faults if spec.sensor == "air"
+                else self._state.wax_faults)
+        bank.clear_fault(spec.server_id)
+
+    def _fire_cooling_derate(self, event) -> None:
+        self._state.set_cooling_factor(event.payload)
+
+    # -- temperature-dependent random failures ------------------------------
+
+    def _hazard_tick(self, now_s: float) -> None:
+        """Sample per-server failures from the temperature hazard.
+
+        The per-tick failure probability is
+        ``rate(T_i) * acceleration * dt`` -- the exact thinning of the
+        inhomogeneous failure process at the tick resolution.  One
+        uniform is drawn per server every tick regardless of who is
+        alive, so the stream stays aligned across scenarios.
+        """
+        cluster = self._cluster
+        temps = cluster.air_temp_c
+        rates = self._reliability.failure_rate_per_hour(temps)
+        dt_h = self._config.trace.step_seconds / _SECONDS_PER_HOUR
+        prob = rates * self._fault_cfg.hazard_acceleration * dt_h
+        draws = self._rng.uniform(size=self._state.num_servers)
+        doomed = np.flatnonzero(self._state.active & (draws < prob))
+        for server_id in doomed:
+            self._state.fail_server(int(server_id), now_s)
+            if self._fault_cfg.auto_repair:
+                self._engine.schedule_after(
+                    self._fault_cfg.repair_time_s,
+                    self._fire_server_repair,
+                    priority=FAULT_EVENT_PRIORITY,
+                    name=f"repair-server-{server_id}",
+                    payload=int(server_id))

@@ -1,0 +1,123 @@
+"""Ready-made fault scenarios for benchmarks, the CLI, and tests.
+
+Each builder returns a :class:`~repro.config.FaultConfig`; scenarios
+compose with :func:`merge_scenarios`, which concatenates the scripted
+event lists and keeps the most pessimistic scalar settings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from ..config import (CoolingFaultSpec, FaultConfig, SensorFaultSpec,
+                      ServerFaultSpec, SimulationConfig)
+from ..core.grouping import hot_group_size
+from ..errors import FaultInjectionError
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+def kill_servers(server_ids: Sequence[int], at_hour: float, *,
+                 repair_after_hours: Optional[float] = None) -> FaultConfig:
+    """Fail an explicit list of servers at a given trace hour."""
+    repair_s = (None if repair_after_hours is None
+                else repair_after_hours * _SECONDS_PER_HOUR)
+    faults = tuple(
+        ServerFaultSpec(time_s=at_hour * _SECONDS_PER_HOUR,
+                        server_id=int(sid), repair_after_s=repair_s)
+        for sid in server_ids)
+    return FaultConfig(enabled=True, server_faults=faults)
+
+
+def kill_hot_group_fraction(config: SimulationConfig, fraction: float,
+                            at_hour: float, *,
+                            repair_after_hours: Optional[float] = None
+                            ) -> FaultConfig:
+    """Fail a fraction of the hot group (lowest server ids) mid-run.
+
+    The VMT schedulers place the hot group at the low ids, so killing
+    the head of the fleet hits exactly the servers carrying hot load --
+    the paper's worst case for a mid-peak outage.  At least one server
+    is killed for any positive fraction.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise FaultInjectionError("fraction must be in (0, 1]")
+    hot = hot_group_size(config.scheduler.grouping_value,
+                         config.wax.melt_temp_c, config.num_servers)
+    count = max(1, int(round(fraction * max(hot, 1))))
+    count = min(count, config.num_servers - 1)  # never kill the whole fleet
+    return kill_servers(range(count), at_hour,
+                        repair_after_hours=repair_after_hours)
+
+
+def stuck_wax_sensors(server_ids: Sequence[int], at_hour: float, *,
+                      stuck_value_c: Optional[float] = None,
+                      clear_after_hours: Optional[float] = None
+                      ) -> FaultConfig:
+    """Stick the wax-state sensor of the given servers.
+
+    With ``stuck_value_c`` above the melt point the estimator saturates
+    toward fully-melted; below it the estimator freezes near zero -- the
+    two divergences VMT-WA must detect and survive.
+    """
+    clear_s = (None if clear_after_hours is None
+               else clear_after_hours * _SECONDS_PER_HOUR)
+    faults = tuple(
+        SensorFaultSpec(time_s=at_hour * _SECONDS_PER_HOUR,
+                        server_id=int(sid), sensor="wax", mode="stuck",
+                        stuck_value_c=stuck_value_c, clear_after_s=clear_s)
+        for sid in server_ids)
+    return FaultConfig(enabled=True, sensor_faults=faults)
+
+
+def cooling_derate(capacity_factor: float, at_hour: float, *,
+                   restore_after_hours: Optional[float] = None,
+                   inlet_rise_c: float = 8.0) -> FaultConfig:
+    """Derate the cooling plant to ``capacity_factor`` of nominal."""
+    restore_s = (None if restore_after_hours is None
+                 else restore_after_hours * _SECONDS_PER_HOUR)
+    spec = CoolingFaultSpec(time_s=at_hour * _SECONDS_PER_HOUR,
+                            capacity_factor=capacity_factor,
+                            restore_after_s=restore_s)
+    return FaultConfig(enabled=True, cooling_faults=(spec,),
+                       derate_inlet_rise_c=inlet_rise_c)
+
+
+def temperature_hazard(acceleration: float, *,
+                       repair_time_hours: float = 4.0,
+                       auto_repair: bool = True) -> FaultConfig:
+    """Random failures sampled from the temperature-dependent hazard.
+
+    ``acceleration`` scales the Section IV-D failure rate so that a
+    70,000-hour MTBF produces visible failures inside a two-day trace
+    (an acceleration around 1,000 yields a handful of failures per day
+    on 100 servers).
+    """
+    if acceleration < 0:
+        raise FaultInjectionError("acceleration must be >= 0")
+    return FaultConfig(enabled=True, hazard_failures=True,
+                       hazard_acceleration=acceleration,
+                       repair_time_s=repair_time_hours * _SECONDS_PER_HOUR,
+                       auto_repair=auto_repair)
+
+
+def merge_scenarios(*scenarios: FaultConfig) -> FaultConfig:
+    """Combine scenarios: events concatenate, scalars take the worst case."""
+    if not scenarios:
+        return FaultConfig()
+    merged = scenarios[0]
+    for other in scenarios[1:]:
+        merged = dataclasses.replace(
+            merged,
+            enabled=merged.enabled or other.enabled,
+            hazard_failures=merged.hazard_failures or other.hazard_failures,
+            hazard_acceleration=max(merged.hazard_acceleration,
+                                    other.hazard_acceleration),
+            derate_inlet_rise_c=max(merged.derate_inlet_rise_c,
+                                    other.derate_inlet_rise_c),
+            server_faults=merged.server_faults + other.server_faults,
+            sensor_faults=merged.sensor_faults + other.sensor_faults,
+            cooling_faults=merged.cooling_faults + other.cooling_faults,
+        )
+    return merged

@@ -1,0 +1,149 @@
+"""Shared mutable fault state threaded through one simulation run.
+
+:class:`FaultState` is the single source of truth for "what is broken
+right now": which servers are dark, which sensor channels are corrupted,
+and how much cooling capacity survives.  The :class:`~repro.faults.injector.FaultInjector`
+mutates it from engine events; the :class:`~repro.cluster.cluster.Cluster`
+and :class:`~repro.cluster.simulation.ClusterSimulation` read it every
+tick.  A cluster built without one behaves exactly as before -- the
+fault-free path never consults this module.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..errors import FaultInjectionError
+from ..server.sensors import SensorFaultBank
+
+
+class FaultState:
+    """Live fault status of one simulated cluster."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        config.validate()
+        n = config.num_servers
+        self._n = n
+        self.active = np.ones(n, dtype=bool)
+        fallback = config.thermal.inlet_temp_c
+        self.air_faults = SensorFaultBank(n, fallback_value=fallback)
+        self.wax_faults = SensorFaultBank(n, fallback_value=fallback)
+        self.cooling_factor = 1.0
+        self._derate_inlet_rise_c = config.faults.derate_inlet_rise_c
+
+        self.failures = 0
+        self.repairs = 0
+        self.sensor_fault_count = 0
+        self.derate_count = 0
+        #: Failure times of servers whose jobs have not been re-placed yet.
+        self._awaiting_recovery: List[float] = []
+        #: Measured failure -> re-placement delays (seconds).
+        self.recovery_times_s: List[float] = []
+        #: Servers failed since the scheduler last saw the cluster.
+        self._newly_failed: List[int] = []
+
+    @property
+    def num_servers(self) -> int:
+        """Cluster size this state tracks."""
+        return self._n
+
+    @property
+    def num_active(self) -> int:
+        """Servers currently alive."""
+        return int(np.count_nonzero(self.active))
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the fleet currently alive."""
+        return self.num_active / self._n
+
+    def _check_server(self, server_id: int) -> int:
+        server_id = int(server_id)
+        if not 0 <= server_id < self._n:
+            raise FaultInjectionError(
+                f"server {server_id} outside cluster of {self._n}")
+        return server_id
+
+    # -- server failures ----------------------------------------------------
+
+    def fail_server(self, server_id: int, time_s: float) -> None:
+        """Take a server dark; its jobs are displaced at the next tick."""
+        server_id = self._check_server(server_id)
+        if not self.active[server_id]:
+            raise FaultInjectionError(
+                f"server {server_id} is already failed")
+        self.active[server_id] = False
+        self.failures += 1
+        self._awaiting_recovery.append(float(time_s))
+        self._newly_failed.append(server_id)
+
+    def repair_server(self, server_id: int) -> None:
+        """Bring a failed server back; repairing a live server is a no-op.
+
+        (Lenient on purpose: a scripted repair may race an auto-repair
+        for the same hazard failure.)
+        """
+        server_id = self._check_server(server_id)
+        if self.active[server_id]:
+            return
+        self.active[server_id] = True
+        self.repairs += 1
+
+    def drain_newly_failed(self) -> List[int]:
+        """Servers failed since the last call (for displacement counts)."""
+        failed, self._newly_failed = self._newly_failed, []
+        return failed
+
+    def note_recovered(self, time_s: float) -> None:
+        """Record that a placement succeeded after pending failures.
+
+        Called by the simulation right after the scheduler re-placed the
+        full demand; every failure still awaiting recovery is credited
+        with ``time_s - failure_time``.
+        """
+        if not self._awaiting_recovery:
+            return
+        for failed_at in self._awaiting_recovery:
+            self.recovery_times_s.append(max(0.0, float(time_s) - failed_at))
+        self._awaiting_recovery = []
+
+    # -- cooling derating ---------------------------------------------------
+
+    def set_cooling_factor(self, factor: float) -> None:
+        """Derate (or restore) the cooling plant to ``factor`` of nominal."""
+        if not 0.0 <= factor <= 1.0:
+            raise FaultInjectionError(
+                f"cooling factor must be in [0, 1], got {factor}")
+        if factor < self.cooling_factor:
+            self.derate_count += 1
+        self.cooling_factor = float(factor)
+
+    @property
+    def inlet_offset_c(self) -> float:
+        """Supply-air temperature rise caused by the current derating."""
+        return (1.0 - self.cooling_factor) * self._derate_inlet_rise_c
+
+    # -- sensor corruption --------------------------------------------------
+
+    def corrupt_air(self, readings: np.ndarray,
+                    time_s: float) -> np.ndarray:
+        """Apply air-sensor faults to a sensed temperature vector."""
+        return self.air_faults.apply(readings, time_s)
+
+    def corrupt_wax(self, readings: np.ndarray,
+                    time_s: float) -> np.ndarray:
+        """Apply wax-sensor faults to the estimator's input vector."""
+        return self.wax_faults.apply(readings, time_s)
+
+    @property
+    def wax_sensor_faulty(self) -> np.ndarray:
+        """Mask of servers whose wax-state sensor is unreliable.
+
+        The full-solid/full-liquid re-anchoring of the estimator comes
+        from this same sensor, so anchoring must be suppressed for these
+        servers.
+        """
+        return self.wax_faults.faulty

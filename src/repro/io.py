@@ -24,7 +24,9 @@ _ARRAY_FIELDS = (
     "mean_temp_c", "hot_group_mean_temp_c", "cold_group_mean_temp_c",
     "mean_melt_fraction", "hot_group_size", "jobs",
 )
-_OPTIONAL_FIELDS = ("max_cpu_temp_c", "temp_heatmap", "melt_heatmap")
+_OPTIONAL_FIELDS = ("max_cpu_temp_c", "availability", "displaced_jobs",
+                    "cooling_capacity_factor", "recovery_times_s",
+                    "temp_heatmap", "melt_heatmap")
 
 _FORMAT_VERSION = 1
 

@@ -12,12 +12,13 @@
 from .cpu import CPUSpec, XEON_E7_4809_V4
 from .power import LinearPowerModel
 from .server import Server
-from .sensors import PowerSensor, TemperatureSensor
+from .sensors import PowerSensor, SensorFaultBank, TemperatureSensor
 from .reliability import (ReliabilityModel, RotationPolicy,
                           cumulative_failure_probability)
 
 __all__ = [
     "CPUSpec", "XEON_E7_4809_V4", "LinearPowerModel", "Server",
-    "PowerSensor", "TemperatureSensor", "ReliabilityModel",
+    "PowerSensor",
+    "SensorFaultBank", "TemperatureSensor", "ReliabilityModel",
     "RotationPolicy", "cumulative_failure_probability",
 ]

@@ -41,7 +41,9 @@ class ServerAirModel:
             inlet = np.broadcast_to(
                 np.asarray(inlet_temp_c, dtype=np.float64),
                 (self._n,)).copy()
+        self._base_inlet = inlet
         self._inlet = inlet
+        self._inlet_offset = 0.0
         # Servers start idle and thermally relaxed at the idle steady state.
         self._temp = self._inlet.copy()
 
@@ -52,8 +54,27 @@ class ServerAirModel:
 
     @property
     def inlet_temp_c(self) -> np.ndarray:
-        """Per-server inlet temperatures (deg C)."""
+        """Per-server inlet temperatures (deg C), including any offset."""
         return self._inlet
+
+    @property
+    def inlet_offset_c(self) -> float:
+        """Current uniform inlet offset (cooling derate)."""
+        return self._inlet_offset
+
+    def set_inlet_offset(self, offset_c: float) -> None:
+        """Shift every inlet by ``offset_c``.
+
+        A derated cooling plant delivers warmer supply air; the offset
+        applies from the next :meth:`step` on.  Setting the same offset
+        twice is free, so callers may set it every tick.
+        """
+        if offset_c == self._inlet_offset:
+            return
+        if not np.isfinite(offset_c):
+            raise ThermalModelError("inlet offset must be finite")
+        self._inlet_offset = float(offset_c)
+        self._inlet = self._base_inlet + self._inlet_offset
 
     @property
     def temperature_c(self) -> np.ndarray:

@@ -83,6 +83,14 @@ class TraceMatrix:
             raise TraceError(
                 f"trace must be (steps, {len(WORKLOAD_LIST)}); "
                 f"got {counts.shape}")
+        if not np.issubdtype(counts.dtype, np.number):
+            raise TraceError(
+                f"trace counts must be numeric, got dtype {counts.dtype}")
+        # NaN compares false against everything, so it would sail through
+        # the sign and capacity checks and then be cast to a garbage
+        # integer; reject non-finite values explicitly first.
+        if not np.all(np.isfinite(counts)):
+            raise TraceError("trace counts must be finite (no NaN/inf)")
         if np.any(counts < 0):
             raise TraceError("trace counts must be non-negative")
         if step_seconds <= 0:

@@ -37,6 +37,12 @@ class TestReliabilityModel:
         with pytest.raises(ConfigurationError):
             MODEL.cumulative_failure([(30.0, -1.0)])
 
+    def test_empty_exposure_history_never_fails(self):
+        assert MODEL.cumulative_failure([]) == 0.0
+
+    def test_zero_hours_exposure_never_fails(self):
+        assert MODEL.cumulative_failure([(45.0, 0.0)]) == 0.0
+
     def test_rejects_bad_model_parameters(self):
         with pytest.raises(ConfigurationError):
             ReliabilityModel(mtbf_hours_at_ref=0)
@@ -62,6 +68,26 @@ class TestRotationPolicy:
         for month in range(5):
             hot = sum(policy.in_hot_group(s, month) for s in range(5))
             assert hot == 3
+
+    @pytest.mark.parametrize("fleet", [5, 10, 100, 7, 23, 101])
+    def test_cohort_invariant_across_fleet_sizes(self, fleet):
+        """In any month roughly months_hot/cycle of the fleet is hot --
+        exact for fleets divisible by the cycle, within one cohort's
+        rounding otherwise -- and each server is hot exactly months_hot
+        months per cycle, so the cycle total is exact for every size."""
+        policy = RotationPolicy()
+        cycle = policy.cycle_months
+        expected = fleet * policy.months_hot / cycle
+        total = 0
+        for month in range(cycle):
+            hot = sum(policy.in_hot_group(s, month)
+                      for s in range(fleet))
+            total += hot
+            if fleet % cycle == 0:
+                assert hot == expected
+            else:
+                assert abs(hot - expected) < 2.0
+        assert total == fleet * policy.months_hot
 
     def test_exposure_months_split(self):
         policy = RotationPolicy()

@@ -51,6 +51,29 @@ class TestTraceMatrix:
         with pytest.raises(TraceError):
             TraceMatrix(counts, 60.0, 3200)
 
+    def test_validation_rejects_nan_demand(self):
+        """NaN compares false everywhere, so without an explicit check
+        it would slip past the sign/capacity guards and be cast to a
+        garbage integer count."""
+        counts = np.zeros((5, 5))
+        counts[2, 1] = np.nan
+        with pytest.raises(TraceError, match="finite"):
+            TraceMatrix(counts, 60.0, 3200)
+
+    def test_validation_rejects_infinite_demand(self):
+        counts = np.zeros((5, 5))
+        counts[0, 0] = np.inf
+        with pytest.raises(TraceError, match="finite"):
+            TraceMatrix(counts, 60.0, 3200)
+        counts[0, 0] = -np.inf
+        with pytest.raises(TraceError):
+            TraceMatrix(counts, 60.0, 3200)
+
+    def test_validation_rejects_non_numeric_dtype(self):
+        counts = np.full((2, 5), "lots", dtype=object)
+        with pytest.raises(TraceError, match="numeric"):
+            TraceMatrix(counts, 60.0, 3200)
+
     def test_utilization_and_hot_fraction(self):
         counts = np.zeros((1, 5), dtype=int)
         counts[0, WORKLOAD_LIST.index(WORKLOADS["WebSearch"])] = 16
