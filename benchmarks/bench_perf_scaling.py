@@ -1,0 +1,123 @@
+"""Performance scaling benchmark: serial tick rate and parallel speedup.
+
+Unlike the ``bench_fig*`` files (pytest-benchmark reproductions of the
+paper's figures), this is a standalone script measuring the simulator
+itself:
+
+* **serial tick rate** -- ticks/second of one full simulation run,
+  the number the tick hot-path optimizations move;
+* **sweep wall-clock** -- a GV sweep run serially and through the
+  :class:`~repro.perf.runner.ExperimentRunner` process pool, plus the
+  resulting speedup.
+
+Results go to ``BENCH_perf.json``.  Parallel speedup is only meaningful
+with real cores: the JSON records ``cpu_count`` so a 1-core container
+reporting ~1x is legible as an environment limit, not a regression.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_perf_scaling.py
+    PYTHONPATH=src python benchmarks/bench_perf_scaling.py \
+        --servers 20 --hours 6 --points 4 --workers 2   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.analysis.sweep import gv_sweep
+from repro.config import TraceConfig, paper_cluster_config
+from repro.core.policies import make_scheduler
+from repro.cluster.simulation import ClusterSimulation
+from repro.perf.cache import clear_shared_cache
+
+
+def measure_tick_rate(num_servers: int, hours: float, seed: int) -> dict:
+    """Wall-clock one serial simulation; return ticks/sec and friends."""
+    config = paper_cluster_config(num_servers=num_servers, seed=seed)
+    config = config.replace(trace=TraceConfig(duration_hours=hours))
+    sim = ClusterSimulation(config, make_scheduler("vmt-ta", config),
+                            record_heatmaps=False)
+    ticks = sim.trace.num_steps
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "num_servers": num_servers,
+        "ticks": ticks,
+        "wall_s": elapsed,
+        "ticks_per_sec": ticks / elapsed,
+    }
+
+
+def measure_sweep(num_servers: int, points: int, workers: int,
+                  seed: int) -> dict:
+    """Time the same GV sweep serially and through the process pool."""
+    gvs = [14.0 + 2.0 * i for i in range(points)]
+
+    def run(max_workers):
+        clear_shared_cache()
+        start = time.perf_counter()
+        sweep = gv_sweep(gvs, ("vmt-ta",), num_servers=num_servers,
+                         seed=seed, max_workers=max_workers)
+        return time.perf_counter() - start, sweep
+
+    serial_s, serial_sweep = run(1)
+    parallel_s, parallel_sweep = run(workers)
+    identical = all(
+        (serial_sweep.reductions[p] == parallel_sweep.reductions[p]).all()
+        for p in serial_sweep.reductions)
+    return {
+        "points": points,
+        "num_servers": num_servers,
+        "workers": workers,
+        "serial_wall_s": serial_s,
+        "parallel_wall_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "bit_identical": bool(identical),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--servers", type=int, default=100)
+    parser.add_argument("--hours", type=float, default=48.0,
+                        help="trace duration for the tick-rate run")
+    parser.add_argument("--points", type=int, default=12,
+                        help="GV sweep size")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_perf.json")
+    args = parser.parse_args()
+
+    print(f"tick rate: {args.servers} servers, {args.hours:g} h trace ...")
+    tick = measure_tick_rate(args.servers, args.hours, args.seed)
+    print(f"  {tick['ticks']} ticks in {tick['wall_s']:.2f} s "
+          f"= {tick['ticks_per_sec']:,.0f} ticks/sec")
+
+    print(f"sweep: {args.points} GV points, serial vs "
+          f"{args.workers} workers ...")
+    sweep = measure_sweep(args.servers, args.points, args.workers,
+                          args.seed)
+    print(f"  serial {sweep['serial_wall_s']:.2f} s, parallel "
+          f"{sweep['parallel_wall_s']:.2f} s -> "
+          f"{sweep['speedup']:.2f}x speedup "
+          f"(bit-identical: {sweep['bit_identical']})")
+
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "tick_rate": tick,
+        "sweep": sweep,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0 if sweep["bit_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ from ..cluster.datacenter import Datacenter, DatacenterImpact
 from ..cluster.metrics import SimulationResult
 from ..cluster.simulation import run_simulation
 from ..config import SimulationConfig, WaxConfig, paper_cluster_config
+from ..perf.runner import ExperimentRunner, RunSpec
 from ..core.grouping import derive_gv_vmt_mapping
 from ..core.policies import make_scheduler
 from ..server.reliability import (ReliabilityModel, RotationPolicy,
@@ -191,17 +192,19 @@ class HotGroupTemps:
 
 
 def _hot_group_temps(policy: str, grouping_values: Sequence[float],
-                     num_servers: int, seed: int) -> HotGroupTemps:
+                     num_servers: int, seed: int,
+                     max_workers: Optional[int] = 1) -> HotGroupTemps:
     base = paper_cluster_config(num_servers=num_servers, seed=seed)
-    rr = run_simulation(base, make_scheduler("round-robin", base),
-                        record_heatmaps=False)
-    per_gv: Dict[float, np.ndarray] = {}
+    specs = [RunSpec(base, "round-robin", label="baseline")]
     for gv in grouping_values:
         config = paper_cluster_config(num_servers=num_servers,
                                       grouping_value=gv, seed=seed)
-        result = run_simulation(config, make_scheduler(policy, config),
-                                record_heatmaps=False)
-        per_gv[gv] = result.hot_group_mean_temp_c
+        specs.append(RunSpec(config, policy,
+                             label=f"{policy}[gv={gv:g}]"))
+    results = ExperimentRunner(max_workers).run(specs)
+    rr = results[0]
+    per_gv = {gv: result.hot_group_mean_temp_c
+              for gv, result in zip(grouping_values, results[1:])}
     return HotGroupTemps(times_hours=rr.times_hours, per_gv=per_gv,
                          round_robin_mean=rr.mean_temp_c,
                          melt_temp_c=base.wax.melt_temp_c)
@@ -209,16 +212,18 @@ def _hot_group_temps(policy: str, grouping_values: Sequence[float],
 
 def figure12_hot_group_temps(grouping_values: Sequence[float] = (
         21, 22, 23, 24, 25, 26), *, num_servers: int = 1000,
-        seed: int = 7) -> HotGroupTemps:
+        seed: int = 7, max_workers: Optional[int] = 1) -> HotGroupTemps:
     """VMT-TA average hot-group temperature vs GV (Fig. 12)."""
-    return _hot_group_temps("vmt-ta", grouping_values, num_servers, seed)
+    return _hot_group_temps("vmt-ta", grouping_values, num_servers, seed,
+                            max_workers)
 
 
 def figure15_hot_group_temps(grouping_values: Sequence[float] = (
         20, 21, 22, 24, 26), *, num_servers: int = 1000,
-        seed: int = 7) -> HotGroupTemps:
+        seed: int = 7, max_workers: Optional[int] = 1) -> HotGroupTemps:
     """VMT-WA average hot-group temperature vs GV (Fig. 15)."""
-    return _hot_group_temps("vmt-wa", grouping_values, num_servers, seed)
+    return _hot_group_temps("vmt-wa", grouping_values, num_servers, seed,
+                            max_workers)
 
 
 # --------------------------------------------------------------------------
@@ -236,23 +241,26 @@ class CoolingLoadStudy:
 
 
 def _cooling_load_study(policy: str, grouping_values: Sequence[float],
-                        num_servers: int, seed: int) -> CoolingLoadStudy:
+                        num_servers: int, seed: int,
+                        max_workers: Optional[int] = 1
+                        ) -> CoolingLoadStudy:
     base = paper_cluster_config(num_servers=num_servers, seed=seed)
-    rr = run_simulation(base, make_scheduler("round-robin", base),
-                        record_heatmaps=False)
-    cf = run_simulation(base, make_scheduler("coolest-first", base),
-                        record_heatmaps=False)
+    specs = [RunSpec(base, "round-robin", label="round-robin"),
+             RunSpec(base, "coolest-first", label="coolest-first")]
+    for gv in grouping_values:
+        config = paper_cluster_config(num_servers=num_servers,
+                                      grouping_value=gv, seed=seed)
+        specs.append(RunSpec(config, policy,
+                             label=f"{policy}[gv={gv:g}]"))
+    results = ExperimentRunner(max_workers).run(specs)
+    rr, cf = results[0], results[1]
     series = {"round-robin": rr.cooling_load_kw(),
               "coolest-first": cf.cooling_load_kw()}
     reductions = {
         "round-robin": 0.0,
         "coolest-first": cf.peak_reduction_vs(rr) * 100.0,
     }
-    for gv in grouping_values:
-        config = paper_cluster_config(num_servers=num_servers,
-                                      grouping_value=gv, seed=seed)
-        result = run_simulation(config, make_scheduler(policy, config),
-                                record_heatmaps=False)
+    for gv, result in zip(grouping_values, results[2:]):
         label = f"GV={gv:g}"
         series[label] = result.cooling_load_kw()
         reductions[label] = result.peak_reduction_vs(rr) * 100.0
@@ -261,23 +269,27 @@ def _cooling_load_study(policy: str, grouping_values: Sequence[float],
 
 
 def figure13_cooling_loads(grouping_values: Sequence[float] = (20, 22, 24),
-                           *, num_servers: int = 1000,
-                           seed: int = 7) -> CoolingLoadStudy:
+                           *, num_servers: int = 1000, seed: int = 7,
+                           max_workers: Optional[int] = 1
+                           ) -> CoolingLoadStudy:
     """VMT-TA cooling loads at three GVs (Fig. 13).
 
     Paper bars: RR 0.0, CF 0.0, GV20 0.0, GV22 -12.8%, GV24 -8.8%.
     """
-    return _cooling_load_study("vmt-ta", grouping_values, num_servers, seed)
+    return _cooling_load_study("vmt-ta", grouping_values, num_servers,
+                               seed, max_workers)
 
 
 def figure16_cooling_loads(grouping_values: Sequence[float] = (20, 22, 24),
-                           *, num_servers: int = 1000,
-                           seed: int = 7) -> CoolingLoadStudy:
+                           *, num_servers: int = 1000, seed: int = 7,
+                           max_workers: Optional[int] = 1
+                           ) -> CoolingLoadStudy:
     """VMT-WA cooling loads at three GVs (Fig. 16).
 
     Paper bars: RR 0.0, CF 0.0, GV20 -7.0%, GV22 -12.8%, GV24 -8.9%.
     """
-    return _cooling_load_study("vmt-wa", grouping_values, num_servers, seed)
+    return _cooling_load_study("vmt-wa", grouping_values, num_servers,
+                               seed, max_workers)
 
 
 # --------------------------------------------------------------------------
@@ -294,23 +306,25 @@ class ThresholdSweep:
 
 def figure17_wax_threshold(thresholds: Sequence[float] = (
         0.85, 0.90, 0.95, 0.98, 0.99, 1.00), *, grouping_value: float = 22.0,
-        num_servers: int = 100, seed: int = 7) -> ThresholdSweep:
+        num_servers: int = 100, seed: int = 7,
+        max_workers: Optional[int] = 1) -> ThresholdSweep:
     """Sweep the wax threshold for VMT-WA (Fig. 17).
 
     Paper: 8.0 / 11.1 / 12.8 / 12.8 / 12.8 / 12.8 percent -- maximum
     reduction is achieved at thresholds of 0.95 and above.
     """
     base = paper_cluster_config(num_servers=num_servers, seed=seed)
-    rr = run_simulation(base, make_scheduler("round-robin", base),
-                        record_heatmaps=False)
-    reductions = []
+    specs = [RunSpec(base, "round-robin", label="baseline")]
     for threshold in thresholds:
         config = paper_cluster_config(num_servers=num_servers,
                                       grouping_value=grouping_value,
                                       seed=seed, wax_threshold=threshold)
-        result = run_simulation(config, make_scheduler("vmt-wa", config),
-                                record_heatmaps=False)
-        reductions.append(result.peak_reduction_vs(rr) * 100.0)
+        specs.append(RunSpec(config, "vmt-wa",
+                             label=f"vmt-wa[threshold={threshold:g}]"))
+    results = ExperimentRunner(max_workers).run(specs)
+    rr = results[0]
+    reductions = [result.peak_reduction_vs(rr) * 100.0
+                  for result in results[1:]]
     return ThresholdSweep(
         thresholds=np.asarray(list(thresholds), dtype=np.float64),
         reductions_percent=np.asarray(reductions),
@@ -322,32 +336,37 @@ def figure17_wax_threshold(thresholds: Sequence[float] = (
 # --------------------------------------------------------------------------
 
 def figure18_gv_sweep(grouping_values: Sequence[float] = tuple(
-        range(10, 31, 2)), *, num_servers: int = 100,
-        seed: int = 7) -> SweepResult:
+        range(10, 31, 2)), *, num_servers: int = 100, seed: int = 7,
+        max_workers: Optional[int] = 1) -> SweepResult:
     """GV sweep for VMT-TA and VMT-WA on 100 servers (Fig. 18)."""
     return gv_sweep(grouping_values, ("vmt-ta", "vmt-wa"),
-                    num_servers=num_servers, seed=seed)
+                    num_servers=num_servers, seed=seed,
+                    max_workers=max_workers)
 
 
 def figure19_inlet_variation(grouping_values: Sequence[float] = tuple(
         range(16, 29, 2)), *, num_servers: int = 100,
         stdevs: Sequence[float] = (0.0, 1.0, 2.0),
-        seeds: Sequence[int] = range(5)) -> Dict[float, SweepResult]:
+        seeds: Sequence[int] = range(5),
+        max_workers: Optional[int] = 1) -> Dict[float, SweepResult]:
     """VMT-TA GV sweep under inlet temperature variation (Fig. 19)."""
     return {stdev: seed_averaged_sweep(grouping_values, "vmt-ta",
                                        num_servers=num_servers, seeds=seeds,
-                                       inlet_stdev_c=stdev)
+                                       inlet_stdev_c=stdev,
+                                       max_workers=max_workers)
             for stdev in stdevs}
 
 
 def figure20_inlet_variation(grouping_values: Sequence[float] = tuple(
         range(16, 29, 2)), *, num_servers: int = 100,
         stdevs: Sequence[float] = (0.0, 1.0, 2.0),
-        seeds: Sequence[int] = range(5)) -> Dict[float, SweepResult]:
+        seeds: Sequence[int] = range(5),
+        max_workers: Optional[int] = 1) -> Dict[float, SweepResult]:
     """VMT-WA GV sweep under inlet temperature variation (Fig. 20)."""
     return {stdev: seed_averaged_sweep(grouping_values, "vmt-wa",
                                        num_servers=num_servers, seeds=seeds,
-                                       inlet_stdev_c=stdev)
+                                       inlet_stdev_c=stdev,
+                                       max_workers=max_workers)
             for stdev in stdevs}
 
 
@@ -401,8 +420,8 @@ class TCOStudy:
 
 def tco_analysis(peak_reduction: Optional[float] = None, *,
                  conservative_reduction: float = 0.06,
-                 num_servers: int = 1000,
-                 seed: int = 7) -> TCOStudy:
+                 num_servers: int = 1000, seed: int = 7,
+                 max_workers: Optional[int] = 1) -> TCOStudy:
     """Quantify the TCO benefits of a peak cooling load reduction.
 
     When ``peak_reduction`` is None the headline experiment (VMT-TA,
@@ -411,10 +430,9 @@ def tco_analysis(peak_reduction: Optional[float] = None, *,
     if peak_reduction is None:
         config = paper_cluster_config(num_servers=num_servers,
                                       grouping_value=22.0, seed=seed)
-        rr = run_simulation(config, make_scheduler("round-robin", config),
-                            record_heatmaps=False)
-        ta = run_simulation(config, make_scheduler("vmt-ta", config),
-                            record_heatmaps=False)
+        rr, ta = ExperimentRunner(max_workers).run(
+            [RunSpec(config, "round-robin", label="tco-baseline"),
+             RunSpec(config, "vmt-ta", label="tco-vmt-ta")])
         peak_reduction = ta.peak_reduction_vs(rr)
     datacenter = Datacenter()
     tco = TCOModel()

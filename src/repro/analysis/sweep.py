@@ -4,18 +4,27 @@ The paper's evaluation is mostly sweeps: grouping value, wax threshold,
 inlet variation.  These helpers run a scheduler across a parameter range
 against a shared round-robin baseline, optionally averaging over seeds
 (Figs. 19/20 average five runs).
+
+Every sweep point is an independent simulation, so the helpers describe
+their runs as :class:`~repro.perf.runner.RunSpec` jobs and hand them to
+an :class:`~repro.perf.runner.ExperimentRunner`: ``max_workers=1`` (the
+default) executes serially in-process, larger values fan the points
+across a process pool.  Either way the demand trace for each distinct
+(trace config, cluster size, seed) is built exactly once per process via
+the shared trace cache, and results are bit-identical to the naive
+one-at-a-time loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..cluster.simulation import run_simulation
-from ..core.policies import make_scheduler
+from ..cluster.metrics import SimulationResult
 from ..config import paper_cluster_config
+from ..perf.runner import ExperimentRunner, RunSpec
 
 
 @dataclass(frozen=True)
@@ -33,50 +42,93 @@ class SweepResult:
         return float(self.values[idx]), float(series[idx])
 
 
-def gv_sweep(grouping_values: Sequence[float],
-             policies: Sequence[str] = ("vmt-ta", "vmt-wa"), *,
-             num_servers: int = 100, seed: int = 7,
-             inlet_stdev_c: float = 0.0,
-             wax_threshold: float = 0.98) -> SweepResult:
-    """Sweep the grouping value for one or more VMT policies (Fig. 18)."""
+def _gv_sweep_specs(grouping_values: Sequence[float],
+                    policies: Sequence[str], *, num_servers: int,
+                    seed: int, inlet_stdev_c: float,
+                    wax_threshold: float) -> List[RunSpec]:
+    """Baseline spec followed by one spec per (gv, policy), in order."""
     base = paper_cluster_config(num_servers=num_servers, seed=seed,
                                 inlet_stdev_c=inlet_stdev_c,
                                 wax_threshold=wax_threshold)
-    baseline = run_simulation(base, make_scheduler("round-robin", base),
-                              record_heatmaps=False)
-    reductions: Dict[str, List[float]] = {p: [] for p in policies}
+    specs = [RunSpec(base, "round-robin",
+                     label=f"baseline[seed={seed}]")]
     for gv in grouping_values:
         config = paper_cluster_config(num_servers=num_servers,
                                       grouping_value=gv, seed=seed,
                                       inlet_stdev_c=inlet_stdev_c,
                                       wax_threshold=wax_threshold)
         for policy in policies:
-            result = run_simulation(config,
-                                    make_scheduler(policy, config),
-                                    record_heatmaps=False)
-            reductions[policy].append(result.peak_reduction_vs(baseline))
+            specs.append(RunSpec(config, policy,
+                                 label=f"{policy}[gv={gv:g},seed={seed}]"))
+    return specs
+
+
+def _gv_reductions(results: Sequence[SimulationResult],
+                   grouping_values: Sequence[float],
+                   policies: Sequence[str]) -> Dict[str, np.ndarray]:
+    """Fold a ``_gv_sweep_specs`` result list back into reduction series."""
+    baseline = results[0]
+    reductions: Dict[str, List[float]] = {p: [] for p in policies}
+    cursor = 1
+    for _gv in grouping_values:
+        for policy in policies:
+            reductions[policy].append(
+                results[cursor].peak_reduction_vs(baseline))
+            cursor += 1
+    return {p: np.asarray(v) for p, v in reductions.items()}
+
+
+def gv_sweep(grouping_values: Sequence[float],
+             policies: Sequence[str] = ("vmt-ta", "vmt-wa"), *,
+             num_servers: int = 100, seed: int = 7,
+             inlet_stdev_c: float = 0.0,
+             wax_threshold: float = 0.98,
+             max_workers: Optional[int] = 1) -> SweepResult:
+    """Sweep the grouping value for one or more VMT policies (Fig. 18).
+
+    Every sweep point shares one generated trace (they only differ in
+    GV, which the trace does not depend on), and ``max_workers`` > 1
+    runs the points in parallel without changing a single output bit.
+    """
+    specs = _gv_sweep_specs(grouping_values, policies,
+                            num_servers=num_servers, seed=seed,
+                            inlet_stdev_c=inlet_stdev_c,
+                            wax_threshold=wax_threshold)
+    results = ExperimentRunner(max_workers).run(specs)
     return SweepResult(
         parameter_name="grouping_value",
         values=np.asarray(list(grouping_values), dtype=np.float64),
-        reductions={p: np.asarray(v) for p, v in reductions.items()},
+        reductions=_gv_reductions(results, grouping_values, policies),
     )
 
 
 def seed_averaged_sweep(grouping_values: Sequence[float], policy: str, *,
-                        num_servers: int = 100, seeds: Sequence[int] = range(5),
-                        inlet_stdev_c: float = 0.0) -> SweepResult:
+                        num_servers: int = 100,
+                        seeds: Sequence[int] = range(5),
+                        inlet_stdev_c: float = 0.0,
+                        max_workers: Optional[int] = 1) -> SweepResult:
     """Average a GV sweep over several seeds (Figs. 19/20).
 
     Each seed re-draws the inlet temperature distribution (and the
     trace/scheduler noise streams); reductions are computed against that
-    seed's own round-robin baseline, then averaged.
+    seed's own round-robin baseline, then averaged.  All seeds' runs go
+    to the runner as one batch so a parallel pool can interleave them.
     """
-    per_seed: List[np.ndarray] = []
+    seeds = list(seeds)
+    specs: List[RunSpec] = []
+    spans: List[Tuple[int, int]] = []
     for seed in seeds:
-        result = gv_sweep(grouping_values, (policy,),
-                          num_servers=num_servers, seed=seed,
-                          inlet_stdev_c=inlet_stdev_c)
-        per_seed.append(result.reductions[policy])
+        start = len(specs)
+        specs.extend(_gv_sweep_specs(grouping_values, (policy,),
+                                     num_servers=num_servers, seed=seed,
+                                     inlet_stdev_c=inlet_stdev_c,
+                                     wax_threshold=0.98))
+        spans.append((start, len(specs)))
+    results = ExperimentRunner(max_workers).run(specs)
+    per_seed = [
+        _gv_reductions(results[start:end], grouping_values,
+                       (policy,))[policy]
+        for start, end in spans]
     stacked = np.vstack(per_seed)
     return SweepResult(
         parameter_name="grouping_value",

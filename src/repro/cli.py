@@ -8,6 +8,8 @@ Installs as ``repro-sim`` (see pyproject) and also runs as
 * ``compare``  -- policies vs the round-robin baseline
 * ``resilience`` -- policies under an injected fault scenario
 * ``sweep``    -- grouping-value sweep for the VMT policies
+  (``--workers N`` fans the sweep points across a process pool)
+* ``profile``  -- per-subsystem tick timing for one simulation
 * ``trace``    -- the two-day trace and its landmarks
 * ``heatmap``  -- ASCII temperature / wax heatmaps for a policy
 * ``tco``      -- datacenter-scale TCO what-if
@@ -154,7 +156,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     values = np.arange(args.start, args.stop + 1e-9, args.step)
     sweep = gv_sweep([float(v) for v in values], tuple(args.policies),
                      num_servers=args.servers, seed=args.seed,
-                     inlet_stdev_c=args.inlet_stdev)
+                     inlet_stdev_c=args.inlet_stdev,
+                     max_workers=args.workers or None)
     headers = ["GV"] + list(args.policies)
     rows = []
     for i, gv in enumerate(sweep.values):
@@ -165,6 +168,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for policy in args.policies:
         gv, best = sweep.best(policy)
         print(f"best {policy}: GV={gv:g} ({best * 100:.1f}%)")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .perf.profiler import TickProfiler
+    config = _config_from(args)
+    profiler = TickProfiler()
+    result = run_simulation(config, make_scheduler(args.policy, config),
+                            record_heatmaps=False, profiler=profiler)
+    timings = profiler.timings().values()
+    total_s = sum(t.total_s for t in timings)
+    rows = [(t.name, f"{t.calls}", f"{t.total_s * 1e3:.1f}",
+             f"{t.mean_us:.1f}",
+             f"{t.total_s / total_s * 100:.1f}%" if total_s > 0 else "--")
+            for t in timings]
+    print(format_table(
+        ["subsystem", "calls", "total (ms)", "mean (us)", "share"], rows))
+    ticks = profiler.ticks
+    if ticks and total_s > 0:
+        print(f"\n{ticks} ticks, {ticks / total_s:,.0f} ticks/sec "
+              f"(instrumented sections only)")
+    print(f"peak cooling load: {result.peak_cooling_load_w / 1e3:.2f} kW")
     return 0
 
 
@@ -362,7 +387,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--policies", nargs="+",
                        choices=("vmt-ta", "vmt-wa", "vmt-preserve"),
                        default=["vmt-ta", "vmt-wa"])
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the sweep points "
+                            "(default 1 = serial; 0 = all cores)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    profile = sub.add_parser(
+        "profile", help="per-subsystem tick timing for one run")
+    _add_cluster_args(profile)
+    profile.add_argument("--policy", choices=SCHEDULER_NAMES,
+                         default="vmt-ta")
+    profile.set_defaults(func=_cmd_profile)
 
     trace = sub.add_parser("trace", help="show the two-day trace")
     trace.add_argument("--servers", type=int, default=100)

@@ -20,6 +20,7 @@ The physical pipeline per tick mirrors the paper's DCsim model:
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
@@ -30,6 +31,14 @@ from ..sim.rng import RngStreams
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..faults.state import FaultState
+    from ..perf.profiler import TickProfiler
+
+
+def _readonly(arr: np.ndarray) -> np.ndarray:
+    """A zero-copy read-only view of ``arr``."""
+    view = arr.view()
+    view.flags.writeable = False
+    return view
 from ..server.power import LinearPowerModel
 from ..server.sensors import TemperatureSensor
 from ..thermal.inlet import draw_inlet_temperatures
@@ -54,11 +63,13 @@ class Cluster:
 
     def __init__(self, config: SimulationConfig,
                  rng_streams: Optional[RngStreams] = None, *,
-                 fault_state: Optional["FaultState"] = None) -> None:
+                 fault_state: Optional["FaultState"] = None,
+                 profiler: Optional["TickProfiler"] = None) -> None:
         config.validate()
         self._config = config
         self._n = config.num_servers
         self._faults = fault_state
+        self._profiler = profiler
         streams = rng_streams if rng_streams is not None \
             else RngStreams(config.seed)
 
@@ -85,6 +96,7 @@ class Cluster:
         self._power_w = np.full(self._n, config.server.idle_power_w)
         self._dynamic_w = np.zeros(self._n)
         self._last_q_wax = np.zeros(self._n)
+        self._last_melt_fraction = self._pcm.melt_fraction
         self._time_s = 0.0
 
     # -- static facts -----------------------------------------------------
@@ -140,6 +152,39 @@ class Cluster:
     def inlet_temp_c(self) -> np.ndarray:
         """Per-server inlet temperatures (fixed for a run)."""
         return self._air.inlet_temp_c.copy()
+
+    # -- zero-copy state views ----------------------------------------------
+    #
+    # The public properties above defensively copy so external callers
+    # can never corrupt the physics.  The per-tick metrics path reads
+    # four of those arrays every minute of simulated time; these views
+    # expose the same values without allocation.  They are read-only and
+    # only valid until the next :meth:`step`.
+
+    @property
+    def air_temp_c_view(self) -> np.ndarray:
+        """Read-only view of the per-server air temperatures."""
+        return _readonly(self._air.temperature_c)
+
+    @property
+    def power_w_view(self) -> np.ndarray:
+        """Read-only view of the per-server IT power from the last step."""
+        return _readonly(self._power_w)
+
+    @property
+    def wax_absorption_w_view(self) -> np.ndarray:
+        """Read-only view of the last step's heat flow into the wax."""
+        return _readonly(self._last_q_wax)
+
+    @property
+    def wax_melt_fraction_view(self) -> np.ndarray:
+        """Read-only view of the melt fractions after the last step.
+
+        Unlike :attr:`wax_melt_fraction` this does not recompute the
+        enthalpy-to-fraction mapping: :meth:`step` already needs the
+        fractions for estimator anchoring and caches them.
+        """
+        return _readonly(self._last_melt_fraction)
 
     @property
     def cpu_junction_temp_c(self) -> np.ndarray:
@@ -230,9 +275,20 @@ class Cluster:
             # Dead servers draw nothing -- not even the idle floor.
             self._power_w = np.where(faults.active, self._power_w, 0.0)
             self._dynamic_w = np.where(faults.active, dynamic, 0.0)
+
+        prof = self._profiler
+        mark = time.perf_counter() if prof is not None else 0.0
         t_air = self._air.step(self._power_w, dt_s)
+        if prof is not None:
+            now = time.perf_counter()
+            prof.add("air_model", now - mark)
+            mark = now
         self._last_q_wax = self._pcm.step(
             t_air, self._config.thermal.ha_w_per_k, dt_s)
+        if prof is not None:
+            now = time.perf_counter()
+            prof.add("pcm", now - mark)
+            mark = now
         estimator_input = t_air
         if faults is not None:
             # The container-exterior sensor is what the estimator reads;
@@ -249,6 +305,9 @@ class Cluster:
             anchored = anchored & ~faults.wax_sensor_faulty
         if np.any(anchored):
             self._estimator.correct(truth, mask=anchored)
+        if prof is not None:
+            prof.add("estimator", time.perf_counter() - mark)
+        self._last_melt_fraction = truth
         self._time_s += dt_s
 
         total_power = float(self._power_w.sum())

@@ -9,40 +9,77 @@ temperatures (Figs. 12/15).  :class:`MetricsCollector` accumulates them;
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from ..config import SimulationConfig
 from ..errors import SimulationError
 
+#: Scalar series buffers, in (attribute, dtype) order.  Kept in one table
+#: so the preallocation, growth, and finish paths cannot drift apart.
+_SCALAR_SERIES = (
+    ("times_s", np.float64),
+    ("cooling_load_w", np.float64),
+    ("it_power_w", np.float64),
+    ("wax_absorption_w", np.float64),
+    ("mean_temp_c", np.float64),
+    ("hot_group_mean_temp_c", np.float64),
+    ("cold_group_mean_temp_c", np.float64),
+    ("mean_melt_fraction", np.float64),
+    ("hot_group_size", np.int64),
+    ("jobs", np.int64),
+    ("max_cpu_temp_c", np.float64),
+    ("availability", np.float64),
+    ("displaced_jobs", np.int64),
+    ("cooling_capacity_factor", np.float64),
+)
+
+#: Default buffer size when the caller cannot predict the tick count.
+_DEFAULT_CAPACITY = 1024
+
 
 class MetricsCollector:
     """Accumulates per-tick series during a simulation run.
+
+    Buffers are preallocated numpy arrays, not growing Python lists:
+    pass ``capacity`` (normally ``trace.num_steps``) and every tick is a
+    handful of scalar stores into fixed storage.  When the capacity is
+    unknown (or underestimated) the buffers double transparently.
 
     ``record_heatmaps=False`` skips the (steps x servers) arrays to keep
     1,000-server parameter sweeps light.
     """
 
-    def __init__(self, record_heatmaps: bool = True) -> None:
+    def __init__(self, record_heatmaps: bool = True,
+                 capacity: Optional[int] = None) -> None:
         self._record_heatmaps = record_heatmaps
-        self._times_s: List[float] = []
-        self._cooling_w: List[float] = []
-        self._power_w: List[float] = []
-        self._absorbed_w: List[float] = []
-        self._mean_temp: List[float] = []
-        self._hot_mean_temp: List[float] = []
-        self._cold_mean_temp: List[float] = []
-        self._mean_melt: List[float] = []
-        self._hot_group_size: List[int] = []
-        self._jobs: List[int] = []
-        self._max_cpu_temp: List[float] = []
-        self._availability: List[float] = []
-        self._displaced: List[int] = []
-        self._cooling_factor: List[float] = []
-        self._temp_rows: List[np.ndarray] = []
-        self._melt_rows: List[np.ndarray] = []
+        self._capacity = (int(capacity) if capacity and capacity > 0
+                          else _DEFAULT_CAPACITY)
+        self._size = 0
+        self._series: Dict[str, np.ndarray] = {
+            name: np.empty(self._capacity, dtype=dtype)
+            for name, dtype in _SCALAR_SERIES}
+        # Heatmap buffers need the server count; allocated lazily on the
+        # first record.
+        self._temp_map: Optional[np.ndarray] = None
+        self._melt_map: Optional[np.ndarray] = None
+
+    def _grow(self) -> None:
+        self._capacity *= 2
+        for name, buffer in self._series.items():
+            grown = np.empty(self._capacity, dtype=buffer.dtype)
+            grown[:self._size] = buffer[:self._size]
+            self._series[name] = grown
+        for attr in ("_temp_map", "_melt_map"):
+            buffer = getattr(self, attr)
+            if buffer is not None:
+                grown = np.empty((self._capacity, buffer.shape[1]),
+                                 dtype=buffer.dtype)
+                grown[:self._size] = buffer[:self._size]
+                setattr(self, attr, grown)
 
     def record(self, time_s: float, *, air_temp_c: np.ndarray,
                melt_fraction: np.ndarray, power_w: np.ndarray,
@@ -52,67 +89,74 @@ class MetricsCollector:
                availability: float = 1.0, displaced_jobs: int = 0,
                cooling_capacity_factor: float = 1.0) -> None:
         """Record one tick's state."""
-        self._times_s.append(float(time_s))
-        self._max_cpu_temp.append(float(max_cpu_temp_c))
-        self._availability.append(float(availability))
-        self._displaced.append(int(displaced_jobs))
-        self._cooling_factor.append(float(cooling_capacity_factor))
+        if self._size == self._capacity:
+            self._grow()
+        idx = self._size
+        series = self._series
+        series["times_s"][idx] = time_s
+        series["max_cpu_temp_c"][idx] = max_cpu_temp_c
+        series["availability"][idx] = availability
+        series["displaced_jobs"][idx] = displaced_jobs
+        series["cooling_capacity_factor"][idx] = cooling_capacity_factor
         total_power = float(power_w.sum())
         total_absorbed = float(wax_absorption_w.sum())
-        self._power_w.append(total_power)
-        self._absorbed_w.append(total_absorbed)
-        self._cooling_w.append(total_power - total_absorbed)
-        self._mean_temp.append(float(air_temp_c.mean()))
-        self._mean_melt.append(float(melt_fraction.mean()))
-        self._jobs.append(int(jobs))
+        series["it_power_w"][idx] = total_power
+        series["wax_absorption_w"][idx] = total_absorbed
+        series["cooling_load_w"][idx] = total_power - total_absorbed
+        series["mean_temp_c"][idx] = air_temp_c.mean()
+        series["mean_melt_fraction"][idx] = melt_fraction.mean()
+        series["jobs"][idx] = jobs
         if hot_mask is not None and hot_mask.any():
-            self._hot_mean_temp.append(float(air_temp_c[hot_mask].mean()))
+            series["hot_group_mean_temp_c"][idx] = \
+                air_temp_c[hot_mask].mean()
             cold = ~hot_mask
-            self._cold_mean_temp.append(
-                float(air_temp_c[cold].mean()) if cold.any()
-                else float("nan"))
-            self._hot_group_size.append(int(hot_mask.sum()))
+            series["cold_group_mean_temp_c"][idx] = (
+                air_temp_c[cold].mean() if cold.any() else float("nan"))
+            series["hot_group_size"][idx] = int(hot_mask.sum())
         else:
-            self._hot_mean_temp.append(float("nan"))
-            self._cold_mean_temp.append(float("nan"))
-            self._hot_group_size.append(0)
+            series["hot_group_mean_temp_c"][idx] = float("nan")
+            series["cold_group_mean_temp_c"][idx] = float("nan")
+            series["hot_group_size"][idx] = 0
         if self._record_heatmaps:
-            self._temp_rows.append(np.asarray(air_temp_c, dtype=np.float32)
-                                   .copy())
-            self._melt_rows.append(np.asarray(melt_fraction,
-                                              dtype=np.float32).copy())
+            if self._temp_map is None:
+                width = len(air_temp_c)
+                self._temp_map = np.empty((self._capacity, width),
+                                          dtype=np.float32)
+                self._melt_map = np.empty((self._capacity, width),
+                                          dtype=np.float32)
+            self._temp_map[idx] = air_temp_c
+            self._melt_map[idx] = melt_fraction
+        self._size = idx + 1
+
+    def _trimmed(self, buffer: np.ndarray) -> np.ndarray:
+        if self._size == len(buffer):
+            return buffer
+        return buffer[:self._size].copy()
 
     def finish(self, config: SimulationConfig, scheduler_name: str,
-               recovery_times_s: Optional[List[float]] = None
+               recovery_times_s: Optional[List[float]] = None,
+               profile: Optional[Dict[str, Any]] = None
                ) -> "SimulationResult":
         """Freeze the collected series into a result object."""
-        if not self._times_s:
+        if self._size == 0:
             raise SimulationError("no ticks were recorded")
-        heat = (np.vstack(self._temp_rows) if self._temp_rows else None)
-        melt = (np.vstack(self._melt_rows) if self._melt_rows else None)
+        heat = (self._trimmed(self._temp_map)
+                if self._temp_map is not None else None)
+        melt = (self._trimmed(self._melt_map)
+                if self._melt_map is not None else None)
         recovery = (np.asarray(recovery_times_s, dtype=np.float64)
                     if recovery_times_s is not None
                     else np.zeros(0))
+        trimmed = {name: self._trimmed(buffer)
+                   for name, buffer in self._series.items()}
         return SimulationResult(
             config=config,
             scheduler_name=scheduler_name,
-            times_s=np.asarray(self._times_s),
-            cooling_load_w=np.asarray(self._cooling_w),
-            it_power_w=np.asarray(self._power_w),
-            wax_absorption_w=np.asarray(self._absorbed_w),
-            mean_temp_c=np.asarray(self._mean_temp),
-            hot_group_mean_temp_c=np.asarray(self._hot_mean_temp),
-            cold_group_mean_temp_c=np.asarray(self._cold_mean_temp),
-            mean_melt_fraction=np.asarray(self._mean_melt),
-            hot_group_size=np.asarray(self._hot_group_size),
-            jobs=np.asarray(self._jobs),
-            max_cpu_temp_c=np.asarray(self._max_cpu_temp),
-            availability=np.asarray(self._availability),
-            displaced_jobs=np.asarray(self._displaced),
-            cooling_capacity_factor=np.asarray(self._cooling_factor),
             recovery_times_s=recovery,
             temp_heatmap=heat,
             melt_heatmap=melt,
+            profile=profile,
+            **trimmed,
         )
 
 
@@ -139,6 +183,37 @@ class SimulationResult:
     recovery_times_s: Optional[np.ndarray] = None
     temp_heatmap: Optional[np.ndarray] = None
     melt_heatmap: Optional[np.ndarray] = None
+    #: Per-subsystem tick timings (``TickProfiler.snapshot()``) when the
+    #: run was profiled; ``None`` otherwise.  Wall-clock only -- never
+    #: part of the simulated state or the fingerprint.
+    profile: Optional[Dict[str, Dict[str, float]]] = None
+
+    #: Array fields hashed by :meth:`fingerprint`, in hashing order.
+    FINGERPRINT_FIELDS = (
+        "times_s", "cooling_load_w", "it_power_w", "wax_absorption_w",
+        "mean_temp_c", "hot_group_mean_temp_c", "cold_group_mean_temp_c",
+        "mean_melt_fraction", "hot_group_size", "jobs", "max_cpu_temp_c",
+        "availability", "displaced_jobs", "cooling_capacity_factor",
+        "recovery_times_s", "temp_heatmap", "melt_heatmap")
+
+    def fingerprint(self) -> str:
+        """A short, stable hash of every simulated series.
+
+        Two runs with identical physics produce identical fingerprints
+        regardless of *how* they executed (serial, pooled, profiled,
+        trace-cached), which is the contract the performance layer is
+        tested against.
+        """
+        digest = hashlib.sha256()
+        for name in self.FINGERPRINT_FIELDS:
+            arr = getattr(self, name)
+            if arr is None:
+                continue
+            arr = np.ascontiguousarray(arr)
+            digest.update(name.encode())
+            digest.update(str(arr.dtype).encode())
+            digest.update(arr.tobytes())
+        return digest.hexdigest()[:16]
 
     @property
     def times_hours(self) -> np.ndarray:

@@ -16,7 +16,8 @@ tracks availability, displaced jobs, and failure-to-replacement times.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+import time
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 import numpy as np
 
@@ -29,6 +30,9 @@ from ..sim.rng import RngStreams
 from ..workloads.trace import TraceMatrix, TwoDayTrace
 from .cluster import Cluster
 from .metrics import MetricsCollector, SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..perf.profiler import TickProfiler
 
 #: Observer signature: (time_s, demand_vector, placement, cluster).
 Observer = Callable[[float, np.ndarray, "object", Cluster], None]
@@ -45,7 +49,8 @@ class ClusterSimulation:
     def __init__(self, config: SimulationConfig, scheduler: Scheduler, *,
                  trace: Optional[TraceMatrix] = None,
                  record_heatmaps: bool = True,
-                 fault_injector: Optional["FaultInjector"] = None) -> None:
+                 fault_injector: Optional["FaultInjector"] = None,
+                 profiler: Optional["TickProfiler"] = None) -> None:
         config.validate()
         if scheduler.config.num_servers != config.num_servers:
             raise SimulationError(
@@ -60,8 +65,10 @@ class ClusterSimulation:
         fault_state = (fault_injector.state
                        if fault_injector is not None else None)
         self._fault_state = fault_state
+        self._profiler = profiler
         self._cluster = Cluster(config, self._streams,
-                                fault_state=fault_state)
+                                fault_state=fault_state,
+                                profiler=profiler)
         self._scheduler = scheduler
         if trace is None:
             trace = TwoDayTrace(config.trace).generate(
@@ -70,7 +77,8 @@ class ClusterSimulation:
         if trace.total_cores != config.total_cores:
             trace = trace.scaled_to(config.num_servers, config.server.cores)
         self._trace = trace
-        self._metrics = MetricsCollector(record_heatmaps=record_heatmaps)
+        self._metrics = MetricsCollector(record_heatmaps=record_heatmaps,
+                                         capacity=trace.num_steps)
         self._engine = Engine()
         self._step_index = 0
         self._observers: List[Observer] = []
@@ -132,23 +140,30 @@ class ClusterSimulation:
     def _tick(self, now_s: float) -> None:
         if self._step_index >= self._trace.num_steps:
             return
+        prof = self._profiler
         demand = self._trace.demand_at(self._step_index)
         displaced = self._displaced_this_tick()
         view = self._cluster.view()
-        placement = self._scheduler.place(demand, view)
+        if prof is None:
+            placement = self._scheduler.place(demand, view)
+        else:
+            mark = time.perf_counter()
+            placement = self._scheduler.place(demand, view)
+            prof.add("placement", time.perf_counter() - mark)
         if self._fault_state is not None:
             # The full demand (including any displaced jobs) has been
             # re-placed on surviving servers: pending failures recovered.
             self._fault_state.note_recovered(now_s)
         self._cluster.step(placement.allocation,
                            self._trace.step_seconds)
+        mark = time.perf_counter() if prof is not None else 0.0
         if self._fault_state is None:
             self._metrics.record(
                 self._cluster.time_s,
-                air_temp_c=self._cluster.air_temp_c,
-                melt_fraction=self._cluster.wax_melt_fraction,
-                power_w=self._cluster.power_w,
-                wax_absorption_w=self._cluster.wax_absorption_w,
+                air_temp_c=self._cluster.air_temp_c_view,
+                melt_fraction=self._cluster.wax_melt_fraction_view,
+                power_w=self._cluster.power_w_view,
+                wax_absorption_w=self._cluster.wax_absorption_w_view,
                 jobs=int(demand.sum()),
                 hot_mask=placement.hot_group_mask,
                 max_cpu_temp_c=float(
@@ -157,10 +172,10 @@ class ClusterSimulation:
         else:
             self._metrics.record(
                 self._cluster.time_s,
-                air_temp_c=self._cluster.air_temp_c,
-                melt_fraction=self._cluster.wax_melt_fraction,
-                power_w=self._cluster.power_w,
-                wax_absorption_w=self._cluster.wax_absorption_w,
+                air_temp_c=self._cluster.air_temp_c_view,
+                melt_fraction=self._cluster.wax_melt_fraction_view,
+                power_w=self._cluster.power_w_view,
+                wax_absorption_w=self._cluster.wax_absorption_w_view,
                 jobs=int(demand.sum()),
                 hot_mask=placement.hot_group_mask,
                 max_cpu_temp_c=float(
@@ -169,6 +184,9 @@ class ClusterSimulation:
                 displaced_jobs=displaced,
                 cooling_capacity_factor=self._fault_state.cooling_factor,
             )
+        if prof is not None:
+            prof.add("metrics", time.perf_counter() - mark)
+            prof.count_tick()
         self._last_allocation = placement.allocation
         self._notify_observers(demand, placement)
         self._step_index += 1
@@ -183,20 +201,26 @@ class ClusterSimulation:
         duration = self._trace.num_steps * self._trace.step_seconds
         self._engine.run_until(duration - 1e-9)
         process.stop()
+        profile = (self._profiler.snapshot()
+                   if self._profiler is not None else None)
         if self._injector is not None:
             self._injector.detach()
             return self._metrics.finish(
                 self._config, self._scheduler.name,
-                recovery_times_s=self._fault_state.recovery_times_s)
-        return self._metrics.finish(self._config, self._scheduler.name)
+                recovery_times_s=self._fault_state.recovery_times_s,
+                profile=profile)
+        return self._metrics.finish(self._config, self._scheduler.name,
+                                    profile=profile)
 
 
 def run_simulation(config: SimulationConfig, scheduler: Scheduler, *,
                    trace: Optional[TraceMatrix] = None,
                    record_heatmaps: bool = True,
-                   fault_injector: Optional["FaultInjector"] = None
+                   fault_injector: Optional["FaultInjector"] = None,
+                   profiler: Optional["TickProfiler"] = None
                    ) -> SimulationResult:
     """Convenience one-call experiment runner."""
     return ClusterSimulation(config, scheduler, trace=trace,
                              record_heatmaps=record_heatmaps,
-                             fault_injector=fault_injector).run()
+                             fault_injector=fault_injector,
+                             profiler=profiler).run()

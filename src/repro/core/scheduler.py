@@ -119,6 +119,15 @@ def waterfill_quotas(total: int, capacities: np.ndarray,
     leftover job does not always land on server 0.
 
     Raises :class:`CapacityError` when total capacity is insufficient.
+
+    The even spread is the water level ``L``: every server gets
+    ``min(cap, L)`` for the largest ``L`` that fits under ``total``, and
+    the sub-unit remainder (one job each to the first few unsaturated
+    servers, rotated) tops it up.  ``L`` is found in closed form from
+    the sorted capacities -- with ``k`` servers saturated (the ``k``
+    smallest), the level is ``(total - sum_of_k_smallest) // (n - k)``,
+    and the right ``k`` is the first whose candidate level sits below
+    the ``k``-th smallest capacity.
     """
     caps = np.asarray(capacities, dtype=np.int64)
     if np.any(caps < 0):
@@ -128,18 +137,19 @@ def waterfill_quotas(total: int, capacities: np.ndarray,
     if total > caps.sum():
         raise CapacityError(
             f"cannot place {total} jobs into capacity {int(caps.sum())}")
-    quotas = np.zeros_like(caps)
-    remaining = total
-    while remaining > 0:
-        active = np.flatnonzero(quotas < caps)
-        share = remaining // len(active)
-        if share == 0:
-            rotated = np.roll(active, -(tie_offset % len(active)))
-            quotas[rotated[:remaining]] += 1
-            break
-        add = np.minimum(caps[active] - quotas[active], share)
-        quotas[active] += add
-        remaining -= int(add.sum())
+    if total == int(caps.sum()):
+        return caps.copy()
+    sorted_caps = np.sort(caps)
+    saturated_sum = np.concatenate(([0], np.cumsum(sorted_caps)[:-1]))
+    unsaturated = len(caps) - np.arange(len(caps))
+    candidates = (total - saturated_sum) // unsaturated
+    level = candidates[int(np.argmax(candidates < sorted_caps))]
+    quotas = np.minimum(caps, level)
+    remaining = total - int(quotas.sum())
+    if remaining:
+        active = np.flatnonzero(caps > level)
+        rotated = np.roll(active, -(tie_offset % len(active)))
+        quotas[rotated[:remaining]] += 1
     return quotas
 
 

@@ -1,0 +1,216 @@
+"""The parallel experiment engine.
+
+Sweeps and multi-cluster studies are sets of *independent* simulations:
+each run owns its seed-derived RNG streams, its own cluster state, and
+its own metrics.  :class:`ExperimentRunner` exploits that by fanning
+:class:`RunSpec` jobs across a :class:`concurrent.futures.ProcessPoolExecutor`
+while guaranteeing:
+
+* **determinism** -- results come back in submission order and each job
+  is bit-identical to running it serially (worker processes replay the
+  exact same seeded construction path);
+* **graceful fallback** -- ``max_workers=1``, a single job, or a host
+  where process pools are unavailable (restricted environments, missing
+  semaphores) all degrade to plain in-process execution;
+* **error capture** -- an exception inside any job is caught *in the
+  worker*, wrapped in a :class:`RunFailure` naming the failing spec,
+  and either re-raised in the parent (default) or returned in-place.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Union
+
+from ..cluster.metrics import SimulationResult
+from ..config import SimulationConfig
+from ..errors import SimulationError
+from .cache import shared_trace
+from .profiler import TickProfiler
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation job, as a picklable value.
+
+    The spec carries everything a worker process needs to reconstruct
+    the run: the full configuration, the policy *name* (schedulers are
+    built inside the worker -- live scheduler objects never cross the
+    process boundary), and the trace/measurement flags.
+    """
+
+    config: SimulationConfig
+    policy: str
+    label: str = ""
+    record_heatmaps: bool = False
+    #: Time shift applied to the trace (multi-cluster stagger), hours.
+    trace_shift_hours: float = 0.0
+    #: When False the run regenerates its trace in-simulation instead of
+    #: using the process-wide cache (bit-identical either way; useful
+    #: for cache-bypass comparisons).
+    use_trace_cache: bool = True
+    #: Attach a TickProfiler and surface its snapshot on the result.
+    profile: bool = False
+
+    @property
+    def name(self) -> str:
+        """Human-readable identity used in error messages and reports."""
+        if self.label:
+            return self.label
+        return (f"{self.policy}[servers={self.config.num_servers},"
+                f"seed={self.config.seed}]")
+
+    def with_label(self, label: str) -> "RunSpec":
+        """Copy of the spec under a different label."""
+        return replace(self, label=label)
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """A job that raised, with enough context to debug it."""
+
+    spec: RunSpec
+    error_type: str
+    message: str
+    traceback_text: str = field(repr=False, default="")
+
+    def raise_(self) -> None:
+        """Re-raise as a :class:`SimulationError` naming the spec."""
+        raise SimulationError(
+            f"run '{self.spec.name}' failed with {self.error_type}: "
+            f"{self.message}")
+
+
+Outcome = Union[SimulationResult, RunFailure]
+
+
+def execute_spec(spec: RunSpec) -> SimulationResult:
+    """Run one spec to completion in the current process.
+
+    This is the single execution path for serial *and* parallel runs --
+    workers import and call exactly this function -- which is what makes
+    worker-count-independence trivially true.
+    """
+    # Imported here (not at module top) to keep the import graph acyclic:
+    # the cluster layer must not depend on the perf layer at import time.
+    from ..cluster.simulation import run_simulation
+    from ..core.policies import make_scheduler
+
+    trace = None
+    if spec.use_trace_cache:
+        trace = shared_trace(spec.config,
+                             shift_hours=spec.trace_shift_hours)
+    elif spec.trace_shift_hours:
+        # Cache bypass still honors the stagger: same generation path,
+        # just without memoization.
+        from ..sim.rng import RngStreams
+        from ..workloads.trace import TwoDayTrace
+        rng = RngStreams(spec.config.seed).stream("trace")
+        trace = TwoDayTrace(spec.config.trace).generate(
+            spec.config.num_servers, spec.config.server.cores,
+            rng=rng).shifted(spec.trace_shift_hours)
+    profiler = TickProfiler() if spec.profile else None
+    scheduler = make_scheduler(spec.policy, spec.config)
+    return run_simulation(spec.config, scheduler, trace=trace,
+                          record_heatmaps=spec.record_heatmaps,
+                          profiler=profiler)
+
+
+def _execute_captured(spec: RunSpec) -> Outcome:
+    """Worker entry point: never lets an exception escape the job."""
+    try:
+        return execute_spec(spec)
+    except BaseException as exc:  # noqa: BLE001 -- capture by design
+        return RunFailure(spec=spec, error_type=type(exc).__name__,
+                          message=str(exc),
+                          traceback_text=traceback.format_exc())
+
+
+class ExperimentRunner:
+    """Runs batches of :class:`RunSpec` jobs, parallel when it helps.
+
+    Parameters
+    ----------
+    max_workers:
+        Upper bound on worker processes.  ``1`` forces in-process serial
+        execution; ``None`` uses every available core.  The pool is
+        created per :meth:`run` call and sized to
+        ``min(max_workers, len(specs))``.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise SimulationError("max_workers must be >= 1 (or None)")
+        self._max_workers = max_workers
+
+    @property
+    def max_workers(self) -> Optional[int]:
+        """The configured worker bound (``None`` = all cores)."""
+        return self._max_workers
+
+    def _worker_count(self, num_jobs: int) -> int:
+        import os
+        limit = self._max_workers
+        if limit is None:
+            limit = os.cpu_count() or 1
+        return max(1, min(limit, num_jobs))
+
+    def run(self, specs: Sequence[RunSpec], *,
+            raise_on_error: bool = True) -> List[Outcome]:
+        """Execute every spec and return results in submission order.
+
+        With ``raise_on_error`` (the default) the first failing job
+        aborts the batch with a :class:`SimulationError` that names the
+        failing spec; otherwise failures come back as :class:`RunFailure`
+        entries in the result list, positionally aligned with their
+        specs.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        workers = self._worker_count(len(specs))
+        if workers <= 1:
+            outcomes = self._run_serial(specs)
+        else:
+            outcomes = self._run_pool(specs, workers)
+        if raise_on_error:
+            for outcome in outcomes:
+                if isinstance(outcome, RunFailure):
+                    outcome.raise_()
+        return outcomes
+
+    def run_one(self, spec: RunSpec) -> SimulationResult:
+        """Convenience: execute a single spec in-process."""
+        result = self.run([spec])[0]
+        assert isinstance(result, SimulationResult)
+        return result
+
+    @staticmethod
+    def _run_serial(specs: Sequence[RunSpec]) -> List[Outcome]:
+        return [_execute_captured(spec) for spec in specs]
+
+    def _run_pool(self, specs: Sequence[RunSpec],
+                  workers: int) -> List[Outcome]:
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError, NotImplementedError):
+            # No usable process pool on this host (e.g. missing POSIX
+            # semaphores in sandboxes): degrade to serial, same results.
+            return self._run_serial(specs)
+        try:
+            with pool:
+                futures = [pool.submit(_execute_captured, spec)
+                           for spec in specs]
+                # Collect in submission order, not completion order, so
+                # callers can zip results back onto their specs.
+                return [future.result() for future in futures]
+        except BaseException as exc:
+            # A worker died hard (segfault, OOM kill) and took the pool
+            # with it; we cannot know which job did it, so surface the
+            # whole batch.
+            names = ", ".join(spec.name for spec in specs)
+            raise SimulationError(
+                f"worker pool crashed ({type(exc).__name__}: {exc}) "
+                f"while running: {names}") from exc

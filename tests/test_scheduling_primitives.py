@@ -60,6 +60,39 @@ class TestWaterfill:
         if below_cap.any():
             assert quotas[below_cap].max() - quotas[below_cap].min() <= 1
 
+    @staticmethod
+    def _iterative_waterfill(total, caps, tie_offset):
+        """The original round-by-round algorithm, as a reference."""
+        quotas = np.zeros_like(caps)
+        remaining = total
+        while remaining > 0:
+            active = np.flatnonzero(quotas < caps)
+            share = remaining // len(active)
+            if share == 0:
+                rotated = np.roll(active, -(tie_offset % len(active)))
+                quotas[rotated[:remaining]] += 1
+                break
+            add = np.minimum(caps[active] - quotas[active], share)
+            quotas[active] += add
+            remaining -= int(add.sum())
+        return quotas
+
+    @given(st.integers(min_value=0, max_value=400),
+           st.lists(st.integers(min_value=0, max_value=32), min_size=1,
+                    max_size=20),
+           st.integers(min_value=0, max_value=25))
+    @settings(max_examples=200, deadline=None)
+    def test_property_matches_iterative_reference(self, total, caps,
+                                                  tie_offset):
+        # The closed-form water level must reproduce the iterative
+        # dealing *exactly*, remainder rotation included.
+        caps = np.asarray(caps, dtype=np.int64)
+        total = min(total, int(caps.sum()))
+        got = waterfill_quotas(total, caps, tie_offset)
+        want = self._iterative_waterfill(total, caps, tie_offset)
+        assert np.array_equal(got, want)
+        assert got.dtype == want.dtype
+
 
 class TestPack:
     def test_fills_in_order(self):
