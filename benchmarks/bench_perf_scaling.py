@@ -61,7 +61,7 @@ def measure_sweep(num_servers: int, points: int, workers: int,
     def run(max_workers):
         clear_shared_cache()
         start = time.perf_counter()
-        sweep = gv_sweep(gvs, ("vmt-ta",), num_servers=num_servers,
+        sweep = gv_sweep(gvs, policies=("vmt-ta",), num_servers=num_servers,
                          seed=seed, max_workers=max_workers)
         return time.perf_counter() - start, sweep
 

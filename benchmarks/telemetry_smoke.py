@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""CI smoke test for the observability layer.
+
+For each policy this script runs a small telemetry-enabled simulation,
+validates every emitted JSONL trace line and the run manifest against
+the versioned schemas, and asserts the cardinal invariant: the
+fingerprint recorded in the manifest is bit-identical to the same run
+executed with telemetry disabled.
+
+Usage::
+
+    python benchmarks/telemetry_smoke.py [--servers N] [--hours H]
+"""
+
+import argparse
+import dataclasses
+import sys
+import tempfile
+
+from repro import api
+from repro.core import SCHEDULER_NAMES
+from repro.obs import read_manifests, validate_manifest, validate_trace_file
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--servers", type=int, default=16)
+    parser.add_argument("--hours", type=float, default=4.0)
+    args = parser.parse_args()
+
+    from repro import paper_cluster_config
+    base = paper_cluster_config(num_servers=args.servers,
+                                grouping_value=22.0)
+    config = base.replace(
+        trace=dataclasses.replace(base.trace, duration_hours=args.hours))
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="telemetry-smoke-") as tmp:
+        for policy in SCHEDULER_NAMES:
+            with_tel = api.run(policy=policy, config=config,
+                               record_heatmaps=False, telemetry=tmp)
+            without = api.run(policy=policy, config=config,
+                              record_heatmaps=False)
+            fp_on = with_tel.fingerprint()
+            fp_off = without.fingerprint()
+            parity = "OK" if fp_on == fp_off else "MISMATCH"
+            print(f"{policy:<16} fingerprint {fp_on} "
+                  f"(telemetry off: {fp_off}) parity={parity}")
+            if fp_on != fp_off:
+                failures += 1
+
+        manifests = read_manifests(tmp)
+        if len(manifests) != len(SCHEDULER_NAMES):
+            print(f"expected {len(SCHEDULER_NAMES)} manifests, "
+                  f"found {len(manifests)}")
+            failures += 1
+        for manifest in manifests:
+            validate_manifest(manifest)
+            lines = validate_trace_file(
+                f"{tmp}/{manifest['run_id']}.trace.jsonl")
+            recorded = manifest["result_fingerprint"]
+            print(f"{manifest['run_id']:<40} {lines} trace lines valid, "
+                  f"manifest fingerprint {recorded}")
+
+    if failures:
+        print(f"\nFAILED: {failures} policy/manifest check(s) failed")
+        return 1
+    print("\ntelemetry smoke OK: every trace line valid, fingerprints "
+          "bit-identical with telemetry on and off")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,15 +14,12 @@ Usage::
 
 import sys
 
-from repro import paper_cluster_config
-from repro.cluster.multi import run_datacenter
+from repro import api
 
 
 def main() -> None:
     servers = int(sys.argv[1]) if len(sys.argv) > 1 else 50
     clusters = int(sys.argv[2]) if len(sys.argv) > 2 else 3
-    config = paper_cluster_config(num_servers=servers,
-                                  grouping_value=22.0)
     print(f"Simulating {clusters} clusters x {servers} servers "
           f"({clusters * 2} full runs)...\n")
 
@@ -30,7 +27,8 @@ def main() -> None:
     results = {}
     for stagger in (0.0, 8.0):
         for policy in ("round-robin", "vmt-ta"):
-            result = run_datacenter(config, clusters, policy=policy,
+            result = api.datacenter(num_clusters=clusters, policy=policy,
+                                    num_servers=servers, gv=22.0,
                                     stagger_hours=stagger)
             results[(stagger, policy)] = result
             rows.append((f"{stagger:.0f} h", policy,

@@ -3,11 +3,12 @@
 
 An operator deploying VMT must pick the GV that maximizes peak cooling
 load reduction for their workload mixture.  This example sweeps GV for
-both VMT algorithms, prints the reduction curves, and reports the best
-setting -- plus the risk picture the paper highlights: VMT-TA collapses
-when the GV is set too low (wax melts out before the peak) while VMT-WA
-degrades gracefully, so operators who cannot predict load day-to-day
-should bias high or run VMT-WA.
+both VMT algorithms through :func:`repro.api.sweep`, prints the
+reduction curves, and reports the best setting -- plus the risk picture
+the paper highlights: VMT-TA collapses when the GV is set too low (wax
+melts out before the peak) while VMT-WA degrades gracefully, so
+operators who cannot predict load day-to-day should bias high or run
+VMT-WA.
 
 Usage::
 
@@ -16,7 +17,8 @@ Usage::
 
 import sys
 
-from repro.analysis import format_table, gv_sweep
+from repro import api
+from repro.analysis import format_table
 
 
 def main() -> None:
@@ -24,8 +26,9 @@ def main() -> None:
     grouping_values = [14, 16, 18, 20, 21, 22, 23, 24, 26, 28, 30]
     print(f"Sweeping GV over {grouping_values} on {num_servers} servers "
           f"(two full simulations per GV)...\n")
-    sweep = gv_sweep(grouping_values, ("vmt-ta", "vmt-wa"),
-                     num_servers=num_servers)
+    sweep = api.sweep(grouping_values=grouping_values,
+                      policies=("vmt-ta", "vmt-wa"),
+                      num_servers=num_servers)
 
     rows = []
     for i, gv in enumerate(sweep.values):

@@ -6,6 +6,10 @@ under four schedulers -- round robin, coolest first, VMT-TA, and VMT-WA
 -- and reports each policy's peak cooling load and its reduction against
 the round-robin baseline (the paper's Figure 13/16 bars).
 
+Everything goes through the stable :mod:`repro.api` facade: one
+``compare`` call runs all four policies against the identical cluster
+and trace.
+
 Usage::
 
     python examples/quickstart.py [num_servers]
@@ -13,30 +17,28 @@ Usage::
 
 import sys
 
-from repro import make_scheduler, paper_cluster_config, run_simulation
+from repro import api
 
 
 def main() -> None:
     num_servers = int(sys.argv[1]) if len(sys.argv) > 1 else 100
-    config = paper_cluster_config(num_servers=num_servers,
-                                  grouping_value=22.0)
-    print(f"Simulating {num_servers} PCM-enabled servers over the "
-          f"two-day trace ({config.trace.num_steps} one-minute ticks)\n")
+    duel = api.compare(
+        policies=("round-robin", "coolest-first", "vmt-ta", "vmt-wa"),
+        num_servers=num_servers, gv=22.0)
+    print(f"Simulated {num_servers} PCM-enabled servers over the "
+          f"two-day trace ({duel.config.trace.num_steps} one-minute "
+          f"ticks)\n")
 
-    baseline = run_simulation(config,
-                              make_scheduler("round-robin", config),
-                              record_heatmaps=False)
     print(f"{'policy':<16} {'peak cooling (kW)':>18} {'reduction':>10}")
-    print(f"{baseline.scheduler_name:<16} "
-          f"{baseline.peak_cooling_load_w / 1e3:>18.2f} {'--':>10}")
-
-    for policy in ("coolest-first", "vmt-ta", "vmt-wa"):
-        result = run_simulation(config, make_scheduler(policy, config),
-                                record_heatmaps=False)
-        reduction = result.peak_reduction_vs(baseline) * 100.0
+    for policy in duel.policies:
+        result = duel[policy]
+        if policy == "round-robin":
+            reduction = "--"
+        else:
+            reduction = f"{duel.peak_reduction(policy) * 100:.1f}%"
         print(f"{result.scheduler_name:<16} "
               f"{result.peak_cooling_load_w / 1e3:>18.2f} "
-              f"{reduction:>9.1f}%")
+              f"{reduction:>10}")
 
     print("\nThe VMT policies melt wax in a hot group of servers even "
           "though the\ncluster average temperature never reaches the "

@@ -9,15 +9,22 @@ five-workload suite with a two-day diurnal trace, baselines (round robin
 and coolest first), reliability and TCO models, and an experiment harness
 that regenerates each of the paper's figures and tables.
 
-Quickstart::
+Quickstart (the stable facade)::
+
+    from repro import api
+
+    duel = api.compare(policies=("vmt-ta", "round-robin"),
+                       num_servers=100, gv=22.0)
+    print(f"peak cooling reduction: "
+          f"{duel.peak_reduction('vmt-ta') * 100:.1f}%")
+
+The building blocks behind the facade stay public::
 
     from repro import paper_cluster_config, make_scheduler, run_simulation
 
     config = paper_cluster_config(num_servers=100, grouping_value=22.0)
-    vmt = run_simulation(config, make_scheduler("vmt-ta", config))
-    rr = run_simulation(config, make_scheduler("round-robin", config))
-    print(f"peak cooling reduction: "
-          f"{vmt.peak_reduction_vs(rr) * 100:.1f}%")
+    vmt = run_simulation(config, make_scheduler("vmt-ta", config),
+                         telemetry="runs/")  # JSONL trace + manifest
 """
 
 from .config import (CoolingFaultSpec, FaultConfig, SchedulerConfig,
@@ -26,11 +33,15 @@ from .config import (CoolingFaultSpec, FaultConfig, SchedulerConfig,
                      WaxConfig, paper_cluster_config)
 from .errors import (CapacityError, ConfigurationError, FaultInjectionError,
                      ReproError, SchedulingError, SensorError,
-                     SimulationError, ThermalModelError, TraceError)
+                     SimulationError, TelemetryError, ThermalModelError,
+                     TraceError)
 from .cluster import (Cluster, ClusterSimulation, ClusterView, Datacenter,
                       DatacenterImpact, DatacenterResult, MetricsCollector,
-                      MultiClusterSimulation, SimulationResult,
+                      MultiClusterSimulation, Observer, SimulationResult,
                       run_datacenter, run_simulation)
+from .obs import (MetricRegistry, RunLedger, Telemetry, Tracer,
+                  read_manifests)
+from . import api
 from .core import (CoolestFirstScheduler, GroupSizer, Placement,
                    RoundRobinScheduler, Scheduler, SCHEDULER_NAMES,
                    VMTPreserveScheduler, VMTThermalAwareScheduler,
@@ -63,7 +74,10 @@ __all__ = [
     # errors
     "CapacityError", "ConfigurationError", "FaultInjectionError",
     "ReproError", "SchedulingError", "SensorError", "SimulationError",
-    "ThermalModelError", "TraceError",
+    "TelemetryError", "ThermalModelError", "TraceError",
+    # facade + observability
+    "api", "MetricRegistry", "Observer", "RunLedger", "Telemetry",
+    "Tracer", "read_manifests",
     # fault injection
     "FaultInjector", "FaultState", "cooling_derate",
     "kill_hot_group_fraction", "kill_servers", "merge_scenarios",

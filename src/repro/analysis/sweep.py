@@ -17,13 +17,16 @@ one-at-a-time loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..cluster.metrics import SimulationResult
 from ..config import paper_cluster_config
+from ..errors import ConfigurationError
+from ..obs.telemetry import TelemetryLike, telemetry_directory
 from ..perf.runner import ExperimentRunner, RunSpec
 
 
@@ -78,22 +81,40 @@ def _gv_reductions(results: Sequence[SimulationResult],
     return {p: np.asarray(v) for p, v in reductions.items()}
 
 
-def gv_sweep(grouping_values: Sequence[float],
-             policies: Sequence[str] = ("vmt-ta", "vmt-wa"), *,
+def gv_sweep(grouping_values: Sequence[float], *args,
+             policies: Sequence[str] = ("vmt-ta", "vmt-wa"),
              num_servers: int = 100, seed: int = 7,
              inlet_stdev_c: float = 0.0,
              wax_threshold: float = 0.98,
-             max_workers: Optional[int] = 1) -> SweepResult:
+             max_workers: Optional[int] = 1,
+             telemetry: TelemetryLike = None) -> SweepResult:
     """Sweep the grouping value for one or more VMT policies (Fig. 18).
 
     Every sweep point shares one generated trace (they only differ in
     GV, which the trace does not depend on), and ``max_workers`` > 1
     runs the points in parallel without changing a single output bit.
+    With ``telemetry`` (a directory), every sweep point writes its own
+    trace/metrics/manifest bundle there, labeled by policy and GV.
     """
+    if args:
+        # Pre-1.1 signature allowed ``gv_sweep(values, policies)``.
+        if len(args) > 1:
+            raise ConfigurationError(
+                "gv_sweep takes at most one positional argument after "
+                "grouping_values (the deprecated policies sequence)")
+        warnings.warn(
+            "passing policies positionally to gv_sweep is deprecated; "
+            "use gv_sweep(values, policies=...)",
+            DeprecationWarning, stacklevel=2)
+        policies = args[0]
     specs = _gv_sweep_specs(grouping_values, policies,
                             num_servers=num_servers, seed=seed,
                             inlet_stdev_c=inlet_stdev_c,
                             wax_threshold=wax_threshold)
+    telemetry_dir = telemetry_directory(telemetry)
+    if telemetry_dir is not None:
+        specs = [replace(spec, telemetry_dir=telemetry_dir)
+                 for spec in specs]
     results = ExperimentRunner(max_workers).run(specs)
     return SweepResult(
         parameter_name="grouping_value",

@@ -1,0 +1,197 @@
+"""The stable, keyword-only facade over the simulation stack.
+
+Everything a typical study needs is reachable through four calls:
+
+* :func:`run` -- one policy, one cluster, one result;
+* :func:`compare` -- several policies on the *same* cluster, with the
+  peak-cooling-reduction arithmetic done for you;
+* :func:`sweep` -- the grouping-value sweep (Fig. 18 and friends);
+* :func:`datacenter` -- K clusters sharing one cooling plant.
+
+All arguments are keyword-only, and config overrides are accepted
+directly -- no need to build a :class:`~repro.config.SimulationConfig`
+first::
+
+    from repro import api
+
+    result = api.run(policy="vmt-wa", num_servers=100, gv=22.0,
+                     telemetry="runs/")
+    duel = api.compare(policies=("vmt-ta", "round-robin"),
+                       num_servers=100)
+    print(f"{duel.peak_reduction('vmt-ta') * 100:.1f}% peak reduction")
+
+Passing a prebuilt ``config=`` is the escape hatch for everything the
+shortcuts do not cover (fault scenarios, custom wax, trace shape); the
+shortcut keywords and ``config=`` are mutually exclusive so a call site
+can never silently half-override a config.
+
+Every function accepts ``telemetry=`` (a directory or
+:class:`~repro.obs.telemetry.Telemetry`): runs then write JSONL traces,
+per-tick metric columns, and ledger manifests there without changing a
+single simulated bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from .analysis.sweep import SweepResult, gv_sweep
+from .cluster.metrics import SimulationResult
+from .cluster.multi import DatacenterResult, run_datacenter
+from .cluster.simulation import run_simulation
+from .config import SimulationConfig, paper_cluster_config
+from .core.policies import SCHEDULER_NAMES, make_scheduler
+from .errors import ConfigurationError
+from .obs.telemetry import TelemetryLike, telemetry_directory
+from .perf.runner import ExperimentRunner, RunSpec
+from .workloads.trace import TraceMatrix
+
+__all__ = ["Comparison", "run", "compare", "sweep", "datacenter"]
+
+
+def _build_config(config: Optional[SimulationConfig], *,
+                  num_servers: Optional[int], gv: Optional[float],
+                  seed: Optional[int], inlet_stdev_c: Optional[float],
+                  wax_threshold: Optional[float]) -> SimulationConfig:
+    """Resolve ``config=`` vs the shortcut keywords (mutually exclusive)."""
+    shortcuts = {"num_servers": num_servers, "gv": gv, "seed": seed,
+                 "inlet_stdev_c": inlet_stdev_c,
+                 "wax_threshold": wax_threshold}
+    given = [name for name, value in shortcuts.items() if value is not None]
+    if config is not None:
+        if given:
+            raise ConfigurationError(
+                f"pass either config= or the shortcut keywords "
+                f"({', '.join(given)}), not both")
+        return config
+    return paper_cluster_config(
+        num_servers=num_servers if num_servers is not None else 100,
+        grouping_value=gv if gv is not None else 22.0,
+        seed=seed if seed is not None else 7,
+        inlet_stdev_c=inlet_stdev_c if inlet_stdev_c is not None else 0.0,
+        wax_threshold=wax_threshold if wax_threshold is not None else 0.98)
+
+
+def _check_policy(policy: str) -> str:
+    if policy not in SCHEDULER_NAMES:
+        raise ConfigurationError(
+            f"unknown policy {policy!r}; choose from "
+            f"{', '.join(SCHEDULER_NAMES)}")
+    return policy
+
+
+def run(*, policy: str, config: Optional[SimulationConfig] = None,
+        num_servers: Optional[int] = None, gv: Optional[float] = None,
+        seed: Optional[int] = None, inlet_stdev_c: Optional[float] = None,
+        wax_threshold: Optional[float] = None,
+        trace: Optional[TraceMatrix] = None, record_heatmaps: bool = True,
+        telemetry: TelemetryLike = None) -> SimulationResult:
+    """Run one policy on one cluster and return its result.
+
+    Shortcut defaults reproduce the README quickstart: 100 servers,
+    GV=22, seed 7, noise-free inlets, wax threshold 0.98.
+    """
+    _check_policy(policy)
+    resolved = _build_config(config, num_servers=num_servers, gv=gv,
+                             seed=seed, inlet_stdev_c=inlet_stdev_c,
+                             wax_threshold=wax_threshold)
+    return run_simulation(resolved, make_scheduler(policy, resolved),
+                          trace=trace, record_heatmaps=record_heatmaps,
+                          telemetry=telemetry)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Results of several policies on the same cluster configuration."""
+
+    config: SimulationConfig
+    results: Dict[str, SimulationResult]
+
+    def __getitem__(self, policy: str) -> SimulationResult:
+        return self.results[policy]
+
+    @property
+    def policies(self) -> Tuple[str, ...]:
+        """The compared policies, in the order they were requested."""
+        return tuple(self.results)
+
+    def peak_reduction(self, policy: str,
+                       baseline: str = "round-robin") -> float:
+        """Fractional peak-cooling-load reduction of one policy vs another."""
+        for name in (policy, baseline):
+            if name not in self.results:
+                raise ConfigurationError(
+                    f"{name!r} was not part of this comparison "
+                    f"(ran: {', '.join(self.results)})")
+        return self.results[policy].peak_reduction_vs(
+            self.results[baseline])
+
+
+def compare(*, policies: Sequence[str] = ("vmt-ta", "round-robin"),
+            config: Optional[SimulationConfig] = None,
+            num_servers: Optional[int] = None, gv: Optional[float] = None,
+            seed: Optional[int] = None,
+            inlet_stdev_c: Optional[float] = None,
+            wax_threshold: Optional[float] = None,
+            record_heatmaps: bool = False,
+            max_workers: Optional[int] = 1,
+            telemetry: TelemetryLike = None) -> Comparison:
+    """Run several policies against the identical cluster and trace.
+
+    Every policy sees the same config and the same generated trace, so
+    :meth:`Comparison.peak_reduction` is an apples-to-apples number.
+    """
+    policies = tuple(dict.fromkeys(policies))  # dedupe, keep order
+    if not policies:
+        raise ConfigurationError("compare needs at least one policy")
+    for policy in policies:
+        _check_policy(policy)
+    resolved = _build_config(config, num_servers=num_servers, gv=gv,
+                             seed=seed, inlet_stdev_c=inlet_stdev_c,
+                             wax_threshold=wax_threshold)
+    telemetry_dir = telemetry_directory(telemetry)
+    specs = [RunSpec(resolved, policy, record_heatmaps=record_heatmaps,
+                     telemetry_dir=telemetry_dir)
+             for policy in policies]
+    results = ExperimentRunner(max_workers).run(specs)
+    return Comparison(config=resolved,
+                      results=dict(zip(policies, results)))
+
+
+def sweep(*, grouping_values: Sequence[float],
+          policies: Sequence[str] = ("vmt-ta", "vmt-wa"),
+          num_servers: int = 100, seed: int = 7,
+          inlet_stdev_c: float = 0.0, wax_threshold: float = 0.98,
+          max_workers: Optional[int] = 1,
+          telemetry: TelemetryLike = None) -> SweepResult:
+    """Sweep the grouping value against a round-robin baseline."""
+    for policy in policies:
+        _check_policy(policy)
+    return gv_sweep(grouping_values, policies=tuple(policies),
+                    num_servers=num_servers, seed=seed,
+                    inlet_stdev_c=inlet_stdev_c,
+                    wax_threshold=wax_threshold, max_workers=max_workers,
+                    telemetry=telemetry)
+
+
+def datacenter(*, num_clusters: int, policy: str = "round-robin",
+               config: Optional[SimulationConfig] = None,
+               num_servers: Optional[int] = None,
+               gv: Optional[float] = None, seed: Optional[int] = None,
+               stagger_hours: float = 0.0,
+               max_workers: Optional[int] = 1,
+               record_heatmaps: bool = False,
+               telemetry: TelemetryLike = None) -> DatacenterResult:
+    """Simulate ``num_clusters`` clusters sharing one cooling plant."""
+    _check_policy(policy)
+    if num_clusters <= 0:
+        raise ConfigurationError("need at least one cluster")
+    resolved = _build_config(config, num_servers=num_servers, gv=gv,
+                             seed=seed, inlet_stdev_c=None,
+                             wax_threshold=None)
+    return run_datacenter(resolved, num_clusters, policy=policy,
+                          stagger_hours=stagger_hours,
+                          max_workers=max_workers,
+                          record_heatmaps=record_heatmaps,
+                          telemetry=telemetry)

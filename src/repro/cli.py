@@ -4,7 +4,9 @@ Installs as ``repro-sim`` (see pyproject) and also runs as
 ``python -m repro.cli``.  Subcommands cover the everyday workflows:
 
 * ``run``      -- one simulation, summary (optionally saved to .npz);
-  ``--kill``/``--stuck-wax``/``--derate``/``--hazard`` inject faults
+  ``--kill``/``--stuck-wax``/``--derate``/``--hazard`` inject faults;
+  ``--telemetry DIR`` writes a JSONL trace + metrics + run manifest
+* ``ledger``   -- list or verify the run manifests in a telemetry dir
 * ``compare``  -- policies vs the round-robin baseline
 * ``resilience`` -- policies under an injected fault scenario
 * ``sweep``    -- grouping-value sweep for the VMT policies
@@ -122,14 +124,21 @@ def _with_faults(config, args: argparse.Namespace):
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _with_faults(_config_from(args), args)
     scheduler = make_scheduler(args.policy, config)
+    telemetry = None
+    if args.telemetry:
+        from .obs.telemetry import Telemetry
+        telemetry = Telemetry(args.telemetry)
     result = run_simulation(config, scheduler,
-                            record_heatmaps=bool(args.save))
+                            record_heatmaps=bool(args.save),
+                            telemetry=telemetry)
     summary = result.summary()
     rows = [(key, value) for key, value in summary.items()]
     print(format_table(["metric", "value"], rows))
     if args.save:
         path = save_result(result, args.save)
         print(f"\nsaved result to {path}")
+    if telemetry is not None:
+        print(f"\ntelemetry: {telemetry.manifest_path}")
     return 0
 
 
@@ -154,10 +163,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis.sweep import gv_sweep
     values = np.arange(args.start, args.stop + 1e-9, args.step)
-    sweep = gv_sweep([float(v) for v in values], tuple(args.policies),
+    sweep = gv_sweep([float(v) for v in values],
+                     policies=tuple(args.policies),
                      num_servers=args.servers, seed=args.seed,
                      inlet_stdev_c=args.inlet_stdev,
-                     max_workers=args.workers or None)
+                     max_workers=args.workers or None,
+                     telemetry=args.telemetry)
     headers = ["GV"] + list(args.policies)
     rows = []
     for i, gv in enumerate(sweep.values):
@@ -311,6 +322,41 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from .obs.ledger import read_manifests
+    from .obs.schema import validate_trace_file
+    import os
+    manifests = read_manifests(args.dir)
+    if not manifests:
+        print(f"no run manifests under {args.dir}")
+        return 1
+    if args.verify:
+        rows = []
+        failures = 0
+        for m in manifests:
+            trace_name = m.get("files", {}).get("trace")
+            if trace_name is None:
+                rows.append((m["run_id"], "--", "no trace recorded"))
+                continue
+            path = os.path.join(args.dir, trace_name)
+            try:
+                count = validate_trace_file(path)
+                rows.append((m["run_id"], f"{count}", "valid"))
+            except ReproError as exc:
+                failures += 1
+                rows.append((m["run_id"], "--", f"INVALID: {exc}"))
+        print(format_table(["run", "trace lines", "status"], rows))
+        return 1 if failures else 0
+    rows = [(m["run_id"], m["policy"], f"{m['num_servers']}",
+             f"{m['seed']}", f"{m['ticks']}", m["result_fingerprint"],
+             f"{m['wall_clock_s']:.1f}s")
+            for m in manifests]
+    print(format_table(
+        ["run", "policy", "servers", "seed", "ticks", "fingerprint",
+         "wall clock"], rows))
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     config = paper_cluster_config(num_servers=args.servers)
     rows = [(w.name, f"{w.per_cpu_power_w:.1f} W", w.thermal_class.value)
@@ -352,6 +398,9 @@ def build_parser() -> argparse.ArgumentParser:
                      default="vmt-ta")
     run.add_argument("--save", metavar="PATH",
                      help="save the result to a .npz file")
+    run.add_argument("--telemetry", metavar="DIR",
+                     help="write a JSONL trace, per-tick metrics, and a "
+                          "run manifest into this directory")
     run.set_defaults(func=_cmd_run)
 
     resilience = sub.add_parser(
@@ -390,6 +439,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes for the sweep points "
                             "(default 1 = serial; 0 = all cores)")
+    sweep.add_argument("--telemetry", metavar="DIR",
+                       help="write one telemetry bundle per sweep point "
+                            "into this directory")
     sweep.set_defaults(func=_cmd_sweep)
 
     profile = sub.add_parser(
@@ -417,6 +469,14 @@ def build_parser() -> argparse.ArgumentParser:
     tco.add_argument("--reduction", type=float, default=None,
                      help="skip simulation; use this fraction (e.g. 0.128)")
     tco.set_defaults(func=_cmd_tco)
+
+    ledger = sub.add_parser(
+        "ledger", help="list or verify run manifests in a telemetry dir")
+    ledger.add_argument("dir", help="telemetry directory to inspect")
+    ledger.add_argument("--verify", action="store_true",
+                        help="validate every recorded JSONL trace "
+                             "against the schema")
+    ledger.set_defaults(func=_cmd_ledger)
 
     info = sub.add_parser("info", help="workloads and calibration")
     info.add_argument("--servers", type=int, default=1000)

@@ -13,14 +13,14 @@
 from .cluster import Cluster
 from .state import ClusterView
 from .metrics import MetricsCollector, SimulationResult
-from .simulation import ClusterSimulation, run_simulation
+from .simulation import ClusterSimulation, Observer, run_simulation
 from .datacenter import Datacenter, DatacenterImpact
 from .multi import (DatacenterResult, MultiClusterSimulation,
                     run_datacenter)
 
 __all__ = [
-    "Cluster", "ClusterView", "MetricsCollector", "SimulationResult",
-    "ClusterSimulation", "run_simulation", "Datacenter",
-    "DatacenterImpact", "DatacenterResult", "MultiClusterSimulation",
-    "run_datacenter",
+    "Cluster", "ClusterView", "MetricsCollector", "Observer",
+    "SimulationResult", "ClusterSimulation", "run_simulation",
+    "Datacenter", "DatacenterImpact", "DatacenterResult",
+    "MultiClusterSimulation", "run_datacenter",
 ]

@@ -212,6 +212,26 @@ class Cluster:
             return np.ones(self._n, dtype=bool)
         return self._faults.active.copy()
 
+    # -- observability -----------------------------------------------------
+
+    def register_metrics(self, registry) -> None:
+        """Publish cluster gauges and delegate to the thermal subsystems.
+
+        Everything registered here is a callback-backed read of ground
+        truth -- never the sensed path -- so sampling cannot consume RNG
+        or perturb the physics.
+        """
+        registry.gauge("cluster.total_power_w",
+                       lambda: float(self._power_w.sum()))
+        registry.gauge("cluster.mean_air_temp_c",
+                       lambda: float(self._air.temperature_c.mean()))
+        registry.gauge("cluster.max_air_temp_c",
+                       lambda: float(self._air.temperature_c.max()))
+        registry.gauge("cluster.wax_absorption_w",
+                       lambda: float(self._last_q_wax.sum()))
+        self._pcm.register_metrics(registry)
+        self._estimator.register_metrics(registry)
+
     # -- scheduler interface ----------------------------------------------
 
     def view(self) -> ClusterView:

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..config import SimulationConfig
 from ..errors import ConfigurationError, SimulationError
+from ..obs.telemetry import TelemetryLike, telemetry_directory
 from ..perf.runner import ExperimentRunner, RunSpec
 from ..workloads.trace import TraceMatrix
 from .metrics import SimulationResult
@@ -71,12 +72,20 @@ class MultiClusterSimulation:
         :class:`~repro.perf.runner.ExperimentRunner`; ``1`` (the
         default) simulates the clusters serially in-process, ``None``
         uses every core.  Results are identical either way.
+    record_heatmaps:
+        Record per-server temperature heatmaps on every cluster result.
+    telemetry:
+        A directory (or :class:`~repro.obs.telemetry.Telemetry`, of
+        which only the directory is used) receiving one telemetry
+        bundle per cluster.
     """
 
     def __init__(self, config: SimulationConfig, num_clusters: int, *,
                  policies: Sequence[str] = ("round-robin",),
                  stagger_hours: float = 0.0,
-                 max_workers: Optional[int] = 1) -> None:
+                 max_workers: Optional[int] = 1,
+                 record_heatmaps: bool = False,
+                 telemetry: "TelemetryLike" = None) -> None:
         config.validate()
         if num_clusters <= 0:
             raise ConfigurationError("need at least one cluster")
@@ -90,6 +99,8 @@ class MultiClusterSimulation:
         self._policies = tuple(policies)
         self._stagger_h = float(stagger_hours)
         self._max_workers = max_workers
+        self._record_heatmaps = record_heatmaps
+        self._telemetry_dir = telemetry_directory(telemetry)
 
     def _config_for(self, index: int) -> SimulationConfig:
         """Per-cluster config: the shared one under a derived seed."""
@@ -107,7 +118,9 @@ class MultiClusterSimulation:
         return RunSpec(config=self._config_for(index),
                        policy=self._policies[index],
                        label=f"cluster-{index}[{self._policies[index]}]",
-                       trace_shift_hours=index * self._stagger_h)
+                       trace_shift_hours=index * self._stagger_h,
+                       record_heatmaps=self._record_heatmaps,
+                       telemetry_dir=self._telemetry_dir)
 
     def _trace_for(self, index: int) -> TraceMatrix:
         """The (seed-derived, shifted) trace cluster ``index`` runs."""
@@ -132,9 +145,13 @@ class MultiClusterSimulation:
 def run_datacenter(config: SimulationConfig, num_clusters: int, *,
                    policy: str = "round-robin",
                    stagger_hours: float = 0.0,
-                   max_workers: Optional[int] = 1) -> DatacenterResult:
+                   max_workers: Optional[int] = 1,
+                   record_heatmaps: bool = False,
+                   telemetry: TelemetryLike = None) -> DatacenterResult:
     """Convenience wrapper: one policy across ``num_clusters`` clusters."""
     return MultiClusterSimulation(config, num_clusters,
                                   policies=(policy,),
                                   stagger_hours=stagger_hours,
-                                  max_workers=max_workers).run()
+                                  max_workers=max_workers,
+                                  record_heatmaps=record_heatmaps,
+                                  telemetry=telemetry).run()

@@ -22,8 +22,9 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 import numpy as np
 
 from ..config import SimulationConfig
-from ..core.scheduler import Scheduler
+from ..core.scheduler import Placement, Scheduler
 from ..errors import SimulationError
+from ..obs.telemetry import Telemetry, TelemetryLike
 from ..sim.engine import Engine
 from ..sim.process import PeriodicProcess
 from ..sim.rng import RngStreams
@@ -32,10 +33,11 @@ from .cluster import Cluster
 from .metrics import MetricsCollector, SimulationResult
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.registry import MetricRegistry
     from ..perf.profiler import TickProfiler
 
 #: Observer signature: (time_s, demand_vector, placement, cluster).
-Observer = Callable[[float, np.ndarray, "object", Cluster], None]
+Observer = Callable[[float, np.ndarray, Placement, Cluster], None]
 
 
 class ClusterSimulation:
@@ -50,7 +52,8 @@ class ClusterSimulation:
                  trace: Optional[TraceMatrix] = None,
                  record_heatmaps: bool = True,
                  fault_injector: Optional["FaultInjector"] = None,
-                 profiler: Optional["TickProfiler"] = None) -> None:
+                 profiler: Optional["TickProfiler"] = None,
+                 telemetry: TelemetryLike = None) -> None:
         config.validate()
         if scheduler.config.num_servers != config.num_servers:
             raise SimulationError(
@@ -65,6 +68,18 @@ class ClusterSimulation:
         fault_state = (fault_injector.state
                        if fault_injector is not None else None)
         self._fault_state = fault_state
+        self._telemetry = Telemetry.coerce(telemetry)
+        if self._telemetry is not None and not self._telemetry.bound:
+            self._telemetry.use_profiler(profiler)
+            self._telemetry.bind(
+                f"{scheduler.name}-n{config.num_servers}"
+                f"-seed{config.seed}",
+                capacity=config.trace.num_steps)
+        if self._telemetry is not None and profiler is None:
+            # A telemetry bundle built with profile=True carries its own
+            # profiler; adopt it so profiling and metrics share one
+            # snapshot path.
+            profiler = self._telemetry.profiler
         self._profiler = profiler
         self._cluster = Cluster(config, self._streams,
                                 fault_state=fault_state,
@@ -83,6 +98,23 @@ class ClusterSimulation:
         self._step_index = 0
         self._observers: List[Observer] = []
         self._last_allocation: Optional[np.ndarray] = None
+        # Event-edge state for the tracer (previous-tick values).
+        self._prev_hot_size: Optional[int] = None
+        self._prev_above_threshold = False
+        self._prev_degraded = False
+        if self._telemetry is not None:
+            registry = self._telemetry.registry
+            self._engine.register_metrics(registry)
+            self._scheduler.register_metrics(registry)
+            self._cluster.register_metrics(registry)
+            if self._injector is not None:
+                self._injector.register_metrics(registry)
+                self._injector.set_tracer(self._telemetry.tracer)
+            self._obs_registry: Optional["MetricRegistry"] = registry
+            self._obs_tracer = self._telemetry.tracer
+        else:
+            self._obs_registry = None
+            self._obs_tracer = None
 
     def add_observer(self, observer: Observer) -> None:
         """Register a per-tick observer (see class docstring)."""
@@ -137,10 +169,47 @@ class ClusterSimulation:
                     f"observer {name} raised {type(exc).__name__}: {exc}"
                 ) from exc
 
+    def _emit_tick_events(self, now_s: float, demand: np.ndarray,
+                          placement: Placement, tick_start: float) -> None:
+        """Emit the per-tick trace span plus edge-triggered events.
+
+        Reads only ground-truth views and already-computed placement
+        state, so emission can never perturb the simulated physics.
+        """
+        tracer = self._obs_tracer
+        tracer.span("tick", now_s, time.perf_counter() - tick_start,
+                    step=self._step_index, jobs=int(demand.sum()))
+        hot = placement.hot_group_mask
+        hot_size = int(hot.sum()) if hot is not None else None
+        tracer.event("placement", now_s, jobs=placement.jobs_placed,
+                     hot_group=hot_size)
+        if hot_size is not None:
+            if (self._prev_hot_size is not None
+                    and hot_size != self._prev_hot_size):
+                tracer.event("group-resize", now_s,
+                             prev=self._prev_hot_size, size=hot_size)
+            self._prev_hot_size = hot_size
+        threshold = self._config.scheduler.wax_threshold
+        above = int(np.count_nonzero(
+            self._cluster.wax_melt_fraction_view >= threshold))
+        if (above > 0) != self._prev_above_threshold:
+            tracer.event("wax-threshold-crossing", now_s,
+                         direction="melted" if above > 0 else "cleared",
+                         servers_above=above, threshold=threshold)
+            self._prev_above_threshold = above > 0
+        if not self._prev_degraded and getattr(self._scheduler,
+                                               "degraded", False):
+            tracer.event("vmt-wa-degraded", now_s,
+                         hot_group=hot_size)
+            self._prev_degraded = True
+
     def _tick(self, now_s: float) -> None:
         if self._step_index >= self._trace.num_steps:
             return
         prof = self._profiler
+        tick_start = (time.perf_counter()
+                      if self._obs_tracer is not None
+                      and self._obs_tracer.enabled else 0.0)
         demand = self._trace.demand_at(self._step_index)
         displaced = self._displaced_this_tick()
         view = self._cluster.view()
@@ -187,15 +256,33 @@ class ClusterSimulation:
         if prof is not None:
             prof.add("metrics", time.perf_counter() - mark)
             prof.count_tick()
+        if self._obs_registry is not None:
+            self._obs_registry.snapshot_tick(self._cluster.time_s)
+            if self._obs_tracer.enabled:
+                self._emit_tick_events(now_s, demand, placement,
+                                       tick_start)
         self._last_allocation = placement.allocation
         self._notify_observers(demand, placement)
         self._step_index += 1
 
     def run(self) -> SimulationResult:
-        """Run the full trace and return the collected result."""
+        """Run the full trace and return the collected result.
+
+        With telemetry attached, the bundle is finished on the way out:
+        the trace is flushed, metric columns saved, and the run manifest
+        written -- none of which touches the returned result, so the
+        fingerprint is bit-identical with telemetry on or off.
+        """
+        wall_start = time.perf_counter()
         self._scheduler.reset()
         if self._injector is not None:
             self._injector.attach(self._engine, self._cluster)
+        if self._obs_tracer is not None and self._obs_tracer.enabled:
+            self._obs_tracer.event(
+                "run-start", 0.0, run_id=self._telemetry.run_id,
+                scheduler=self._scheduler.name,
+                servers=self._config.num_servers,
+                ticks=self._trace.num_steps)
         process = PeriodicProcess(self._engine, self._trace.step_seconds,
                                   self._tick, name="scheduler-tick")
         duration = self._trace.num_steps * self._trace.step_seconds
@@ -205,22 +292,36 @@ class ClusterSimulation:
                    if self._profiler is not None else None)
         if self._injector is not None:
             self._injector.detach()
-            return self._metrics.finish(
+            result = self._metrics.finish(
                 self._config, self._scheduler.name,
                 recovery_times_s=self._fault_state.recovery_times_s,
                 profile=profile)
-        return self._metrics.finish(self._config, self._scheduler.name,
-                                    profile=profile)
+        else:
+            result = self._metrics.finish(self._config,
+                                          self._scheduler.name,
+                                          profile=profile)
+        if self._telemetry is not None:
+            if self._obs_tracer.enabled:
+                self._obs_tracer.event("run-end", self._cluster.time_s,
+                                       fingerprint=result.fingerprint())
+            self._telemetry.finish(
+                config=self._config,
+                scheduler_name=self._scheduler.name,
+                result=result,
+                trace_sha256=self._trace.fingerprint(),
+                wall_clock_s=time.perf_counter() - wall_start)
+        return result
 
 
 def run_simulation(config: SimulationConfig, scheduler: Scheduler, *,
                    trace: Optional[TraceMatrix] = None,
                    record_heatmaps: bool = True,
                    fault_injector: Optional["FaultInjector"] = None,
-                   profiler: Optional["TickProfiler"] = None
-                   ) -> SimulationResult:
+                   profiler: Optional["TickProfiler"] = None,
+                   telemetry: TelemetryLike = None) -> SimulationResult:
     """Convenience one-call experiment runner."""
     return ClusterSimulation(config, scheduler, trace=trace,
                              record_heatmaps=record_heatmaps,
                              fault_injector=fault_injector,
-                             profiler=profiler).run()
+                             profiler=profiler,
+                             telemetry=telemetry).run()

@@ -106,6 +106,20 @@ class Scheduler(abc.ABC):
         """Clear per-run policy state (group extensions, tick counters)."""
         self._tick = 0
 
+    def register_metrics(self, registry) -> None:
+        """Publish policy gauges on a :class:`~repro.obs.registry.MetricRegistry`.
+
+        The base registers the tick counter and, for policies that
+        expose one, the live hot-group size; subclasses extend via
+        ``super().register_metrics(registry)``.  Gauges are
+        callback-backed reads of existing state -- registration must
+        never change placement behavior.
+        """
+        registry.gauge("scheduler.ticks", lambda: float(self._tick))
+        if hasattr(type(self), "hot_group_size"):
+            registry.gauge("scheduler.hot_group_size",
+                           lambda: float(self.hot_group_size))
+
 
 # -- dealing primitives ----------------------------------------------------
 

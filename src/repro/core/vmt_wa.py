@@ -141,6 +141,14 @@ class VMTWaxAwareScheduler(Scheduler):
         self._suspect_ticks = None
         self._divergence_checked_tick = -1
 
+    def register_metrics(self, registry) -> None:
+        """Add the estimator-health gauges on top of the base set."""
+        super().register_metrics(registry)
+        registry.gauge("scheduler.degraded",
+                       lambda: 1.0 if self._degraded else 0.0)
+        registry.gauge("scheduler.base_hot_group_size",
+                       lambda: float(self._base_sizer.hot_size))
+
     # -- estimator health ---------------------------------------------------
 
     def _check_divergence(self, view: ClusterView) -> None:

@@ -58,3 +58,14 @@ class TraceError(ReproError):
 
 class ThermalModelError(ReproError):
     """A thermal model was given physically impossible parameters."""
+
+
+class TelemetryError(ReproError):
+    """Observability misuse or a malformed telemetry artifact.
+
+    Raised for registry misuse (duplicate instruments, registration
+    after the first snapshot), tracer misuse (emission after close), and
+    schema violations in trace lines or run manifests.  Never raised by
+    a correctly configured run: telemetry failures must not be able to
+    kill a simulation retroactively.
+    """

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..config import SimulationConfig
 from ..errors import FaultInjectionError
+from ..obs.tracer import NULL_TRACER
 from ..server.reliability import ReliabilityModel
 from ..sim.engine import Engine
 from ..sim.process import PeriodicProcess
@@ -55,6 +56,7 @@ class FaultInjector:
         self._state = FaultState(config)
         self._cluster = None
         self._hazard_process: Optional[PeriodicProcess] = None
+        self._tracer = NULL_TRACER
 
     @property
     def state(self):
@@ -67,6 +69,21 @@ class FaultInjector:
         return self._reliability
 
     # -- wiring -------------------------------------------------------------
+
+    def set_tracer(self, tracer) -> None:
+        """Emit fault onset/recovery events on ``tracer`` from now on."""
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+
+    def register_metrics(self, registry) -> None:
+        """Publish fault-state gauges on a :class:`~repro.obs.registry.MetricRegistry`."""
+        registry.gauge("faults.active_servers",
+                       lambda: float(self._state.num_active))
+        registry.gauge("faults.availability",
+                       lambda: float(self._state.availability))
+        registry.gauge("faults.cooling_factor",
+                       lambda: float(self._state.cooling_factor))
+        registry.gauge("faults.sensor_faults",
+                       lambda: float(self._state.sensor_fault_count))
 
     def attach(self, engine: Engine, cluster) -> None:
         """Register the scenario's events on a simulation's engine."""
@@ -134,9 +151,15 @@ class FaultInjector:
     def _fire_server_fault(self, event) -> None:
         spec = event.payload
         self._state.fail_server(spec.server_id, event.time)
+        if self._tracer.enabled:
+            self._tracer.event("fault-onset", event.time,
+                               server=spec.server_id, cause="scripted")
 
     def _fire_server_repair(self, event) -> None:
         self._state.repair_server(event.payload)
+        if self._tracer.enabled:
+            self._tracer.event("fault-recovery", event.time,
+                               server=int(event.payload))
 
     def _fire_sensor_fault(self, event) -> None:
         spec = event.payload
@@ -146,15 +169,25 @@ class FaultInjector:
                        drift_per_hour=spec.drift_c_per_hour,
                        stuck_value=spec.stuck_value_c)
         self._state.sensor_fault_count += 1
+        if self._tracer.enabled:
+            self._tracer.event("sensor-fault", event.time,
+                               server=spec.server_id, sensor=spec.sensor,
+                               mode=spec.mode)
 
     def _fire_sensor_clear(self, event) -> None:
         spec = event.payload
         bank = (self._state.air_faults if spec.sensor == "air"
                 else self._state.wax_faults)
         bank.clear_fault(spec.server_id)
+        if self._tracer.enabled:
+            self._tracer.event("sensor-fault-cleared", event.time,
+                               server=spec.server_id, sensor=spec.sensor)
 
     def _fire_cooling_derate(self, event) -> None:
         self._state.set_cooling_factor(event.payload)
+        if self._tracer.enabled:
+            self._tracer.event("cooling-derate", event.time,
+                               factor=float(event.payload))
 
     # -- temperature-dependent random failures ------------------------------
 
@@ -176,6 +209,9 @@ class FaultInjector:
         doomed = np.flatnonzero(self._state.active & (draws < prob))
         for server_id in doomed:
             self._state.fail_server(int(server_id), now_s)
+            if self._tracer.enabled:
+                self._tracer.event("fault-onset", now_s,
+                                   server=int(server_id), cause="hazard")
             if self._fault_cfg.auto_repair:
                 self._engine.schedule_after(
                     self._fault_cfg.repair_time_s,

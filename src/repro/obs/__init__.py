@@ -1,0 +1,44 @@
+"""Observability: metric registry, structured tracing, and the run ledger.
+
+The simulation stack is a feedback-controlled system (the scheduler
+reacts to sensed thermal state every minute); this package makes that
+loop observable without perturbing it:
+
+* :mod:`~repro.obs.registry` -- counters/gauges/histograms that
+  subsystems register, snapshotted per tick into a columnar store;
+* :mod:`~repro.obs.tracer` -- structured spans/events streamed to a
+  JSONL sink with bounded buffering and zero cost when disabled;
+* :mod:`~repro.obs.ledger` -- one auditable manifest per run (config
+  hash, trace fingerprint, seed, result fingerprint, git describe);
+* :mod:`~repro.obs.schema` -- the versioned wire contracts and their
+  validators;
+* :mod:`~repro.obs.telemetry` -- the per-run bundle the entry points
+  accept via ``telemetry=``.
+
+The cardinal invariant, enforced by tests and CI: attaching telemetry
+never changes a single simulated bit --
+``SimulationResult.fingerprint()`` is identical with telemetry on and
+off for every policy.
+"""
+
+from .ledger import (RunLedger, config_sha256, git_describe,
+                     read_manifests)
+from .registry import (Counter, Gauge, Histogram, MetricRegistry,
+                       ColumnStore)
+from .schema import (KNOWN_TRACE_NAMES, MANIFEST_SCHEMA_VERSION,
+                     TRACE_SCHEMA_VERSION, deterministic_view,
+                     read_trace, validate_manifest, validate_trace_file,
+                     validate_trace_line)
+from .telemetry import (Telemetry, TelemetryLike, sanitize_run_id,
+                        telemetry_directory)
+from .tracer import NULL_TRACER, Tracer
+
+__all__ = [
+    "ColumnStore", "Counter", "Gauge", "Histogram", "MetricRegistry",
+    "Tracer", "NULL_TRACER", "Telemetry", "TelemetryLike",
+    "sanitize_run_id", "telemetry_directory",
+    "RunLedger", "config_sha256", "git_describe", "read_manifests",
+    "KNOWN_TRACE_NAMES", "MANIFEST_SCHEMA_VERSION",
+    "TRACE_SCHEMA_VERSION", "deterministic_view", "read_trace",
+    "validate_manifest", "validate_trace_file", "validate_trace_line",
+]

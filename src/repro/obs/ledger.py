@@ -1,0 +1,156 @@
+"""The run ledger: one auditable manifest per simulation run.
+
+Long experiment campaigns (GV sweeps, seed-averaged figures, TCO
+what-ifs) produce hundreds of :class:`~repro.cluster.metrics.SimulationResult`
+objects whose provenance evaporates the moment the process exits.  The
+:class:`RunLedger` fixes that: every telemetry-enabled run appends a
+``<run_id>.manifest.json`` to the telemetry directory recording exactly
+what ran --
+
+* the SHA-256 of the canonical configuration tree,
+* the demand trace's fingerprint,
+* the root seed and scheduler,
+* ``SimulationResult.fingerprint()`` (the bit-exact physics hash),
+* wall-clock duration and, best-effort, ``git describe`` of the code --
+
+so any sweep point can be re-run and byte-compared later.  Manifests are
+deterministic modulo wall-clock and environment keys (see
+:func:`repro.obs.schema.deterministic_view`), which is what the
+serial-vs-parallel ledger tests assert.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+from typing import Any, Dict, List, Optional
+
+from ..config import SimulationConfig
+from ..errors import TelemetryError
+from .schema import MANIFEST_SCHEMA_VERSION, validate_manifest
+
+#: Suffix every manifest file carries.
+MANIFEST_SUFFIX = ".manifest.json"
+
+_GIT_DESCRIBE_CACHE: Optional[str] = None
+
+
+def config_sha256(config: SimulationConfig) -> str:
+    """SHA-256 of the canonical (sorted-key JSON) configuration tree."""
+    canonical = json.dumps(config.to_dict(), sort_keys=True,
+                           separators=(",", ":"), default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def git_describe(repo_dir: Optional[str] = None) -> str:
+    """Best-effort ``git describe --always --dirty`` of the source tree.
+
+    Returns ``"unknown"`` when git (or the repository) is unavailable --
+    telemetry must never fail a run over provenance niceties.  The value
+    is cached per process: the checkout cannot change mid-run.
+    """
+    global _GIT_DESCRIBE_CACHE
+    if repo_dir is None and _GIT_DESCRIBE_CACHE is not None:
+        return _GIT_DESCRIBE_CACHE
+    if repo_dir is None:
+        repo_dir = os.path.dirname(os.path.abspath(__file__))
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=repo_dir, capture_output=True, text=True, timeout=5)
+        described = out.stdout.strip() if out.returncode == 0 else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        described = "unknown"
+    if not described:
+        described = "unknown"
+    _GIT_DESCRIBE_CACHE = described
+    return described
+
+
+class RunLedger:
+    """Writes and reads run manifests in one telemetry directory."""
+
+    def __init__(self, directory) -> None:
+        self._dir = str(directory)
+        os.makedirs(self._dir, exist_ok=True)
+
+    @property
+    def directory(self) -> str:
+        """The telemetry directory manifests live in."""
+        return self._dir
+
+    def manifest_path(self, run_id: str) -> str:
+        """Path a given run's manifest is (or would be) written to."""
+        return os.path.join(self._dir, run_id + MANIFEST_SUFFIX)
+
+    def record(self, *, run_id: str, scheduler: str, policy: str,
+               config: SimulationConfig, trace_sha256: str,
+               result_fingerprint: str, ticks: int,
+               wall_clock_s: float,
+               files: Optional[Dict[str, str]] = None,
+               profile: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Write one run's manifest; returns the manifest dict.
+
+        An existing manifest under the same ``run_id`` is overwritten:
+        rerunning a spec is the expected way to refresh its entry.
+        """
+        if not run_id:
+            raise TelemetryError("run_id must be non-empty")
+        manifest: Dict[str, Any] = {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "run_id": run_id,
+            "scheduler": scheduler,
+            "policy": policy,
+            "seed": int(config.seed),
+            "num_servers": int(config.num_servers),
+            "ticks": int(ticks),
+            "config_sha256": config_sha256(config),
+            "trace_sha256": trace_sha256,
+            "result_fingerprint": result_fingerprint,
+            "wall_clock_s": round(float(wall_clock_s), 6),
+            "git_describe": git_describe(),
+            "files": dict(files or {}),
+        }
+        if profile is not None:
+            manifest["profile"] = profile
+        validate_manifest(manifest)
+        path = self.manifest_path(run_id)
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+        return manifest
+
+    def read(self, run_id: str) -> Dict[str, Any]:
+        """Load and validate one manifest by run id."""
+        path = self.manifest_path(run_id)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise TelemetryError(
+                f"no manifest for run {run_id!r} in {self._dir}") from None
+        validate_manifest(manifest)
+        return manifest
+
+    def list(self) -> List[Dict[str, Any]]:
+        """All valid manifests in the directory, sorted by run id."""
+        manifests = []
+        try:
+            entries = sorted(os.listdir(self._dir))
+        except FileNotFoundError:
+            return []
+        for entry in entries:
+            if not entry.endswith(MANIFEST_SUFFIX):
+                continue
+            run_id = entry[:-len(MANIFEST_SUFFIX)]
+            manifests.append(self.read(run_id))
+        return manifests
+
+
+def read_manifests(directory) -> List[Dict[str, Any]]:
+    """Convenience: every valid manifest under ``directory``."""
+    return RunLedger(directory).list()

@@ -1,0 +1,178 @@
+"""The telemetry wire contracts, and validators for them.
+
+Two artifacts cross process (and time) boundaries and therefore carry a
+versioned schema:
+
+* **trace lines** -- each line of a ``*.trace.jsonl`` file is one JSON
+  object describing a span or event (:data:`TRACE_SCHEMA_VERSION`);
+* **run manifests** -- each ``*.manifest.json`` written by the
+  :class:`~repro.obs.ledger.RunLedger` (:data:`MANIFEST_SCHEMA_VERSION`).
+
+The validators are hand-rolled rather than jsonschema-based so the
+package stays dependency-free; they raise :class:`TelemetryError` with
+the offending key named, and the CI smoke run applies them to every
+emitted line.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Tuple
+
+from ..errors import TelemetryError
+
+#: Version tag for trace (JSONL) lines.
+TRACE_SCHEMA_VERSION = "repro.trace/1"
+
+#: Version tag written into (and required of) run manifests.
+MANIFEST_SCHEMA_VERSION = "repro.run-manifest/1"
+
+#: Event/span names the simulation stack emits.  Validation accepts any
+#: name (forward compatibility); this tuple documents the core set and
+#: anchors the round-trip tests.
+KNOWN_TRACE_NAMES: Tuple[str, ...] = (
+    "tick", "placement", "group-resize", "wax-threshold-crossing",
+    "vmt-wa-degraded", "fault-onset", "fault-recovery", "sensor-fault",
+    "sensor-fault-cleared", "cooling-derate", "run-start", "run-end")
+
+#: Manifest keys that must be present and equal across reruns of the
+#: same spec (wall-clock and environment keys are deliberately absent).
+MANIFEST_DETERMINISTIC_KEYS: Tuple[str, ...] = (
+    "schema", "run_id", "scheduler", "policy", "seed", "num_servers",
+    "ticks", "config_sha256", "trace_sha256", "result_fingerprint")
+
+_VALID_KINDS = ("event", "span")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise TelemetryError(message)
+
+
+def _check_field_value(name: str, key: str, value: Any) -> None:
+    ok = (value is None or isinstance(value, (bool, int, str))
+          or (isinstance(value, float) and math.isfinite(value))
+          or (isinstance(value, list)
+              and all(isinstance(v, (bool, int, float, str)) or v is None
+                      for v in value)))
+    _require(ok, f"trace line {name!r}: field {key!r} has non-JSON-scalar "
+             f"value {value!r}")
+
+
+def validate_trace_line(obj: Dict[str, Any]) -> None:
+    """Validate one parsed trace line; raise :class:`TelemetryError`."""
+    _require(isinstance(obj, dict), f"trace line must be an object, "
+             f"got {type(obj).__name__}")
+    kind = obj.get("kind")
+    _require(kind in _VALID_KINDS,
+             f"trace line kind must be one of {_VALID_KINDS}, got {kind!r}")
+    name = obj.get("name")
+    _require(isinstance(name, str) and name != "",
+             f"trace line needs a non-empty string name, got {name!r}")
+    t = obj.get("t")
+    _require(isinstance(t, (int, float)) and not isinstance(t, bool)
+             and math.isfinite(t) and t >= 0,
+             f"trace line {name!r}: t must be a finite number >= 0, "
+             f"got {t!r}")
+    if kind == "span":
+        dur = obj.get("dur")
+        _require(isinstance(dur, (int, float)) and not isinstance(dur, bool)
+                 and math.isfinite(dur) and dur >= 0,
+                 f"span {name!r}: dur must be a finite number >= 0, "
+                 f"got {dur!r}")
+        allowed = {"kind", "name", "t", "dur", "fields"}
+    else:
+        allowed = {"kind", "name", "t", "fields"}
+    extras = set(obj) - allowed
+    _require(not extras,
+             f"trace line {name!r} has unknown keys {sorted(extras)}")
+    fields = obj.get("fields")
+    if fields is not None:
+        _require(isinstance(fields, dict),
+                 f"trace line {name!r}: fields must be an object")
+        for key, value in fields.items():
+            _require(isinstance(key, str) and key != "",
+                     f"trace line {name!r}: field keys must be strings")
+            _check_field_value(name, key, value)
+
+
+def validate_trace_file(path) -> int:
+    """Validate every line of a JSONL trace; returns the line count."""
+    count = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(
+                    f"{path}:{lineno}: not valid JSON: {exc}") from None
+            try:
+                validate_trace_line(obj)
+            except TelemetryError as exc:
+                raise TelemetryError(f"{path}:{lineno}: {exc}") from None
+            count += 1
+    return count
+
+
+def validate_manifest(manifest: Dict[str, Any]) -> None:
+    """Validate a parsed run manifest; raise :class:`TelemetryError`."""
+    _require(isinstance(manifest, dict), "manifest must be an object")
+    _require(manifest.get("schema") == MANIFEST_SCHEMA_VERSION,
+             f"manifest schema must be {MANIFEST_SCHEMA_VERSION!r}, "
+             f"got {manifest.get('schema')!r}")
+    for key in MANIFEST_DETERMINISTIC_KEYS:
+        _require(key in manifest, f"manifest is missing key {key!r}")
+    for key in ("run_id", "scheduler", "policy", "config_sha256",
+                "trace_sha256", "result_fingerprint"):
+        _require(isinstance(manifest[key], str) and manifest[key] != "",
+                 f"manifest key {key!r} must be a non-empty string")
+    for key in ("seed", "num_servers", "ticks"):
+        _require(isinstance(manifest[key], int)
+                 and not isinstance(manifest[key], bool),
+                 f"manifest key {key!r} must be an integer")
+    wall = manifest.get("wall_clock_s")
+    _require(isinstance(wall, (int, float)) and not isinstance(wall, bool)
+             and math.isfinite(wall) and wall >= 0,
+             f"manifest wall_clock_s must be a finite number >= 0, "
+             f"got {wall!r}")
+
+
+def deterministic_view(manifest: Dict[str, Any]) -> Dict[str, Any]:
+    """The subset of a manifest that must match across identical reruns.
+
+    Wall-clock, git state, and file paths are excluded: two bit-identical
+    runs on different hosts (or one serial, one pooled) agree on exactly
+    these keys.
+    """
+    return {key: manifest[key] for key in MANIFEST_DETERMINISTIC_KEYS
+            if key in manifest}
+
+
+def iter_jsonl(path) -> Iterable[Dict[str, Any]]:
+    """Yield each parsed object of a JSONL file (no validation)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def read_trace(path) -> List[Dict[str, Any]]:
+    """Parse and validate a whole trace file into a list of records."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            try:
+                validate_trace_line(obj)
+            except TelemetryError as exc:
+                raise TelemetryError(f"{path}:{lineno}: {exc}") from None
+            records.append(obj)
+    return records

@@ -1,0 +1,169 @@
+"""Structured trace emission: spans and events to a JSONL sink.
+
+A :class:`Tracer` turns the simulation's notable moments -- a scheduler
+tick, a placement decision, a hot-group resize, a wax-threshold
+crossing, a fault firing, a VMT-WA degradation -- into one JSON object
+per line, append-only, so a run's trace can be tailed live or parsed
+after the fact (see :mod:`repro.obs.schema` for the line contract).
+
+Emission is buffered: lines accumulate in memory and hit the file every
+``buffer_limit`` records (and on :meth:`flush`/:meth:`close`), so the
+hot loop never blocks on per-event I/O and memory stays bounded no
+matter how long the run is.
+
+When tracing is off there is nothing to pay: the shared
+:data:`NULL_TRACER` reports ``enabled=False`` and call sites guard field
+construction behind that flag, so a disabled run skips even the
+argument-building work.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List, Optional, TextIO
+
+from ..errors import TelemetryError
+
+#: Default number of buffered lines between file writes.
+DEFAULT_BUFFER_LIMIT = 256
+
+
+def _clean_value(value: Any) -> Any:
+    """Coerce a field value to something JSON-stable.
+
+    Numpy scalars become Python numbers, non-finite floats become
+    ``None`` (JSON has no NaN), and short sequences become lists.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, str)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if hasattr(value, "item"):  # numpy scalar
+        return _clean_value(value.item())
+    if isinstance(value, (list, tuple)):
+        return [_clean_value(v) for v in value]
+    return str(value)
+
+
+class Tracer:
+    """Buffered JSONL span/event emitter.
+
+    Parameters
+    ----------
+    path:
+        Sink file; opened lazily on the first emission (so a tracer that
+        never fires never creates a file).
+    buffer_limit:
+        Lines held in memory before each write.
+    """
+
+    enabled = True
+
+    def __init__(self, path, *,
+                 buffer_limit: int = DEFAULT_BUFFER_LIMIT) -> None:
+        if buffer_limit < 1:
+            raise TelemetryError("tracer buffer limit must be >= 1")
+        self._path = str(path)
+        self._buffer_limit = buffer_limit
+        self._buffer: List[str] = []
+        self._file: Optional[TextIO] = None
+        self._emitted = 0
+        self._closed = False
+
+    @property
+    def path(self) -> str:
+        """The sink file path."""
+        return self._path
+
+    @property
+    def emitted(self) -> int:
+        """Total lines emitted (buffered or written)."""
+        return self._emitted
+
+    @property
+    def buffered(self) -> int:
+        """Lines currently waiting in the buffer."""
+        return len(self._buffer)
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        if self._closed:
+            raise TelemetryError(
+                f"tracer for {self._path} is closed")
+        self._buffer.append(
+            json.dumps(record, separators=(",", ":")))
+        self._emitted += 1
+        if len(self._buffer) >= self._buffer_limit:
+            self.flush()
+
+    def event(self, name: str, time_s: float, **fields: Any) -> None:
+        """Emit a point-in-time event."""
+        record: Dict[str, Any] = {"kind": "event", "name": name,
+                                  "t": round(float(time_s), 6)}
+        if fields:
+            record["fields"] = {k: _clean_value(v)
+                                for k, v in fields.items()}
+        self._emit(record)
+
+    def span(self, name: str, time_s: float, duration_s: float,
+             **fields: Any) -> None:
+        """Emit a completed span covering ``[time_s, time_s + duration_s]``."""
+        record: Dict[str, Any] = {"kind": "span", "name": name,
+                                  "t": round(float(time_s), 6),
+                                  "dur": round(float(duration_s), 6)}
+        if fields:
+            record["fields"] = {k: _clean_value(v)
+                                for k, v in fields.items()}
+        self._emit(record)
+
+    def flush(self) -> None:
+        """Write any buffered lines to the sink."""
+        if not self._buffer:
+            return
+        if self._file is None:
+            self._file = open(self._path, "w", encoding="utf-8")
+        self._file.write("\n".join(self._buffer) + "\n")
+        self._file.flush()
+        self._buffer.clear()
+
+    def close(self) -> None:
+        """Flush and close the sink; further emission raises."""
+        if self._closed:
+            return
+        self.flush()
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        self._closed = True
+
+
+class _NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Call sites check :attr:`enabled` before building event fields, so a
+    disabled run pays a single attribute load per potential emission.
+    """
+
+    enabled = False
+    path = None
+    emitted = 0
+    buffered = 0
+
+    def event(self, name: str, time_s: float, **fields: Any) -> None:
+        pass
+
+    def span(self, name: str, time_s: float, duration_s: float,
+             **fields: Any) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared disabled tracer (safe to use from any number of runs).
+NULL_TRACER = _NullTracer()

@@ -53,6 +53,10 @@ class RunSpec:
     use_trace_cache: bool = True
     #: Attach a TickProfiler and surface its snapshot on the result.
     profile: bool = False
+    #: When set, the worker writes its telemetry bundle (JSONL trace,
+    #: metric columns, run manifest) into this directory, keyed by the
+    #: spec's name.  A plain string keeps the spec picklable.
+    telemetry_dir: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -113,9 +117,21 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
             rng=rng).shifted(spec.trace_shift_hours)
     profiler = TickProfiler() if spec.profile else None
     scheduler = make_scheduler(spec.policy, spec.config)
+    telemetry = None
+    if spec.telemetry_dir is not None:
+        from ..obs.telemetry import Telemetry
+        telemetry = Telemetry(spec.telemetry_dir)
+        telemetry.use_profiler(profiler)
+        # Bind here (not in the simulation) so the manifest carries the
+        # spec's identity: its name as run id, its policy key verbatim.
+        telemetry.bind(spec.name, policy=spec.policy,
+                       capacity=spec.config.trace.num_steps)
+        if profiler is None:
+            profiler = telemetry.profiler
     return run_simulation(spec.config, scheduler, trace=trace,
                           record_heatmaps=spec.record_heatmaps,
-                          profiler=profiler)
+                          profiler=profiler,
+                          telemetry=telemetry)
 
 
 def _execute_captured(spec: RunSpec) -> Outcome:

@@ -105,3 +105,10 @@ class Engine:
         self._queue.clear()
         self._now = 0.0
         self._dispatched = 0
+
+    def register_metrics(self, registry) -> None:
+        """Publish engine gauges on a :class:`~repro.obs.registry.MetricRegistry`."""
+        registry.gauge("engine.events_dispatched",
+                       lambda: float(self._dispatched))
+        registry.gauge("engine.pending_events",
+                       lambda: float(len(self._queue)))

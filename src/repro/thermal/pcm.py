@@ -147,6 +147,22 @@ class PCMBank:
             stored_latent_j=self.stored_latent_j.copy(),
         )
 
+    def register_metrics(self, registry) -> None:
+        """Publish wax-state gauges on a :class:`~repro.obs.registry.MetricRegistry`.
+
+        Callback-backed reads of live state; registering never perturbs
+        the enthalpy integration.
+        """
+        registry.gauge("pcm.mean_melt_fraction",
+                       lambda: float(self.melt_fraction.mean()))
+        registry.gauge("pcm.fully_melted_servers",
+                       lambda: float(np.count_nonzero(
+                           self.melt_fraction >= 1.0)))
+        registry.gauge("pcm.mean_temp_c",
+                       lambda: float(self.temperature_c.mean()))
+        registry.gauge("pcm.stored_latent_j",
+                       lambda: float(self.stored_latent_j.sum()))
+
     # -- dynamics --------------------------------------------------------
 
     def step(self, t_air_c: ArrayLike, ha_w_per_k: float,

@@ -72,6 +72,13 @@ class WaxStateEstimator:
         """Number of lookup-table entries."""
         return len(self._rate_table)
 
+    def register_metrics(self, registry) -> None:
+        """Publish estimator gauges on a :class:`~repro.obs.registry.MetricRegistry`."""
+        registry.gauge("estimator.mean_estimate",
+                       lambda: float(self._estimate.mean()))
+        registry.gauge("estimator.max_estimate",
+                       lambda: float(self._estimate.max()))
+
     def _sense(self, t_air_c: np.ndarray) -> np.ndarray:
         """Apply container-exterior sensor noise to the air temperature."""
         if self._sensor_noise == 0.0:

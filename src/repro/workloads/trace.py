@@ -15,6 +15,7 @@ with exactly those published properties (see DESIGN.md substitution #1):
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -172,6 +173,18 @@ class TraceMatrix:
         steps = int(round(hours * 3600.0 / self._step_s))
         return TraceMatrix(np.roll(self._counts, steps, axis=0),
                            self._step_s, self._total_cores)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the demand matrix and its framing parameters.
+
+        Recorded in run manifests so two runs can be proven to have
+        replayed the same workload byte for byte.
+        """
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(self._counts).tobytes())
+        digest.update(repr((self._counts.shape, self._step_s,
+                            self._total_cores)).encode("ascii"))
+        return digest.hexdigest()
 
 
 def _diurnal_shape(hours: np.ndarray,

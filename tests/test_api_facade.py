@@ -1,0 +1,143 @@
+"""Tests for the stable ``repro.api`` facade and the unified signatures.
+
+The facade's contract: keyword-only entry points, config overrides
+accepted inline (mutually exclusive with ``config=``), results identical
+to hand-wiring the building blocks, and ``DeprecationWarning`` shims
+keeping the pre-facade positional forms alive for one cycle.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.analysis.experiments import tco_analysis
+from repro.analysis.sweep import gv_sweep
+from repro.cluster.simulation import Observer, run_simulation
+from repro.config import TraceConfig, paper_cluster_config
+from repro.core.policies import make_scheduler
+from repro.core.scheduler import Placement
+from repro.errors import ConfigurationError
+from repro.perf import clear_shared_cache
+
+
+def tiny_config(seed=11, **overrides):
+    config = paper_cluster_config(num_servers=6, grouping_value=22.0,
+                                  seed=seed, **overrides)
+    return config.replace(trace=TraceConfig(duration_hours=2.0))
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_shared_cache()
+    yield
+    clear_shared_cache()
+
+
+class TestRun:
+    def test_matches_hand_wired_building_blocks(self):
+        config = tiny_config()
+        facade = api.run(policy="vmt-ta", config=config)
+        manual = run_simulation(config, make_scheduler("vmt-ta", config))
+        assert facade.fingerprint() == manual.fingerprint()
+
+    def test_shortcut_keywords_build_the_paper_config(self):
+        # The shortcut path uses the full two-day trace; compare the
+        # built configs instead of running 2880 ticks here.
+        from repro.api import _build_config
+        built = _build_config(None, num_servers=6, gv=22.0, seed=11,
+                              inlet_stdev_c=None, wax_threshold=None)
+        reference = paper_cluster_config(num_servers=6,
+                                         grouping_value=22.0, seed=11)
+        assert built.to_dict() == reference.to_dict()
+
+    def test_config_and_shortcuts_conflict(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            api.run(policy="vmt-ta", config=tiny_config(), num_servers=4)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown policy"):
+            api.run(policy="hottest-first", config=tiny_config())
+
+    def test_positional_arguments_refused(self):
+        with pytest.raises(TypeError):
+            api.run("vmt-ta")
+
+
+class TestCompare:
+    def test_reduction_arithmetic_and_ordering(self):
+        duel = api.compare(policies=("vmt-ta", "round-robin"),
+                           config=tiny_config())
+        assert duel.policies == ("vmt-ta", "round-robin")
+        baseline = duel["round-robin"]
+        expected = duel["vmt-ta"].peak_reduction_vs(baseline)
+        assert duel.peak_reduction("vmt-ta") == pytest.approx(expected)
+
+    def test_duplicates_deduped(self):
+        duel = api.compare(policies=("vmt-ta", "vmt-ta", "round-robin"),
+                           config=tiny_config())
+        assert duel.policies == ("vmt-ta", "round-robin")
+
+    def test_missing_policy_in_reduction(self):
+        duel = api.compare(policies=("vmt-ta", "round-robin"),
+                           config=tiny_config())
+        with pytest.raises(ConfigurationError):
+            duel.peak_reduction("vmt-wa")
+
+    def test_empty_policies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            api.compare(policies=(), config=tiny_config())
+
+
+class TestSweepAndDatacenter:
+    def test_sweep_delegates_to_gv_sweep(self):
+        facade = api.sweep(grouping_values=(20.0, 24.0),
+                           policies=("vmt-ta",), num_servers=6, seed=11)
+        clear_shared_cache()
+        direct = gv_sweep((20.0, 24.0), policies=("vmt-ta",),
+                          num_servers=6, seed=11)
+        np.testing.assert_array_equal(facade.values, direct.values)
+        np.testing.assert_array_equal(facade.reductions["vmt-ta"],
+                                      direct.reductions["vmt-ta"])
+
+    def test_datacenter_needs_clusters(self):
+        with pytest.raises(ConfigurationError):
+            api.datacenter(num_clusters=0, config=tiny_config())
+
+
+class TestDeprecationShims:
+    def test_gv_sweep_positional_policies_warns_and_works(self):
+        with pytest.warns(DeprecationWarning, match="policies"):
+            legacy = gv_sweep((20.0,), ("vmt-ta",), num_servers=6,
+                              seed=11)
+        clear_shared_cache()
+        modern = gv_sweep((20.0,), policies=("vmt-ta",), num_servers=6,
+                          seed=11)
+        np.testing.assert_array_equal(legacy.reductions["vmt-ta"],
+                                      modern.reductions["vmt-ta"])
+
+    def test_gv_sweep_rejects_extra_positionals(self):
+        with pytest.raises(ConfigurationError):
+            gv_sweep((20.0,), ("vmt-ta",), 6)
+
+    def test_tco_analysis_positional_warns(self):
+        with pytest.warns(DeprecationWarning, match="peak_reduction"):
+            legacy = tco_analysis(0.128)
+        modern = tco_analysis(peak_reduction=0.128)
+        assert legacy == modern
+
+    def test_tco_analysis_double_specification_rejected(self):
+        with pytest.raises(ConfigurationError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                tco_analysis(0.128, peak_reduction=0.2)
+
+
+class TestObserverAlias:
+    def test_exported_and_typed_with_placement(self):
+        import typing
+        from repro import Observer as top_level
+        assert top_level is Observer
+        args = typing.get_args(Observer)[0]
+        assert Placement in args

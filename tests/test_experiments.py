@@ -87,7 +87,7 @@ class TestSimulationBackedExperiments:
         assert len(sweep.values) == 2
 
     def test_gv_sweep_best(self):
-        sweep = gv_sweep((20, 22), ("vmt-ta",), num_servers=20)
+        sweep = gv_sweep((20, 22), policies=("vmt-ta",), num_servers=20)
         gv, value = sweep.best("vmt-ta")
         assert gv in (20.0, 22.0)
         assert isinstance(value, float)

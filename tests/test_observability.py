@@ -1,0 +1,266 @@
+"""Tests for the observability layer: registry, tracer, ledger, schema.
+
+The cardinal invariant -- telemetry never changes a simulated bit -- is
+asserted here fingerprint-for-fingerprint across every policy, along
+with the round-trip contracts: what the tracer writes parses and
+validates, what the ledger records is deterministic across serial and
+pooled execution, and the metric columns line up tick for tick.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import TraceConfig, paper_cluster_config
+from repro.core.policies import SCHEDULER_NAMES, make_scheduler
+from repro.cluster.simulation import run_simulation
+from repro.errors import TelemetryError
+from repro.obs import (KNOWN_TRACE_NAMES, ColumnStore, Counter, Gauge,
+                       Histogram, MetricRegistry, NULL_TRACER, RunLedger,
+                       Telemetry, Tracer, config_sha256, deterministic_view,
+                       read_manifests, read_trace, sanitize_run_id,
+                       telemetry_directory, validate_manifest,
+                       validate_trace_file, validate_trace_line)
+from repro.perf import ExperimentRunner, RunSpec, clear_shared_cache
+
+
+def tiny_config(seed=11, **overrides):
+    config = paper_cluster_config(num_servers=6, grouping_value=22.0,
+                                  seed=seed, **overrides)
+    return config.replace(trace=TraceConfig(duration_hours=2.0))
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_shared_cache()
+    yield
+    clear_shared_cache()
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        counter = Counter("events")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(TelemetryError):
+            counter.inc(-1)
+
+    def test_gauge_set_vs_callback(self):
+        gauge = Gauge("direct")
+        gauge.set(4.0)
+        assert gauge.value == 4.0
+        backed = Gauge("live", lambda: 9.0)
+        assert backed.value == 9.0
+        with pytest.raises(TelemetryError):
+            backed.set(1.0)
+
+    def test_histogram_buckets_and_summary(self):
+        hist = Histogram("lat", bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(55.5)
+        assert list(hist.bucket_counts) == [1, 1, 1]
+        cols = hist.snapshot_columns()
+        assert cols == {"lat.count": 3.0, "lat.sum": 55.5}
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(TelemetryError):
+            Histogram("bad", bounds=(2.0, 1.0))
+
+
+class TestRegistryAndStore:
+    def test_snapshot_builds_columns(self):
+        registry = MetricRegistry(capacity=4)
+        counter = registry.counter("n")
+        registry.gauge("g", lambda: 7.0)
+        for tick in range(3):
+            counter.inc()
+            registry.snapshot_tick(60.0 * tick)
+        cols = registry.columns()
+        assert list(cols["time_s"]) == [0.0, 60.0, 120.0]
+        assert list(cols["n"]) == [1.0, 2.0, 3.0]
+        assert list(cols["g"]) == [7.0, 7.0, 7.0]
+
+    def test_registration_frozen_after_first_snapshot(self):
+        registry = MetricRegistry()
+        registry.gauge("a", lambda: 1.0)
+        registry.snapshot_tick(0.0)
+        with pytest.raises(TelemetryError):
+            registry.counter("late")
+
+    def test_duplicate_names_rejected(self):
+        registry = MetricRegistry()
+        registry.counter("x")
+        with pytest.raises(TelemetryError):
+            registry.gauge("x")
+
+    def test_store_grows_past_capacity_hint(self):
+        store = ColumnStore(capacity=2)
+        for i in range(5):
+            store.append({"v": float(i)})
+        assert store.num_rows == 5
+        assert list(store.columns()["v"]) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_npz_round_trip(self, tmp_path):
+        registry = MetricRegistry(capacity=2)
+        registry.gauge("g", lambda: 1.5)
+        registry.snapshot_tick(0.0)
+        path = registry.save_npz(tmp_path / "m.npz")
+        loaded = np.load(path)
+        assert list(loaded["g"]) == [1.5]
+
+
+class TestTracer:
+    def test_events_and_spans_round_trip(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        tracer = Tracer(path, buffer_limit=2)
+        tracer.event("fault-onset", 60.0, server=3, cause="scripted")
+        tracer.span("tick", 60.0, 0.001, step=1)
+        tracer.close()
+        records = read_trace(path)
+        assert [r["name"] for r in records] == ["fault-onset", "tick"]
+        assert records[0]["kind"] == "event"
+        assert records[0]["fields"] == {"server": 3, "cause": "scripted"}
+        assert records[1]["kind"] == "span"
+        assert records[1]["dur"] == pytest.approx(0.001)
+
+    def test_disabled_tracer_is_free_and_writes_nothing(self, tmp_path):
+        assert not NULL_TRACER.enabled
+        NULL_TRACER.event("anything", 0.0)
+        NULL_TRACER.span("anything", 0.0, 0.0)
+        NULL_TRACER.close()
+        assert os.listdir(tmp_path) == []
+
+    def test_validator_rejects_malformed_lines(self):
+        with pytest.raises(TelemetryError):
+            validate_trace_line({"kind": "event", "name": "", "t": 0})
+        with pytest.raises(TelemetryError):
+            validate_trace_line({"kind": "span", "name": "tick", "t": 0})
+        with pytest.raises(TelemetryError):
+            validate_trace_line({"kind": "event", "name": "x", "t": -1})
+        with pytest.raises(TelemetryError):
+            validate_trace_line({"kind": "event", "name": "x", "t": 0,
+                                 "bogus": 1})
+
+
+class TestLedger:
+    def test_record_read_and_validate(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        manifest = ledger.record(
+            run_id="demo", scheduler="vmt-ta(gv=22)", policy="vmt-ta",
+            config=tiny_config(), trace_sha256="ab" * 32,
+            result_fingerprint="cd" * 8, ticks=120, wall_clock_s=1.25)
+        validate_manifest(manifest)
+        loaded = ledger.read("demo")
+        assert deterministic_view(loaded) == deterministic_view(manifest)
+        assert read_manifests(tmp_path) == [loaded]
+
+    def test_config_hash_is_canonical(self):
+        assert config_sha256(tiny_config()) == config_sha256(tiny_config())
+        assert config_sha256(tiny_config()) != \
+            config_sha256(tiny_config(seed=12))
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(TelemetryError):
+            RunLedger(tmp_path).read("nope")
+
+
+class TestTelemetryBundle:
+    def test_lifecycle_and_artifacts(self, tmp_path):
+        telemetry = Telemetry(tmp_path)
+        assert not telemetry.bound
+        telemetry.bind("My Run!", policy="vmt-ta", capacity=4)
+        assert telemetry.run_id == sanitize_run_id("My Run!") == "My-Run"
+        with pytest.raises(TelemetryError):
+            telemetry.bind("again")
+
+    def test_coerce_and_directory_helper(self, tmp_path):
+        assert Telemetry.coerce(None) is None
+        bundle = Telemetry.coerce(str(tmp_path))
+        assert isinstance(bundle, Telemetry)
+        assert Telemetry.coerce(bundle) is bundle
+        assert telemetry_directory(None) is None
+        assert telemetry_directory(str(tmp_path)) == str(tmp_path)
+        with pytest.raises(TelemetryError):
+            Telemetry.coerce(42)
+
+
+class TestSimulationTelemetry:
+    """The end-to-end contracts against real runs."""
+
+    @pytest.mark.parametrize("policy", SCHEDULER_NAMES)
+    def test_fingerprint_parity_with_telemetry(self, tmp_path, policy):
+        config = tiny_config()
+        silent = run_simulation(config, make_scheduler(policy, config))
+        observed = run_simulation(config, make_scheduler(policy, config),
+                                  telemetry=str(tmp_path))
+        assert observed.fingerprint() == silent.fingerprint()
+
+    def test_round_trip_artifacts_and_invariants(self, tmp_path):
+        config = tiny_config()
+        telemetry = Telemetry(tmp_path, "roundtrip")
+        result = run_simulation(config,
+                                make_scheduler("vmt-wa", config),
+                                telemetry=telemetry)
+
+        # Trace: every line validates; run bracketed; ticks complete.
+        records = read_trace(telemetry.trace_path)
+        assert validate_trace_file(telemetry.trace_path) == len(records)
+        names = [r["name"] for r in records]
+        assert names[0] == "run-start" and names[-1] == "run-end"
+        assert set(names) <= set(KNOWN_TRACE_NAMES)
+        ticks = [r for r in records if r["name"] == "tick"]
+        assert len(ticks) == config.trace.num_steps
+        assert records[-1]["fields"]["fingerprint"] == result.fingerprint()
+
+        # Metrics: one row per tick, cluster power matches the result.
+        metrics = np.load(telemetry.metrics_path)
+        assert len(metrics["time_s"]) == config.trace.num_steps
+        np.testing.assert_allclose(metrics["cluster.total_power_w"],
+                                   result.it_power_w)
+
+        # Manifest: validates and records the exact fingerprint.
+        manifest = json.load(open(telemetry.manifest_path))
+        validate_manifest(manifest)
+        assert manifest["result_fingerprint"] == result.fingerprint()
+        assert manifest["ticks"] == config.trace.num_steps
+
+    def test_fault_events_reach_the_trace(self, tmp_path):
+        from repro.faults import kill_servers
+        config = tiny_config().replace(
+            faults=kill_servers([2], 0.5, repair_after_hours=0.5))
+        telemetry = Telemetry(tmp_path, "faulty")
+        run_simulation(config, make_scheduler("round-robin", config),
+                       telemetry=telemetry)
+        names = [r["name"] for r in read_trace(telemetry.trace_path)]
+        assert "fault-onset" in names
+        assert "fault-recovery" in names
+
+    def test_manifest_determinism_serial_vs_parallel(self, tmp_path):
+        config = tiny_config()
+        serial_dir, pool_dir = tmp_path / "serial", tmp_path / "pool"
+        policies = ("vmt-ta", "round-robin")
+        for workers, directory in ((1, serial_dir), (2, pool_dir)):
+            clear_shared_cache()
+            specs = [RunSpec(config, policy,
+                             telemetry_dir=str(directory))
+                     for policy in policies]
+            ExperimentRunner(max_workers=workers).run(specs)
+        serial = [deterministic_view(m)
+                  for m in read_manifests(serial_dir)]
+        pooled = [deterministic_view(m) for m in read_manifests(pool_dir)]
+        assert serial == pooled
+        assert len(serial) == len(policies)
+
+    def test_telemetry_bundle_cannot_be_reused(self, tmp_path):
+        config = tiny_config()
+        telemetry = Telemetry(tmp_path)
+        run_simulation(config, make_scheduler("vmt-ta", config),
+                       telemetry=telemetry)
+        with pytest.raises(TelemetryError):
+            run_simulation(config, make_scheduler("vmt-ta", config),
+                           telemetry=telemetry)

@@ -211,9 +211,10 @@ class TestSweepIntegration:
     def test_gv_sweep_parallel_equals_serial(self):
         from repro.analysis.sweep import gv_sweep
         kwargs = dict(num_servers=6, seed=3)
-        serial = gv_sweep([18.0, 22.0], ("vmt-ta",), **kwargs)
+        serial = gv_sweep([18.0, 22.0], policies=("vmt-ta",), **kwargs)
         clear_shared_cache()
-        parallel = gv_sweep([18.0, 22.0], ("vmt-ta",), max_workers=2,
+        parallel = gv_sweep([18.0, 22.0], policies=("vmt-ta",),
+                            max_workers=2,
                             **kwargs)
         assert np.array_equal(serial.reductions["vmt-ta"],
                               parallel.reductions["vmt-ta"])
