@@ -1,0 +1,128 @@
+"""Sanitizer overhead benchmark: checks="cheap"/"full" vs "off".
+
+Measures, with the :class:`~repro.perf.profiler.TickProfiler`, how much
+the invariant sanitizer adds to the tick loop.  The acceptance bar is
+**cheap adds < 10% to the instrumented tick-loop time**; full mode is
+measured too but is expected (and allowed) to cost more -- it audits
+every server elementwise each tick and is meant for CI and debugging,
+not for inner-loop sweeps.
+
+Two numbers per level:
+
+* ``tick_loop_overhead`` -- extra instrumented section time relative to
+  the ``off`` baseline (the acceptance metric; excludes engine
+  dispatch and Python glue so it isolates what the sanitizer adds);
+* ``checks_share`` -- the profiler's ``checks`` section as a fraction
+  of the level's own tick-loop time.
+
+Results merge into ``BENCH_perf.json`` under ``sanitizer_overhead``,
+alongside the scaling numbers from ``bench_perf_scaling.py``.  All
+three runs assert bit-identical fingerprints -- the sanitizer reads,
+never writes.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_sanitizer_overhead.py
+    PYTHONPATH=src python benchmarks/bench_sanitizer_overhead.py \
+        --servers 20 --hours 6   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from repro.config import TraceConfig, paper_cluster_config
+from repro.core.policies import make_scheduler
+from repro.cluster.simulation import ClusterSimulation
+from repro.perf.profiler import TickProfiler
+
+LEVELS = ("off", "cheap", "full")
+
+
+def profile_level(num_servers: int, hours: float, seed: int, policy: str,
+                  checks: str) -> dict:
+    """One profiled run; returns section totals and the fingerprint."""
+    config = paper_cluster_config(num_servers=num_servers, seed=seed)
+    config = config.replace(trace=TraceConfig(duration_hours=hours))
+    profiler = TickProfiler()
+    sim = ClusterSimulation(config, make_scheduler(policy, config),
+                            record_heatmaps=False, profiler=profiler,
+                            checks=checks)
+    result = sim.run()
+    timings = profiler.timings()
+    loop_s = sum(t.total_s for t in timings.values())
+    checks_s = timings["checks"].total_s if "checks" in timings else 0.0
+    return {
+        "tick_loop_s": loop_s,
+        "checks_s": checks_s,
+        "ticks": profiler.ticks,
+        "fingerprint": result.fingerprint(),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--servers", type=int, default=100)
+    parser.add_argument("--hours", type=float, default=48.0)
+    parser.add_argument("--policy", default="vmt-wa")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="take the fastest of N runs per level")
+    parser.add_argument("--out", default="BENCH_perf.json")
+    args = parser.parse_args()
+
+    runs = {}
+    for level in LEVELS:
+        best = None
+        for _ in range(args.repeats):
+            run = profile_level(args.servers, args.hours, args.seed,
+                                args.policy, level)
+            if best is None or run["tick_loop_s"] < best["tick_loop_s"]:
+                best = run
+        runs[level] = best
+        print(f"checks={level}: tick loop {best['tick_loop_s']:.3f} s "
+              f"({best['checks_s']:.3f} s in checks) over "
+              f"{best['ticks']} ticks")
+
+    fingerprints = {level: runs[level]["fingerprint"] for level in LEVELS}
+    identical = len(set(fingerprints.values())) == 1
+    base = runs["off"]["tick_loop_s"]
+    payload = {
+        "num_servers": args.servers,
+        "policy": args.policy,
+        "ticks": runs["off"]["ticks"],
+        "bit_identical": identical,
+        "levels": {},
+    }
+    for level in LEVELS:
+        loop_s = runs[level]["tick_loop_s"]
+        payload["levels"][level] = {
+            "tick_loop_s": loop_s,
+            "checks_s": runs[level]["checks_s"],
+            "tick_loop_overhead": loop_s / base - 1.0,
+            "checks_share": (runs[level]["checks_s"] / loop_s
+                             if loop_s > 0 else 0.0),
+        }
+    cheap_overhead = payload["levels"]["cheap"]["tick_loop_overhead"]
+    print(f"cheap overhead vs off: {cheap_overhead * 100:.1f}% "
+          f"(bar: < 10%); full: "
+          f"{payload['levels']['full']['tick_loop_overhead'] * 100:.1f}%; "
+          f"fingerprints identical: {identical}")
+
+    merged = {}
+    if os.path.exists(args.out):
+        with open(args.out) as handle:
+            merged = json.load(handle)
+    merged["cpu_count"] = os.cpu_count()
+    merged["sanitizer_overhead"] = payload
+    with open(args.out, "w") as handle:
+        json.dump(merged, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0 if identical and cheap_overhead < 0.10 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

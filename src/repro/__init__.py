@@ -32,9 +32,9 @@ from .config import (CoolingFaultSpec, FaultConfig, SchedulerConfig,
                      SimulationConfig, ThermalConfig, TraceConfig,
                      WaxConfig, paper_cluster_config)
 from .errors import (CapacityError, ConfigurationError, FaultInjectionError,
-                     ReproError, SchedulingError, SensorError,
-                     SimulationError, TelemetryError, ThermalModelError,
-                     TraceError)
+                     InvariantViolation, ReproError, SchedulingError,
+                     SensorError, SimulationError, TelemetryError,
+                     ThermalModelError, TraceError)
 from .cluster import (Cluster, ClusterSimulation, ClusterView, Datacenter,
                       DatacenterImpact, DatacenterResult, MetricsCollector,
                       MultiClusterSimulation, Observer, SimulationResult,
@@ -47,6 +47,7 @@ from .core import (CoolestFirstScheduler, GroupSizer, Placement,
                    VMTPreserveScheduler, VMTThermalAwareScheduler,
                    VMTWaxAwareScheduler, derive_gv_vmt_mapping,
                    hot_group_size, make_scheduler)
+from .checks import SimulationSanitizer, resolve_check_level
 # Imported after .cluster/.core: the fault scenarios lean on the group
 # sizing helpers, so importing them first would close an import cycle.
 from .faults import (FaultInjector, FaultState, cooling_derate,
@@ -73,8 +74,10 @@ __all__ = [
     "TraceConfig", "WaxConfig", "paper_cluster_config",
     # errors
     "CapacityError", "ConfigurationError", "FaultInjectionError",
-    "ReproError", "SchedulingError", "SensorError", "SimulationError",
-    "TelemetryError", "ThermalModelError", "TraceError",
+    "InvariantViolation", "ReproError", "SchedulingError", "SensorError",
+    "SimulationError", "TelemetryError", "ThermalModelError", "TraceError",
+    # invariant checking
+    "SimulationSanitizer", "resolve_check_level",
     # facade + observability
     "api", "MetricRegistry", "Observer", "RunLedger", "Telemetry",
     "Tracer", "read_manifests",

@@ -48,13 +48,14 @@ class SweepResult:
 def _gv_sweep_specs(grouping_values: Sequence[float],
                     policies: Sequence[str], *, num_servers: int,
                     seed: int, inlet_stdev_c: float,
-                    wax_threshold: float) -> List[RunSpec]:
+                    wax_threshold: float,
+                    checks: Optional[str] = None) -> List[RunSpec]:
     """Baseline spec followed by one spec per (gv, policy), in order."""
     base = paper_cluster_config(num_servers=num_servers, seed=seed,
                                 inlet_stdev_c=inlet_stdev_c,
                                 wax_threshold=wax_threshold)
     specs = [RunSpec(base, "round-robin",
-                     label=f"baseline[seed={seed}]")]
+                     label=f"baseline[seed={seed}]", checks=checks)]
     for gv in grouping_values:
         config = paper_cluster_config(num_servers=num_servers,
                                       grouping_value=gv, seed=seed,
@@ -62,7 +63,8 @@ def _gv_sweep_specs(grouping_values: Sequence[float],
                                       wax_threshold=wax_threshold)
         for policy in policies:
             specs.append(RunSpec(config, policy,
-                                 label=f"{policy}[gv={gv:g},seed={seed}]"))
+                                 label=f"{policy}[gv={gv:g},seed={seed}]",
+                                 checks=checks))
     return specs
 
 
@@ -87,7 +89,8 @@ def gv_sweep(grouping_values: Sequence[float], *args,
              inlet_stdev_c: float = 0.0,
              wax_threshold: float = 0.98,
              max_workers: Optional[int] = 1,
-             telemetry: TelemetryLike = None) -> SweepResult:
+             telemetry: TelemetryLike = None,
+             checks: Optional[str] = None) -> SweepResult:
     """Sweep the grouping value for one or more VMT policies (Fig. 18).
 
     Every sweep point shares one generated trace (they only differ in
@@ -110,7 +113,7 @@ def gv_sweep(grouping_values: Sequence[float], *args,
     specs = _gv_sweep_specs(grouping_values, policies,
                             num_servers=num_servers, seed=seed,
                             inlet_stdev_c=inlet_stdev_c,
-                            wax_threshold=wax_threshold)
+                            wax_threshold=wax_threshold, checks=checks)
     telemetry_dir = telemetry_directory(telemetry)
     if telemetry_dir is not None:
         specs = [replace(spec, telemetry_dir=telemetry_dir)

@@ -86,11 +86,16 @@ def run(*, policy: str, config: Optional[SimulationConfig] = None,
         seed: Optional[int] = None, inlet_stdev_c: Optional[float] = None,
         wax_threshold: Optional[float] = None,
         trace: Optional[TraceMatrix] = None, record_heatmaps: bool = True,
-        telemetry: TelemetryLike = None) -> SimulationResult:
+        telemetry: TelemetryLike = None,
+        checks: Optional[str] = None) -> SimulationResult:
     """Run one policy on one cluster and return its result.
 
     Shortcut defaults reproduce the README quickstart: 100 servers,
     GV=22, seed 7, noise-free inlets, wax threshold 0.98.
+    ``checks`` attaches the invariant sanitizer ("off" | "cheap" |
+    "full"); ``None`` defers to the ``REPRO_CHECKS`` environment
+    variable.  The sanitizer only reads state, so results are
+    bit-identical at every level.
     """
     _check_policy(policy)
     resolved = _build_config(config, num_servers=num_servers, gv=gv,
@@ -98,7 +103,7 @@ def run(*, policy: str, config: Optional[SimulationConfig] = None,
                              wax_threshold=wax_threshold)
     return run_simulation(resolved, make_scheduler(policy, resolved),
                           trace=trace, record_heatmaps=record_heatmaps,
-                          telemetry=telemetry)
+                          telemetry=telemetry, checks=checks)
 
 
 @dataclass(frozen=True)
@@ -136,7 +141,8 @@ def compare(*, policies: Sequence[str] = ("vmt-ta", "round-robin"),
             wax_threshold: Optional[float] = None,
             record_heatmaps: bool = False,
             max_workers: Optional[int] = 1,
-            telemetry: TelemetryLike = None) -> Comparison:
+            telemetry: TelemetryLike = None,
+            checks: Optional[str] = None) -> Comparison:
     """Run several policies against the identical cluster and trace.
 
     Every policy sees the same config and the same generated trace, so
@@ -152,7 +158,7 @@ def compare(*, policies: Sequence[str] = ("vmt-ta", "round-robin"),
                              wax_threshold=wax_threshold)
     telemetry_dir = telemetry_directory(telemetry)
     specs = [RunSpec(resolved, policy, record_heatmaps=record_heatmaps,
-                     telemetry_dir=telemetry_dir)
+                     telemetry_dir=telemetry_dir, checks=checks)
              for policy in policies]
     results = ExperimentRunner(max_workers).run(specs)
     return Comparison(config=resolved,
@@ -164,7 +170,8 @@ def sweep(*, grouping_values: Sequence[float],
           num_servers: int = 100, seed: int = 7,
           inlet_stdev_c: float = 0.0, wax_threshold: float = 0.98,
           max_workers: Optional[int] = 1,
-          telemetry: TelemetryLike = None) -> SweepResult:
+          telemetry: TelemetryLike = None,
+          checks: Optional[str] = None) -> SweepResult:
     """Sweep the grouping value against a round-robin baseline."""
     for policy in policies:
         _check_policy(policy)
@@ -172,7 +179,7 @@ def sweep(*, grouping_values: Sequence[float],
                     num_servers=num_servers, seed=seed,
                     inlet_stdev_c=inlet_stdev_c,
                     wax_threshold=wax_threshold, max_workers=max_workers,
-                    telemetry=telemetry)
+                    telemetry=telemetry, checks=checks)
 
 
 def datacenter(*, num_clusters: int, policy: str = "round-robin",

@@ -1,0 +1,23 @@
+"""Simulation invariant sanitizer and golden-trace regression harness.
+
+Two complementary correctness nets:
+
+* :mod:`repro.checks.sanitizer` -- per-tick runtime invariant checking
+  (``checks="off"|"cheap"|"full"``), wired into
+  :class:`~repro.cluster.simulation.ClusterSimulation`;
+* :mod:`repro.checks.golden` -- committed golden traces for every
+  policy at the canonical 100-server configuration, diffed by the
+  ``repro-sim check`` CLI and the tier-1 regression tests.
+
+The golden harness is kept out of this namespace's eager imports so the
+cluster layer can import the sanitizer without a cycle; reach it as
+``repro.checks.golden``.
+"""
+
+from .sanitizer import (CHECK_LEVELS, CHECKS_ENV, CHECKS_POLICY_ENV,
+                        SimulationSanitizer, resolve_check_level)
+
+__all__ = [
+    "CHECK_LEVELS", "CHECKS_ENV", "CHECKS_POLICY_ENV",
+    "SimulationSanitizer", "resolve_check_level",
+]

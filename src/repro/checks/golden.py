@@ -1,0 +1,256 @@
+"""Golden-trace regression harness.
+
+The repository commits, for every scheduling policy, the full scalar
+series of one canonical run -- the paper's 100-server parameter-sweep
+configuration over the two-day trace -- together with the result
+fingerprint.  Re-running that configuration and diffing against the
+goldens catches any unintended behavioral drift, and because the whole
+series is stored (not just the hash) a mismatch produces a *readable*
+first-divergence report: the tick, the metric, and the expected/actual
+values, instead of an opaque fingerprint change.
+
+Goldens live next to this module in ``goldens/`` as one ``.npz`` per
+policy plus a ``fingerprints.json`` manifest recording the exact
+configuration they were captured under.  Refresh them (after an
+*intentional* behavior change, documented in CHANGES.md) with::
+
+    repro-sim check --update
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import SimulationConfig, paper_cluster_config
+from ..core.policies import SCHEDULER_NAMES, make_scheduler
+from ..errors import ConfigurationError
+from .sanitizer import resolve_check_level
+
+#: Directory holding the committed golden traces.
+GOLDEN_DIR = Path(__file__).resolve().parent / "goldens"
+
+#: Scalar series stored per policy, in storage order.  A subset of
+#: ``SimulationResult.FINGERPRINT_FIELDS``: the fault/heatmap series are
+#: absent from the golden configuration (fault-free, no heatmaps).
+GOLDEN_SERIES: Tuple[str, ...] = (
+    "times_s", "cooling_load_w", "it_power_w", "wax_absorption_w",
+    "mean_temp_c", "hot_group_mean_temp_c", "cold_group_mean_temp_c",
+    "mean_melt_fraction", "hot_group_size", "jobs", "max_cpu_temp_c")
+
+#: The canonical configuration the goldens were captured under: the
+#: paper's 100-server sweep cluster, noise-free inlets, seed 7.
+GOLDEN_CONFIG_KWARGS = {
+    "num_servers": 100,
+    "grouping_value": 22.0,
+    "seed": 7,
+    "inlet_stdev_c": 0.0,
+    "wax_threshold": 0.98,
+}
+
+
+def golden_config() -> SimulationConfig:
+    """The configuration every golden trace was captured under."""
+    return paper_cluster_config(**GOLDEN_CONFIG_KWARGS)
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First point at which a re-run left its golden trace."""
+
+    policy: str
+    metric: str
+    tick: int
+    time_hours: float
+    expected: float
+    got: float
+
+    def report(self) -> str:
+        """One readable line locating the divergence."""
+        return (f"{self.policy}: first divergence in '{self.metric}' at "
+                f"tick {self.tick} (t={self.time_hours:.2f} h): "
+                f"expected {self.expected!r}, got {self.got!r}")
+
+
+@dataclass(frozen=True)
+class GoldenComparison:
+    """Outcome of diffing one policy's re-run against its golden."""
+
+    policy: str
+    expected_fingerprint: str
+    got_fingerprint: str
+    divergence: Optional[Divergence]
+
+    @property
+    def matches(self) -> bool:
+        """True when the run reproduced its golden bit-for-bit."""
+        return (self.expected_fingerprint == self.got_fingerprint
+                and self.divergence is None)
+
+    def report(self) -> str:
+        """Human-readable verdict for CLI / pytest output."""
+        if self.matches:
+            return (f"{self.policy}: OK "
+                    f"(fingerprint {self.got_fingerprint})")
+        lines = [f"{self.policy}: DRIFT (fingerprint "
+                 f"{self.expected_fingerprint} -> {self.got_fingerprint})"]
+        if self.divergence is not None:
+            lines.append("  " + self.divergence.report())
+        else:
+            lines.append("  scalar series all match -- the drift is in a "
+                         "field outside the golden series")
+        return "\n".join(lines)
+
+
+def load_manifest() -> Dict:
+    """Load and sanity-check ``goldens/fingerprints.json``."""
+    path = GOLDEN_DIR / "fingerprints.json"
+    if not path.exists():
+        raise ConfigurationError(
+            f"golden manifest missing at {path}; run "
+            "'repro-sim check --update' to capture goldens")
+    with path.open() as fh:
+        manifest = json.load(fh)
+    for key in ("config", "fingerprints", "series"):
+        if key not in manifest:
+            raise ConfigurationError(
+                f"golden manifest {path} is missing the {key!r} key")
+    return manifest
+
+
+def load_golden(policy: str) -> Dict[str, np.ndarray]:
+    """Load one policy's committed golden series."""
+    path = GOLDEN_DIR / f"{policy}.npz"
+    if not path.exists():
+        raise ConfigurationError(
+            f"no golden trace for policy {policy!r} at {path}")
+    with np.load(path) as data:
+        return {name: data[name].copy() for name in data.files}
+
+
+def run_golden_config(policy: str, *, checks: Optional[str] = None):
+    """Re-run one policy under the canonical golden configuration."""
+    # Imported here: the checks package must stay importable from the
+    # cluster layer without a cycle.
+    from ..cluster.simulation import run_simulation
+
+    config = golden_config()
+    scheduler = make_scheduler(policy, config)
+    return run_simulation(config, scheduler, record_heatmaps=False,
+                          checks=checks)
+
+
+def first_divergence(policy: str, result,
+                     golden: Dict[str, np.ndarray]) -> Optional[Divergence]:
+    """Locate the earliest (tick, metric) where ``result`` leaves golden.
+
+    Scans every golden series and returns the divergence with the
+    smallest tick index (ties broken by series order), so the report
+    points at the *cause*, not a downstream symptom.
+    """
+    earliest: Optional[Divergence] = None
+    times = golden.get("times_s")
+    for name in GOLDEN_SERIES:
+        if name not in golden:
+            continue
+        expected = golden[name]
+        got = np.asarray(getattr(result, name))
+        n = min(len(expected), len(got))
+        exp_f = expected[:n].astype(np.float64)
+        got_f = got[:n].astype(np.float64)
+        # NaN == NaN for diffing purposes (group means are NaN when a
+        # policy publishes no partition).
+        differs = ~((exp_f == got_f)
+                    | (np.isnan(exp_f) & np.isnan(got_f)))
+        if len(expected) != len(got):
+            tick = n if not differs.any() \
+                else min(n, int(np.argmax(differs)))
+        elif differs.any():
+            tick = int(np.argmax(differs))
+        else:
+            continue
+        if earliest is None or tick < earliest.tick:
+            hours = (float(times[tick]) / 3600.0
+                     if times is not None and tick < len(times)
+                     else float("nan"))
+            exp_val = (float(expected[tick]) if tick < len(expected)
+                       else float("nan"))
+            got_val = (float(got[tick]) if tick < len(got)
+                       else float("nan"))
+            earliest = Divergence(policy=policy, metric=name, tick=tick,
+                                  time_hours=hours, expected=exp_val,
+                                  got=got_val)
+    return earliest
+
+
+def check_policy(policy: str, *,
+                 checks: Optional[str] = None) -> GoldenComparison:
+    """Re-run one policy and diff it against its committed golden."""
+    manifest = load_manifest()
+    expected_fp = manifest["fingerprints"].get(policy)
+    if expected_fp is None:
+        raise ConfigurationError(
+            f"policy {policy!r} has no golden fingerprint; known: "
+            f"{', '.join(sorted(manifest['fingerprints']))}")
+    golden = load_golden(policy)
+    result = run_golden_config(policy, checks=checks)
+    return GoldenComparison(
+        policy=policy,
+        expected_fingerprint=expected_fp,
+        got_fingerprint=result.fingerprint(),
+        divergence=first_divergence(policy, result, golden),
+    )
+
+
+def check_all(policies: Optional[List[str]] = None, *,
+              checks: Optional[str] = None) -> List[GoldenComparison]:
+    """Diff every (or the given) policies against their goldens."""
+    names = list(policies) if policies else list(SCHEDULER_NAMES)
+    return [check_policy(name, checks=checks) for name in names]
+
+
+def update_goldens(policies: Optional[List[str]] = None, *,
+                   checks: Optional[str] = "full") -> Dict[str, str]:
+    """Re-capture goldens for the given policies (default: all).
+
+    Runs with ``checks="full"`` by default: a golden captured from a run
+    that violates an invariant would enshrine the bug.  Returns the new
+    ``{policy: fingerprint}`` mapping after rewriting the ``.npz`` files
+    and the manifest.
+    """
+    names = list(policies) if policies else list(SCHEDULER_NAMES)
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    manifest_path = GOLDEN_DIR / "fingerprints.json"
+    if manifest_path.exists():
+        manifest = load_manifest()
+    else:
+        manifest = {"config": dict(GOLDEN_CONFIG_KWARGS),
+                    "record_heatmaps": False,
+                    "series": list(GOLDEN_SERIES),
+                    "fingerprints": {}}
+    fingerprints: Dict[str, str] = {}
+    for name in names:
+        result = run_golden_config(name, checks=checks)
+        series = {field: np.asarray(getattr(result, field))
+                  for field in GOLDEN_SERIES}
+        np.savez_compressed(GOLDEN_DIR / f"{name}.npz", **series)
+        fingerprints[name] = result.fingerprint()
+    manifest["fingerprints"].update(fingerprints)
+    manifest["config"] = dict(GOLDEN_CONFIG_KWARGS)
+    manifest["series"] = list(GOLDEN_SERIES)
+    with manifest_path.open("w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return fingerprints
+
+
+__all__ = [
+    "GOLDEN_DIR", "GOLDEN_SERIES", "Divergence", "GoldenComparison",
+    "golden_config", "load_manifest", "load_golden", "run_golden_config",
+    "first_divergence", "check_policy", "check_all", "update_goldens",
+    "resolve_check_level",
+]

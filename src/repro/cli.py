@@ -5,7 +5,10 @@ Installs as ``repro-sim`` (see pyproject) and also runs as
 
 * ``run``      -- one simulation, summary (optionally saved to .npz);
   ``--kill``/``--stuck-wax``/``--derate``/``--hazard`` inject faults;
-  ``--telemetry DIR`` writes a JSONL trace + metrics + run manifest
+  ``--telemetry DIR`` writes a JSONL trace + metrics + run manifest;
+  ``--checks LEVEL`` attaches the invariant sanitizer
+* ``check``    -- re-run the committed golden configs and diff the
+  results against the stored fingerprints (``--update`` re-captures)
 * ``ledger``   -- list or verify the run manifests in a telemetry dir
 * ``compare``  -- policies vs the round-robin baseline
 * ``resilience`` -- policies under an injected fault scenario
@@ -130,7 +133,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         telemetry = Telemetry(args.telemetry)
     result = run_simulation(config, scheduler,
                             record_heatmaps=bool(args.save),
-                            telemetry=telemetry)
+                            telemetry=telemetry, checks=args.checks)
     summary = result.summary()
     rows = [(key, value) for key, value in summary.items()]
     print(format_table(["metric", "value"], rows))
@@ -168,7 +171,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                      num_servers=args.servers, seed=args.seed,
                      inlet_stdev_c=args.inlet_stdev,
                      max_workers=args.workers or None,
-                     telemetry=args.telemetry)
+                     telemetry=args.telemetry, checks=args.checks)
     headers = ["GV"] + list(args.policies)
     rows = []
     for i, gv in enumerate(sweep.values):
@@ -322,6 +325,27 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .checks.golden import check_all, update_goldens
+    policies = list(args.policies) if args.policies else None
+    if args.update:
+        fingerprints = update_goldens(policies, checks=args.checks)
+        rows = [(name, fp) for name, fp in fingerprints.items()]
+        print(format_table(["policy", "new fingerprint"], rows))
+        print("\ngoldens re-captured; commit the goldens/ directory and "
+              "document the intentional change in CHANGES.md")
+        return 0
+    comparisons = check_all(policies, checks=args.checks)
+    drifted = 0
+    for comparison in comparisons:
+        print(comparison.report())
+        if not comparison.matches:
+            drifted += 1
+    total = len(comparisons)
+    print(f"\n{total - drifted}/{total} policies match their goldens")
+    return 1 if drifted else 0
+
+
 def _cmd_ledger(args: argparse.Namespace) -> int:
     from .obs.ledger import read_manifests
     from .obs.schema import validate_trace_file
@@ -401,7 +425,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--telemetry", metavar="DIR",
                      help="write a JSONL trace, per-tick metrics, and a "
                           "run manifest into this directory")
+    run.add_argument("--checks", choices=("off", "cheap", "full"),
+                     default=None,
+                     help="invariant sanitizer level (default: the "
+                          "REPRO_CHECKS environment variable, else off)")
     run.set_defaults(func=_cmd_run)
+
+    check = sub.add_parser(
+        "check",
+        help="diff the golden configs against committed fingerprints")
+    check.add_argument("--policies", nargs="+", choices=SCHEDULER_NAMES,
+                       default=None,
+                       help="policies to check (default: all)")
+    check.add_argument("--checks", choices=("off", "cheap", "full"),
+                       default="full",
+                       help="sanitizer level for the re-runs "
+                            "(default full)")
+    check.add_argument("--update", action="store_true",
+                       help="re-capture the goldens instead of diffing "
+                            "(after an intentional behavior change)")
+    check.set_defaults(func=_cmd_check)
 
     resilience = sub.add_parser(
         "resilience",
@@ -442,6 +485,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--telemetry", metavar="DIR",
                        help="write one telemetry bundle per sweep point "
                             "into this directory")
+    sweep.add_argument("--checks", choices=("off", "cheap", "full"),
+                       default=None,
+                       help="invariant sanitizer level for every sweep "
+                            "point (default: REPRO_CHECKS, else off)")
     sweep.set_defaults(func=_cmd_sweep)
 
     profile = sub.add_parser(

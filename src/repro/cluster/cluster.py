@@ -187,6 +187,25 @@ class Cluster:
         return _readonly(self._last_melt_fraction)
 
     @property
+    def wax_enthalpy_j(self) -> np.ndarray:
+        """Per-server total wax enthalpy (J) after the last step.
+
+        The conserved quantity the :mod:`repro.checks` energy-balance
+        invariant audits against :attr:`wax_absorption_w`.
+        """
+        return self._pcm.enthalpy_j
+
+    @property
+    def wax_latent_capacity_j(self) -> float:
+        """Latent storage capacity per server (J)."""
+        return self._pcm.latent_capacity_j
+
+    @property
+    def wax_estimate_view(self) -> np.ndarray:
+        """Read-only view of the estimator's melt-fraction estimate."""
+        return _readonly(self._estimator.estimate)
+
+    @property
     def cpu_junction_temp_c(self) -> np.ndarray:
         """Hottest CPU junction per server, from the last step."""
         return self._cpu_model.junction_temp_c(

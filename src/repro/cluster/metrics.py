@@ -128,6 +128,24 @@ class MetricsCollector:
             self._melt_map[idx] = melt_fraction
         self._size = idx + 1
 
+    @property
+    def size(self) -> int:
+        """Ticks recorded so far."""
+        return self._size
+
+    def last_value(self, name: str) -> float:
+        """The most recently recorded sample of a scalar series.
+
+        Lets the :mod:`repro.checks` sanitizer audit what the collector
+        actually stored (e.g. the cooling-load identity) without copying
+        whole series mid-run.
+        """
+        if self._size == 0:
+            raise SimulationError("no ticks were recorded")
+        if name not in self._series:
+            raise SimulationError(f"unknown metrics series {name!r}")
+        return float(self._series[name][self._size - 1])
+
     def _trimmed(self, buffer: np.ndarray) -> np.ndarray:
         if self._size == len(buffer):
             return buffer

@@ -53,7 +53,8 @@ class ClusterSimulation:
                  record_heatmaps: bool = True,
                  fault_injector: Optional["FaultInjector"] = None,
                  profiler: Optional["TickProfiler"] = None,
-                 telemetry: TelemetryLike = None) -> None:
+                 telemetry: TelemetryLike = None,
+                 checks: Optional[str] = None) -> None:
         config.validate()
         if scheduler.config.num_servers != config.num_servers:
             raise SimulationError(
@@ -115,6 +116,25 @@ class ClusterSimulation:
         else:
             self._obs_registry = None
             self._obs_tracer = None
+        # Imported lazily so the checks package (which imports the
+        # scheduler classes) never participates in this module's import.
+        from ..checks.sanitizer import (SimulationSanitizer,
+                                        resolve_check_level)
+        level = resolve_check_level(checks, scheduler.name)
+        if level == "off":
+            self._sanitizer: Optional[SimulationSanitizer] = None
+        else:
+            self._sanitizer = SimulationSanitizer(
+                config=config, cluster=self._cluster,
+                scheduler=scheduler, metrics=self._metrics,
+                level=level, tracer=self._obs_tracer)
+            if self._obs_registry is not None:
+                self._sanitizer.register_metrics(self._obs_registry)
+
+    @property
+    def sanitizer(self) -> Optional["SimulationSanitizer"]:
+        """The attached invariant sanitizer, or ``None`` (checks off)."""
+        return self._sanitizer
 
     def add_observer(self, observer: Observer) -> None:
         """Register a per-tick observer (see class docstring)."""
@@ -219,6 +239,13 @@ class ClusterSimulation:
             mark = time.perf_counter()
             placement = self._scheduler.place(demand, view)
             prof.add("placement", time.perf_counter() - mark)
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            mark = time.perf_counter() if prof is not None else 0.0
+            sanitizer.check_placement(self._step_index, now_s, demand,
+                                      view, placement)
+            if prof is not None:
+                prof.add("checks", time.perf_counter() - mark)
         if self._fault_state is not None:
             # The full demand (including any displaced jobs) has been
             # re-placed on surviving servers: pending failures recovered.
@@ -256,6 +283,12 @@ class ClusterSimulation:
         if prof is not None:
             prof.add("metrics", time.perf_counter() - mark)
             prof.count_tick()
+        if sanitizer is not None:
+            mark = time.perf_counter() if prof is not None else 0.0
+            sanitizer.check_state(self._step_index, now_s,
+                                  self._trace.step_seconds)
+            if prof is not None:
+                prof.add("checks", time.perf_counter() - mark)
         if self._obs_registry is not None:
             self._obs_registry.snapshot_tick(self._cluster.time_s)
             if self._obs_tracer.enabled:
@@ -318,10 +351,12 @@ def run_simulation(config: SimulationConfig, scheduler: Scheduler, *,
                    record_heatmaps: bool = True,
                    fault_injector: Optional["FaultInjector"] = None,
                    profiler: Optional["TickProfiler"] = None,
-                   telemetry: TelemetryLike = None) -> SimulationResult:
+                   telemetry: TelemetryLike = None,
+                   checks: Optional[str] = None) -> SimulationResult:
     """Convenience one-call experiment runner."""
     return ClusterSimulation(config, scheduler, trace=trace,
                              record_heatmaps=record_heatmaps,
                              fault_injector=fault_injector,
                              profiler=profiler,
-                             telemetry=telemetry).run()
+                             telemetry=telemetry,
+                             checks=checks).run()

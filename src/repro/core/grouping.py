@@ -18,6 +18,7 @@ temperature"; :func:`derive_gv_vmt_mapping` reproduces that procedure.
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -34,6 +35,13 @@ def hot_group_size(grouping_value: float, melt_temp_c: float,
     The result is clipped to ``[0, num_servers]``: a GV at or above the
     PMT simply puts every server in the hot group (at which point VMT
     degenerates to plain TTS behaviour).
+
+    Rounding convention: exact ``.5`` fractions round *half-up*
+    (``floor(x + 0.5)``), so the hot group never loses a server to
+    Python's banker's rounding.  ``round()`` would map a fractional
+    size of 0.5 to an *empty* hot group (0 is even) and 56.5 to 56,
+    making adjacent GV values non-monotone in hot-group size at
+    half-way boundaries.
     """
     if grouping_value <= 0:
         raise ConfigurationError("grouping value must be positive")
@@ -41,7 +49,7 @@ def hot_group_size(grouping_value: float, melt_temp_c: float,
         raise ConfigurationError("melting temperature must be positive")
     if num_servers <= 0:
         raise ConfigurationError("num_servers must be positive")
-    size = int(round(grouping_value / melt_temp_c * num_servers))
+    size = math.floor(grouping_value / melt_temp_c * num_servers + 0.5)
     return max(0, min(num_servers, size))
 
 

@@ -88,6 +88,11 @@ class VMTPreserveScheduler(VMTWaxAwareScheduler):
     def _place_preserving(self, demand: np.ndarray,
                           view: ClusterView) -> Placement:
         """Park hot load on melted servers; dilute the rest fleet-wide."""
+        # Nothing is kept warm while preserving, so the keep-warm
+        # hysteresis latch must not survive a release -> preserve
+        # transition.
+        self._kept_warm = np.zeros(view.num_servers, dtype=bool)
+        self._observe_inlets(view)
         self._update_group_size(view)
         hot_demand, cold_demand = split_demand(demand)
         hot_size = self._hot_size
@@ -112,6 +117,7 @@ class VMTPreserveScheduler(VMTWaxAwareScheduler):
         self._spread(cold_demand, frozen_ids, free, allocation)
         self._spread(cold_demand, melted_ids, free, allocation, pack=True)
 
+        self._record_allocation(allocation)
         hot_mask = np.zeros(view.num_servers, dtype=bool)
         hot_mask[:hot_size] = True
         return Placement(allocation=allocation, hot_group_mask=hot_mask)

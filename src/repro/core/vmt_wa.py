@@ -86,6 +86,7 @@ class VMTWaxAwareScheduler(Scheduler):
                  keep_warm_margin_c: float = 0.4,
                  keep_warm_min_utilization: float = 0.6,
                  keep_warm_release_utilization: float = 0.35,
+                 melted_hysteresis: float = 0.05,
                  detect_divergence: bool = True,
                  divergence_margin_c: float = 2.0,
                  divergence_ticks: int = 12,
@@ -97,6 +98,16 @@ class VMTWaxAwareScheduler(Scheduler):
             num_servers=config.num_servers,
         )
         self._wax_threshold = config.scheduler.wax_threshold
+        if not 0.0 <= melted_hysteresis <= self._wax_threshold:
+            raise SchedulingError(
+                "melted_hysteresis must be in [0, wax_threshold]")
+        self._release_threshold = self._wax_threshold - melted_hysteresis
+        self._kept_warm = np.zeros(config.num_servers, dtype=bool)
+        # Closed-loop keep-warm: per-server inlet estimate learned from
+        # the air sensors and the scheduler's own past allocations.
+        self._prev_power_w: Optional[np.ndarray] = None
+        self._inlet_est: Optional[np.ndarray] = None
+        self._inlet_ema_alpha = 0.1
         self._keep_warm_margin_c = keep_warm_margin_c
         self._keep_warm_min_util = keep_warm_min_utilization
         self._keep_warm_release_util = keep_warm_release_utilization
@@ -133,6 +144,34 @@ class VMTWaxAwareScheduler(Scheduler):
         """True once estimator divergence has forced the TA fallback."""
         return self._degraded
 
+    @property
+    def wax_threshold(self) -> float:
+        """Melt-estimate level at which a server counts as melted."""
+        return self._wax_threshold
+
+    @property
+    def wax_release_threshold(self) -> float:
+        """Estimate level below which a kept-warm server stops counting.
+
+        Keep-warm holds melted servers *at* the melt point, which parks
+        their estimate right at the threshold where sensor noise makes
+        it flicker.  A server the scheduler is actively keeping warm
+        therefore stays classified as melted until its estimate falls
+        through this lower bound -- classic hysteresis, preventing the
+        hot group from churning mid-peak on estimator noise.
+        """
+        return self._release_threshold
+
+    @property
+    def keep_warm_min_utilization(self) -> float:
+        """Utilization at/above which keep-warm is fully engaged."""
+        return self._keep_warm_min_util
+
+    @property
+    def keep_warm_release_utilization(self) -> float:
+        """Utilization at/below which keep-warm fully disengages."""
+        return self._keep_warm_release_util
+
     def reset(self) -> None:
         super().reset()
         self._hot_size = self._base_sizer.hot_size
@@ -140,6 +179,9 @@ class VMTWaxAwareScheduler(Scheduler):
         self._prev_estimate = None
         self._suspect_ticks = None
         self._divergence_checked_tick = -1
+        self._kept_warm = np.zeros(self._config.num_servers, dtype=bool)
+        self._prev_power_w = None
+        self._inlet_est = None
 
     def register_metrics(self, registry) -> None:
         """Add the estimator-health gauges on top of the base set."""
@@ -197,7 +239,76 @@ class VMTWaxAwareScheduler(Scheduler):
         if np.any(self._suspect_ticks >= self._divergence_ticks):
             self._degraded = True
 
+    # -- inlet estimation ---------------------------------------------------
+
+    def _observe_inlets(self, view: ClusterView) -> None:
+        """Update the per-server inlet estimate from this tick's sensors.
+
+        In steady state the air model gives ``T = inlet + R_air * P``,
+        so a scheduler that remembers the power implied by its own last
+        allocation can invert the relation per server:
+        ``inlet_i = T_sensed_i - R_air * P_i``.  An exponential moving
+        average smooths sensor noise and the lag transient.  Keep-warm
+        needs this: inlets vary across the room, and sizing every
+        server's hold power from the *nominal* inlet leaves
+        colder-than-nominal servers below the melting point, silently
+        refreezing mid-peak (the group-partition invariant catches the
+        resulting hot-group shrink).
+        """
+        if self._prev_power_w is None:
+            return
+        sample = (view.air_temp_c
+                  - self._config.thermal.r_air_c_per_w
+                  * self._prev_power_w)
+        if self._inlet_est is None or len(self._inlet_est) != len(sample):
+            self._inlet_est = sample.copy()
+        else:
+            self._inlet_est += self._inlet_ema_alpha * (
+                sample - self._inlet_est)
+
+    def _record_allocation(self, allocation: np.ndarray) -> None:
+        """Remember the power the last allocation implies per server."""
+        self._prev_power_w = (self._config.server.idle_power_w
+                              + allocation.astype(np.float64)
+                              @ self._per_core_power)
+
+    def _keep_warm_targets_w(self, melted_hot: np.ndarray) -> np.ndarray:
+        """Per-server dynamic power needed to hold each server melted.
+
+        Uses the learned per-server inlet estimate when available and
+        falls back to the nominal-inlet figure for the first ticks of a
+        run (before any allocation has been observed).
+        """
+        target_temp = (self._config.wax.melt_temp_c
+                       + self._keep_warm_margin_c)
+        if self._inlet_est is None:
+            return np.full(len(melted_hot),
+                           keep_warm_power_w(self._config,
+                                             self._keep_warm_margin_c))
+        needed = ((target_temp - self._inlet_est[melted_hot])
+                  / self._config.thermal.r_air_c_per_w)
+        return np.maximum(0.0, needed - self._config.server.idle_power_w)
+
     # -- group management ---------------------------------------------------
+
+    def _melted_mask(self, view: ClusterView) -> np.ndarray:
+        """Servers that count as melted this tick.
+
+        The raw estimate threshold, plus hysteresis for servers the
+        scheduler kept warm last tick: keep-warm parks a server's wax at
+        the melt point, so its estimate hovers exactly at the threshold
+        and sensor noise would otherwise flick it in and out of the
+        melted set (shrinking the hot group mid-peak -- the churn the
+        sanitizer's group-partition monotonicity invariant flags).  A
+        kept-warm server stays melted until its estimate drops through
+        :attr:`wax_release_threshold`.
+        """
+        est = view.wax_melt_estimate
+        melted = est >= self._wax_threshold
+        if np.any(self._kept_warm):
+            melted = melted | (self._kept_warm
+                               & (est >= self._release_threshold))
+        return melted
 
     def _update_group_size(self, view: ClusterView) -> None:
         """Restart from the minimum size and add one per melted server."""
@@ -206,8 +317,7 @@ class VMTWaxAwareScheduler(Scheduler):
             self._hot_size = min(self._base_sizer.hot_size,
                                  view.num_servers)
             return
-        melted = int(np.count_nonzero(
-            view.wax_melt_estimate >= self._wax_threshold))
+        melted = int(np.count_nonzero(self._melted_mask(view)))
         self._hot_size = min(view.num_servers,
                              self._base_sizer.hot_size + melted)
 
@@ -293,7 +403,8 @@ class VMTWaxAwareScheduler(Scheduler):
         free[ids] -= targets
 
     def _cold_cap_on_melted(self, hot_demand: np.ndarray,
-                            cold_demand: np.ndarray) -> int:
+                            cold_demand: np.ndarray,
+                            target_w: Optional[float] = None) -> int:
         """Max cold cores per melted server that leaves room for keep-warm.
 
         Cold jobs draw far less power than hot ones, so a melted server
@@ -314,8 +425,9 @@ class VMTWaxAwareScheduler(Scheduler):
         if p_hot <= 0:
             return 0
         capacity = self._config.server.cores
-        target_w = keep_warm_power_w(self._config,
-                                     self._keep_warm_margin_c)
+        if target_w is None:
+            target_w = keep_warm_power_w(self._config,
+                                         self._keep_warm_margin_c)
         denom = 1.0 - p_cold / p_hot
         if denom <= 0:
             return capacity
@@ -328,6 +440,7 @@ class VMTWaxAwareScheduler(Scheduler):
         if view.num_servers != self._config.num_servers:
             raise SchedulingError("view does not match configured cluster")
         self._check_divergence(view)
+        self._observe_inlets(view)
         self._update_group_size(view)
 
         hot_demand, cold_demand = split_demand(demand)
@@ -340,7 +453,7 @@ class VMTWaxAwareScheduler(Scheduler):
             # the hot load evenly -- exactly VMT-TA's behaviour.
             melted = np.zeros(view.num_servers, dtype=bool)
         else:
-            melted = view.wax_melt_estimate >= self._wax_threshold
+            melted = self._melted_mask(view)
         in_base = hot_ids < base_size
         hot_melted = melted[hot_ids] if len(hot_ids) else \
             np.zeros(0, dtype=bool)
@@ -375,6 +488,13 @@ class VMTWaxAwareScheduler(Scheduler):
         released = melted_hot[warm_count:]
         melted_hot = melted_hot[:warm_count]
         keep_warm_active = warm_count > 0
+        # Remember who is being held warm: those servers keep their
+        # melted classification next tick (hysteresis, see
+        # :meth:`_melted_mask`) even if their estimate dips a hair below
+        # the threshold while parked at the melt point.
+        self._kept_warm = np.zeros(view.num_servers, dtype=bool)
+        if keep_warm_active:
+            self._kept_warm[melted_hot] = True
         # Servers released from keep-warm rejoin the general pool: they
         # keep carrying an even share of load, so their wax refreezes at
         # the pace the falling load dictates instead of all at once.
@@ -386,16 +506,19 @@ class VMTWaxAwareScheduler(Scheduler):
         self._spread(cold_demand, cold_ids, free, allocation)
 
         if keep_warm_active and len(melted_hot):
+            # Per-server hold power from the learned inlet estimates: a
+            # colder-than-nominal server needs more power to stay at the
+            # melt point than the nominal figure suggests.
+            target_w = self._keep_warm_targets_w(melted_hot)
             # Cold overflow lands on melted servers first ("minimal
             # thermal impact") -- and usefully contributes keep-warm power
             # -- but bounded so the hot top-up below still fits.
-            cold_cap = self._cold_cap_on_melted(hot_demand, cold_demand)
+            cold_cap = self._cold_cap_on_melted(
+                hot_demand, cold_demand, float(target_w.max()))
             self._spread(cold_demand, melted_hot, free, allocation,
                          per_server_cap=cold_cap)
             # Top melted servers up with hot jobs to the keep-warm power
             # target: just enough to hold the wax melted, no more.
-            target_w = keep_warm_power_w(self._config,
-                                         self._keep_warm_margin_c)
             p_hot = mean_hot_core_power_w(self._config, hot_demand)
             existing_w = (allocation[melted_hot].astype(np.float64)
                           @ self._per_core_power)
@@ -434,6 +557,7 @@ class VMTWaxAwareScheduler(Scheduler):
         if hot_demand.sum() or cold_demand.sum():
             raise SchedulingError("VMT-WA failed to place all jobs")
 
+        self._record_allocation(allocation)
         hot_mask = np.zeros(view.num_servers, dtype=bool)
         hot_mask[:self._hot_size] = True
         return Placement(allocation=allocation, hot_group_mask=hot_mask)

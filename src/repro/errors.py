@@ -33,6 +33,19 @@ class CapacityError(SchedulingError):
     """Demanded job slots exceed the cluster's total core count."""
 
 
+class InvariantViolation(SimulationError):
+    """A runtime physical or scheduling invariant failed mid-run.
+
+    Raised by the :mod:`repro.checks` sanitizer when a simulated
+    quantity breaks one of the model's conservation laws or validity
+    bounds (PCM energy balance, job conservation, Eq. 1/2 partition,
+    melt-fraction bounds, time monotonicity, non-finite state).  The
+    message always carries the tick index and, where it applies, the
+    offending server id -- a violation means the simulation's *code* is
+    wrong, never that the simulated system merely misbehaved.
+    """
+
+
 class FaultInjectionError(SimulationError):
     """A fault-injection event or scenario is invalid.
 

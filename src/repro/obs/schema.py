@@ -34,7 +34,8 @@ MANIFEST_SCHEMA_VERSION = "repro.run-manifest/1"
 KNOWN_TRACE_NAMES: Tuple[str, ...] = (
     "tick", "placement", "group-resize", "wax-threshold-crossing",
     "vmt-wa-degraded", "fault-onset", "fault-recovery", "sensor-fault",
-    "sensor-fault-cleared", "cooling-derate", "run-start", "run-end")
+    "sensor-fault-cleared", "cooling-derate", "run-start", "run-end",
+    "invariant-violation")
 
 #: Manifest keys that must be present and equal across reruns of the
 #: same spec (wall-clock and environment keys are deliberately absent).

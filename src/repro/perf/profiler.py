@@ -22,6 +22,10 @@ The timed sections, in tick order:
 ``metrics``
     Recording the tick's series into the
     :class:`~repro.cluster.metrics.MetricsCollector`.
+``checks``
+    The invariant sanitizer's per-tick audits
+    (:class:`~repro.checks.sanitizer.SimulationSanitizer`), present only
+    when a run enables ``checks="cheap"`` or ``"full"``.
 """
 
 from __future__ import annotations
@@ -32,7 +36,7 @@ from typing import Dict, Tuple
 
 #: Canonical section names in tick order (for stable report layout).
 SECTIONS: Tuple[str, ...] = (
-    "placement", "air_model", "pcm", "estimator", "metrics")
+    "placement", "air_model", "pcm", "estimator", "metrics", "checks")
 
 
 @dataclass(frozen=True)

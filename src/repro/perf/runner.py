@@ -57,6 +57,10 @@ class RunSpec:
     #: metric columns, run manifest) into this directory, keyed by the
     #: spec's name.  A plain string keeps the spec picklable.
     telemetry_dir: Optional[str] = None
+    #: Invariant-sanitizer level ("off" | "cheap" | "full"); ``None``
+    #: defers to the ``REPRO_CHECKS`` environment variable.  Checks read
+    #: ground truth only, so any level yields bit-identical results.
+    checks: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -131,7 +135,8 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
     return run_simulation(spec.config, scheduler, trace=trace,
                           record_heatmaps=spec.record_heatmaps,
                           profiler=profiler,
-                          telemetry=telemetry)
+                          telemetry=telemetry,
+                          checks=spec.checks)
 
 
 def _execute_captured(spec: RunSpec) -> Outcome:

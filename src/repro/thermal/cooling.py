@@ -34,8 +34,26 @@ class CoolingLoadTracker:
 
         ``wax_absorption_w`` is positive while wax stores heat (reducing
         the cooling load) and negative while it releases heat.
+
+        Non-finite inputs are rejected: a single NaN or inf sample would
+        silently poison :attr:`peak_w` (``np.max`` propagates NaN) and
+        every reduction derived from it.
         """
-        load = float(np.sum(server_power_w) - np.sum(wax_absorption_w))
+        if not np.isfinite(time_s):
+            raise ThermalModelError(
+                f"cooling sample time must be finite, got {time_s!r}")
+        power = np.asarray(server_power_w, dtype=np.float64)
+        absorbed = np.asarray(wax_absorption_w, dtype=np.float64)
+        for name, arr in (("server_power_w", power),
+                          ("wax_absorption_w", absorbed)):
+            bad = ~np.isfinite(arr)
+            if np.any(bad):
+                idx = int(np.argmax(bad))
+                raise ThermalModelError(
+                    f"{name} contains a non-finite value "
+                    f"({np.ravel(arr)[idx]!r} at index {idx}); refusing "
+                    "to record a sample that would poison peak_w")
+        load = float(power.sum() - absorbed.sum())
         self._times_s.append(float(time_s))
         self._loads_w.append(load)
         return load

@@ -31,6 +31,12 @@ from ..errors import ThermalModelError
 
 ArrayLike = Union[float, np.ndarray]
 
+#: Tolerance on melt fraction when deciding a server is "fully melted".
+#: The enthalpy integration accumulates float rounding of order 1e-16
+#: per step, so an exact ``>= 1.0`` comparison flickers at the boundary;
+#: anything within this distance of 1.0 counts as melted.
+FULL_MELT_TOLERANCE = 1e-9
+
 
 @dataclass(frozen=True)
 class PCMState:
@@ -77,8 +83,14 @@ class PCMBank:
     def _enthalpy_at(self, temp_c: float) -> float:
         """Specific enthalpy of fully relaxed wax at ``temp_c``.
 
-        Inside the melt band the curve is not invertible; at exactly the
-        melt temperature we return the solidus (all-solid) enthalpy.
+        Inside the melt band the temperature curve is not invertible: any
+        enthalpy in ``[h_sol, h_liq]`` reads as ``T_melt``.  This mapping
+        therefore pins a convention for the ambiguous input
+        ``temp_c == melt_temp_c``: it returns the **solidus** (all-solid,
+        melt fraction 0.0) enthalpy, matching the "starts solid" initial
+        condition every experiment in the paper assumes.  A bank
+        initialized exactly at the melt point thus reports
+        ``melt_fraction == 0.0``, not 1.0 or anything in between.
         """
         if temp_c <= self._t_melt:
             return self._cp_s * temp_c
@@ -139,6 +151,17 @@ class PCMBank:
         """Latent energy currently stored per server (J)."""
         return self.melt_fraction * self.latent_capacity_j
 
+    @property
+    def enthalpy_j(self) -> np.ndarray:
+        """Total enthalpy per server (J, referenced to solid wax at 0 C).
+
+        The quantity the energy-balance invariant audits: across any
+        :meth:`step`, the change in this array must equal the returned
+        heat flow times the timestep, exactly what the enthalpy method
+        guarantees by construction.
+        """
+        return self._h * self._mass
+
     def snapshot(self) -> PCMState:
         """Return an immutable copy of the current state."""
         return PCMState(
@@ -157,7 +180,8 @@ class PCMBank:
                        lambda: float(self.melt_fraction.mean()))
         registry.gauge("pcm.fully_melted_servers",
                        lambda: float(np.count_nonzero(
-                           self.melt_fraction >= 1.0)))
+                           self.melt_fraction
+                           >= 1.0 - FULL_MELT_TOLERANCE)))
         registry.gauge("pcm.mean_temp_c",
                        lambda: float(self.temperature_c.mean()))
         registry.gauge("pcm.stored_latent_j",

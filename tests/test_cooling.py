@@ -19,6 +19,31 @@ class TestCoolingLoadTracker:
         load = tracker.record(0.0, np.array([200.0]), np.array([-60.0]))
         assert load == pytest.approx(260.0)
 
+    def test_rejects_nonfinite_power(self):
+        tracker = CoolingLoadTracker()
+        with pytest.raises(ThermalModelError, match="server_power_w"):
+            tracker.record(0.0, np.array([200.0, np.nan]),
+                           np.array([0.0, 0.0]))
+        with pytest.raises(ThermalModelError, match="server_power_w"):
+            tracker.record(0.0, np.array([np.inf]), np.array([0.0]))
+
+    def test_rejects_nonfinite_absorption_and_time(self):
+        tracker = CoolingLoadTracker()
+        with pytest.raises(ThermalModelError, match="wax_absorption_w"):
+            tracker.record(0.0, np.array([200.0]), np.array([np.nan]))
+        with pytest.raises(ThermalModelError, match="time"):
+            tracker.record(float("nan"), np.array([200.0]),
+                           np.array([0.0]))
+
+    def test_rejection_leaves_no_partial_sample(self):
+        """A rejected sample must not poison peak_w or the series."""
+        tracker = CoolingLoadTracker()
+        tracker.record(0.0, np.array([100.0]), np.array([0.0]))
+        with pytest.raises(ThermalModelError):
+            tracker.record(1.0, np.array([np.nan]), np.array([0.0]))
+        assert len(tracker.times_s) == 1
+        assert tracker.peak_w == pytest.approx(100.0)
+
     def test_peak_and_mean(self):
         tracker = CoolingLoadTracker()
         for t, p in enumerate([100.0, 300.0, 200.0]):

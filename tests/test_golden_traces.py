@@ -1,0 +1,109 @@
+"""Golden-trace regression tests.
+
+The committed goldens pin every policy's canonical run bit-for-bit.
+The re-run tests execute under ``checks="full"`` so a pass certifies
+both "nothing drifted" and "every invariant held for the whole trace"
+-- they are the slowest tests in the suite (one 100-server two-day run
+per policy), matching the integration tests in cost.
+
+The divergence-report tests are synthetic (no simulation): they verify
+that a drifted series is localized to the right metric and tick.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.checks.golden import (GOLDEN_CONFIG_KWARGS, GOLDEN_DIR,
+                                 GOLDEN_SERIES, check_policy,
+                                 first_divergence, golden_config,
+                                 load_golden, load_manifest)
+from repro.core.policies import SCHEDULER_NAMES
+from repro.errors import ConfigurationError
+
+
+def fake_result(golden):
+    """A stand-in result exposing the golden's own series verbatim."""
+    return SimpleNamespace(**{name: golden[name].copy()
+                              for name in GOLDEN_SERIES})
+
+
+class TestGoldenArtifacts:
+    def test_manifest_covers_every_policy(self):
+        manifest = load_manifest()
+        assert set(manifest["fingerprints"]) == set(SCHEDULER_NAMES)
+        assert manifest["config"] == GOLDEN_CONFIG_KWARGS
+        assert manifest["series"] == list(GOLDEN_SERIES)
+
+    @pytest.mark.parametrize("policy", SCHEDULER_NAMES)
+    def test_golden_files_complete(self, policy):
+        golden = load_golden(policy)
+        assert set(GOLDEN_SERIES) <= set(golden)
+        lengths = {len(golden[name]) for name in GOLDEN_SERIES}
+        assert len(lengths) == 1  # every series covers every tick
+        assert (GOLDEN_DIR / f"{policy}.npz").exists()
+
+    def test_golden_config_matches_manifest(self):
+        config = golden_config()
+        assert config.num_servers == 100
+        assert config.scheduler.grouping_value == 22.0
+        assert config.seed == 7
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            load_golden("no-such-policy")
+        with pytest.raises(ConfigurationError):
+            check_policy("no-such-policy")
+
+
+class TestDivergenceReports:
+    def test_identical_series_have_no_divergence(self):
+        golden = load_golden("round-robin")
+        assert first_divergence("round-robin", fake_result(golden),
+                                golden) is None
+
+    def test_earliest_tick_wins(self):
+        golden = load_golden("round-robin")
+        result = fake_result(golden)
+        result.cooling_load_w[100] += 1.0
+        result.jobs[50] += 1
+        div = first_divergence("round-robin", result, golden)
+        assert div is not None
+        assert div.metric == "jobs"
+        assert div.tick == 50
+        assert div.got == div.expected + 1
+
+    def test_report_is_readable(self):
+        golden = load_golden("vmt-wa")
+        result = fake_result(golden)
+        result.mean_melt_fraction[7] = 0.5
+        div = first_divergence("vmt-wa", result, golden)
+        report = div.report()
+        assert "mean_melt_fraction" in report
+        assert "tick 7" in report
+        assert "expected" in report and "got" in report
+
+    def test_truncated_series_diverges_at_cut(self):
+        golden = load_golden("round-robin")
+        result = fake_result(golden)
+        result.cooling_load_w = result.cooling_load_w[:-10]
+        div = first_divergence("round-robin", result, golden)
+        assert div is not None
+        assert div.metric == "cooling_load_w"
+        assert div.tick == len(golden["cooling_load_w"]) - 10
+
+    def test_nan_equals_nan(self):
+        """Group means are NaN for partition-less policies; not drift."""
+        golden = load_golden("round-robin")
+        assert np.isnan(golden["hot_group_mean_temp_c"]).all()
+        assert first_divergence("round-robin", fake_result(golden),
+                                golden) is None
+
+
+class TestGoldenReruns:
+    @pytest.mark.parametrize("policy", SCHEDULER_NAMES)
+    def test_policy_reproduces_golden_under_full_checks(self, policy):
+        comparison = check_policy(policy, checks="full")
+        assert comparison.matches, comparison.report()
+        assert "OK" in comparison.report()

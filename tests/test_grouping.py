@@ -39,6 +39,24 @@ class TestEquation1:
                  for gv in np.arange(10, 31, 0.5)]
         assert all(b >= a for a, b in zip(sizes, sizes[1:]))
 
+    def test_exact_half_rounds_up(self):
+        """Exact .5 fractions round half-up, not to the nearest even.
+
+        GV/PMT = 0.5 is exact in binary, so an odd cluster size yields
+        an exact ``x.5`` fractional hot group.  Banker's rounding
+        (``round()``) would map 2.5 -> 2 and 0.5 -> 0; the convention
+        here is ``floor(x + 0.5)``.
+        """
+        assert hot_group_size(1.0, 2.0, 5) == 3    # 2.5 -> 3, round() gives 2
+        assert hot_group_size(1.0, 2.0, 1) == 1    # 0.5 -> 1, round() gives 0
+        assert hot_group_size(1.0, 2.0, 9) == 5    # 4.5 -> 5, round() gives 4
+        assert hot_group_size(1.0, 2.0, 3) == 2    # 1.5 -> 2, same either way
+
+    def test_half_boundary_keeps_monotonicity(self):
+        """Half-up keeps adjacent odd/even sizes monotone at the boundary."""
+        sizes = [hot_group_size(1.0, 2.0, n) for n in range(1, 12)]
+        assert all(b >= a for a, b in zip(sizes, sizes[1:]))
+
 
 class TestGroupSizer:
     def test_sizes_and_fraction(self):

@@ -34,6 +34,27 @@ class TestEnthalpyCurve:
         assert bank.melt_fraction[0] == pytest.approx(1.0)
         assert bank.temperature_c[0] == pytest.approx(45.0)
 
+    def test_initialized_exactly_at_melt_point_is_solid(self):
+        """The ambiguous T == PMT input pins the solidus convention."""
+        bank = make_bank(n=3, temp=WAX.melt_temp_c)
+        assert np.all(bank.melt_fraction == 0.0)
+        assert np.allclose(bank.temperature_c, WAX.melt_temp_c)
+        assert np.all(bank.stored_latent_j == 0.0)
+
+    def test_fully_melted_gauge_uses_tolerance(self):
+        """One-ulp-below-1.0 fractions still count as fully melted."""
+        from repro.obs import MetricRegistry
+        from repro.thermal.pcm import FULL_MELT_TOLERANCE
+
+        bank = make_bank(n=4)
+        registry = MetricRegistry(capacity=4)
+        bank.register_metrics(registry)
+        gauge = registry.get("pcm.fully_melted_servers")
+        bank.set_melt_fraction(1.0 - 1e-12)  # inside the tolerance
+        assert gauge.value == 4.0
+        bank.set_melt_fraction(1.0 - 10 * FULL_MELT_TOLERANCE)
+        assert gauge.value == 0.0
+
     @given(st.floats(min_value=-10.0, max_value=80.0))
     @settings(max_examples=60, deadline=None)
     def test_property_temperature_enthalpy_round_trip(self, temp):

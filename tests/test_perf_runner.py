@@ -144,14 +144,26 @@ class TestProfiler:
         result = execute_spec(RunSpec(tiny_config(), "vmt-ta",
                                       profile=True))
         assert result.profile is not None
-        assert set(result.profile) == set(SECTIONS)
+        # "checks" only appears when a sanitizer is attached.
+        assert set(result.profile) == set(SECTIONS) - {"checks"}
         ticks = result.times_s.shape[0]
         for section, timing in result.profile.items():
             assert timing["calls"] == ticks, section
             assert timing["total_s"] > 0.0, section
 
+    def test_checks_section_times_the_sanitizer(self):
+        result = execute_spec(RunSpec(tiny_config(), "vmt-ta",
+                                      profile=True, checks="cheap"))
+        assert set(result.profile) == set(SECTIONS)
+        ticks = result.times_s.shape[0]
+        timing = result.profile["checks"]
+        # Placement and state audits are timed separately each tick.
+        assert timing["calls"] == 2 * ticks
+        assert timing["total_s"] > 0.0
+
     def test_profile_survives_the_process_pool(self):
-        spec = RunSpec(tiny_config(), "vmt-wa", profile=True)
+        spec = RunSpec(tiny_config(), "vmt-wa", profile=True,
+                       checks="cheap")
         result = ExperimentRunner(2).run([spec])[0]
         assert result.profile is not None
         assert set(result.profile) == set(SECTIONS)
