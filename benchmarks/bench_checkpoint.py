@@ -1,0 +1,147 @@
+"""Checkpoint overhead benchmark: snapshot/restore cost vs the tick loop.
+
+Measures what checkpointing adds to a run at the paper's 100-server
+sweep scale:
+
+* ``snapshot_capture_s`` -- building the in-memory state tree
+  (``ClusterSimulation.snapshot()``);
+* ``snapshot_write_s`` -- capture **plus** serializing the ``.npz`` and
+  manifest to disk (``save_snapshot``), i.e. the full cost one
+  checkpoint adds to the run;
+* ``restore_s`` -- ``load_snapshot`` + ``restore_simulation``, the cost
+  paid once on resume;
+* ``checkpoint_overhead`` -- extra wall time of a run checkpointing
+  every 60 ticks relative to an identical run without checkpoints.
+
+The acceptance bar is **one snapshot write costs < 5% of a tick-loop
+second** (i.e. < 50 ms wall) at 100 servers, and the checkpointed run's
+fingerprint is bit-identical to the baseline's -- resume correctness is
+never traded for speed, so the snapshot path takes no shortcuts.
+
+Results merge into ``BENCH_perf.json`` under ``checkpoint``, alongside
+the scaling and sanitizer numbers.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py
+    PYTHONPATH=src python benchmarks/bench_checkpoint.py \
+        --servers 20 --hours 6   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+from repro.cluster.simulation import ClusterSimulation
+from repro.config import TraceConfig, paper_cluster_config
+from repro.core.policies import make_scheduler
+from repro.state import (load_snapshot, restore_simulation, save_snapshot,
+                         snapshot_manifest_path)
+
+SNAPSHOT_BAR_S = 0.05  # < 5% of a tick-loop second
+
+
+def _build(config, policy, **kwargs):
+    return ClusterSimulation(config, make_scheduler(policy, config),
+                             record_heatmaps=False, **kwargs)
+
+
+def _timed_run(sim) -> tuple:
+    start = time.perf_counter()
+    result = sim.run()
+    return result, time.perf_counter() - start
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--servers", type=int, default=100)
+    parser.add_argument("--hours", type=float, default=48.0)
+    parser.add_argument("--policy", default="vmt-wa")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--every", type=int, default=60,
+                        help="checkpoint interval (ticks) for the "
+                             "instrumented run")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="take the fastest of N snapshot timings")
+    parser.add_argument("--out", default="BENCH_perf.json")
+    args = parser.parse_args()
+
+    config = paper_cluster_config(num_servers=args.servers, seed=args.seed)
+    config = config.replace(trace=TraceConfig(duration_hours=args.hours))
+
+    baseline_result, baseline_s = _timed_run(_build(config, args.policy))
+    ticks = config.trace.num_steps
+    print(f"baseline: {baseline_s:.3f} s over {ticks} ticks "
+          f"({args.servers} servers, {args.policy})")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        sim = _build(config, args.policy,
+                     checkpoint_every=args.every, checkpoint_dir=tmp)
+        ckpt_result, ckpt_s = _timed_run(sim)
+        identical = ckpt_result.fingerprint() == baseline_result.fingerprint()
+        n_checkpoints = len(sim.checkpoint_records)
+        print(f"checkpointed (every {args.every}): {ckpt_s:.3f} s, "
+              f"{n_checkpoints} snapshots, bit-identical: {identical}")
+
+        # Per-snapshot cost, measured directly on the finished sim (the
+        # state tree has the same shape at any tick boundary).
+        capture_s = min(_time_once(sim.snapshot) for _ in range(args.repeats))
+        path = os.path.join(tmp, "bench-snapshot.npz")
+        write_s = min(
+            _time_once(lambda: save_snapshot(sim.snapshot(), path))
+            for _ in range(args.repeats))
+        snapshot_bytes = (os.path.getsize(path)
+                          + os.path.getsize(snapshot_manifest_path(path)))
+        restore_s = min(
+            _time_once(lambda: restore_simulation(load_snapshot(path)))
+            for _ in range(args.repeats))
+
+    overhead = ckpt_s / baseline_s - 1.0 if baseline_s > 0 else 0.0
+    print(f"snapshot: capture {capture_s * 1000:.1f} ms, "
+          f"capture+write {write_s * 1000:.1f} ms "
+          f"({snapshot_bytes / 1024:.0f} KiB); "
+          f"restore {restore_s * 1000:.1f} ms")
+    print(f"snapshot write vs bar: {write_s * 1000:.1f} ms "
+          f"(bar: < {SNAPSHOT_BAR_S * 1000:.0f} ms); "
+          f"run overhead at every={args.every}: {overhead * 100:.1f}%")
+
+    payload = {
+        "num_servers": args.servers,
+        "policy": args.policy,
+        "ticks": ticks,
+        "bit_identical": identical,
+        "tick_loop_s": baseline_s,
+        "checkpoint_every": args.every,
+        "checkpointed_run_s": ckpt_s,
+        "checkpoint_overhead": overhead,
+        "snapshot_capture_s": capture_s,
+        "snapshot_write_s": write_s,
+        "snapshot_bytes": snapshot_bytes,
+        "restore_s": restore_s,
+        "snapshot_share_of_tick_loop_second": write_s / 1.0,
+    }
+    merged = {}
+    if os.path.exists(args.out):
+        with open(args.out) as handle:
+            merged = json.load(handle)
+    merged["cpu_count"] = os.cpu_count()
+    merged["checkpoint"] = payload
+    with open(args.out, "w") as handle:
+        json.dump(merged, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+    return 0 if identical and write_s < SNAPSHOT_BAR_S else 1
+
+
+def _time_once(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

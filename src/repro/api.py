@@ -81,13 +81,17 @@ def _check_policy(policy: str) -> str:
     return policy
 
 
-def run(*, policy: str, config: Optional[SimulationConfig] = None,
+def run(*, policy: Optional[str] = None,
+        config: Optional[SimulationConfig] = None,
         num_servers: Optional[int] = None, gv: Optional[float] = None,
         seed: Optional[int] = None, inlet_stdev_c: Optional[float] = None,
         wax_threshold: Optional[float] = None,
         trace: Optional[TraceMatrix] = None, record_heatmaps: bool = True,
         telemetry: TelemetryLike = None,
-        checks: Optional[str] = None) -> SimulationResult:
+        checks: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume_from: Optional[str] = None) -> SimulationResult:
     """Run one policy on one cluster and return its result.
 
     Shortcut defaults reproduce the README quickstart: 100 servers,
@@ -96,14 +100,50 @@ def run(*, policy: str, config: Optional[SimulationConfig] = None,
     "full"); ``None`` defers to the ``REPRO_CHECKS`` environment
     variable.  The sanitizer only reads state, so results are
     bit-identical at every level.
+
+    ``checkpoint_every=N`` with ``checkpoint_dir=`` writes a snapshot
+    every N completed ticks; ``resume_from=`` continues a run from such
+    a snapshot (its config, policy, and trace come from the snapshot, so
+    those keywords must then be omitted -- except ``policy``, which, if
+    given, must match the snapshot's).  A resumed run is bit-identical
+    to the straight-through run: same ``fingerprint()``.
     """
+    if resume_from is not None:
+        if config is not None or trace is not None:
+            raise ConfigurationError(
+                "resume_from= carries its own config and trace; do not "
+                "pass config= or trace= alongside it")
+        shortcuts = {"num_servers": num_servers, "gv": gv, "seed": seed,
+                     "inlet_stdev_c": inlet_stdev_c,
+                     "wax_threshold": wax_threshold}
+        given = [k for k, v in shortcuts.items() if v is not None]
+        if given:
+            raise ConfigurationError(
+                f"resume_from= carries its own config; do not pass "
+                f"shortcut keywords ({', '.join(given)}) alongside it")
+        from .state import load_snapshot, restore_simulation
+        snapshot = load_snapshot(resume_from)
+        if policy is not None and policy != snapshot.policy:
+            raise ConfigurationError(
+                f"snapshot {resume_from} was taken under policy "
+                f"{snapshot.policy!r}, not {policy!r}")
+        sim = restore_simulation(snapshot, telemetry=telemetry,
+                                 checks=checks,
+                                 checkpoint_every=checkpoint_every,
+                                 checkpoint_dir=checkpoint_dir)
+        return sim.run()
+    if policy is None:
+        raise ConfigurationError(
+            "policy= is required (it is optional only with resume_from=)")
     _check_policy(policy)
     resolved = _build_config(config, num_servers=num_servers, gv=gv,
                              seed=seed, inlet_stdev_c=inlet_stdev_c,
                              wax_threshold=wax_threshold)
     return run_simulation(resolved, make_scheduler(policy, resolved),
                           trace=trace, record_heatmaps=record_heatmaps,
-                          telemetry=telemetry, checks=checks)
+                          telemetry=telemetry, checks=checks,
+                          checkpoint_every=checkpoint_every,
+                          checkpoint_dir=checkpoint_dir)
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,9 @@ Installs as ``repro-sim`` (see pyproject) and also runs as
 * ``run``      -- one simulation, summary (optionally saved to .npz);
   ``--kill``/``--stuck-wax``/``--derate``/``--hazard`` inject faults;
   ``--telemetry DIR`` writes a JSONL trace + metrics + run manifest;
-  ``--checks LEVEL`` attaches the invariant sanitizer
+  ``--checks LEVEL`` attaches the invariant sanitizer;
+  ``--checkpoint-every N --checkpoint-dir D`` writes resumable
+  snapshots and ``--resume PATH`` continues from one bit-identically
 * ``check``    -- re-run the committed golden configs and diff the
   results against the stored fingerprints (``--update`` re-captures)
 * ``ledger``   -- list or verify the run manifests in a telemetry dir
@@ -125,23 +127,35 @@ def _with_faults(config, args: argparse.Namespace):
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = _with_faults(_config_from(args), args)
-    scheduler = make_scheduler(args.policy, config)
+    if args.checkpoint_every is not None and not args.checkpoint_dir:
+        raise ReproError("--checkpoint-every requires --checkpoint-dir")
     telemetry = None
     if args.telemetry:
         from .obs.telemetry import Telemetry
         telemetry = Telemetry(args.telemetry)
-    result = run_simulation(config, scheduler,
-                            record_heatmaps=bool(args.save),
-                            telemetry=telemetry, checks=args.checks)
+    if args.resume:
+        from .state import resume_run
+        result = resume_run(args.resume, telemetry=telemetry,
+                            checks=args.checks,
+                            checkpoint_every=args.checkpoint_every,
+                            checkpoint_dir=args.checkpoint_dir)
+    else:
+        config = _with_faults(_config_from(args), args)
+        scheduler = make_scheduler(args.policy, config)
+        result = run_simulation(config, scheduler,
+                                record_heatmaps=bool(args.save),
+                                telemetry=telemetry, checks=args.checks,
+                                checkpoint_every=args.checkpoint_every,
+                                checkpoint_dir=args.checkpoint_dir)
     summary = result.summary()
     rows = [(key, value) for key, value in summary.items()]
     print(format_table(["metric", "value"], rows))
+    print(f"\nfingerprint: {result.fingerprint()}")
     if args.save:
         path = save_result(result, args.save)
-        print(f"\nsaved result to {path}")
+        print(f"saved result to {path}")
     if telemetry is not None:
-        print(f"\ntelemetry: {telemetry.manifest_path}")
+        print(f"telemetry: {telemetry.manifest_path}")
     return 0
 
 
@@ -429,6 +443,15 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="invariant sanitizer level (default: the "
                           "REPRO_CHECKS environment variable, else off)")
+    run.add_argument("--checkpoint-every", type=int, metavar="N",
+                     help="write a resumable snapshot every N ticks "
+                          "(requires --checkpoint-dir)")
+    run.add_argument("--checkpoint-dir", metavar="DIR",
+                     help="directory snapshots are written into")
+    run.add_argument("--resume", metavar="PATH",
+                     help="resume from a checkpoint snapshot (config and "
+                          "policy come from the snapshot; cluster/fault "
+                          "flags are ignored)")
     run.set_defaults(func=_cmd_run)
 
     check = sub.add_parser(

@@ -270,6 +270,42 @@ class Cluster:
             active_mask=active,
         )
 
+    # -- snapshot protocol ---------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """All mutable physical state, delegating to the thermal models.
+
+        RNG positions are *not* here: the sensor and estimator draw from
+        the shared :class:`RngStreams` registry, which the simulation
+        snapshots in one place.  Fault state belongs to the injector.
+        """
+        return {
+            "time_s": self._time_s,
+            "power_w": self._power_w.copy(),
+            "dynamic_w": self._dynamic_w.copy(),
+            "last_q_wax": self._last_q_wax.copy(),
+            "last_melt_fraction":
+                np.asarray(self._last_melt_fraction).copy(),
+            "air": self._air.state_dict(),
+            "pcm": self._pcm.state_dict(),
+            "estimator": self._estimator.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._time_s = float(state["time_s"])
+        self._power_w = np.asarray(state["power_w"],
+                                   dtype=np.float64).copy()
+        self._dynamic_w = np.asarray(state["dynamic_w"],
+                                     dtype=np.float64).copy()
+        self._last_q_wax = np.asarray(state["last_q_wax"],
+                                      dtype=np.float64).copy()
+        self._last_melt_fraction = np.asarray(
+            state["last_melt_fraction"], dtype=np.float64).copy()
+        self._air.load_state_dict(state["air"])
+        self._pcm.load_state_dict(state["pcm"])
+        self._estimator.load_state_dict(state["estimator"])
+
     # -- dynamics -----------------------------------------------------------
 
     def _check_allocation(self, allocation: np.ndarray) -> np.ndarray:

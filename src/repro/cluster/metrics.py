@@ -133,6 +133,11 @@ class MetricsCollector:
         """Ticks recorded so far."""
         return self._size
 
+    @property
+    def record_heatmaps(self) -> bool:
+        """Whether per-server heatmaps are being collected."""
+        return self._record_heatmaps
+
     def last_value(self, name: str) -> float:
         """The most recently recorded sample of a scalar series.
 
@@ -145,6 +150,44 @@ class MetricsCollector:
         if name not in self._series:
             raise SimulationError(f"unknown metrics series {name!r}")
         return float(self._series[name][self._size - 1])
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Rows recorded so far, trimmed to the live size."""
+        return {
+            "size": self._size,
+            "record_heatmaps": self._record_heatmaps,
+            "series": {name: self._series[name][:self._size].copy()
+                       for name, _ in _SCALAR_SERIES},
+            "temp_map": (None if self._temp_map is None
+                         else self._temp_map[:self._size].copy()),
+            "melt_map": (None if self._melt_map is None
+                         else self._melt_map[:self._size].copy()),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore rows captured by :meth:`state_dict`."""
+        if bool(state["record_heatmaps"]) != self._record_heatmaps:
+            raise SimulationError(
+                "snapshot was taken with record_heatmaps="
+                f"{bool(state['record_heatmaps'])}, this collector uses "
+                f"{self._record_heatmaps}")
+        size = int(state["size"])
+        self._capacity = max(self._capacity, size, 1)
+        for name, dtype in _SCALAR_SERIES:
+            buffer = np.empty(self._capacity, dtype=dtype)
+            buffer[:size] = np.asarray(state["series"][name], dtype=dtype)
+            self._series[name] = buffer
+        for attr, stored in (("_temp_map", state["temp_map"]),
+                             ("_melt_map", state["melt_map"])):
+            if stored is None:
+                setattr(self, attr, None)
+                continue
+            stored = np.asarray(stored, dtype=np.float32)
+            buffer = np.empty((self._capacity, stored.shape[1]),
+                              dtype=np.float32)
+            buffer[:size] = stored
+            setattr(self, attr, buffer)
+        self._size = size
 
     def _trimmed(self, buffer: np.ndarray) -> np.ndarray:
         if self._size == len(buffer):

@@ -16,6 +16,7 @@ tracks availability, displaced jobs, and failure-to-replacement times.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import TYPE_CHECKING, Callable, List, Optional
 
@@ -54,8 +55,19 @@ class ClusterSimulation:
                  fault_injector: Optional["FaultInjector"] = None,
                  profiler: Optional["TickProfiler"] = None,
                  telemetry: TelemetryLike = None,
-                 checks: Optional[str] = None) -> None:
+                 checks: Optional[str] = None,
+                 checkpoint_every: Optional[int] = None,
+                 checkpoint_dir: Optional[str] = None) -> None:
         config.validate()
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise SimulationError("checkpoint_every must be positive")
+        if checkpoint_every is not None and checkpoint_dir is None:
+            raise SimulationError(
+                "checkpoint_every requires a checkpoint_dir")
+        self._checkpoint_every = checkpoint_every
+        self._checkpoint_dir = checkpoint_dir
+        self._checkpoint_records: List[dict] = []
+        self._restored = False
         if scheduler.config.num_servers != config.num_servers:
             raise SimulationError(
                 "scheduler was built for a different cluster size")
@@ -297,6 +309,128 @@ class ClusterSimulation:
         self._last_allocation = placement.allocation
         self._notify_observers(demand, placement)
         self._step_index += 1
+        if (self._checkpoint_every is not None
+                and self._step_index % self._checkpoint_every == 0):
+            self._write_checkpoint()
+
+    # -- checkpoint/resume ---------------------------------------------------
+
+    def snapshot(self) -> "SimulationSnapshot":
+        """Capture the complete run state at the current tick boundary.
+
+        Valid between ticks (snapshots taken mid-callback would miss the
+        in-flight tick); the checkpoint path calls it at the end of
+        :meth:`_tick`, where the only live queue entries are
+        reconstructable from configuration.
+        """
+        # Imported lazily: repro.state sits above the cluster layer.
+        from ..obs.ledger import config_sha256, git_describe
+        from ..state.snapshot import (SNAPSHOT_SCHEMA_VERSION,
+                                      SimulationSnapshot)
+        state = {
+            "engine": self._engine.state_dict(),
+            "streams": self._streams.state_dict(),
+            "scheduler": self._scheduler.state_dict(),
+            "cluster": self._cluster.state_dict(),
+            "metrics": self._metrics.state_dict(),
+            "faults": (self._injector.state_dict()
+                       if self._injector is not None else None),
+            "sim": {
+                "last_allocation":
+                    (None if self._last_allocation is None
+                     else self._last_allocation.copy()),
+                "prev_hot_size": self._prev_hot_size,
+                "prev_above_threshold": self._prev_above_threshold,
+                "prev_degraded": self._prev_degraded,
+            },
+        }
+        return SimulationSnapshot(
+            schema=SNAPSHOT_SCHEMA_VERSION,
+            tick=self._step_index,
+            policy=self._scheduler.name.split("(")[0],
+            scheduler_name=self._scheduler.name,
+            record_heatmaps=self._metrics.record_heatmaps,
+            config=self._config.to_dict(),
+            config_sha256=config_sha256(self._config),
+            trace_sha256=self._trace.fingerprint(),
+            git_describe=git_describe(),
+            state=state,
+        )
+
+    def restore(self, snapshot: "SimulationSnapshot") -> None:
+        """Load a snapshot into this freshly constructed simulation.
+
+        The simulation must have been built from the *same* experiment:
+        config hash, scheduler name, trace fingerprint, heatmap setting,
+        and fault-injector presence are all verified before any state is
+        touched, so a stale checkpoint directory fails loudly instead of
+        resuming the wrong run.  After a successful restore,
+        :meth:`run` continues from the captured tick.
+        """
+        from ..errors import CheckpointError
+        from ..obs.ledger import config_sha256
+
+        if self._step_index != 0 or self._engine.events_dispatched != 0:
+            raise CheckpointError(
+                "restore() requires a freshly constructed simulation")
+        own_sha = config_sha256(self._config)
+        if snapshot.config_sha256 != own_sha:
+            raise CheckpointError(
+                "snapshot was taken under a different configuration "
+                f"(config sha {snapshot.config_sha256[:12]} != "
+                f"{own_sha[:12]})")
+        if snapshot.scheduler_name != self._scheduler.name:
+            raise CheckpointError(
+                f"snapshot holds policy {snapshot.scheduler_name!r}, "
+                f"this simulation runs {self._scheduler.name!r}")
+        if snapshot.trace_sha256 != self._trace.fingerprint():
+            raise CheckpointError(
+                "snapshot was taken against a different demand trace")
+        if snapshot.record_heatmaps != self._metrics.record_heatmaps:
+            raise CheckpointError(
+                "snapshot and simulation disagree on record_heatmaps")
+        has_faults = snapshot.state["faults"] is not None
+        if has_faults != (self._injector is not None):
+            raise CheckpointError(
+                "snapshot and simulation disagree on fault injection")
+
+        state = snapshot.state
+        self._engine.load_state_dict(state["engine"])
+        self._streams.load_state_dict(state["streams"])
+        self._scheduler.load_state_dict(state["scheduler"])
+        self._cluster.load_state_dict(state["cluster"])
+        self._metrics.load_state_dict(state["metrics"])
+        if self._injector is not None:
+            self._injector.load_state_dict(state["faults"])
+        sim_state = state["sim"]
+        alloc = sim_state["last_allocation"]
+        self._last_allocation = (
+            None if alloc is None
+            else np.asarray(alloc, dtype=np.int64).copy())
+        hot = sim_state["prev_hot_size"]
+        self._prev_hot_size = None if hot is None else int(hot)
+        self._prev_above_threshold = bool(
+            sim_state["prev_above_threshold"])
+        self._prev_degraded = bool(sim_state["prev_degraded"])
+        self._step_index = int(snapshot.tick)
+        self._restored = True
+
+    def _write_checkpoint(self) -> None:
+        """Serialize the current state into the checkpoint directory."""
+        from ..state.checkpoint import checkpoint_path
+        from ..state.snapshot import save_snapshot
+        path = checkpoint_path(self._checkpoint_dir, self._step_index)
+        manifest = save_snapshot(self.snapshot(), path)
+        self._checkpoint_records.append({
+            "tick": self._step_index,
+            "file": os.path.abspath(path),
+            "sha256": manifest["snapshot_sha256"],
+        })
+
+    @property
+    def checkpoint_records(self) -> List[dict]:
+        """Checkpoints written so far (tick, file, payload sha)."""
+        return list(self._checkpoint_records)
 
     def run(self) -> SimulationResult:
         """Run the full trace and return the collected result.
@@ -305,19 +439,34 @@ class ClusterSimulation:
         the trace is flushed, metric columns saved, and the run manifest
         written -- none of which touches the returned result, so the
         fingerprint is bit-identical with telemetry on or off.
+
+        On a restored simulation the scheduler is *not* reset (its
+        mid-run state came from the snapshot) and the tick process and
+        fault events re-align to the next unfinished tick.
         """
         wall_start = time.perf_counter()
-        self._scheduler.reset()
-        if self._injector is not None:
-            self._injector.attach(self._engine, self._cluster)
+        step_s = self._trace.step_seconds
+        if self._restored:
+            if self._injector is not None:
+                self._injector.reattach(
+                    self._engine, self._cluster,
+                    next_tick_s=self._step_index * step_s)
+        else:
+            self._scheduler.reset()
+            if self._injector is not None:
+                self._injector.attach(self._engine, self._cluster)
         if self._obs_tracer is not None and self._obs_tracer.enabled:
             self._obs_tracer.event(
-                "run-start", 0.0, run_id=self._telemetry.run_id,
+                "run-start", self._engine.now,
+                run_id=self._telemetry.run_id,
                 scheduler=self._scheduler.name,
                 servers=self._config.num_servers,
                 ticks=self._trace.num_steps)
-        process = PeriodicProcess(self._engine, self._trace.step_seconds,
-                                  self._tick, name="scheduler-tick")
+        process = PeriodicProcess(
+            self._engine, step_s, self._tick,
+            start_at=(self._step_index * step_s if self._restored
+                      else None),
+            name="scheduler-tick")
         duration = self._trace.num_steps * self._trace.step_seconds
         self._engine.run_until(duration - 1e-9)
         process.stop()
@@ -342,7 +491,8 @@ class ClusterSimulation:
                 scheduler_name=self._scheduler.name,
                 result=result,
                 trace_sha256=self._trace.fingerprint(),
-                wall_clock_s=time.perf_counter() - wall_start)
+                wall_clock_s=time.perf_counter() - wall_start,
+                checkpoints=(self._checkpoint_records or None))
         return result
 
 
@@ -352,11 +502,15 @@ def run_simulation(config: SimulationConfig, scheduler: Scheduler, *,
                    fault_injector: Optional["FaultInjector"] = None,
                    profiler: Optional["TickProfiler"] = None,
                    telemetry: TelemetryLike = None,
-                   checks: Optional[str] = None) -> SimulationResult:
+                   checks: Optional[str] = None,
+                   checkpoint_every: Optional[int] = None,
+                   checkpoint_dir: Optional[str] = None) -> SimulationResult:
     """Convenience one-call experiment runner."""
     return ClusterSimulation(config, scheduler, trace=trace,
                              record_heatmaps=record_heatmaps,
                              fault_injector=fault_injector,
                              profiler=profiler,
                              telemetry=telemetry,
-                             checks=checks).run()
+                             checks=checks,
+                             checkpoint_every=checkpoint_every,
+                             checkpoint_dir=checkpoint_dir).run()

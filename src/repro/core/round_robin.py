@@ -50,6 +50,17 @@ class RoundRobinScheduler(Scheduler):
         super().reset()
         self._alloc = None
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["alloc"] = None if self._alloc is None else self._alloc.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        alloc = state["alloc"]
+        self._alloc = (None if alloc is None
+                       else np.asarray(alloc, dtype=np.int64).copy())
+
     def _place(self, demand: np.ndarray, view: ClusterView) -> Placement:
         if self._alloc is None or len(self._alloc) != view.num_servers:
             self._alloc = np.zeros((view.num_servers, NUM_WORKLOADS),

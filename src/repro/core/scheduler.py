@@ -106,6 +106,22 @@ class Scheduler(abc.ABC):
         """Clear per-run policy state (group extensions, tick counters)."""
         self._tick = 0
 
+    def state_dict(self) -> dict:
+        """Serializable mid-run state; subclasses extend via ``super()``.
+
+        Includes the policy's own RNG state: schedulers built without a
+        shared :class:`RngStreams` (the normal api/CLI path) own a
+        private generator whose position is invisible to the
+        simulation's stream registry, so it must travel with the policy.
+        """
+        return {"tick": self._tick,
+                "rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._tick = int(state["tick"])
+        self._rng.bit_generator.state = state["rng"]
+
     def register_metrics(self, registry) -> None:
         """Publish policy gauges on a :class:`~repro.obs.registry.MetricRegistry`.
 

@@ -64,6 +64,15 @@ class VMTPreserveScheduler(VMTWaxAwareScheduler):
         super().reset()
         self._released = False
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["released"] = self._released
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._released = bool(state["released"])
+
     def _place(self, demand: np.ndarray, view: ClusterView) -> Placement:
         self._check_divergence(view)
         if self._degraded:

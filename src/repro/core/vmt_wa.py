@@ -183,6 +183,37 @@ class VMTWaxAwareScheduler(Scheduler):
         self._prev_power_w = None
         self._inlet_est = None
 
+    def state_dict(self) -> dict:
+        def opt(arr):
+            return None if arr is None else arr.copy()
+        state = super().state_dict()
+        state.update(
+            kept_warm=self._kept_warm.copy(),
+            prev_power_w=opt(self._prev_power_w),
+            inlet_est=opt(self._inlet_est),
+            hot_size=self._hot_size,
+            degraded=self._degraded,
+            prev_estimate=opt(self._prev_estimate),
+            suspect_ticks=opt(self._suspect_ticks),
+            divergence_checked_tick=self._divergence_checked_tick,
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        def opt(value, dtype):
+            return (None if value is None
+                    else np.asarray(value, dtype=dtype).copy())
+        super().load_state_dict(state)
+        self._kept_warm = np.asarray(state["kept_warm"], dtype=bool).copy()
+        self._prev_power_w = opt(state["prev_power_w"], np.float64)
+        self._inlet_est = opt(state["inlet_est"], np.float64)
+        self._hot_size = int(state["hot_size"])
+        self._degraded = bool(state["degraded"])
+        self._prev_estimate = opt(state["prev_estimate"], np.float64)
+        self._suspect_ticks = opt(state["suspect_ticks"], np.int64)
+        self._divergence_checked_tick = int(
+            state["divergence_checked_tick"])
+
     def register_metrics(self, registry) -> None:
         """Add the estimator-health gauges on top of the base set."""
         super().register_metrics(registry)

@@ -46,6 +46,17 @@ class InvariantViolation(SimulationError):
     """
 
 
+class CheckpointError(SimulationError):
+    """A simulation snapshot could not be written, read, or restored.
+
+    Raised when a checkpoint file is corrupted, carries an unknown
+    schema version, or describes a different experiment than the one
+    being restored (config hash, policy, or trace mismatch).  The
+    message always says *which* of those failed so a stale checkpoint
+    directory produces a diagnosis, not a silently wrong resume.
+    """
+
+
 class FaultInjectionError(SimulationError):
     """A fault-injection event or scenario is invalid.
 

@@ -57,6 +57,10 @@ class FaultInjector:
         self._cluster = None
         self._hazard_process: Optional[PeriodicProcess] = None
         self._tracer = NULL_TRACER
+        # Hazard auto-repairs are scheduled dynamically (unlike scripted
+        # events they cannot be re-derived from the config), so their
+        # (absolute time, server) pairs are tracked for snapshots.
+        self._pending_auto_repairs: list = []
 
     @property
     def state(self):
@@ -91,47 +95,7 @@ class FaultInjector:
             raise FaultInjectionError(
                 "fault injector is already attached to a simulation")
         self._cluster = cluster
-
-        for spec in self._fault_cfg.server_faults:
-            engine.schedule_at(
-                spec.time_s, self._fire_server_fault,
-                priority=FAULT_EVENT_PRIORITY,
-                name=f"fail-server-{spec.server_id}", payload=spec)
-            if spec.repair_after_s is not None:
-                engine.schedule_at(
-                    spec.time_s + spec.repair_after_s,
-                    self._fire_server_repair,
-                    priority=FAULT_EVENT_PRIORITY,
-                    name=f"repair-server-{spec.server_id}",
-                    payload=spec.server_id)
-
-        for spec in self._fault_cfg.sensor_faults:
-            engine.schedule_at(
-                spec.time_s, self._fire_sensor_fault,
-                priority=FAULT_EVENT_PRIORITY,
-                name=f"{spec.sensor}-sensor-{spec.mode}-{spec.server_id}",
-                payload=spec)
-            if spec.clear_after_s is not None:
-                engine.schedule_at(
-                    spec.time_s + spec.clear_after_s,
-                    self._fire_sensor_clear,
-                    priority=FAULT_EVENT_PRIORITY,
-                    name=f"{spec.sensor}-sensor-clear-{spec.server_id}",
-                    payload=spec)
-
-        for spec in self._fault_cfg.cooling_faults:
-            engine.schedule_at(
-                spec.time_s, self._fire_cooling_derate,
-                priority=FAULT_EVENT_PRIORITY,
-                name=f"cooling-derate-{spec.capacity_factor:g}",
-                payload=spec.capacity_factor)
-            if spec.restore_after_s is not None:
-                engine.schedule_at(
-                    spec.time_s + spec.restore_after_s,
-                    self._fire_cooling_derate,
-                    priority=FAULT_EVENT_PRIORITY,
-                    name="cooling-restore", payload=1.0)
-
+        self._schedule_scripted(engine, after_s=None)
         if (self._fault_cfg.hazard_failures
                 and self._fault_cfg.hazard_acceleration > 0):
             self._hazard_process = PeriodicProcess(
@@ -140,11 +104,113 @@ class FaultInjector:
                 name="fault-hazard")
         self._engine = engine
 
+    def reattach(self, engine: Engine, cluster, *,
+                 next_tick_s: float) -> None:
+        """Re-register events on a restored simulation's engine.
+
+        The snapshot does not serialize event callbacks, so the injector
+        rebuilds its queue entries: scripted events strictly after the
+        engine clock (earlier ones already fired and live on in the
+        restored :class:`FaultState`), the snapshot's pending hazard
+        auto-repairs, and the hazard process aligned to the next
+        scheduler tick at ``next_tick_s``.
+        """
+        if self._cluster is not None:
+            raise FaultInjectionError(
+                "fault injector is already attached to a simulation")
+        self._cluster = cluster
+        # Events at or before the restored clock already fired -- their
+        # effects live in the restored FaultState.  The one exception is
+        # a tick-0 snapshot (nothing dispatched yet): there, even t=0
+        # events are still pending.
+        after_s = engine.now if engine.events_dispatched > 0 else None
+        self._schedule_scripted(engine, after_s=after_s)
+        for time_s, server_id in self._pending_auto_repairs:
+            engine.schedule_at(
+                float(time_s), self._fire_server_repair,
+                priority=FAULT_EVENT_PRIORITY,
+                name=f"repair-server-{server_id}",
+                payload=int(server_id))
+        if (self._fault_cfg.hazard_failures
+                and self._fault_cfg.hazard_acceleration > 0):
+            self._hazard_process = PeriodicProcess(
+                engine, self._config.trace.step_seconds,
+                self._hazard_tick, start_at=next_tick_s,
+                priority=FAULT_EVENT_PRIORITY, name="fault-hazard")
+        self._engine = engine
+
+    def _schedule_scripted(self, engine: Engine,
+                           after_s: Optional[float]) -> None:
+        """Schedule the config's deterministic events on ``engine``.
+
+        With ``after_s`` set, events at or before that time are skipped
+        -- they already fired before the snapshot was taken.
+        """
+        def schedule(time_s, callback, name, payload):
+            if after_s is not None and time_s <= after_s:
+                return
+            engine.schedule_at(time_s, callback,
+                               priority=FAULT_EVENT_PRIORITY,
+                               name=name, payload=payload)
+
+        for spec in self._fault_cfg.server_faults:
+            schedule(spec.time_s, self._fire_server_fault,
+                     f"fail-server-{spec.server_id}", spec)
+            if spec.repair_after_s is not None:
+                schedule(spec.time_s + spec.repair_after_s,
+                         self._fire_server_repair,
+                         f"repair-server-{spec.server_id}",
+                         spec.server_id)
+
+        for spec in self._fault_cfg.sensor_faults:
+            schedule(spec.time_s, self._fire_sensor_fault,
+                     f"{spec.sensor}-sensor-{spec.mode}-{spec.server_id}",
+                     spec)
+            if spec.clear_after_s is not None:
+                schedule(spec.time_s + spec.clear_after_s,
+                         self._fire_sensor_clear,
+                         f"{spec.sensor}-sensor-clear-{spec.server_id}",
+                         spec)
+
+        for spec in self._fault_cfg.cooling_faults:
+            schedule(spec.time_s, self._fire_cooling_derate,
+                     f"cooling-derate-{spec.capacity_factor:g}",
+                     spec.capacity_factor)
+            if spec.restore_after_s is not None:
+                schedule(spec.time_s + spec.restore_after_s,
+                         self._fire_cooling_derate,
+                         "cooling-restore", 1.0)
+
     def detach(self) -> None:
         """Stop the hazard process (scripted events stay scheduled)."""
         if self._hazard_process is not None:
             self._hazard_process.stop()
             self._hazard_process = None
+
+    # -- snapshot protocol ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Hazard RNG position, pending auto-repairs, and fault state.
+
+        The injector's RNG is captured here (not only via the shared
+        stream registry) because an injector passed in explicitly owns a
+        private :class:`RngStreams` the simulation cannot see.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "pending_auto_repairs": [[float(t), int(s)]
+                                     for t, s in
+                                     self._pending_auto_repairs],
+            "state": self._state.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._rng.bit_generator.state = state["rng"]
+        self._pending_auto_repairs = [
+            (float(t), int(s))
+            for t, s in state["pending_auto_repairs"]]
+        self._state.load_state_dict(state["state"])
 
     # -- event callbacks ----------------------------------------------------
 
@@ -157,6 +223,9 @@ class FaultInjector:
 
     def _fire_server_repair(self, event) -> None:
         self._state.repair_server(event.payload)
+        entry = (float(event.time), int(event.payload))
+        if entry in self._pending_auto_repairs:
+            self._pending_auto_repairs.remove(entry)
         if self._tracer.enabled:
             self._tracer.event("fault-recovery", event.time,
                                server=int(event.payload))
@@ -213,8 +282,11 @@ class FaultInjector:
                 self._tracer.event("fault-onset", now_s,
                                    server=int(server_id), cause="hazard")
             if self._fault_cfg.auto_repair:
-                self._engine.schedule_after(
-                    self._fault_cfg.repair_time_s,
+                repair_at = now_s + self._fault_cfg.repair_time_s
+                self._pending_auto_repairs.append(
+                    (float(repair_at), int(server_id)))
+                self._engine.schedule_at(
+                    repair_at,
                     self._fire_server_repair,
                     priority=FAULT_EVENT_PRIORITY,
                     name=f"repair-server-{server_id}",

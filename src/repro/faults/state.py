@@ -110,6 +110,46 @@ class FaultState:
             self.recovery_times_s.append(max(0.0, float(time_s) - failed_at))
         self._awaiting_recovery = []
 
+    # -- snapshot protocol --------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything mutable, including the bookkeeping lists.
+
+        ``_awaiting_recovery`` and ``_newly_failed`` are mid-flight
+        bookkeeping (failures not yet credited / not yet seen by the
+        scheduler); dropping them would silently skew recovery times and
+        displaced-job counts on a resumed run.
+        """
+        return {
+            "active": self.active.copy(),
+            "cooling_factor": self.cooling_factor,
+            "failures": self.failures,
+            "repairs": self.repairs,
+            "sensor_fault_count": self.sensor_fault_count,
+            "derate_count": self.derate_count,
+            "awaiting_recovery": list(self._awaiting_recovery),
+            "recovery_times_s": list(self.recovery_times_s),
+            "newly_failed": list(self._newly_failed),
+            "air_faults": self.air_faults.state_dict(),
+            "wax_faults": self.wax_faults.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.active = np.asarray(state["active"], dtype=bool).copy()
+        self.cooling_factor = float(state["cooling_factor"])
+        self.failures = int(state["failures"])
+        self.repairs = int(state["repairs"])
+        self.sensor_fault_count = int(state["sensor_fault_count"])
+        self.derate_count = int(state["derate_count"])
+        self._awaiting_recovery = [float(t)
+                                   for t in state["awaiting_recovery"]]
+        self.recovery_times_s = [float(t)
+                                 for t in state["recovery_times_s"]]
+        self._newly_failed = [int(s) for s in state["newly_failed"]]
+        self.air_faults.load_state_dict(state["air_faults"])
+        self.wax_faults.load_state_dict(state["wax_faults"])
+
     # -- cooling derating ---------------------------------------------------
 
     def set_cooling_factor(self, factor: float) -> None:

@@ -90,7 +90,9 @@ class RunLedger:
                result_fingerprint: str, ticks: int,
                wall_clock_s: float,
                files: Optional[Dict[str, str]] = None,
-               profile: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+               profile: Optional[Dict[str, Any]] = None,
+               checkpoints: Optional[List[Dict[str, Any]]] = None
+               ) -> Dict[str, Any]:
         """Write one run's manifest; returns the manifest dict.
 
         An existing manifest under the same ``run_id`` is overwritten:
@@ -115,6 +117,8 @@ class RunLedger:
         }
         if profile is not None:
             manifest["profile"] = profile
+        if checkpoints:
+            manifest["checkpoints"] = [dict(entry) for entry in checkpoints]
         validate_manifest(manifest)
         path = self.manifest_path(run_id)
         tmp = path + ".tmp"

@@ -215,7 +215,8 @@ class Telemetry:
 
     def finish(self, *, config: SimulationConfig, scheduler_name: str,
                result: "SimulationResult", trace_sha256: str,
-               wall_clock_s: float) -> Dict[str, Any]:
+               wall_clock_s: float,
+               checkpoints: Optional[list] = None) -> Dict[str, Any]:
         """Seal the run: flush the trace, save metrics, write the manifest.
 
         Returns the manifest dict.  ``result.profile`` and the
@@ -247,5 +248,6 @@ class Telemetry:
             wall_clock_s=wall_clock_s,
             files=files,
             profile=result.profile,
+            checkpoints=checkpoints,
         )
         return manifest

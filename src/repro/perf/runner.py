@@ -61,6 +61,14 @@ class RunSpec:
     #: defers to the ``REPRO_CHECKS`` environment variable.  Checks read
     #: ground truth only, so any level yields bit-identical results.
     checks: Optional[str] = None
+    #: Write a resumable snapshot every N completed ticks (requires
+    #: ``checkpoint_dir``).  Each spec checkpoints into its own
+    #: subdirectory keyed by the spec's sanitized name, and a re-run of
+    #: the same spec resumes from its latest compatible checkpoint --
+    #: this is what makes killed sweeps crash-recoverable.
+    checkpoint_every: Optional[int] = None
+    #: Root directory for per-spec checkpoint subdirectories.
+    checkpoint_dir: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -106,6 +114,12 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
     from ..cluster.simulation import run_simulation
     from ..core.policies import make_scheduler
 
+    spec_checkpoint_dir = None
+    if spec.checkpoint_dir is not None:
+        import os
+        from ..obs.telemetry import sanitize_run_id
+        spec_checkpoint_dir = os.path.join(spec.checkpoint_dir,
+                                           sanitize_run_id(spec.name))
     trace = None
     if spec.use_trace_cache:
         trace = shared_trace(spec.config,
@@ -132,11 +146,47 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
                        capacity=spec.config.trace.num_steps)
         if profiler is None:
             profiler = telemetry.profiler
+    if spec_checkpoint_dir is not None:
+        resumable = _compatible_checkpoint(spec, spec_checkpoint_dir)
+        if resumable is not None:
+            from ..state import restore_simulation
+            sim = restore_simulation(
+                resumable, telemetry=telemetry, checks=spec.checks,
+                checkpoint_every=spec.checkpoint_every,
+                checkpoint_dir=spec_checkpoint_dir)
+            return sim.run()
     return run_simulation(spec.config, scheduler, trace=trace,
                           record_heatmaps=spec.record_heatmaps,
                           profiler=profiler,
                           telemetry=telemetry,
-                          checks=spec.checks)
+                          checks=spec.checks,
+                          checkpoint_every=spec.checkpoint_every,
+                          checkpoint_dir=spec_checkpoint_dir)
+
+
+def _compatible_checkpoint(spec: RunSpec, directory: str):
+    """The spec's latest resumable snapshot, or ``None`` to run fresh.
+
+    A checkpoint left behind by a *different* configuration (the sweep
+    was edited between the crash and the retry) is ignored rather than
+    resumed into the wrong experiment; an unreadable (half-written,
+    corrupted) checkpoint likewise falls back to the previous one, then
+    to a fresh run.
+    """
+    from ..errors import CheckpointError
+    from ..obs.ledger import config_sha256
+    from ..state import list_checkpoints, load_snapshot
+
+    expected_sha = config_sha256(spec.config)
+    for _, path in reversed(list_checkpoints(directory)):
+        try:
+            snapshot = load_snapshot(path)
+        except CheckpointError:
+            continue
+        if (snapshot.policy == spec.policy
+                and snapshot.config_sha256 == expected_sha):
+            return snapshot
+    return None
 
 
 def _execute_captured(spec: RunSpec) -> Outcome:

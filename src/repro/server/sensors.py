@@ -158,6 +158,30 @@ class SensorFaultBank:
         self._stuck_value[channel] = np.nan
         self._drift_per_s[channel] = 0.0
 
+    def state_dict(self) -> dict:
+        """Per-channel fault modes and latches, for snapshots.
+
+        The stuck-value latch matters: a stuck channel latches its first
+        post-fault reading, and a restore that forgot it would re-latch
+        a *different* value on the next :meth:`apply`.
+        """
+        return {
+            "mode": self._mode.copy(),
+            "stuck_value": self._stuck_value.copy(),
+            "start_s": self._start_s.copy(),
+            "drift_per_s": self._drift_per_s.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._mode = np.asarray(state["mode"], dtype=np.int8).copy()
+        self._stuck_value = np.asarray(
+            state["stuck_value"], dtype=np.float64).copy()
+        self._start_s = np.asarray(
+            state["start_s"], dtype=np.float64).copy()
+        self._drift_per_s = np.asarray(
+            state["drift_per_s"], dtype=np.float64).copy()
+
     def apply(self, readings: np.ndarray, time_s: float = 0.0) -> np.ndarray:
         """Corrupt a reading vector according to the per-channel faults.
 

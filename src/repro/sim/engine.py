@@ -39,8 +39,8 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued."""
+        return self._queue.live_count
 
     def schedule_at(self, time: float, callback: EventCallback, *,
                     priority: int = 0, name: str = "",
@@ -65,14 +65,21 @@ class Engine:
     def run_until(self, end_time: float) -> None:
         """Dispatch all events with ``time <= end_time`` in order.
 
-        The clock is left at ``end_time`` even when the queue drains early,
-        matching the usual discrete-event convention.
+        The clock is left at ``end_time`` when the queue drains (or only
+        later events remain), matching the usual discrete-event
+        convention.  When :meth:`stop` halts the loop early, undispatched
+        events may remain before ``end_time``, so the clock stays at the
+        last dispatched event's time instead of jumping ahead of them.
         """
         if end_time < self._now:
             raise SimulationError("end_time is in the past")
         self._running = True
+        stopped_early = False
         try:
-            while self._running:
+            while True:
+                if not self._running:
+                    stopped_early = True
+                    break
                 next_time = self._queue.peek_time()
                 if next_time is None or next_time > end_time:
                     break
@@ -82,7 +89,8 @@ class Engine:
                 self._dispatched += 1
         finally:
             self._running = False
-        self._now = max(self._now, end_time)
+        if not stopped_early:
+            self._now = max(self._now, end_time)
 
     def run(self) -> None:
         """Dispatch every queued event (the queue must be finite)."""
@@ -106,9 +114,30 @@ class Engine:
         self._now = 0.0
         self._dispatched = 0
 
+    # -- snapshot protocol -------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Clock and dispatch counter (events are not serializable).
+
+        The event queue holds live callbacks, so it is deliberately not
+        part of this state: snapshots are only taken at quiescent tick
+        boundaries where every pending event is reconstructable from
+        configuration (the tick process, scripted fault events, pending
+        auto-repairs -- each owner re-schedules its own on restore).
+        """
+        return {"now_s": self._now, "dispatched": self._dispatched}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the clock; the queue must be empty (fresh engine)."""
+        if len(self._queue) != 0:
+            raise SimulationError(
+                "cannot restore engine state over a non-empty event queue")
+        self._now = float(state["now_s"])
+        self._dispatched = int(state["dispatched"])
+
     def register_metrics(self, registry) -> None:
         """Publish engine gauges on a :class:`~repro.obs.registry.MetricRegistry`."""
         registry.gauge("engine.events_dispatched",
                        lambda: float(self._dispatched))
         registry.gauge("engine.pending_events",
-                       lambda: float(len(self._queue)))
+                       lambda: float(self._queue.live_count))

@@ -76,6 +76,22 @@ class EventQueue:
             return None
         return self._heap[0][0]
 
+    @property
+    def live_count(self) -> int:
+        """Number of non-cancelled events still queued.
+
+        ``len(queue)`` counts tombstones left behind by :meth:`Event.cancel`;
+        this walks the heap and counts only events that will actually fire.
+        Queues here are small (a tick process plus fault events), so the
+        linear scan is fine.
+        """
+        return sum(1 for *_, event in self._heap if not event.cancelled)
+
+    def live_events(self) -> List[Event]:
+        """The non-cancelled events in dispatch order (for snapshots)."""
+        return [entry[3] for entry in sorted(self._heap)
+                if not entry[3].cancelled]
+
     def clear(self) -> None:
         """Drop every pending event."""
         self._heap.clear()

@@ -9,10 +9,27 @@ each subsystem owns an independent, reproducible stream.
 
 from __future__ import annotations
 
-import zlib
-from typing import Dict
+from typing import Any, Dict
 
 import numpy as np
+
+from ..errors import SimulationError
+
+
+def _spawn_key(name: str) -> tuple:
+    """Derive an injective ``SeedSequence`` spawn key from a stream name.
+
+    The key is the UTF-8 byte length followed by the bytes packed into
+    little-endian 32-bit words (``SeedSequence`` spawn-key entries must
+    fit in a uint32).  Distinct names always produce distinct keys --
+    unlike a 32-bit hash such as ``zlib.crc32``, which silently aliases
+    colliding names (e.g. ``"plumless"``/``"buckeroo"``) onto the same
+    stream.
+    """
+    data = name.encode("utf-8")
+    words = tuple(int.from_bytes(data[i:i + 4], "little")
+                  for i in range(0, len(data), 4))
+    return (len(data),) + words
 
 
 class RngStreams:
@@ -31,15 +48,44 @@ class RngStreams:
         """Return the generator for ``name``, creating it on first use.
 
         The same (seed, name) pair always yields the same sequence, and
-        distinct names yield statistically independent sequences.
+        distinct names yield independent sequences.
         """
         if name not in self._streams:
-            tag = zlib.crc32(name.encode("utf-8"))
             seq = np.random.SeedSequence(entropy=self._seed,
-                                         spawn_key=(tag,))
+                                         spawn_key=_spawn_key(name))
             self._streams[name] = np.random.default_rng(seq)
         return self._streams[name]
 
     def reset(self) -> None:
         """Forget all streams; next access re-creates them from scratch."""
         self._streams.clear()
+
+    # -- snapshot protocol -------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Bit generator state for every stream created so far.
+
+        The mapping is ``{name: bit_generator.state}``; numpy's state
+        dicts are plain JSON-able trees (strings and ints), so snapshots
+        can persist them without pickling.
+        """
+        return {name: gen.bit_generator.state
+                for name, gen in self._streams.items()}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore stream states captured by :meth:`state_dict`.
+
+        Streams are re-derived from (seed, name) and then fast-forwarded
+        by overwriting their bit-generator state, so a restored
+        ``RngStreams`` continues the exact sequences of the snapshotted
+        one.
+        """
+        for name, gen_state in state.items():
+            gen = self.stream(name)
+            if gen.bit_generator.state["bit_generator"] != \
+                    gen_state.get("bit_generator"):
+                raise SimulationError(
+                    f"rng stream {name!r}: snapshot uses bit generator "
+                    f"{gen_state.get('bit_generator')!r}, this build uses "
+                    f"{gen.bit_generator.state['bit_generator']!r}")
+            gen.bit_generator.state = gen_state

@@ -1,0 +1,32 @@
+"""Versioned simulation snapshots and checkpoint/resume plumbing.
+
+The state vector of a run -- engine clock, cluster physics arrays,
+scheduler internals, RNG stream positions, fault bookkeeping, and the
+metrics rows recorded so far -- is captured as a
+:class:`~repro.state.snapshot.SimulationSnapshot`, serialized to a
+single ``.npz`` plus a JSON manifest, and restored bit-identically in a
+fresh process.  The acceptance oracle is differential: a
+checkpoint-resume run must reproduce the straight-through run's
+``SimulationResult.fingerprint()`` exactly, for every policy, with
+faults on or off.
+"""
+
+from .checkpoint import (checkpoint_path, latest_checkpoint,
+                         list_checkpoints, restore_simulation,
+                         resume_run, verify_roundtrip)
+from .snapshot import (SNAPSHOT_SCHEMA_VERSION, SimulationSnapshot,
+                       load_snapshot, save_snapshot, snapshot_manifest_path)
+
+__all__ = [
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SimulationSnapshot",
+    "save_snapshot",
+    "load_snapshot",
+    "snapshot_manifest_path",
+    "checkpoint_path",
+    "list_checkpoints",
+    "latest_checkpoint",
+    "restore_simulation",
+    "resume_run",
+    "verify_roundtrip",
+]

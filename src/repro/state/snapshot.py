@@ -1,0 +1,215 @@
+"""The versioned snapshot object and its ``.npz`` serialization.
+
+A :class:`SimulationSnapshot` is a plain tree of JSON-able values with
+numpy arrays at the leaves.  Serialization flattens the tree: each array
+leaf moves into the ``.npz`` payload under a generated key and is
+replaced in the JSON metadata by an ``{"__array__": key}`` marker, so
+one compressed file carries the whole state with no pickling anywhere
+(``allow_pickle=False`` on load -- a snapshot can never execute code).
+
+Next to the ``.npz`` a small ``.manifest.json`` records the identity
+facts (schema version, tick, config SHA-256, git describe) that the
+:class:`~repro.obs.ledger.RunLedger` links into a run's checkpoint
+lineage and that tooling can inspect without decompressing the payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zipfile
+from dataclasses import dataclass
+from typing import Any, Dict
+
+import numpy as np
+
+from ..errors import CheckpointError
+from ..obs.ledger import git_describe
+
+#: Version of the snapshot state tree.  Bump when the captured state
+#: changes shape; old snapshots are rejected with a readable error
+#: rather than silently restored into the wrong fields.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Marker key for array leaves in the flattened metadata tree.
+_ARRAY_MARKER = "__array__"
+
+#: Reserved npz entry holding the JSON metadata.
+_META_KEY = "__meta__"
+
+
+@dataclass
+class SimulationSnapshot:
+    """Complete mid-run state of one :class:`ClusterSimulation`.
+
+    ``tick`` is the number of completed scheduler ticks; the engine
+    clock inside ``state`` sits at the last dispatched event.  ``state``
+    is the nested tree of subsystem ``state_dict()`` outputs; everything
+    else is identity metadata used to refuse a restore into the wrong
+    experiment.
+    """
+
+    schema: int
+    tick: int
+    policy: str
+    scheduler_name: str
+    record_heatmaps: bool
+    config: Dict[str, Any]
+    config_sha256: str
+    trace_sha256: str
+    git_describe: str
+    state: Dict[str, Any]
+
+
+def _flatten(node: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Replace ndarray leaves by markers, collecting them in ``arrays``."""
+    if isinstance(node, np.ndarray):
+        key = f"arr{len(arrays)}"
+        arrays[key] = node
+        return {_ARRAY_MARKER: key}
+    if isinstance(node, dict):
+        return {str(k): _flatten(v, arrays) for k, v in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_flatten(v, arrays) for v in node]
+    if isinstance(node, np.integer):
+        return int(node)
+    if isinstance(node, np.floating):
+        return float(node)
+    if isinstance(node, np.bool_):
+        return bool(node)
+    return node
+
+
+def _unflatten(node: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Invert :func:`_flatten` using the loaded npz ``arrays``."""
+    if isinstance(node, dict):
+        if set(node) == {_ARRAY_MARKER}:
+            key = node[_ARRAY_MARKER]
+            if key not in arrays:
+                raise CheckpointError(
+                    f"snapshot references missing array entry {key!r}")
+            return arrays[key]
+        return {k: _unflatten(v, arrays) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_unflatten(v, arrays) for v in node]
+    return node
+
+
+def snapshot_manifest_path(path: str) -> str:
+    """The sidecar JSON manifest path for a snapshot ``.npz`` path."""
+    base = path[:-4] if path.endswith(".npz") else path
+    return base + ".manifest.json"
+
+
+def save_snapshot(snapshot: SimulationSnapshot,
+                  path: str) -> Dict[str, Any]:
+    """Write ``snapshot`` to ``path`` (.npz) plus a sidecar manifest.
+
+    Returns the manifest dict (which includes the payload's SHA-256, so
+    ledgers can record tamper-evident checkpoint lineage).  The write is
+    atomic: the payload lands under a temporary name and is renamed into
+    place, so a killed process never leaves a half-written checkpoint
+    that a resume would then trip over.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    arrays: Dict[str, np.ndarray] = {}
+    meta = {
+        "schema": int(snapshot.schema),
+        "tick": int(snapshot.tick),
+        "policy": snapshot.policy,
+        "scheduler_name": snapshot.scheduler_name,
+        "record_heatmaps": bool(snapshot.record_heatmaps),
+        "config": _flatten(snapshot.config, arrays),
+        "config_sha256": snapshot.config_sha256,
+        "trace_sha256": snapshot.trace_sha256,
+        "git_describe": snapshot.git_describe,
+        "state": _flatten(snapshot.state, arrays),
+    }
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as fh:
+        np.savez_compressed(
+            fh, **arrays,
+            **{_META_KEY: np.array(json.dumps(meta))})
+    os.replace(tmp, path)
+
+    with open(path, "rb") as fh:
+        payload_sha = hashlib.sha256(fh.read()).hexdigest()
+    manifest = {
+        "schema": f"repro.checkpoint/{SNAPSHOT_SCHEMA_VERSION}",
+        "snapshot_schema": int(snapshot.schema),
+        "tick": int(snapshot.tick),
+        "policy": snapshot.policy,
+        "scheduler_name": snapshot.scheduler_name,
+        "config_sha256": snapshot.config_sha256,
+        "trace_sha256": snapshot.trace_sha256,
+        "git_describe": git_describe(),
+        "snapshot_file": os.path.basename(path),
+        "snapshot_sha256": payload_sha,
+    }
+    manifest_path = snapshot_manifest_path(path)
+    tmp = manifest_path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, manifest_path)
+    return manifest
+
+
+def load_snapshot(path: str) -> SimulationSnapshot:
+    """Read a snapshot written by :func:`save_snapshot`.
+
+    Raises :class:`CheckpointError` with a readable diagnosis for every
+    failure mode: missing file, corrupted archive, non-snapshot npz,
+    malformed metadata, or a schema version this build does not read.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        raise CheckpointError(f"snapshot file not found: {path}")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if _META_KEY not in data.files:
+                raise CheckpointError(
+                    f"{path} is not a simulation snapshot "
+                    f"(no {_META_KEY} entry)")
+            meta_json = str(data[_META_KEY][()])
+            arrays = {key: data[key].copy() for key in data.files
+                      if key != _META_KEY}
+    except (zipfile.BadZipFile, ValueError, OSError, KeyError) as exc:
+        raise CheckpointError(
+            f"cannot read snapshot {path}: {exc}") from exc
+    try:
+        meta = json.loads(meta_json)
+    except json.JSONDecodeError as exc:
+        raise CheckpointError(
+            f"snapshot {path} carries corrupted metadata: {exc}") from exc
+
+    schema = meta.get("schema")
+    if schema != SNAPSHOT_SCHEMA_VERSION:
+        raise CheckpointError(
+            f"snapshot {path} has schema version {schema!r}; this build "
+            f"reads version {SNAPSHOT_SCHEMA_VERSION}.  Re-create the "
+            "checkpoint with this version (snapshots are not migrated "
+            "across schema changes).")
+    required = ("tick", "policy", "scheduler_name", "record_heatmaps",
+                "config", "config_sha256", "trace_sha256", "state")
+    missing = [key for key in required if key not in meta]
+    if missing:
+        raise CheckpointError(
+            f"snapshot {path} is missing metadata keys: "
+            f"{', '.join(missing)}")
+    return SimulationSnapshot(
+        schema=int(schema),
+        tick=int(meta["tick"]),
+        policy=meta["policy"],
+        scheduler_name=meta["scheduler_name"],
+        record_heatmaps=bool(meta["record_heatmaps"]),
+        config=_unflatten(meta["config"], arrays),
+        config_sha256=meta["config_sha256"],
+        trace_sha256=meta["trace_sha256"],
+        git_describe=meta.get("git_describe", "unknown"),
+        state=_unflatten(meta["state"], arrays),
+    )

@@ -234,3 +234,12 @@ class PCMBank:
     def reset(self, temp_c: float) -> None:
         """Re-initialize every server's wax to relaxed state at ``temp_c``."""
         self._h[:] = self._enthalpy_at(temp_c)
+
+    def state_dict(self) -> dict:
+        """The specific enthalpies -- the bank's only mutable state."""
+        return {"specific_enthalpy_j_per_kg": self._h.copy()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._h = np.asarray(state["specific_enthalpy_j_per_kg"],
+                             dtype=np.float64).copy()

@@ -99,3 +99,19 @@ class ServerAirModel:
     def reset(self, power_w: ArrayLike = 0.0) -> None:
         """Snap the air node to the steady state for ``power_w``."""
         self._temp = self.steady_state(power_w).copy()
+
+    def state_dict(self) -> dict:
+        """Base inlets, offset, and node temperatures, for snapshots."""
+        return {
+            "base_inlet_c": self._base_inlet.copy(),
+            "inlet_offset_c": self._inlet_offset,
+            "temp_c": self._temp.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._base_inlet = np.asarray(
+            state["base_inlet_c"], dtype=np.float64).copy()
+        self._inlet_offset = float(state["inlet_offset_c"])
+        self._inlet = self._base_inlet + self._inlet_offset
+        self._temp = np.asarray(state["temp_c"], dtype=np.float64).copy()

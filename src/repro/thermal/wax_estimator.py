@@ -130,3 +130,12 @@ class WaxStateEstimator:
     def reset(self) -> None:
         """Zero the estimate (fresh, fully frozen wax)."""
         self._estimate = np.zeros(self._n)
+
+    def state_dict(self) -> dict:
+        """The integrated estimate (the RNG belongs to its stream owner)."""
+        return {"estimate": self._estimate.copy()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._estimate = np.asarray(state["estimate"],
+                                    dtype=np.float64).copy()

@@ -131,6 +131,52 @@ class TestEngine:
         engine.run()
         assert engine.events_dispatched == 5
 
+    def test_stop_during_run_until_keeps_clock_at_last_event(self):
+        """Regression: stop() mid-run must not jump the clock to end_time.
+
+        The clock jumping past undispatched events made them impossible
+        to re-schedule (schedule-in-the-past) after an early stop.
+        """
+        engine = Engine()
+        engine.schedule_at(1.0, lambda e: engine.stop())
+        engine.schedule_at(2.0, lambda e: None)
+        engine.run_until(100.0)
+        assert engine.now == 1.0
+        assert engine.pending_events == 1
+        engine.run_until(100.0)  # resumes cleanly past the stop
+        assert engine.now == 100.0
+        assert engine.pending_events == 0
+
+    def test_pending_events_excludes_cancelled(self):
+        """Regression: the gauge counted tombstones as pending work."""
+        engine = Engine()
+        keep = engine.schedule_at(1.0, lambda e: None)
+        drop = engine.schedule_at(2.0, lambda e: None)
+        assert engine.pending_events == 2
+        drop.cancel()
+        assert engine.pending_events == 1
+        keep.cancel()
+        assert engine.pending_events == 0
+
+    def test_state_dict_roundtrip(self):
+        engine = Engine()
+        engine.schedule_at(5.0, lambda e: None)
+        engine.run_until(10.0)
+        state = engine.state_dict()
+        fresh = Engine()
+        fresh.load_state_dict(state)
+        assert fresh.now == 10.0
+        assert fresh.events_dispatched == 1
+
+    def test_load_state_refuses_non_empty_queue(self):
+        engine = Engine()
+        engine.run_until(10.0)
+        state = engine.state_dict()
+        busy = Engine()
+        busy.schedule_at(1.0, lambda e: None)
+        with pytest.raises(SimulationError):
+            busy.load_state_dict(state)
+
 
 class TestPeriodicProcess:
     def test_fires_at_fixed_period(self):
@@ -210,3 +256,37 @@ class TestRngStreams:
         paired.stream("extra").normal(size=3)  # extra subsystem appears
         paired_draw = paired.stream("main").normal(size=20)
         assert np.array_equal(solo_draw, paired_draw)
+
+    def test_crc32_colliding_names_get_distinct_streams(self):
+        """Regression: the spawn key used to be crc32(name), which
+        aliases distinct names onto one stream.  "plumless" and
+        "buckeroo" are the classic crc32 collision pair; the injective
+        key must keep them independent."""
+        import zlib
+        assert zlib.crc32(b"plumless") == zlib.crc32(b"buckeroo")
+        streams = RngStreams(7)
+        a = streams.stream("plumless").normal(size=100)
+        b = streams.stream("buckeroo").normal(size=100)
+        assert not np.array_equal(a, b)
+
+    def test_state_dict_roundtrip_continues_sequences(self):
+        streams = RngStreams(7)
+        streams.stream("x").normal(size=13)
+        streams.stream("y").normal(size=5)
+        state = streams.state_dict()
+        expected_x = streams.stream("x").normal(size=10)
+        expected_y = streams.stream("y").normal(size=10)
+        restored = RngStreams(7)
+        restored.load_state_dict(state)
+        assert np.array_equal(restored.stream("x").normal(size=10),
+                              expected_x)
+        assert np.array_equal(restored.stream("y").normal(size=10),
+                              expected_y)
+
+    def test_load_state_rejects_foreign_bit_generator(self):
+        streams = RngStreams(7)
+        streams.stream("x")
+        state = streams.state_dict()
+        state["x"] = dict(state["x"], bit_generator="MT19937")
+        with pytest.raises(SimulationError, match="bit generator"):
+            RngStreams(7).load_state_dict(state)
