@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""CI smoke test for the scenario suite and its fault tolerance.
+
+Runs the whole scenario library against every policy at reduced scale,
+with one worker process deliberately SIGKILLed mid-suite (via the
+``REPRO_KILL_RUN`` crash-injection hook).  The suite must still finish:
+the killed run is retried serially by the parent, every cell lands in
+the report, and every metamorphic check holds.  Exit status is nonzero
+if any run failed or any check was violated -- i.e. if the suite is
+anything short of fully recovered and fully verified.
+
+Usage::
+
+    python benchmarks/scenario_suite_smoke.py [--servers N] [--hours H]
+        [--workers W] [--timeout S] [--kill-run LABEL]
+"""
+
+import argparse
+import os
+import sys
+
+from repro.core import SCHEDULER_NAMES
+from repro.scenarios import run_suite, scenario_names
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--servers", type=int, default=12)
+    parser.add_argument("--hours", type=float, default=24.0)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-run wall-clock budget, seconds")
+    parser.add_argument("--kill-run", default="heat-wave:vmt-ta",
+                        help="suite label whose worker is SIGKILLed "
+                             "('' disables the crash injection)")
+    args = parser.parse_args()
+
+    if args.kill_run:
+        os.environ["REPRO_KILL_RUN"] = args.kill_run
+        print(f"crash injection armed: worker running "
+              f"{args.kill_run!r} will be SIGKILLed")
+
+    report = run_suite(num_servers=args.servers,
+                       duration_hours=args.hours,
+                       max_workers=args.workers,
+                       timeout_s=args.timeout)
+    print(report.to_text())
+    print()
+
+    failures = 0
+    expected = len(scenario_names()) * len(SCHEDULER_NAMES)
+    if len(report.records) != expected:
+        print(f"expected {expected} scenario cells, "
+              f"got {len(report.records)}")
+        failures += 1
+    if args.kill_run:
+        killed = [r for r in report.records
+                  if f"{r.scenario}:{r.policy}" == args.kill_run]
+        if not killed:
+            print(f"kill target {args.kill_run!r} missing from report")
+            failures += 1
+        elif not killed[0].completed:
+            print(f"kill target {args.kill_run!r} was not recovered: "
+                  f"{killed[0].failure}")
+            failures += 1
+        else:
+            print(f"kill target {args.kill_run!r} recovered by serial "
+                  f"retry and completed")
+    if not report.passed:
+        print(f"suite not clean: {len(report.failures)} failures, "
+              f"{len(report.violations)} check violations")
+        failures += 1
+
+    if failures:
+        print(f"\nFAILED: {failures} suite-level check(s) failed")
+        return 1
+    print(f"\nscenario suite smoke OK: {len(report.records)} cells "
+          f"completed and verified despite a SIGKILLed worker")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,8 @@ The building blocks behind the facade stay public::
                          telemetry="runs/")  # JSONL trace + manifest
 """
 
-from .config import (CoolingFaultSpec, FaultConfig, SchedulerConfig,
+from .config import (AmbientConfig, AmbientEventSpec, CoolingFaultSpec,
+                     DemandEventSpec, FaultConfig, SchedulerConfig,
                      SensorFaultSpec, ServerConfig, ServerFaultSpec,
                      SimulationConfig, ThermalConfig, TraceConfig,
                      WaxConfig, paper_cluster_config)
@@ -54,6 +55,9 @@ from .faults import (FaultInjector, FaultState, cooling_derate,
                      kill_hot_group_fraction, kill_servers,
                      merge_scenarios, stuck_wax_sensors,
                      temperature_hazard)
+from .scenarios import (SCENARIO_LIBRARY, ScenarioSpec, SuiteReport,
+                        get_scenario, run_suite, scenario_names,
+                        verify_scenario)
 from .io import load_result, save_result
 from .tco import (ElectricityTariff, TCOModel, VMTSavings,
                   compare_cooling_bills, n_paraffin_alternative_cost_usd,
@@ -69,7 +73,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     # configuration
-    "CoolingFaultSpec", "FaultConfig", "SchedulerConfig", "SensorFaultSpec",
+    "AmbientConfig", "AmbientEventSpec", "CoolingFaultSpec",
+    "DemandEventSpec", "FaultConfig", "SchedulerConfig", "SensorFaultSpec",
     "ServerConfig", "ServerFaultSpec", "SimulationConfig", "ThermalConfig",
     "TraceConfig", "WaxConfig", "paper_cluster_config",
     # errors
@@ -96,6 +101,9 @@ __all__ = [
     "VMTPreserveScheduler", "VMTThermalAwareScheduler",
     "VMTWaxAwareScheduler", "derive_gv_vmt_mapping", "hot_group_size",
     "make_scheduler",
+    # scenario engine
+    "SCENARIO_LIBRARY", "ScenarioSpec", "SuiteReport", "get_scenario",
+    "run_suite", "scenario_names", "verify_scenario",
     # persistence
     "load_result", "save_result",
     # cost models

@@ -6,6 +6,8 @@ Everything a typical study needs is reachable through four calls:
 * :func:`compare` -- several policies on the *same* cluster, with the
   peak-cooling-reduction arithmetic done for you;
 * :func:`sweep` -- the grouping-value sweep (Fig. 18 and friends);
+* :func:`stress` -- the scenario suite: named stress scenarios x
+  policies, metamorphically verified, with a ranked report;
 * :func:`datacenter` -- K clusters sharing one cooling plant.
 
 All arguments are keyword-only, and config overrides are accepted
@@ -47,7 +49,8 @@ from .obs.telemetry import TelemetryLike, telemetry_directory
 from .perf.runner import ExperimentRunner, RunSpec
 from .workloads.trace import TraceMatrix
 
-__all__ = ["Comparison", "run", "compare", "sweep", "datacenter"]
+__all__ = ["Comparison", "run", "compare", "sweep", "stress",
+           "datacenter"]
 
 
 def _build_config(config: Optional[SimulationConfig], *,
@@ -220,6 +223,37 @@ def sweep(*, grouping_values: Sequence[float],
                     inlet_stdev_c=inlet_stdev_c,
                     wax_threshold=wax_threshold, max_workers=max_workers,
                     telemetry=telemetry, checks=checks)
+
+
+def stress(*, scenarios: Optional[Sequence] = None,
+           policies: Optional[Sequence[str]] = None,
+           num_servers: Optional[int] = None,
+           duration_hours: Optional[float] = None,
+           seed: Optional[int] = None,
+           max_workers: Optional[int] = 1,
+           timeout_s: Optional[float] = None,
+           telemetry: TelemetryLike = None,
+           checks: Optional[str] = None):
+    """Run the stress-scenario suite and return its ranked report.
+
+    ``scenarios`` accepts library names and/or ad-hoc
+    :class:`~repro.scenarios.ScenarioSpec` objects (``None`` = the
+    whole library); ``policies`` defaults to all five schedulers.  Each
+    scenario runs next to a matched unstressed baseline and the
+    verifier's metamorphic properties are checked; failed runs come
+    back as structured rows, never an aborted suite.  See
+    :func:`repro.scenarios.run_suite` for the full knob set.
+    """
+    from .scenarios import run_suite
+    if policies is not None:
+        for policy in policies:
+            _check_policy(policy)
+    return run_suite(scenarios=scenarios, policies=policies,
+                     num_servers=num_servers,
+                     duration_hours=duration_hours, seed=seed,
+                     max_workers=max_workers, timeout_s=timeout_s,
+                     telemetry_dir=telemetry_directory(telemetry),
+                     checks=checks)
 
 
 def datacenter(*, num_clusters: int, policy: str = "round-robin",

@@ -9,6 +9,10 @@ Installs as ``repro-sim`` (see pyproject) and also runs as
   ``--checks LEVEL`` attaches the invariant sanitizer;
   ``--checkpoint-every N --checkpoint-dir D`` writes resumable
   snapshots and ``--resume PATH`` continues from one bit-identically
+* ``scenario`` -- the stress-scenario engine: ``list`` the library,
+  ``run`` one scenario against its matched baseline with metamorphic
+  verification, or ``suite`` the whole scenarios x policies matrix
+  fault-tolerantly with a ranked report
 * ``check``    -- re-run the committed golden configs and diff the
   results against the stored fingerprints (``--update`` re-captures)
 * ``ledger``   -- list or verify the run manifests in a telemetry dir
@@ -339,6 +343,77 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario_list(args: argparse.Namespace) -> int:
+    from .scenarios import SCENARIO_LIBRARY
+    rows = [(spec.name, ",".join(spec.tags), ",".join(spec.checks),
+             spec.description)
+            for spec in SCENARIO_LIBRARY.values()]
+    print(format_table(["scenario", "tags", "checks", "description"],
+                       rows))
+    print("\nrun one with: repro-sim scenario run <name>; "
+          "the whole matrix with: repro-sim scenario suite")
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace) -> int:
+    from .perf.runner import ExperimentRunner, RunFailure, RunSpec
+    from .scenarios import get_scenario, verify_scenario
+    spec = get_scenario(args.name).with_overrides(
+        num_servers=args.servers, duration_hours=args.hours,
+        seed=args.seed)
+    runner = ExperimentRunner(max_workers=1)
+    outcomes = runner.run(
+        [RunSpec(config=spec.compile(), policy=args.policy,
+                 label=f"{spec.name}:{args.policy}", scenario=spec.name,
+                 scenario_sha256=spec.sha256(), timeout_s=args.timeout,
+                 telemetry_dir=args.telemetry, checks=args.checks),
+         RunSpec(config=spec.baseline(), policy=args.policy,
+                 label=f"{spec.name}:baseline:{args.policy}",
+                 timeout_s=args.timeout, telemetry_dir=args.telemetry,
+                 checks=args.checks)],
+        raise_on_error=False)
+    for outcome in outcomes:
+        if isinstance(outcome, RunFailure):
+            print(f"error: run '{outcome.spec.name}' failed: "
+                  f"{outcome.error_type}: {outcome.message}",
+                  file=sys.stderr)
+            return 2
+    result, baseline = outcomes
+    rows = [
+        ("scenario", spec.name),
+        ("spec sha256", spec.sha256()),
+        ("policy", args.policy),
+        ("peak cooling (kW)",
+         f"{result.peak_cooling_load_w / 1e3:.2f} "
+         f"(baseline {baseline.peak_cooling_load_w / 1e3:.2f})"),
+        ("min availability", f"{result.min_availability * 100:.1f}%"),
+        ("max mean melt", f"{result.max_melt_fraction:.3f} "
+         f"(baseline {baseline.max_melt_fraction:.3f})"),
+        ("fingerprint", result.fingerprint()),
+    ]
+    print(format_table(["quantity", "value"], rows))
+    print()
+    checks = verify_scenario(spec, result, baseline, policy=args.policy)
+    for outcome in checks:
+        print(outcome)
+    violations = sum(not c.passed for c in checks)
+    return 1 if violations else 0
+
+
+def _cmd_scenario_suite(args: argparse.Namespace) -> int:
+    from .scenarios import run_suite
+    report = run_suite(
+        scenarios=args.scenarios or None, policies=args.policies or None,
+        num_servers=args.servers, duration_hours=args.hours,
+        seed=args.seed, max_workers=args.workers or None,
+        timeout_s=args.timeout, telemetry_dir=args.telemetry,
+        checks=args.checks)
+    print(report.to_text())
+    if report.failures:
+        return 2
+    return 1 if report.violations else 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from .checks.golden import check_all, update_goldens
     policies = list(args.policies) if args.policies else None
@@ -453,6 +528,59 @@ def build_parser() -> argparse.ArgumentParser:
                           "policy come from the snapshot; cluster/fault "
                           "flags are ignored)")
     run.set_defaults(func=_cmd_run)
+
+    scenario = sub.add_parser(
+        "scenario",
+        help="stress scenarios: list, run one verified, run the suite")
+    scenario_sub = scenario.add_subparsers(dest="scenario_command",
+                                           required=True)
+
+    sc_list = scenario_sub.add_parser("list",
+                                      help="list the scenario library")
+    sc_list.set_defaults(func=_cmd_scenario_list)
+
+    def _add_scenario_scale_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--servers", type=int, default=None,
+                       help="rescale the scenario cluster (default: "
+                            "the library's 100)")
+        p.add_argument("--hours", type=float, default=None,
+                       help="rescale the trace duration (default: the "
+                            "full two days)")
+        p.add_argument("--seed", type=int, default=None,
+                       help="reseed the scenario (default: library's)")
+        p.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-run wall-clock budget; a run over "
+                            "budget becomes a structured failure")
+        p.add_argument("--telemetry", metavar="DIR",
+                       help="write per-run telemetry bundles (the "
+                            "manifest records the scenario sha)")
+        p.add_argument("--checks", choices=("off", "cheap", "full"),
+                       default=None,
+                       help="invariant sanitizer level (default: "
+                            "REPRO_CHECKS, else off)")
+
+    sc_run = scenario_sub.add_parser(
+        "run", help="run one scenario + matched baseline and verify")
+    sc_run.add_argument("name", help="library scenario name")
+    sc_run.add_argument("--policy", choices=SCHEDULER_NAMES,
+                        default="vmt-ta")
+    _add_scenario_scale_args(sc_run)
+    sc_run.set_defaults(func=_cmd_scenario_run)
+
+    sc_suite = scenario_sub.add_parser(
+        "suite",
+        help="run scenarios x policies fault-tolerantly, ranked report")
+    sc_suite.add_argument("--scenarios", nargs="+", default=None,
+                          help="library scenario names (default: all)")
+    sc_suite.add_argument("--policies", nargs="+",
+                          choices=SCHEDULER_NAMES, default=None,
+                          help="policies to rank (default: all five)")
+    sc_suite.add_argument("--workers", type=int, default=1,
+                          help="worker processes (default 1 = serial; "
+                               "0 = all cores)")
+    _add_scenario_scale_args(sc_suite)
+    sc_suite.set_defaults(func=_cmd_scenario_suite)
 
     check = sub.add_parser(
         "check",

@@ -93,6 +93,7 @@ class Cluster:
             rng=streams.stream("temp-sensor"))
 
         self._cpu_model = CPUThermalModel()
+        self._ambient = config.ambient if config.ambient.is_active else None
         self._power_w = np.full(self._n, config.server.idle_power_w)
         self._dynamic_w = np.zeros(self._n)
         self._last_q_wax = np.zeros(self._n)
@@ -341,7 +342,15 @@ class Cluster:
                 raise SimulationError(
                     "allocation places jobs on failed server "
                     f"{int(np.flatnonzero(dead_load)[0])}")
-            self._air.set_inlet_offset(faults.inlet_offset_c)
+        if faults is not None or self._ambient is not None:
+            # One uniform offset feeds the air model: scripted weather
+            # (ambient profile) plus any cooling-derate rise.  Both are
+            # deterministic functions of clock/config, so this needs no
+            # snapshot state beyond the air model's own offset field.
+            offset = faults.inlet_offset_c if faults is not None else 0.0
+            if self._ambient is not None:
+                offset += self._ambient.offset_c_at(self._time_s)
+            self._air.set_inlet_offset(offset)
 
         dynamic = allocation.astype(np.float64) @ self._per_core_power
         self._dynamic_w = dynamic

@@ -300,6 +300,20 @@ class SimulationResult:
         return float(positive.sum() * dt)
 
     @property
+    def total_it_energy_j(self) -> float:
+        """Total IT (server) energy drawn over the run (J)."""
+        dt = float(np.median(np.diff(self.times_s))) if len(self.times_s) > 1 \
+            else 0.0
+        return float(self.it_power_w.sum() * dt)
+
+    @property
+    def total_job_seconds(self) -> float:
+        """Aggregate job-seconds of demand actually served."""
+        dt = float(np.median(np.diff(self.times_s))) if len(self.times_s) > 1 \
+            else 0.0
+        return float(self.jobs.sum() * dt)
+
+    @property
     def max_melt_fraction(self) -> float:
         """Highest cluster-mean melt fraction reached."""
         return float(self.mean_melt_fraction.max())

@@ -15,6 +15,7 @@ auditable.  The defaults reproduce the paper's test datacenter:
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
@@ -132,13 +133,54 @@ class ThermalConfig:
             raise ConfigurationError("sensor noise must be >= 0")
 
 
+#: Demand-event kinds a trace overlay supports.
+DEMAND_EVENT_KINDS = ("surge", "curtail")
+
+
+@dataclass(frozen=True)
+class DemandEventSpec:
+    """One scripted demand event layered onto the diurnal trace.
+
+    ``surge`` multiplies utilization by ``magnitude`` (> 1 for a flash
+    crowd / Black-Friday spike); ``curtail`` caps utilization at
+    ``magnitude`` (a demand-response curtailment).  Both ramp linearly
+    over ``ramp_hours`` at each edge of the ``[start_hour, end_hour]``
+    window so the overlay never introduces a step discontinuity the
+    schedulers could exploit.
+    """
+
+    kind: str
+    start_hour: float
+    end_hour: float
+    magnitude: float
+    ramp_hours: float = 0.5
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if self.kind not in DEMAND_EVENT_KINDS:
+            raise ConfigurationError(
+                f"demand event kind must be one of {DEMAND_EVENT_KINDS}")
+        if self.start_hour < 0 or self.end_hour <= self.start_hour:
+            raise ConfigurationError(
+                "demand event needs 0 <= start_hour < end_hour")
+        if self.ramp_hours < 0:
+            raise ConfigurationError("demand event ramp must be >= 0")
+        if self.kind == "surge" and self.magnitude <= 0:
+            raise ConfigurationError("surge magnitude must be positive")
+        if self.kind == "curtail" and not 0.0 <= self.magnitude <= 1.0:
+            raise ConfigurationError(
+                "curtail magnitude (a utilization cap) must be in [0, 1]")
+
+
 @dataclass(frozen=True)
 class TraceConfig:
     """Shape of the synthetic two-day diurnal load trace (Fig. 8).
 
     The paper uses a Google trace normalized per Kontorinis et al. with
     utilization peaking at 95% around hour 20 (and again around hour 46)
-    and troughs near hours 5 and 29.
+    and troughs near hours 5 and 29.  ``overlay`` layers scripted demand
+    events (surges, curtailments) onto that skeleton; an empty overlay
+    leaves the generated trace bit-identical to earlier releases.
     """
 
     duration_hours: float = 48.0
@@ -148,6 +190,7 @@ class TraceConfig:
     peak_hour: float = 20.0
     noise_stdev: float = 0.01
     seed: int = 2018
+    overlay: Tuple[DemandEventSpec, ...] = ()
 
     @property
     def num_steps(self) -> int:
@@ -167,6 +210,17 @@ class TraceConfig:
                 "trough utilization must be in [0, peak_utilization)")
         if self.noise_stdev < 0:
             raise ConfigurationError("noise stdev must be >= 0")
+        for event in self.overlay:
+            event.validate()
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceConfig":
+        """Rebuild a trace config from :meth:`to_dict`-style output."""
+        fields = dict(data)
+        fields["overlay"] = tuple(
+            DemandEventSpec(**e) if isinstance(e, dict) else e
+            for e in fields.get("overlay", ()))
+        return cls(**fields)
 
 
 @dataclass(frozen=True)
@@ -191,6 +245,109 @@ class SchedulerConfig:
             raise ConfigurationError("wax threshold must be in (0, 1]")
         if self.update_period_s <= 0:
             raise ConfigurationError("update period must be positive")
+
+
+@dataclass(frozen=True)
+class AmbientEventSpec:
+    """One scripted ambient (outside-weather) excursion.
+
+    Supply-air temperature rises by ``delta_c`` across
+    ``[start_hour, end_hour]``, ramping linearly over ``ramp_hours`` at
+    each edge -- the building block for heat waves and cold snaps
+    (negative ``delta_c``).
+    """
+
+    start_hour: float
+    end_hour: float
+    delta_c: float
+    ramp_hours: float = 1.0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if self.start_hour < 0 or self.end_hour <= self.start_hour:
+            raise ConfigurationError(
+                "ambient event needs 0 <= start_hour < end_hour")
+        if self.ramp_hours < 0:
+            raise ConfigurationError("ambient event ramp must be >= 0")
+        if not -50.0 <= self.delta_c <= 50.0:
+            raise ConfigurationError(
+                "ambient delta must be within +-50 deg C")
+
+
+@dataclass(frozen=True)
+class AmbientConfig:
+    """Time-varying ambient profile shifting every server inlet.
+
+    The paper holds supply air at a fixed nominal inlet; real plants see
+    weather.  The profile is a uniform, deterministic inlet offset:
+    an optional sinusoidal diurnal swing (hottest at
+    ``diurnal_peak_hour``) plus scripted :class:`AmbientEventSpec`
+    excursions.  The default profile is identically zero and leaves the
+    simulation bit-identical to a fixed-inlet build.
+    """
+
+    diurnal_amplitude_c: float = 0.0
+    diurnal_peak_hour: float = 15.0
+    events: Tuple[AmbientEventSpec, ...] = ()
+
+    @property
+    def is_active(self) -> bool:
+        """Whether this profile can ever produce a nonzero offset."""
+        return self.diurnal_amplitude_c != 0.0 or bool(self.events)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if self.diurnal_amplitude_c < 0:
+            raise ConfigurationError(
+                "diurnal amplitude must be >= 0 (use events for cold "
+                "snaps)")
+        if not 0.0 <= self.diurnal_peak_hour < 24.0:
+            raise ConfigurationError(
+                "diurnal peak hour must be in [0, 24)")
+        for event in self.events:
+            event.validate()
+
+    def offset_c_at(self, time_s: float) -> float:
+        """The inlet offset (deg C) at a simulation time.
+
+        Pure function of the configuration and the clock, so checkpoint
+        resume needs no extra state and two runs can never disagree.
+        """
+        hours = time_s / 3600.0
+        offset = 0.0
+        if self.diurnal_amplitude_c:
+            angle = 2.0 * math.pi * (hours - self.diurnal_peak_hour) / 24.0
+            offset += self.diurnal_amplitude_c * math.cos(angle)
+        for event in self.events:
+            offset += event.delta_c * _ramp_weight(
+                hours, event.start_hour, event.end_hour, event.ramp_hours)
+        return offset
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AmbientConfig":
+        """Rebuild an ambient profile from :meth:`to_dict`-style output."""
+        fields = dict(data)
+        fields["events"] = tuple(
+            AmbientEventSpec(**e) if isinstance(e, dict) else e
+            for e in fields.get("events", ()))
+        return cls(**fields)
+
+
+def _ramp_weight(hour: float, start: float, end: float,
+                 ramp: float) -> float:
+    """Trapezoidal window weight in [0, 1] with linear edge ramps.
+
+    Full strength inside ``[start, end]``; ramps from 0 over ``ramp``
+    hours before ``start`` and back to 0 over ``ramp`` hours after
+    ``end``.
+    """
+    if hour <= start - ramp or hour >= end + ramp:
+        return 0.0
+    if hour < start:
+        return (hour - (start - ramp)) / ramp
+    if hour <= end:
+        return 1.0
+    return ((end + ramp) - hour) / ramp
 
 
 #: Sensor channels a fault can target.
@@ -352,6 +509,7 @@ class SimulationConfig:
     trace: TraceConfig = field(default_factory=TraceConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     faults: FaultConfig = field(default_factory=FaultConfig)
+    ambient: AmbientConfig = field(default_factory=AmbientConfig)
     seed: int = 7
 
     def validate(self) -> None:
@@ -364,6 +522,7 @@ class SimulationConfig:
         self.trace.validate()
         self.scheduler.validate()
         self.faults.validate()
+        self.ambient.validate()
         for spec in (self.faults.server_faults + self.faults.sensor_faults):
             if spec.server_id >= self.num_servers:
                 raise ConfigurationError(
@@ -391,9 +550,10 @@ class SimulationConfig:
             server=ServerConfig(**data.get("server", {})),
             wax=WaxConfig(**data.get("wax", {})),
             thermal=ThermalConfig(**data.get("thermal", {})),
-            trace=TraceConfig(**data.get("trace", {})),
+            trace=TraceConfig.from_dict(data.get("trace", {})),
             scheduler=SchedulerConfig(**data.get("scheduler", {})),
             faults=FaultConfig.from_dict(data.get("faults", {})),
+            ambient=AmbientConfig.from_dict(data.get("ambient", {})),
             seed=data.get("seed", 7),
         )
 

@@ -103,7 +103,13 @@ def temperature_hazard(acceleration: float, *,
 
 
 def merge_scenarios(*scenarios: FaultConfig) -> FaultConfig:
-    """Combine scenarios: events concatenate, scalars take the worst case."""
+    """Combine scenarios: events concatenate, scalars take the worst case.
+
+    "Worst case" per scalar: shorter MTBF (failures more frequent),
+    longer repairs, higher hazard acceleration, larger derate inlet
+    rise, and ``auto_repair`` only if *every* scenario repairs
+    automatically -- one scenario that leaves servers down wins.
+    """
     if not scenarios:
         return FaultConfig()
     merged = scenarios[0]
@@ -114,6 +120,9 @@ def merge_scenarios(*scenarios: FaultConfig) -> FaultConfig:
             hazard_failures=merged.hazard_failures or other.hazard_failures,
             hazard_acceleration=max(merged.hazard_acceleration,
                                     other.hazard_acceleration),
+            mtbf_hours=min(merged.mtbf_hours, other.mtbf_hours),
+            repair_time_s=max(merged.repair_time_s, other.repair_time_s),
+            auto_repair=merged.auto_repair and other.auto_repair,
             derate_inlet_rise_c=max(merged.derate_inlet_rise_c,
                                     other.derate_inlet_rise_c),
             server_faults=merged.server_faults + other.server_faults,

@@ -91,15 +91,19 @@ class RunLedger:
                wall_clock_s: float,
                files: Optional[Dict[str, str]] = None,
                profile: Optional[Dict[str, Any]] = None,
-               checkpoints: Optional[List[Dict[str, Any]]] = None
+               checkpoints: Optional[List[Dict[str, Any]]] = None,
+               extra: Optional[Dict[str, Any]] = None
                ) -> Dict[str, Any]:
         """Write one run's manifest; returns the manifest dict.
 
         An existing manifest under the same ``run_id`` is overwritten:
         rerunning a spec is the expected way to refresh its entry.
+        ``extra`` carries caller provenance (e.g. scenario name and
+        sha); its keys may not shadow the manifest's own schema.
         """
         if not run_id:
             raise TelemetryError("run_id must be non-empty")
+        extra = dict(extra or {})
         manifest: Dict[str, Any] = {
             "schema": MANIFEST_SCHEMA_VERSION,
             "run_id": run_id,
@@ -119,6 +123,11 @@ class RunLedger:
             manifest["profile"] = profile
         if checkpoints:
             manifest["checkpoints"] = [dict(entry) for entry in checkpoints]
+        shadowed = sorted(set(extra) & set(manifest))
+        if shadowed:
+            raise TelemetryError(
+                f"extra manifest keys shadow schema keys: {shadowed}")
+        manifest.update(extra)
         validate_manifest(manifest)
         path = self.manifest_path(run_id)
         tmp = path + ".tmp"

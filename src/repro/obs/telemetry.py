@@ -91,6 +91,7 @@ class Telemetry:
         self._profiler: Optional["TickProfiler"] = None
         self._ledger = RunLedger(self._dir)
         self._finished = False
+        self._annotations: Dict[str, Any] = {}
 
     # -- coercion ----------------------------------------------------------
 
@@ -204,6 +205,20 @@ class Telemetry:
             from ..perf.profiler import TickProfiler
             self._profiler = TickProfiler()
 
+    def annotate(self, **extra: Any) -> None:
+        """Attach extra provenance keys to the run's manifest.
+
+        Used by the sweep machinery to record e.g. the compiled
+        scenario's name and canonical SHA-256.  ``None`` values are
+        dropped; keys must not collide with the manifest's own schema
+        (the ledger validates on write).
+        """
+        if self._finished:
+            raise TelemetryError("telemetry bundle was already finished")
+        for key, value in extra.items():
+            if value is not None:
+                self._annotations[key] = value
+
     def use_profiler(self, profiler: Optional["TickProfiler"]) -> None:
         """Adopt an externally supplied profiler (pre-bind only)."""
         if profiler is None:
@@ -249,5 +264,6 @@ class Telemetry:
             files=files,
             profile=result.profile,
             checkpoints=checkpoints,
+            extra=self._annotations or None,
         )
         return manifest

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Union
+from typing import Iterator, List, Optional, Sequence, Union
 
 from ..cluster.metrics import SimulationResult
 from ..config import SimulationConfig
@@ -69,6 +70,16 @@ class RunSpec:
     checkpoint_every: Optional[int] = None
     #: Root directory for per-spec checkpoint subdirectories.
     checkpoint_dir: Optional[str] = None
+    #: Wall-clock budget for this one run, seconds.  A run that exceeds
+    #: it is aborted (via SIGALRM, so only on a main thread) and comes
+    #: back as a :class:`RunFailure` instead of hanging the sweep.
+    timeout_s: Optional[float] = None
+    #: Scenario provenance: when the spec was compiled from a
+    #: :class:`~repro.scenarios.spec.ScenarioSpec`, its name and
+    #: canonical SHA-256 land in the run-ledger manifest so any result
+    #: row traces back to the exact scenario definition.
+    scenario: Optional[str] = None
+    scenario_sha256: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -91,6 +102,9 @@ class RunFailure:
     error_type: str
     message: str
     traceback_text: str = field(repr=False, default="")
+    #: How many times the job was attempted before giving up (2 when a
+    #: pool crash triggered the bounded serial retry).
+    attempts: int = 1
 
     def raise_(self) -> None:
         """Re-raise as a :class:`SimulationError` naming the spec."""
@@ -100,6 +114,56 @@ class RunFailure:
 
 
 Outcome = Union[SimulationResult, RunFailure]
+
+
+class RunTimeout(SimulationError):
+    """A run exceeded its :attr:`RunSpec.timeout_s` wall-clock budget."""
+
+
+@contextmanager
+def _deadline(seconds: Optional[float]) -> Iterator[None]:
+    """Abort the enclosed block with :class:`RunTimeout` after ``seconds``.
+
+    Implemented with ``SIGALRM``, which only fires on a process's main
+    thread; off the main thread (or with no budget) this is a no-op so
+    callers embedding the runner in threads lose the timeout, not the
+    run.  Worker processes always execute jobs on their main thread, so
+    pool runs are always covered.
+    """
+    import signal
+    import threading
+    if (not seconds or seconds <= 0
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise RunTimeout(f"exceeded {seconds:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _maybe_die_for_test(spec: RunSpec) -> None:
+    """Crash-injection hook for the fault-tolerance tests and CI.
+
+    When ``REPRO_KILL_RUN`` names this spec and we are inside a *worker*
+    process, SIGKILL ourselves -- an un-catchable death that breaks the
+    whole pool, exactly like an OOM kill.  The parent-process guard is
+    what lets the bounded serial retry then succeed: the retry runs in
+    the parent, where the hook stays inert.
+    """
+    import multiprocessing
+    import os
+    target = os.environ.get("REPRO_KILL_RUN")
+    if (target and target == spec.name
+            and multiprocessing.parent_process() is not None):
+        os.kill(os.getpid(), 9)
 
 
 def execute_spec(spec: RunSpec) -> SimulationResult:
@@ -144,24 +208,28 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
         # spec's identity: its name as run id, its policy key verbatim.
         telemetry.bind(spec.name, policy=spec.policy,
                        capacity=spec.config.trace.num_steps)
+        if spec.scenario is not None:
+            telemetry.annotate(scenario=spec.scenario,
+                               scenario_sha256=spec.scenario_sha256)
         if profiler is None:
             profiler = telemetry.profiler
-    if spec_checkpoint_dir is not None:
-        resumable = _compatible_checkpoint(spec, spec_checkpoint_dir)
-        if resumable is not None:
-            from ..state import restore_simulation
-            sim = restore_simulation(
-                resumable, telemetry=telemetry, checks=spec.checks,
-                checkpoint_every=spec.checkpoint_every,
-                checkpoint_dir=spec_checkpoint_dir)
-            return sim.run()
-    return run_simulation(spec.config, scheduler, trace=trace,
-                          record_heatmaps=spec.record_heatmaps,
-                          profiler=profiler,
-                          telemetry=telemetry,
-                          checks=spec.checks,
-                          checkpoint_every=spec.checkpoint_every,
-                          checkpoint_dir=spec_checkpoint_dir)
+    with _deadline(spec.timeout_s):
+        if spec_checkpoint_dir is not None:
+            resumable = _compatible_checkpoint(spec, spec_checkpoint_dir)
+            if resumable is not None:
+                from ..state import restore_simulation
+                sim = restore_simulation(
+                    resumable, telemetry=telemetry, checks=spec.checks,
+                    checkpoint_every=spec.checkpoint_every,
+                    checkpoint_dir=spec_checkpoint_dir)
+                return sim.run()
+        return run_simulation(spec.config, scheduler, trace=trace,
+                              record_heatmaps=spec.record_heatmaps,
+                              profiler=profiler,
+                              telemetry=telemetry,
+                              checks=spec.checks,
+                              checkpoint_every=spec.checkpoint_every,
+                              checkpoint_dir=spec_checkpoint_dir)
 
 
 def _compatible_checkpoint(spec: RunSpec, directory: str):
@@ -191,6 +259,7 @@ def _compatible_checkpoint(spec: RunSpec, directory: str):
 
 def _execute_captured(spec: RunSpec) -> Outcome:
     """Worker entry point: never lets an exception escape the job."""
+    _maybe_die_for_test(spec)
     try:
         return execute_spec(spec)
     except BaseException as exc:  # noqa: BLE001 -- capture by design
@@ -270,18 +339,33 @@ class ExperimentRunner:
             # No usable process pool on this host (e.g. missing POSIX
             # semaphores in sandboxes): degrade to serial, same results.
             return self._run_serial(specs)
+        outcomes: List[Optional[Outcome]] = [None] * len(specs)
         try:
             with pool:
                 futures = [pool.submit(_execute_captured, spec)
                            for spec in specs]
                 # Collect in submission order, not completion order, so
-                # callers can zip results back onto their specs.
-                return [future.result() for future in futures]
-        except BaseException as exc:
-            # A worker died hard (segfault, OOM kill) and took the pool
-            # with it; we cannot know which job did it, so surface the
-            # whole batch.
-            names = ", ".join(spec.name for spec in specs)
-            raise SimulationError(
-                f"worker pool crashed ({type(exc).__name__}: {exc}) "
-                f"while running: {names}") from exc
+                # callers can zip results back onto their specs.  A
+                # worker dying hard (segfault, OOM/SIGKILL) breaks the
+                # pool and fails every uncollected future; capture those
+                # per-future instead of aborting, then retry below.
+                for index, future in enumerate(futures):
+                    try:
+                        outcomes[index] = future.result()
+                    except BaseException:  # noqa: BLE001
+                        outcomes[index] = None
+        except BaseException:  # noqa: BLE001 -- submit/shutdown crashed
+            pass
+        missing = [i for i, outcome in enumerate(outcomes)
+                   if outcome is None]
+        if missing:
+            # Bounded recovery: exactly one serial retry, in-process, of
+            # the jobs the crashed pool never delivered.  A job that
+            # fails again comes back as a RunFailure (attempts=2); the
+            # batch itself always completes.
+            for index in missing:
+                retried = _execute_captured(specs[index])
+                if isinstance(retried, RunFailure):
+                    retried = replace(retried, attempts=2)
+                outcomes[index] = retried
+        return outcomes  # type: ignore[return-value]

@@ -1,0 +1,36 @@
+"""Scenario engine: declarative stress scenarios with verified suites.
+
+Public surface:
+
+* :class:`ScenarioSpec` -- pure-data scenario that compiles into a
+  :class:`~repro.config.SimulationConfig`;
+* :data:`SCENARIO_LIBRARY` / :func:`get_scenario` /
+  :func:`scenario_names` -- the named library;
+* :func:`verify_scenario` / :data:`CHECK_REGISTRY` -- metamorphic
+  property checks against matched baselines;
+* :func:`run_suite` / :class:`SuiteReport` -- fault-tolerant
+  library x policies execution with a ranked report.
+"""
+
+from .library import SCENARIO_LIBRARY, get_scenario, scenario_names
+from .spec import ScenarioSpec
+from .suite import (PolicyRanking, ScenarioRunRecord, SuiteReport,
+                    build_suite_specs, run_suite)
+from .verifier import (CHECK_REGISTRY, CheckOutcome, register_check,
+                       verify_scenario)
+
+__all__ = [
+    "CHECK_REGISTRY",
+    "CheckOutcome",
+    "PolicyRanking",
+    "SCENARIO_LIBRARY",
+    "ScenarioRunRecord",
+    "ScenarioSpec",
+    "SuiteReport",
+    "build_suite_specs",
+    "get_scenario",
+    "register_check",
+    "run_suite",
+    "scenario_names",
+    "verify_scenario",
+]

@@ -1,0 +1,218 @@
+"""The named scenario library.
+
+Each entry is a :class:`~repro.scenarios.spec.ScenarioSpec` stressing one
+robustness axis the paper's single two-day trace never exercises:
+weather (heat waves, diurnal ambient swing), demand variation (flash
+crowds, demand-response curtailment -- Rostami et al. 2023), fault
+storms (PR 1 banks), and mis-calibration (GV overestimate).  Stress
+windows are deliberately front-loaded or centered on the hour-20 load
+peak so the suite stays meaningful when CI runs it at reduced duration.
+
+All scenarios compile against the paper's 100-server sweep cluster by
+default; :meth:`ScenarioSpec.with_overrides` rescales them without
+editing the definitions here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..config import (AmbientConfig, AmbientEventSpec, DemandEventSpec,
+                      FaultConfig, SensorFaultSpec, ServerFaultSpec)
+from ..errors import ConfigurationError
+from .spec import ScenarioSpec
+
+_H = 3600.0
+
+
+def _heat_wave() -> ScenarioSpec:
+    """A 12-hour +8 C heat wave square across the evening load peak."""
+    return ScenarioSpec(
+        name="heat-wave",
+        description="+8 C ambient excursion covering the hour-20 peak",
+        ambient=AmbientConfig(events=(
+            AmbientEventSpec(start_hour=12.0, end_hour=24.0, delta_c=8.0,
+                             ramp_hours=2.0),)),
+        checks=("ambient-never-lowers-peak-temp",
+                "ambient-never-reduces-melt", "sane-series"),
+        tags=("weather",),
+    )
+
+
+def _diurnal_ambient_swing() -> ScenarioSpec:
+    """A +-5 C sinusoidal outdoor swing, hottest mid-afternoon."""
+    return ScenarioSpec(
+        name="diurnal-ambient-swing",
+        description="+-5 C sinusoidal ambient, hottest at 15:00",
+        ambient=AmbientConfig(diurnal_amplitude_c=5.0,
+                              diurnal_peak_hour=15.0),
+        checks=("ambient-never-lowers-peak-temp",
+                "ambient-never-reduces-melt", "sane-series"),
+        tags=("weather",),
+    )
+
+
+def _demand_response_curtailment() -> ScenarioSpec:
+    """Grid-driven demand-response: cap utilization at 50% over the peak."""
+    return ScenarioSpec(
+        name="demand-response-curtailment",
+        description="utilization capped at 0.50 during hours 17-22",
+        demand_events=(
+            DemandEventSpec(kind="curtail", start_hour=17.0, end_hour=22.0,
+                            magnitude=0.50, ramp_hours=0.5),),
+        checks=("curtail-never-raises-it-energy", "sane-series"),
+        tags=("demand",),
+    )
+
+
+def _black_friday_surge() -> ScenarioSpec:
+    """A 1.35x flash crowd riding the evening ramp into the peak."""
+    return ScenarioSpec(
+        name="black-friday-surge",
+        description="1.35x demand surge, hours 14-23",
+        demand_events=(
+            DemandEventSpec(kind="surge", start_hour=14.0, end_hour=23.0,
+                            magnitude=1.35, ramp_hours=1.0),),
+        checks=("surge-never-lowers-it-energy", "sane-series"),
+        tags=("demand",),
+    )
+
+
+def _rolling_maintenance() -> ScenarioSpec:
+    """Rolling 4-server maintenance waves, each repaired after 2 hours."""
+    waves = []
+    for wave, start_hour in enumerate((2.0, 6.0, 10.0, 14.0, 18.0)):
+        for k in range(4):
+            waves.append(ServerFaultSpec(
+                time_s=start_hour * _H, server_id=wave * 4 + k,
+                repair_after_s=2.0 * _H))
+    return ScenarioSpec(
+        name="rolling-maintenance",
+        description="5 waves x 4 servers drained 2 h each, hours 2-18",
+        faults=FaultConfig(enabled=True, server_faults=tuple(waves)),
+        checks=("faults-never-raise-availability", "sane-series"),
+        tags=("faults",),
+    )
+
+
+def _sensor_fault_storm() -> ScenarioSpec:
+    """A storm of stuck/dropout/drift wax+air sensor faults from hour 3."""
+    faults: List[SensorFaultSpec] = []
+    modes = ("stuck", "dropout", "drift")
+    for i in range(12):
+        faults.append(SensorFaultSpec(
+            time_s=(3.0 + 0.5 * i) * _H, server_id=2 * i,
+            sensor="wax" if i % 2 == 0 else "air",
+            mode=modes[i % 3],
+            drift_c_per_hour=1.5 if modes[i % 3] == "drift" else 0.0,
+            stuck_value_c=45.0 if i % 4 == 0 else None,
+            clear_after_s=6.0 * _H))
+    return ScenarioSpec(
+        name="sensor-fault-storm",
+        description="12 mixed sensor faults (stuck/dropout/drift), "
+                    "hours 3-9, clearing after 6 h",
+        faults=FaultConfig(enabled=True, sensor_faults=tuple(faults)),
+        checks=("sensor-faults-leave-demand-served", "sane-series"),
+        tags=("faults", "sensors"),
+    )
+
+
+def _correlated_rack_failure() -> ScenarioSpec:
+    """A whole rack (16 contiguous low-id servers) dies overnight.
+
+    The failure lands in the demand trough (hour 3): at the evening
+    peak the cluster runs ~93% utilized, so losing a 16-server rack
+    there exceeds surviving capacity for *every* policy -- that abort
+    path is exercised separately by the suite's fault-tolerance tests.
+    """
+    rack = tuple(ServerFaultSpec(time_s=3.0 * _H, server_id=sid,
+                                 repair_after_s=3.0 * _H)
+                 for sid in range(16))
+    return ScenarioSpec(
+        name="correlated-rack-failure",
+        description="16 contiguous hot-group servers fail at hour 3, "
+                    "repaired after 3 h",
+        faults=FaultConfig(enabled=True, server_faults=rack),
+        checks=("faults-never-raise-availability", "sane-series"),
+        tags=("faults",),
+    )
+
+
+def _gv_misestimate_stress() -> ScenarioSpec:
+    """GV badly overestimated while demand surges past the estimate.
+
+    The paper assumes an oracle grouping value; this scenario sets GV
+    ~30% high (an over-aggressive hot group) and adds a surge, probing
+    how the VMT policies degrade when the sizing assumption is wrong.
+    """
+    return ScenarioSpec(
+        name="gv-misestimate-stress",
+        description="GV=28.5 (30% overestimate) plus a 1.2x surge at "
+                    "the peak",
+        grouping_value=28.5,
+        demand_events=(
+            DemandEventSpec(kind="surge", start_hour=16.0, end_hour=22.0,
+                            magnitude=1.2, ramp_hours=1.0),),
+        checks=("surge-never-lowers-it-energy", "sane-series"),
+        tags=("calibration", "demand"),
+    )
+
+
+def _cooling_brownout() -> ScenarioSpec:
+    """The plant loses 30% capacity across the peak (PR 1 derate path)."""
+    from ..config import CoolingFaultSpec
+    return ScenarioSpec(
+        name="cooling-brownout",
+        description="cooling derated to 70% capacity, hours 16-24",
+        faults=FaultConfig(
+            enabled=True,
+            cooling_faults=(CoolingFaultSpec(time_s=16.0 * _H,
+                                             capacity_factor=0.7,
+                                             restore_after_s=8.0 * _H),)),
+        checks=("faults-never-raise-availability", "sane-series"),
+        tags=("faults", "cooling"),
+    )
+
+
+_BUILDERS = (
+    _heat_wave,
+    _diurnal_ambient_swing,
+    _demand_response_curtailment,
+    _black_friday_surge,
+    _rolling_maintenance,
+    _sensor_fault_storm,
+    _correlated_rack_failure,
+    _gv_misestimate_stress,
+    _cooling_brownout,
+)
+
+
+def _build_library() -> Dict[str, ScenarioSpec]:
+    library: Dict[str, ScenarioSpec] = {}
+    for builder in _BUILDERS:
+        spec = builder()
+        spec.validate()
+        if spec.name in library:  # pragma: no cover - authoring error
+            raise ConfigurationError(
+                f"duplicate scenario name {spec.name!r}")
+        library[spec.name] = spec
+    return library
+
+
+#: The named scenario library, in definition order.
+SCENARIO_LIBRARY: Dict[str, ScenarioSpec] = _build_library()
+
+
+def scenario_names() -> List[str]:
+    """All library scenario names, in definition order."""
+    return list(SCENARIO_LIBRARY)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a library scenario by name."""
+    try:
+        return SCENARIO_LIBRARY[name]
+    except KeyError:
+        known = ", ".join(SCENARIO_LIBRARY)
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; choose from {known}") from None

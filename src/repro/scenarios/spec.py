@@ -1,0 +1,232 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is pure data: a named bundle of stress
+conditions -- demand events layered on the two-day trace, an ambient
+(weather) profile, a fault script, and optional knob overrides -- that
+*compiles* deterministically into a single
+:class:`~repro.config.SimulationConfig`.  Because everything a scenario
+does is expressed through the configuration tree, a compiled scenario
+inherits the whole existing machinery for free: the trace cache keys on
+it, the sanitizer audits it, checkpoints resume it, and the run ledger
+fingerprints it.
+
+Two specs with equal fields compile to equal configs; together with the
+seeded construction path of the simulator that makes scenario runs
+reproducible end to end, which :meth:`ScenarioSpec.sha256` captures in
+one auditable hash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..config import (AmbientConfig, DemandEventSpec, FaultConfig,
+                      SimulationConfig, paper_cluster_config)
+from ..errors import ConfigurationError
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9-]*$")
+
+
+def _cap_concurrent_downtime(server_faults, cap: int):
+    """Drop faults so at most ``cap`` servers are ever down at once.
+
+    Faults are considered in (server id, time) order and kept while
+    their downtime interval overlaps fewer than ``cap`` already-kept
+    intervals; original tuple order is preserved on return.  Entirely
+    deterministic, so reduced-scale compilation stays reproducible.
+    """
+    if not server_faults:
+        return server_faults
+    kept = []
+    for fault in sorted(server_faults,
+                        key=lambda f: (f.server_id, f.time_s)):
+        start = fault.time_s
+        end = (start + fault.repair_after_s
+               if fault.repair_after_s is not None else float("inf"))
+        overlapping = sum(
+            1 for other, other_end in kept
+            if other.time_s < end and start < other_end)
+        if overlapping < cap:
+            kept.append((fault, end))
+    kept_set = {id(fault) for fault, _ in kept}
+    return tuple(f for f in server_faults if id(f) in kept_set)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, reproducible stress scenario.
+
+    ``None`` knob overrides inherit from the base configuration the spec
+    is compiled against (by default the paper's 100-server sweep
+    cluster), so a scenario describes only what it *changes*.
+    ``checks`` names the verifier properties
+    (:mod:`repro.scenarios.verifier`) this scenario must satisfy.
+    """
+
+    name: str
+    description: str = ""
+    #: Cluster/scheduler knob overrides (``None`` = inherit base).
+    num_servers: Optional[int] = None
+    grouping_value: Optional[float] = None
+    wax_threshold: Optional[float] = None
+    inlet_stdev_c: Optional[float] = None
+    duration_hours: Optional[float] = None
+    seed: Optional[int] = None
+    #: Stress layers (all default to inert).
+    demand_events: Tuple[DemandEventSpec, ...] = ()
+    ambient: AmbientConfig = field(default_factory=AmbientConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Verifier check keys this scenario is subject to.
+    checks: Tuple[str, ...] = ()
+    tags: Tuple[str, ...] = ()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if not _NAME_RE.match(self.name):
+            raise ConfigurationError(
+                f"scenario name must be kebab-case ([a-z0-9-]), "
+                f"got {self.name!r}")
+        if self.num_servers is not None and self.num_servers <= 0:
+            raise ConfigurationError("num_servers override must be > 0")
+        if self.duration_hours is not None and self.duration_hours <= 0:
+            raise ConfigurationError("duration override must be > 0")
+        for event in self.demand_events:
+            event.validate()
+        self.ambient.validate()
+        self.faults.validate()
+
+    # -- compilation --------------------------------------------------------
+
+    def compile(self, base: Optional[SimulationConfig] = None
+                ) -> SimulationConfig:
+        """Compile into a full :class:`SimulationConfig`, deterministically.
+
+        The returned config *is* the scenario: same spec + same base =>
+        byte-identical config tree => identical trace, identical seeded
+        run, identical ``SimulationResult.fingerprint()``.
+        """
+        self.validate()
+        config = self._scaled_base(base)
+        trace = dataclasses.replace(config.trace,
+                                    overlay=tuple(self.demand_events))
+        config = config.replace(trace=trace, ambient=self.ambient,
+                                faults=self._clipped_faults(config))
+        config.validate()
+        return config
+
+    def baseline(self, base: Optional[SimulationConfig] = None
+                 ) -> SimulationConfig:
+        """The matched *unstressed* config for metamorphic comparisons.
+
+        Identical cluster, seed, and knob overrides -- but no demand
+        events, nominal weather, and no faults.  Verifier properties
+        compare a scenario run against this run (e.g. "hotter ambient
+        never lowers peak cooling").
+        """
+        self.validate()
+        config = self._scaled_base(base)
+        config.validate()
+        return config
+
+    def _scaled_base(self, base: Optional[SimulationConfig]
+                     ) -> SimulationConfig:
+        """The base config with the spec's knob overrides applied."""
+        if base is None:
+            base = paper_cluster_config(
+                num_servers=self.num_servers or 100,
+                grouping_value=(self.grouping_value
+                                if self.grouping_value is not None
+                                else 22.0),
+                seed=self.seed if self.seed is not None else 7,
+                inlet_stdev_c=(self.inlet_stdev_c
+                               if self.inlet_stdev_c is not None else 0.0),
+                wax_threshold=(self.wax_threshold
+                               if self.wax_threshold is not None
+                               else 0.98))
+        else:
+            if self.num_servers is not None:
+                base = base.replace(num_servers=self.num_servers)
+            if self.seed is not None:
+                base = base.replace(seed=self.seed)
+            scheduler = base.scheduler
+            if self.grouping_value is not None:
+                scheduler = dataclasses.replace(
+                    scheduler, grouping_value=self.grouping_value)
+            if self.wax_threshold is not None:
+                scheduler = dataclasses.replace(
+                    scheduler, wax_threshold=self.wax_threshold)
+            if scheduler is not base.scheduler:
+                base = base.replace(scheduler=scheduler)
+            if self.inlet_stdev_c is not None:
+                base = base.replace(thermal=dataclasses.replace(
+                    base.thermal, inlet_stdev_c=self.inlet_stdev_c))
+        if self.duration_hours is not None:
+            base = base.replace(trace=dataclasses.replace(
+                base.trace, duration_hours=self.duration_hours))
+        return base
+
+    def _clipped_faults(self, config: SimulationConfig) -> FaultConfig:
+        """The fault script rescaled to the compiled cluster size.
+
+        Scenario fault scripts are written against the library's default
+        cluster size; running the suite at reduced scale (CI) must not
+        turn a 100-server rack failure into a config error -- or an
+        unsurvivable capacity wipeout -- on a 12-server cluster.  Two
+        deterministic rules: targets beyond the cluster are dropped
+        (never aliased onto other servers), and *concurrently* downed
+        servers are capped at a third of the fleet by dropping the
+        highest-id overlapping faults.
+        """
+        faults = self.faults
+        n = config.num_servers
+        server_faults = tuple(s for s in faults.server_faults
+                              if s.server_id < n)
+        sensor_faults = tuple(s for s in faults.sensor_faults
+                              if s.server_id < n)
+        server_faults = _cap_concurrent_downtime(server_faults,
+                                                 max(1, n // 3))
+        if (server_faults != faults.server_faults
+                or sensor_faults != faults.sensor_faults):
+            faults = dataclasses.replace(faults,
+                                         server_faults=server_faults,
+                                         sensor_faults=sensor_faults)
+        return faults
+
+    # -- identity -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize the spec to plain dictionaries (JSON-safe)."""
+        return dataclasses.asdict(self)
+
+    def sha256(self) -> str:
+        """SHA-256 of the canonical (sorted-key JSON) spec tree.
+
+        Recorded in the run ledger manifest of every suite run, so any
+        result row can be traced back to the exact scenario definition
+        that produced it.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"), default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def with_overrides(self, *, num_servers: Optional[int] = None,
+                       duration_hours: Optional[float] = None,
+                       seed: Optional[int] = None) -> "ScenarioSpec":
+        """A copy with reduced-scale (or reseeded) overrides applied.
+
+        Used by the CI suite to run the full library on a small cluster
+        and a short trace without editing the library definitions.
+        """
+        changes: Dict[str, Any] = {}
+        if num_servers is not None:
+            changes["num_servers"] = num_servers
+        if duration_hours is not None:
+            changes["duration_hours"] = duration_hours
+        if seed is not None:
+            changes["seed"] = seed
+        return dataclasses.replace(self, **changes) if changes else self

@@ -1,0 +1,305 @@
+"""The scenario suite runner: library x policies, fault-tolerant.
+
+``run_suite`` compiles every scenario against every policy, adds the
+deduplicated set of matched baseline runs the verifier needs, executes
+the whole batch on :class:`~repro.perf.runner.ExperimentRunner`, runs
+the per-scenario metamorphic checks, and folds everything into one
+:class:`SuiteReport` with a policy ranking.
+
+The suite is *never aborted* by a sick run: per-spec wall-clock budgets
+turn hangs into :class:`RunFailure` rows, a SIGKILLed worker triggers
+the runner's bounded serial retry, and a job that still fails lands in
+the report as a structured failure next to the runs that succeeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.metrics import SimulationResult
+from ..config import SimulationConfig
+from ..core.policies import SCHEDULER_NAMES
+from ..errors import ConfigurationError
+from ..obs.ledger import config_sha256
+from ..perf.runner import ExperimentRunner, RunFailure, RunSpec
+from .library import SCENARIO_LIBRARY, get_scenario
+from .spec import ScenarioSpec
+from .verifier import CheckOutcome, verify_scenario
+
+
+@dataclass(frozen=True)
+class ScenarioRunRecord:
+    """One (scenario, policy) cell of the suite matrix."""
+
+    scenario: str
+    policy: str
+    failure: Optional[RunFailure] = None
+    checks: Tuple[CheckOutcome, ...] = ()
+    peak_cooling_kw: float = float("nan")
+    #: Peak cooling relative to the matched unstressed baseline
+    #: (1.0 = stress did not move the peak; NaN when either run failed).
+    peak_ratio_vs_baseline: float = float("nan")
+    min_availability: float = float("nan")
+    note: str = ""
+
+    @property
+    def completed(self) -> bool:
+        """Whether the stressed run itself produced a result."""
+        return self.failure is None
+
+    @property
+    def violations(self) -> Tuple[CheckOutcome, ...]:
+        """The verifier checks that failed for this cell."""
+        return tuple(c for c in self.checks if not c.passed)
+
+
+@dataclass(frozen=True)
+class PolicyRanking:
+    """One policy's aggregate standing across the whole suite."""
+
+    policy: str
+    completed: int
+    failed: int
+    checks_passed: int
+    checks_failed: int
+    mean_peak_ratio: float
+
+    @property
+    def sort_key(self) -> Tuple[float, float, float]:
+        """Rank: fewest failures, fewest violations, lowest peak ratio."""
+        ratio = self.mean_peak_ratio
+        if ratio != ratio:  # NaN -> rank last on the tiebreak
+            ratio = float("inf")
+        return (float(self.failed), float(self.checks_failed), ratio)
+
+
+@dataclass(frozen=True)
+class SuiteReport:
+    """Everything one suite execution produced, ready to rank/print."""
+
+    records: Tuple[ScenarioRunRecord, ...]
+    rankings: Tuple[PolicyRanking, ...]
+    baseline_failures: Tuple[RunFailure, ...] = ()
+
+    @property
+    def failures(self) -> Tuple[RunFailure, ...]:
+        """Every structured run failure, scenario runs and baselines."""
+        scenario_failures = tuple(r.failure for r in self.records
+                                  if r.failure is not None)
+        return scenario_failures + self.baseline_failures
+
+    @property
+    def violations(self) -> Tuple[CheckOutcome, ...]:
+        """Every failed verifier check across the suite."""
+        out: List[CheckOutcome] = []
+        for record in self.records:
+            out.extend(record.violations)
+        return tuple(out)
+
+    @property
+    def passed(self) -> bool:
+        """True when every run completed and every check held."""
+        return not self.failures and not self.violations
+
+    def to_text(self) -> str:
+        """Human-readable ranked report."""
+        lines = ["scenario suite report", "====================="]
+        lines.append(f"runs: {len(self.records)} scenario cells, "
+                     f"{len(self.failures)} failed, "
+                     f"{len(self.violations)} check violations")
+        lines.append("")
+        lines.append("policy ranking (fewest failures, fewest violations, "
+                     "lowest mean peak-cooling ratio):")
+        for place, ranking in enumerate(self.rankings, start=1):
+            ratio = ranking.mean_peak_ratio
+            ratio_text = f"{ratio:.4f}" if ratio == ratio else "n/a"
+            lines.append(
+                f"  {place}. {ranking.policy:<14s} "
+                f"completed {ranking.completed:>2d}  "
+                f"failed {ranking.failed:>2d}  "
+                f"checks {ranking.checks_passed:>2d}P/"
+                f"{ranking.checks_failed:d}F  "
+                f"mean peak ratio {ratio_text}")
+        failures = self.failures
+        if failures:
+            lines.append("")
+            lines.append("failures:")
+            for failure in failures:
+                lines.append(f"  - {failure.spec.name}: "
+                             f"{failure.error_type}: {failure.message} "
+                             f"(attempts={failure.attempts})")
+        violations = self.violations
+        if violations:
+            lines.append("")
+            lines.append("check violations:")
+            for outcome in violations:
+                lines.append(f"  - {outcome}")
+        return "\n".join(lines)
+
+
+def _resolve_scenarios(scenarios: Optional[Sequence] = None
+                       ) -> List[ScenarioSpec]:
+    if scenarios is None:
+        return list(SCENARIO_LIBRARY.values())
+    resolved: List[ScenarioSpec] = []
+    for entry in scenarios:
+        if isinstance(entry, ScenarioSpec):
+            resolved.append(entry)
+        elif isinstance(entry, str):
+            resolved.append(get_scenario(entry))
+        else:
+            raise ConfigurationError(
+                f"scenarios must be names or ScenarioSpecs, "
+                f"got {type(entry).__name__}")
+    return resolved
+
+
+def build_suite_specs(scenarios: Optional[Sequence] = None,
+                      policies: Optional[Sequence[str]] = None, *,
+                      base: Optional[SimulationConfig] = None,
+                      num_servers: Optional[int] = None,
+                      duration_hours: Optional[float] = None,
+                      seed: Optional[int] = None,
+                      timeout_s: Optional[float] = None,
+                      telemetry_dir: Optional[str] = None,
+                      checks: Optional[str] = None,
+                      ) -> Tuple[List[RunSpec], List[RunSpec],
+                                 List[ScenarioSpec], Dict[str, str]]:
+    """Compile the suite into (scenario specs, baseline specs) batches.
+
+    Baseline runs are deduplicated by (config sha, policy): scenarios
+    without knob overrides share one unstressed baseline per policy, so
+    an 8-scenario x 5-policy suite needs ~5 baseline runs, not 40.
+    Returns the two RunSpec batches, the resolved scenario list, and the
+    scenario->baseline-key mapping used to join results back together.
+    """
+    resolved = [s.with_overrides(num_servers=num_servers,
+                                 duration_hours=duration_hours,
+                                 seed=seed)
+                for s in _resolve_scenarios(scenarios)]
+    policy_list = list(policies) if policies is not None \
+        else list(SCHEDULER_NAMES)
+    if not policy_list:
+        raise ConfigurationError("suite needs at least one policy")
+
+    run_specs: List[RunSpec] = []
+    baseline_specs: List[RunSpec] = []
+    baseline_key_by_scenario: Dict[str, str] = {}
+    seen_baselines = set()
+    for spec in resolved:
+        compiled = spec.compile(base)
+        baseline_config = spec.baseline(base)
+        baseline_sha = config_sha256(baseline_config)
+        baseline_key_by_scenario[spec.name] = baseline_sha
+        sha = spec.sha256()
+        for policy in policy_list:
+            run_specs.append(RunSpec(
+                config=compiled, policy=policy,
+                label=f"{spec.name}:{policy}",
+                scenario=spec.name, scenario_sha256=sha,
+                timeout_s=timeout_s, telemetry_dir=telemetry_dir,
+                checks=checks))
+            if (baseline_sha, policy) not in seen_baselines:
+                seen_baselines.add((baseline_sha, policy))
+                baseline_specs.append(RunSpec(
+                    config=baseline_config, policy=policy,
+                    label=f"baseline:{baseline_sha[:8]}:{policy}",
+                    timeout_s=timeout_s, telemetry_dir=telemetry_dir,
+                    checks=checks))
+    return run_specs, baseline_specs, resolved, baseline_key_by_scenario
+
+
+def run_suite(scenarios: Optional[Sequence] = None,
+              policies: Optional[Sequence[str]] = None, *,
+              base: Optional[SimulationConfig] = None,
+              num_servers: Optional[int] = None,
+              duration_hours: Optional[float] = None,
+              seed: Optional[int] = None,
+              max_workers: Optional[int] = None,
+              timeout_s: Optional[float] = None,
+              telemetry_dir: Optional[str] = None,
+              checks: Optional[str] = None) -> SuiteReport:
+    """Execute the scenario suite and return the ranked report.
+
+    ``scenarios`` accepts library names and/or ad-hoc
+    :class:`ScenarioSpec` objects (``None`` = the whole library);
+    ``policies`` defaults to all five schedulers.  ``num_servers`` /
+    ``duration_hours`` / ``seed`` rescale every scenario (the CI path);
+    ``timeout_s`` bounds each individual run's wall clock.
+    """
+    run_specs, baseline_specs, resolved, baseline_keys = build_suite_specs(
+        scenarios, policies, base=base, num_servers=num_servers,
+        duration_hours=duration_hours, seed=seed, timeout_s=timeout_s,
+        telemetry_dir=telemetry_dir, checks=checks)
+    policy_list = list(policies) if policies is not None \
+        else list(SCHEDULER_NAMES)
+
+    runner = ExperimentRunner(max_workers=max_workers)
+    outcomes = runner.run(run_specs + baseline_specs,
+                          raise_on_error=False)
+    run_outcomes = outcomes[:len(run_specs)]
+    baseline_outcomes = outcomes[len(run_specs):]
+
+    baselines: Dict[Tuple[str, str], SimulationResult] = {}
+    baseline_failures: List[RunFailure] = []
+    for spec, outcome in zip(baseline_specs, baseline_outcomes):
+        if isinstance(outcome, RunFailure):
+            baseline_failures.append(outcome)
+            continue
+        baselines[(config_sha256(spec.config), spec.policy)] = outcome
+
+    spec_by_name = {s.name: s for s in resolved}
+    records: List[ScenarioRunRecord] = []
+    for run_spec, outcome in zip(run_specs, run_outcomes):
+        scenario = spec_by_name[run_spec.scenario]
+        if isinstance(outcome, RunFailure):
+            records.append(ScenarioRunRecord(
+                scenario=scenario.name, policy=run_spec.policy,
+                failure=outcome))
+            continue
+        baseline = baselines.get(
+            (baseline_keys[scenario.name], run_spec.policy))
+        if baseline is None:
+            records.append(ScenarioRunRecord(
+                scenario=scenario.name, policy=run_spec.policy,
+                peak_cooling_kw=outcome.peak_cooling_load_w / 1e3,
+                min_availability=outcome.min_availability,
+                note="baseline run failed; checks skipped"))
+            continue
+        checks_run = verify_scenario(scenario, outcome, baseline,
+                                     policy=run_spec.policy)
+        base_peak = baseline.peak_cooling_load_w
+        ratio = (outcome.peak_cooling_load_w / base_peak
+                 if base_peak > 0 else float("nan"))
+        records.append(ScenarioRunRecord(
+            scenario=scenario.name, policy=run_spec.policy,
+            checks=tuple(checks_run),
+            peak_cooling_kw=outcome.peak_cooling_load_w / 1e3,
+            peak_ratio_vs_baseline=ratio,
+            min_availability=outcome.min_availability))
+
+    rankings = _rank_policies(records, policy_list)
+    return SuiteReport(records=tuple(records), rankings=tuple(rankings),
+                       baseline_failures=tuple(baseline_failures))
+
+
+def _rank_policies(records: Sequence[ScenarioRunRecord],
+                   policies: Sequence[str]) -> List[PolicyRanking]:
+    rankings: List[PolicyRanking] = []
+    for policy in policies:
+        cells = [r for r in records if r.policy == policy]
+        ratios = [r.peak_ratio_vs_baseline for r in cells
+                  if r.peak_ratio_vs_baseline == r.peak_ratio_vs_baseline]
+        rankings.append(PolicyRanking(
+            policy=policy,
+            completed=sum(1 for r in cells if r.completed),
+            failed=sum(1 for r in cells if not r.completed),
+            checks_passed=sum(
+                sum(1 for c in r.checks if c.passed) for r in cells),
+            checks_failed=sum(len(r.violations) for r in cells),
+            mean_peak_ratio=(sum(ratios) / len(ratios) if ratios
+                             else float("nan")),
+        ))
+    rankings.sort(key=lambda r: r.sort_key)
+    return rankings

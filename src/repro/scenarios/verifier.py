@@ -1,0 +1,190 @@
+"""Per-scenario property and metamorphic checks.
+
+The PR 4 sanitizer audits *within-run* physics invariants every tick.
+This layer sits above it and checks *between-run* (metamorphic)
+properties: a scenario run is compared against its matched unstressed
+baseline (:meth:`ScenarioSpec.baseline` -- same cluster, same seed, same
+policy, stress layers stripped) and the relationship that defines the
+scenario must hold.  Hotter ambient must never lower the peak air
+temperature nor leave the wax less depleted; scripted faults must never
+*raise* availability; a demand-response curtailment must never raise
+total IT energy.
+
+Checks are pure functions ``(spec, result, baseline) -> Optional[str]``
+returning ``None`` on pass or a human-readable violation description.
+They are registered by the kebab-case keys that
+:attr:`ScenarioSpec.checks` names, so the library stays declarative and
+the test-suite can prove each check has teeth by tampering with a result
+and watching the check fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..cluster.metrics import SimulationResult
+from ..errors import ConfigurationError
+from .spec import ScenarioSpec
+
+#: Relative slack for floating-point comparisons between two runs.
+REL_TOL = 1e-9
+#: Absolute slack for temperature comparisons, degrees C.
+ABS_TOL_C = 1e-6
+
+CheckFn = Callable[[ScenarioSpec, SimulationResult, SimulationResult],
+                   Optional[str]]
+
+CHECK_REGISTRY: Dict[str, CheckFn] = {}
+
+
+def register_check(key: str) -> Callable[[CheckFn], CheckFn]:
+    """Register a verifier property under its kebab-case key."""
+    def _register(fn: CheckFn) -> CheckFn:
+        if key in CHECK_REGISTRY:  # pragma: no cover - authoring error
+            raise ConfigurationError(f"duplicate check key {key!r}")
+        CHECK_REGISTRY[key] = fn
+        return fn
+    return _register
+
+
+@register_check("ambient-never-lowers-peak-temp")
+def _ambient_peak_temp(spec: ScenarioSpec, result: SimulationResult,
+                       baseline: SimulationResult) -> Optional[str]:
+    """Hotter ambient must never *lower* the peak air temperature.
+
+    Note this is deliberately a temperature property, not a peak-
+    *cooling-load* property: a heat wave can legitimately lower the
+    instantaneous peak cooling load by pre-melting the wax so it is
+    still absorbing at the demand peak (the PCM doing its job).  Peak
+    air temperature, by contrast, is monotone in the ambient forcing.
+    """
+    peak = float(result.mean_temp_c.max())
+    base = float(baseline.mean_temp_c.max())
+    if peak < base - ABS_TOL_C:
+        return (f"peak mean air temperature dropped under hotter "
+                f"ambient: {peak:.3f} C vs baseline {base:.3f} C")
+    return None
+
+
+@register_check("ambient-never-reduces-melt")
+def _ambient_melt(spec: ScenarioSpec, result: SimulationResult,
+                  baseline: SimulationResult) -> Optional[str]:
+    """Hotter ambient must never leave the wax *less* depleted.
+
+    This is the paper's weather mechanism: warm outdoor air eats the
+    PCM buffer, so the stressed run's maximum melt fraction can only
+    match or exceed nominal weather's.
+    """
+    melt = result.max_melt_fraction
+    base = baseline.max_melt_fraction
+    if melt < base - REL_TOL:
+        return (f"max melt fraction dropped under hotter ambient: "
+                f"{melt:.4f} vs baseline {base:.4f}")
+    return None
+
+
+@register_check("faults-never-raise-availability")
+def _faults_availability(spec: ScenarioSpec, result: SimulationResult,
+                         baseline: SimulationResult) -> Optional[str]:
+    """Injected faults must never report *better* availability."""
+    low, base = result.min_availability, baseline.min_availability
+    if low > base + REL_TOL:
+        return (f"min availability rose under faults: {low:.6f} vs "
+                f"baseline {base:.6f}")
+    end_s = float(result.times_s[-1]) if len(result.times_s) else 0.0
+    fired = [f for f in spec.faults.server_faults if f.time_s <= end_s]
+    if fired and low >= 1.0:
+        return ("scripted server faults left min availability at 1.0 "
+                "(faults did not bite)")
+    return None
+
+
+@register_check("curtail-never-raises-it-energy")
+def _curtail_it_energy(spec: ScenarioSpec, result: SimulationResult,
+                       baseline: SimulationResult) -> Optional[str]:
+    """Capping demand must never *raise* total IT energy."""
+    total, base = result.total_it_energy_j, baseline.total_it_energy_j
+    if total > base * (1.0 + REL_TOL):
+        return (f"total IT energy rose under curtailment: {total:.1f} J "
+                f"vs baseline {base:.1f} J")
+    return None
+
+
+@register_check("surge-never-lowers-it-energy")
+def _surge_it_energy(spec: ScenarioSpec, result: SimulationResult,
+                     baseline: SimulationResult) -> Optional[str]:
+    """Extra demand must never *lower* total IT energy."""
+    total, base = result.total_it_energy_j, baseline.total_it_energy_j
+    if total < base * (1.0 - REL_TOL):
+        return (f"total IT energy dropped under a surge: {total:.1f} J "
+                f"vs baseline {base:.1f} J")
+    return None
+
+
+@register_check("sensor-faults-leave-demand-served")
+def _sensor_demand_served(spec: ScenarioSpec, result: SimulationResult,
+                          baseline: SimulationResult) -> Optional[str]:
+    """Lying sensors mislead placement, but must never shed demand."""
+    served, base = result.total_job_seconds, baseline.total_job_seconds
+    if served < base * (1.0 - REL_TOL):
+        return (f"demand served dropped under sensor faults: "
+                f"{served:.1f} vs baseline {base:.1f} job-seconds")
+    return None
+
+
+@register_check("sane-series")
+def _sane_series(spec: ScenarioSpec, result: SimulationResult,
+                 baseline: SimulationResult) -> Optional[str]:
+    """Stress must never corrupt the recorded series themselves."""
+    for name in ("cooling_load_w", "it_power_w", "mean_temp_c",
+                 "mean_melt_fraction"):
+        series = getattr(result, name)
+        if not np.all(np.isfinite(series)):
+            return f"series {name!r} contains non-finite values"
+    melt = result.mean_melt_fraction
+    if melt.min() < -REL_TOL or melt.max() > 1.0 + REL_TOL:
+        return "mean melt fraction escaped [0, 1]"
+    if result.availability is not None and len(result.availability):
+        avail = result.availability
+        if avail.min() < -REL_TOL or avail.max() > 1.0 + REL_TOL:
+            return "availability escaped [0, 1]"
+    return None
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One verifier property evaluated for one (scenario, policy) run."""
+
+    scenario: str
+    policy: str
+    check: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        tail = f": {self.detail}" if self.detail else ""
+        return f"[{status}] {self.scenario}/{self.policy} {self.check}{tail}"
+
+
+def verify_scenario(spec: ScenarioSpec, result: SimulationResult,
+                    baseline: SimulationResult, *,
+                    policy: str = "") -> List[CheckOutcome]:
+    """Evaluate every check the spec names against one run pair."""
+    outcomes = []
+    for key in spec.checks:
+        try:
+            check = CHECK_REGISTRY[key]
+        except KeyError:
+            known = ", ".join(sorted(CHECK_REGISTRY))
+            raise ConfigurationError(
+                f"scenario {spec.name!r} names unknown check {key!r}; "
+                f"registered: {known}") from None
+        detail = check(spec, result, baseline)
+        outcomes.append(CheckOutcome(
+            scenario=spec.name, policy=policy, check=key,
+            passed=detail is None, detail=detail or ""))
+    return outcomes

@@ -21,7 +21,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..config import TraceConfig
+from ..config import DemandEventSpec, TraceConfig, _ramp_weight
 from ..errors import TraceError
 from .workload import WORKLOAD_LIST, Workload
 
@@ -196,6 +196,32 @@ def _diurnal_shape(hours: np.ndarray,
     return np.interp(np.mod(hours, 48.0), xs, ys)
 
 
+def apply_demand_overlay(util: np.ndarray, times_h: np.ndarray,
+                         overlay: Sequence[DemandEventSpec]) -> np.ndarray:
+    """Layer scripted demand events onto a utilization series.
+
+    Surges multiply, curtailments cap; both blend linearly over their
+    ramps (a partially ramped curtailment caps at the interpolation
+    between the live utilization and the cap).  An empty overlay returns
+    ``util`` unchanged -- the same array object, so the no-overlay path
+    stays bit-identical to builds that predate overlays.
+    """
+    if not overlay:
+        return util
+    out = util.copy()
+    for event in overlay:
+        event.validate()
+        weight = np.array([_ramp_weight(h, event.start_hour,
+                                        event.end_hour, event.ramp_hours)
+                           for h in times_h])
+        if event.kind == "surge":
+            out = out * (1.0 + weight * (event.magnitude - 1.0))
+        else:  # curtail: cap blends from no-op (cap=out) to magnitude
+            cap = out + weight * (event.magnitude - out)
+            out = np.minimum(out, np.maximum(cap, 0.0))
+    return np.clip(out, 0.0, 1.0)
+
+
 def _largest_remainder_round(targets: np.ndarray, total: int) -> np.ndarray:
     """Round non-negative ``targets`` to integers summing to ``total``."""
     floors = np.floor(targets).astype(np.int64)
@@ -268,7 +294,8 @@ class TwoDayTrace:
             kernel = np.ones(15) / 15.0
             noise = np.convolve(noise, kernel, mode="same")
             util = util * (1.0 + noise)
-        return np.clip(util, 0.0, 1.0)
+        util = np.clip(util, 0.0, 1.0)
+        return apply_demand_overlay(util, times_h, cfg.overlay)
 
     def share_matrix(self) -> np.ndarray:
         """Per-interval workload shares (steps x workloads), rows sum to 1."""
