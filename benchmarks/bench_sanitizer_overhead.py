@@ -37,6 +37,7 @@ from repro.config import TraceConfig, paper_cluster_config
 from repro.core.policies import make_scheduler
 from repro.cluster.simulation import ClusterSimulation
 from repro.perf.profiler import TickProfiler
+from repro.perf.timing import interleaved_best
 
 LEVELS = ("off", "cheap", "full")
 
@@ -69,19 +70,22 @@ def main() -> int:
     parser.add_argument("--policy", default="vmt-wa")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--repeats", type=int, default=3,
-                        help="take the fastest of N runs per level")
+                        help="take the fastest of N interleaved runs "
+                             "per level")
     parser.add_argument("--out", default="BENCH_perf.json")
     args = parser.parse_args()
 
-    runs = {}
+    # Interleave the levels round-robin (with one untimed warm-up run
+    # each) so machine-speed drift between rounds hits every level
+    # alike; timing each level's repeats back-to-back used to let a
+    # slow first block report *negative* cheap overhead.
+    runs = interleaved_best(
+        {level: (lambda level=level: profile_level(
+            args.servers, args.hours, args.seed, args.policy, level))
+         for level in LEVELS},
+        repeats=args.repeats, key="tick_loop_s")
     for level in LEVELS:
-        best = None
-        for _ in range(args.repeats):
-            run = profile_level(args.servers, args.hours, args.seed,
-                                args.policy, level)
-            if best is None or run["tick_loop_s"] < best["tick_loop_s"]:
-                best = run
-        runs[level] = best
+        best = runs[level]
         print(f"checks={level}: tick loop {best['tick_loop_s']:.3f} s "
               f"({best['checks_s']:.3f} s in checks) over "
               f"{best['ticks']} ticks")
@@ -92,6 +96,7 @@ def main() -> int:
     payload = {
         "num_servers": args.servers,
         "policy": args.policy,
+        "repeats": args.repeats,
         "ticks": runs["off"]["ticks"],
         "bit_identical": identical,
         "levels": {},

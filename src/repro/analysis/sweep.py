@@ -49,13 +49,15 @@ def _gv_sweep_specs(grouping_values: Sequence[float],
                     policies: Sequence[str], *, num_servers: int,
                     seed: int, inlet_stdev_c: float,
                     wax_threshold: float,
-                    checks: Optional[str] = None) -> List[RunSpec]:
+                    checks: Optional[str] = None,
+                    backend: Optional[str] = None) -> List[RunSpec]:
     """Baseline spec followed by one spec per (gv, policy), in order."""
     base = paper_cluster_config(num_servers=num_servers, seed=seed,
                                 inlet_stdev_c=inlet_stdev_c,
                                 wax_threshold=wax_threshold)
     specs = [RunSpec(base, "round-robin",
-                     label=f"baseline[seed={seed}]", checks=checks)]
+                     label=f"baseline[seed={seed}]", checks=checks,
+                     backend=backend)]
     for gv in grouping_values:
         config = paper_cluster_config(num_servers=num_servers,
                                       grouping_value=gv, seed=seed,
@@ -64,7 +66,7 @@ def _gv_sweep_specs(grouping_values: Sequence[float],
         for policy in policies:
             specs.append(RunSpec(config, policy,
                                  label=f"{policy}[gv={gv:g},seed={seed}]",
-                                 checks=checks))
+                                 checks=checks, backend=backend))
     return specs
 
 
@@ -89,13 +91,19 @@ def gv_sweep(grouping_values: Sequence[float], *args,
              inlet_stdev_c: float = 0.0,
              wax_threshold: float = 0.98,
              max_workers: Optional[int] = 1,
+             workers_mode: str = "process",
              telemetry: TelemetryLike = None,
-             checks: Optional[str] = None) -> SweepResult:
+             checks: Optional[str] = None,
+             backend: Optional[str] = None) -> SweepResult:
     """Sweep the grouping value for one or more VMT policies (Fig. 18).
 
     Every sweep point shares one generated trace (they only differ in
     GV, which the trace does not depend on), and ``max_workers`` > 1
     runs the points in parallel without changing a single output bit.
+    ``workers_mode="thread"`` swaps the process pool for threads that
+    share the parent's read-only trace arrays (pairs well with
+    ``backend="fast"``); ``backend`` selects the tick engine per point
+    ("reference" | "fast", ``None`` = the ``REPRO_BACKEND`` variable).
     With ``telemetry`` (a directory), every sweep point writes its own
     trace/metrics/manifest bundle there, labeled by policy and GV.
     """
@@ -113,12 +121,13 @@ def gv_sweep(grouping_values: Sequence[float], *args,
     specs = _gv_sweep_specs(grouping_values, policies,
                             num_servers=num_servers, seed=seed,
                             inlet_stdev_c=inlet_stdev_c,
-                            wax_threshold=wax_threshold, checks=checks)
+                            wax_threshold=wax_threshold, checks=checks,
+                            backend=backend)
     telemetry_dir = telemetry_directory(telemetry)
     if telemetry_dir is not None:
         specs = [replace(spec, telemetry_dir=telemetry_dir)
                  for spec in specs]
-    results = ExperimentRunner(max_workers).run(specs)
+    results = ExperimentRunner(max_workers, workers_mode).run(specs)
     return SweepResult(
         parameter_name="grouping_value",
         values=np.asarray(list(grouping_values), dtype=np.float64),

@@ -92,6 +92,7 @@ def run(*, policy: Optional[str] = None,
         trace: Optional[TraceMatrix] = None, record_heatmaps: bool = True,
         telemetry: TelemetryLike = None,
         checks: Optional[str] = None,
+        backend: Optional[str] = None,
         checkpoint_every: Optional[int] = None,
         checkpoint_dir: Optional[str] = None,
         resume_from: Optional[str] = None) -> SimulationResult:
@@ -102,7 +103,9 @@ def run(*, policy: Optional[str] = None,
     ``checks`` attaches the invariant sanitizer ("off" | "cheap" |
     "full"); ``None`` defers to the ``REPRO_CHECKS`` environment
     variable.  The sanitizer only reads state, so results are
-    bit-identical at every level.
+    bit-identical at every level.  ``backend`` selects the tick engine
+    ("reference" | "fast"; ``None`` defers to ``REPRO_BACKEND``) --
+    the fast engine returns bit-identical results.
 
     ``checkpoint_every=N`` with ``checkpoint_dir=`` writes a snapshot
     every N completed ticks; ``resume_from=`` continues a run from such
@@ -131,7 +134,7 @@ def run(*, policy: Optional[str] = None,
                 f"snapshot {resume_from} was taken under policy "
                 f"{snapshot.policy!r}, not {policy!r}")
         sim = restore_simulation(snapshot, telemetry=telemetry,
-                                 checks=checks,
+                                 checks=checks, backend=backend,
                                  checkpoint_every=checkpoint_every,
                                  checkpoint_dir=checkpoint_dir)
         return sim.run()
@@ -145,6 +148,7 @@ def run(*, policy: Optional[str] = None,
     return run_simulation(resolved, make_scheduler(policy, resolved),
                           trace=trace, record_heatmaps=record_heatmaps,
                           telemetry=telemetry, checks=checks,
+                          backend=backend,
                           checkpoint_every=checkpoint_every,
                           checkpoint_dir=checkpoint_dir)
 
@@ -184,12 +188,17 @@ def compare(*, policies: Sequence[str] = ("vmt-ta", "round-robin"),
             wax_threshold: Optional[float] = None,
             record_heatmaps: bool = False,
             max_workers: Optional[int] = 1,
+            workers_mode: str = "process",
             telemetry: TelemetryLike = None,
-            checks: Optional[str] = None) -> Comparison:
+            checks: Optional[str] = None,
+            backend: Optional[str] = None) -> Comparison:
     """Run several policies against the identical cluster and trace.
 
     Every policy sees the same config and the same generated trace, so
     :meth:`Comparison.peak_reduction` is an apples-to-apples number.
+    ``backend``/``workers_mode`` mirror :func:`sweep`: the tick engine
+    per run and the pool flavor ("process" | "thread") -- every
+    combination is bit-identical.
     """
     policies = tuple(dict.fromkeys(policies))  # dedupe, keep order
     if not policies:
@@ -201,9 +210,10 @@ def compare(*, policies: Sequence[str] = ("vmt-ta", "round-robin"),
                              wax_threshold=wax_threshold)
     telemetry_dir = telemetry_directory(telemetry)
     specs = [RunSpec(resolved, policy, record_heatmaps=record_heatmaps,
-                     telemetry_dir=telemetry_dir, checks=checks)
+                     telemetry_dir=telemetry_dir, checks=checks,
+                     backend=backend)
              for policy in policies]
-    results = ExperimentRunner(max_workers).run(specs)
+    results = ExperimentRunner(max_workers, workers_mode).run(specs)
     return Comparison(config=resolved,
                       results=dict(zip(policies, results)))
 
@@ -213,8 +223,10 @@ def sweep(*, grouping_values: Sequence[float],
           num_servers: int = 100, seed: int = 7,
           inlet_stdev_c: float = 0.0, wax_threshold: float = 0.98,
           max_workers: Optional[int] = 1,
+          workers_mode: str = "process",
           telemetry: TelemetryLike = None,
-          checks: Optional[str] = None) -> SweepResult:
+          checks: Optional[str] = None,
+          backend: Optional[str] = None) -> SweepResult:
     """Sweep the grouping value against a round-robin baseline."""
     for policy in policies:
         _check_policy(policy)
@@ -222,7 +234,8 @@ def sweep(*, grouping_values: Sequence[float],
                     num_servers=num_servers, seed=seed,
                     inlet_stdev_c=inlet_stdev_c,
                     wax_threshold=wax_threshold, max_workers=max_workers,
-                    telemetry=telemetry, checks=checks)
+                    workers_mode=workers_mode,
+                    telemetry=telemetry, checks=checks, backend=backend)
 
 
 def stress(*, scenarios: Optional[Sequence] = None,

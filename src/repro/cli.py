@@ -140,7 +140,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume:
         from .state import resume_run
         result = resume_run(args.resume, telemetry=telemetry,
-                            checks=args.checks,
+                            checks=args.checks, backend=args.backend,
                             checkpoint_every=args.checkpoint_every,
                             checkpoint_dir=args.checkpoint_dir)
     else:
@@ -149,6 +149,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result = run_simulation(config, scheduler,
                                 record_heatmaps=bool(args.save),
                                 telemetry=telemetry, checks=args.checks,
+                                backend=args.backend,
                                 checkpoint_every=args.checkpoint_every,
                                 checkpoint_dir=args.checkpoint_dir)
     summary = result.summary()
@@ -189,7 +190,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                      num_servers=args.servers, seed=args.seed,
                      inlet_stdev_c=args.inlet_stdev,
                      max_workers=args.workers or None,
-                     telemetry=args.telemetry, checks=args.checks)
+                     workers_mode=args.workers_mode,
+                     telemetry=args.telemetry, checks=args.checks,
+                     backend=args.backend)
     headers = ["GV"] + list(args.policies)
     rows = []
     for i, gv in enumerate(sweep.values):
@@ -204,11 +207,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    from .cluster.simulation import ClusterSimulation
     from .perf.profiler import TickProfiler
     config = _config_from(args)
     profiler = TickProfiler()
-    result = run_simulation(config, make_scheduler(args.policy, config),
-                            record_heatmaps=False, profiler=profiler)
+    sim = ClusterSimulation(config, make_scheduler(args.policy, config),
+                            record_heatmaps=False, profiler=profiler,
+                            backend=args.backend)
+    result = sim.run()
+    if sim.backend == "fast":
+        print(f"backend: fast (kernel path: {sim.kernel_path})\n")
     timings = profiler.timings().values()
     total_s = sum(t.total_s for t in timings)
     rows = [(t.name, f"{t.calls}", f"{t.total_s * 1e3:.1f}",
@@ -518,6 +526,11 @@ def build_parser() -> argparse.ArgumentParser:
                      default=None,
                      help="invariant sanitizer level (default: the "
                           "REPRO_CHECKS environment variable, else off)")
+    run.add_argument("--backend", choices=("reference", "fast"),
+                     default=None,
+                     help="tick engine (default: the REPRO_BACKEND "
+                          "environment variable, else reference); "
+                          "fast is bit-identical")
     run.add_argument("--checkpoint-every", type=int, metavar="N",
                      help="write a resumable snapshot every N ticks "
                           "(requires --checkpoint-dir)")
@@ -633,6 +646,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes for the sweep points "
                             "(default 1 = serial; 0 = all cores)")
+    sweep.add_argument("--workers-mode", choices=("process", "thread"),
+                       default="process",
+                       help="pool flavor for parallel sweeps: thread "
+                            "workers share the read-only trace arrays "
+                            "(pairs well with --backend fast)")
+    sweep.add_argument("--backend", choices=("reference", "fast"),
+                       default=None,
+                       help="tick engine for every sweep point "
+                            "(default: REPRO_BACKEND, else reference)")
     sweep.add_argument("--telemetry", metavar="DIR",
                        help="write one telemetry bundle per sweep point "
                             "into this directory")
@@ -647,6 +669,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cluster_args(profile)
     profile.add_argument("--policy", choices=SCHEDULER_NAMES,
                          default="vmt-ta")
+    profile.add_argument("--backend", choices=("reference", "fast"),
+                         default=None,
+                         help="tick engine to profile (fast reports "
+                              "kernel-stage sections instead of "
+                              "per-tick ones)")
     profile.set_defaults(func=_cmd_profile)
 
     trace = sub.add_parser("trace", help="show the two-day trace")

@@ -128,6 +128,54 @@ class MetricsCollector:
             self._melt_map[idx] = melt_fraction
         self._size = idx + 1
 
+    def fill_block(self, *, times_s: np.ndarray,
+                   cooling_load_w: np.ndarray, it_power_w: np.ndarray,
+                   wax_absorption_w: np.ndarray, mean_temp_c: np.ndarray,
+                   hot_group_mean_temp_c: np.ndarray,
+                   cold_group_mean_temp_c: np.ndarray,
+                   mean_melt_fraction: np.ndarray, hot_group_size: int,
+                   jobs: np.ndarray, max_cpu_temp_c: np.ndarray,
+                   temp_map: Optional[np.ndarray] = None,
+                   melt_map: Optional[np.ndarray] = None) -> None:
+        """Record a whole fault-free run's series in one block write.
+
+        The fast-path kernel computes every series as a column; this
+        stores them straight into the preallocated buffers with no
+        per-tick python, exactly as ``record`` would have, with the
+        fault-only columns at their fault-free defaults.  Only valid on
+        a fresh collector.
+        """
+        if self._size != 0:
+            raise SimulationError(
+                "fill_block requires a fresh collector")
+        size = len(times_s)
+        while self._capacity < size:
+            self._grow()
+        series = self._series
+        series["times_s"][:size] = times_s
+        series["cooling_load_w"][:size] = cooling_load_w
+        series["it_power_w"][:size] = it_power_w
+        series["wax_absorption_w"][:size] = wax_absorption_w
+        series["mean_temp_c"][:size] = mean_temp_c
+        series["hot_group_mean_temp_c"][:size] = hot_group_mean_temp_c
+        series["cold_group_mean_temp_c"][:size] = cold_group_mean_temp_c
+        series["mean_melt_fraction"][:size] = mean_melt_fraction
+        series["hot_group_size"][:size] = hot_group_size
+        series["jobs"][:size] = jobs
+        series["max_cpu_temp_c"][:size] = max_cpu_temp_c
+        series["availability"][:size] = 1.0
+        series["displaced_jobs"][:size] = 0
+        series["cooling_capacity_factor"][:size] = 1.0
+        if self._record_heatmaps and temp_map is not None:
+            width = temp_map.shape[1]
+            self._temp_map = np.empty((self._capacity, width),
+                                      dtype=np.float32)
+            self._melt_map = np.empty((self._capacity, width),
+                                      dtype=np.float32)
+            self._temp_map[:size] = temp_map
+            self._melt_map[:size] = melt_map
+        self._size = size
+
     @property
     def size(self) -> int:
         """Ticks recorded so far."""

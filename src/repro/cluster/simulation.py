@@ -25,6 +25,7 @@ import numpy as np
 from ..config import SimulationConfig
 from ..core.scheduler import Placement, Scheduler
 from ..errors import SimulationError
+from ..kernel import resolve_backend
 from ..obs.telemetry import Telemetry, TelemetryLike
 from ..sim.engine import Engine
 from ..sim.process import PeriodicProcess
@@ -56,9 +57,12 @@ class ClusterSimulation:
                  profiler: Optional["TickProfiler"] = None,
                  telemetry: TelemetryLike = None,
                  checks: Optional[str] = None,
+                 backend: Optional[str] = None,
                  checkpoint_every: Optional[int] = None,
                  checkpoint_dir: Optional[str] = None) -> None:
         config.validate()
+        self._backend = resolve_backend(backend)
+        self._kernel_path = "reference"
         if checkpoint_every is not None and checkpoint_every <= 0:
             raise SimulationError("checkpoint_every must be positive")
         if checkpoint_every is not None and checkpoint_dir is None:
@@ -147,6 +151,20 @@ class ClusterSimulation:
     def sanitizer(self) -> Optional["SimulationSanitizer"]:
         """The attached invariant sanitizer, or ``None`` (checks off)."""
         return self._sanitizer
+
+    @property
+    def backend(self) -> str:
+        """The resolved execution backend (``reference`` or ``fast``)."""
+        return self._backend
+
+    @property
+    def kernel_path(self) -> str:
+        """Which kernel the last :meth:`run` used.
+
+        ``planned`` or ``stepped`` when a fast-path kernel ran,
+        ``reference`` otherwise (including before any run).
+        """
+        return self._kernel_path
 
     def add_observer(self, observer: Observer) -> None:
         """Register a per-tick observer (see class docstring)."""
@@ -444,6 +462,13 @@ class ClusterSimulation:
         mid-run state came from the snapshot) and the tick process and
         fault events re-align to the next unfinished tick.
         """
+        if self._backend == "fast":
+            from ..kernel import run_fast
+            result = run_fast(self)
+            if result is not None:
+                return result
+            # No kernel applies (fault injection or telemetry attached):
+            # fall through to the reference engine loop.
         wall_start = time.perf_counter()
         step_s = self._trace.step_seconds
         if self._restored:
@@ -503,6 +528,7 @@ def run_simulation(config: SimulationConfig, scheduler: Scheduler, *,
                    profiler: Optional["TickProfiler"] = None,
                    telemetry: TelemetryLike = None,
                    checks: Optional[str] = None,
+                   backend: Optional[str] = None,
                    checkpoint_every: Optional[int] = None,
                    checkpoint_dir: Optional[str] = None) -> SimulationResult:
     """Convenience one-call experiment runner."""
@@ -512,5 +538,6 @@ def run_simulation(config: SimulationConfig, scheduler: Scheduler, *,
                              profiler=profiler,
                              telemetry=telemetry,
                              checks=checks,
+                             backend=backend,
                              checkpoint_every=checkpoint_every,
                              checkpoint_dir=checkpoint_dir).run()

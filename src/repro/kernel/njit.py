@@ -1,0 +1,59 @@
+"""Optional numba-compiled inner loop for the planned kernel.
+
+The fused air + PCM recurrence is the only part of the planned kernel
+that cannot be batched across ticks (tick ``t`` needs tick ``t-1``'s
+state).  When numba is installed, :func:`fused_air_pcm` compiles that
+recurrence to a single scalar loop; when it is not -- the supported
+baseline -- :mod:`.planned` falls back to its vectorized per-tick numpy
+spelling.  Import failure is silent by design: numba is an accelerator,
+never a dependency.
+
+Bit-identity: the loop applies the *same scalar IEEE-754 operations in
+the same order* as the reference models (``ServerAirModel.step``,
+``PCMBank.step``), element by element.  Both spellings are pure
+elementwise arithmetic with no reductions, so scalar-vs-vector makes no
+difference to the bits.
+"""
+
+from __future__ import annotations
+
+try:
+    import numba
+    HAS_NUMBA = True
+except Exception:  # pragma: no cover - numba absent in the baseline image
+    numba = None
+    HAS_NUMBA = False
+
+
+if HAS_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True)
+    def fused_air_pcm(targets, temp0, h0, temp_block, h_block, alpha,
+                      ha, sub_dt, n_sub, mass, cp_s, cp_l, t_melt,
+                      h_sol, h_liq):
+        """Advance air temps and wax enthalpy through all ticks.
+
+        ``targets`` is the (ticks, servers) steady-state air target;
+        ``temp0`` / ``h0`` the initial state.  Results land in
+        ``temp_block`` / ``h_block`` (ticks, servers).
+        """
+        num_ticks, num_servers = targets.shape
+        for i in range(num_servers):
+            temp = temp0[i]
+            h = h0[i]
+            for t in range(num_ticks):
+                temp = temp + (targets[t, i] - temp) * alpha
+                for _ in range(n_sub):
+                    if h < h_sol:
+                        t_wax = h / cp_s
+                    elif h > h_liq:
+                        t_wax = t_melt + (h - h_liq) / cp_l
+                    else:
+                        t_wax = t_melt
+                    q = ha * (temp - t_wax)
+                    h = h + q * sub_dt / mass
+                temp_block[t, i] = temp
+                h_block[t, i] = h
+
+else:
+    fused_air_pcm = None

@@ -1,0 +1,485 @@
+"""Whole-run batched kernel for clean VMT-TA simulations.
+
+VMT-TA is the paper's open-loop policy: the hot/cold split is fixed by
+the grouping value (Eqs. 1-2) and placement depends only on the demand
+trace and the scheduler's private RNG -- never on temperatures, wax
+state, or faults.  That makes the entire run *plannable*: every tick's
+allocation can be computed up front, and the remaining physics chain is
+either elementwise (batchable across all ticks at once) or a cheap
+recurrence.
+
+The kernel preserves bit-identity with the reference path by
+construction:
+
+* **RNG**: each consumer draws from its own named stream, so streams can
+  be consumed in any relative order.  Batched ``normal(0, s, (T, n))``
+  draws the exact same values (and leaves the same generator state) as
+  ``T`` sequential ``(n,)`` draws.  The scheduler's shuffle sequence is
+  replayed tick by tick in reference order.
+* **Placement**: ``waterfill_quotas`` over a fault-free uniform-capacity
+  group has a closed form (level = total // m, remainder rotated by the
+  tick index), and ``deal_types``'s round-robin slot order becomes a
+  precomputed key array; ``bincount`` then reproduces the reference
+  allocation integer-for-integer.  Ticks that spill across groups are
+  replayed through the scheduler's own 4-pass spill placement (same RNG
+  draws, same tie offsets), so only overflowing ticks pay python cost.
+* **Physics**: every expression is applied with the same IEEE-754
+  operation order per element as the reference models; only the loop
+  structure changes (elementwise ops are batched across ticks, the
+  air/PCM state recurrence stays a per-tick loop, optionally compiled by
+  :mod:`.njit`).
+* **Metrics**: per-row reductions (``row.mean()``) and axis reductions
+  over C-contiguous rows (``block.mean(axis=1)``) use the same pairwise
+  summation, so recorded series match bitwise;
+  :meth:`MetricsCollector.fill_block` writes them into the same buffers
+  ``record`` would have filled.
+
+What stays python: the planning loop (one shuffle + bincount per
+populated group per tick) and the state recurrences.  Everything else --
+power model, air targets, junction temps, sensor/estimator noise,
+enthalpy-delta heat flow, melt-fraction truth, every recorded series --
+is a handful of whole-run numpy kernels over preallocated blocks.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..workloads.workload import COLD_INDICES, HOT_INDICES, WORKLOAD_LIST
+
+_K = len(WORKLOAD_LIST)
+
+try:
+    # The ufunc np.clip dispatches to: same kernel, same bits, without
+    # the per-call dispatch overhead (it runs once per tick in the
+    # estimator recurrence).
+    from numpy._core.umath import clip as _clip_ufunc
+except ImportError:  # pragma: no cover - numpy internals moved
+    def _clip_ufunc(a, lo, hi, out):
+        return np.clip(a, lo, hi, out=out)
+
+
+def try_run(sim) -> Optional["SimulationResult"]:
+    """Run ``sim`` through the planned kernel, or return ``None``.
+
+    Eligibility mirrors exactly the situations where planning ahead is
+    provably equivalent: a fresh, clean VMT-TA run -- no faults, no
+    sanitizer, no telemetry/observers/checkpoints, no ambient profile,
+    no mid-run restore.
+    """
+    from ..core.vmt_ta import VMTThermalAwareScheduler
+
+    sched = sim._scheduler
+    if type(sched) is not VMTThermalAwareScheduler:
+        return None
+    cluster = sim._cluster
+    if (sim._injector is not None
+            or sim._sanitizer is not None
+            or sim._telemetry is not None
+            or sim._observers
+            or sim._checkpoint_every is not None
+            or sim._restored
+            or sim._step_index != 0
+            or sim._metrics.size != 0
+            or sim._engine.events_dispatched != 0
+            or cluster._ambient is not None):
+        return None
+    config = sim._config
+    wax = config.wax
+    if (wax.mass_kg <= 0 or wax.latent_heat_j_per_kg <= 0
+            or config.thermal.ha_w_per_k == 0):
+        # Degenerate PCM: the reference models switch to special-cased
+        # branches (zero heat flow, step-function melt fraction) that
+        # are not worth mirroring here.
+        return None
+    num_servers = config.num_servers
+    hot_size = sched.sizer.hot_size
+    if not 0 < hot_size < num_servers:
+        return None
+    counts = sim._trace._counts
+    if counts.shape[0] == 0:
+        return None
+    cores = config.server.cores
+    hot_tot = counts[:, list(HOT_INDICES)].sum(axis=1)
+    cold_tot = counts[:, list(COLD_INDICES)].sum(axis=1)
+    # Ticks whose demand overflows a group engage the scheduler's
+    # cross-group spill passes; the plan loop replays those ticks
+    # through the scheduler's own ``_place_group`` (same RNG draws,
+    # same tie offsets) and keeps the closed form for the rest.
+    spill = ((hot_tot > hot_size * cores)
+             | (cold_tot > (num_servers - hot_size) * cores))
+    return _run(sim, hot_tot, cold_tot, spill)
+
+
+def _run(sim, hot_tot: np.ndarray, cold_tot: np.ndarray,
+         spill: np.ndarray):
+    prof = sim._profiler
+    clock = time.perf_counter
+    setup_start = clock()
+
+    config = sim._config
+    cluster = sim._cluster
+    sched = sim._scheduler
+    air = cluster._air
+    pcm = cluster._pcm
+    estimator = cluster._estimator
+    engine = sim._engine
+
+    n = config.num_servers
+    counts = sim._trace._counts
+    T = counts.shape[0]
+    dt = sim._trace.step_seconds
+    cores = config.server.cores
+    hs = sched.sizer.hot_size
+
+    thermal = config.thermal
+    inlet = air._inlet  # fixed: no ambient profile, no cooling derates
+    r_air = thermal.r_air_c_per_w
+    alpha = 1.0 - math.exp(-dt / thermal.tau_air_s)
+    ha = thermal.ha_w_per_k
+
+    mass = pcm._mass
+    cp_s = pcm._cp_s
+    cp_l = pcm._cp_l
+    t_melt = pcm._t_melt
+    h_sol = pcm._h_sol
+    h_liq = pcm._h_liq
+    tau = mass * min(cp_s, cp_l) / ha
+    n_sub = max(1, int(math.ceil(dt / (0.25 * tau))))
+    sub_dt = dt / n_sub
+
+    # A fresh reference run resets the scheduler before the first tick.
+    sched.reset()
+
+    # ---- plan: replay the dealer for every tick --------------------------
+    plan_start = clock()
+    rng = sched._rng
+    pcp = cluster._per_core_power
+    hot_cols = list(HOT_INDICES)
+    cold_cols = list(COLD_INDICES)
+    hot_rows = np.zeros((T, _K), dtype=np.int64)
+    hot_rows[:, hot_cols] = counts[:, hot_cols]
+    cold_rows = np.zeros((T, _K), dtype=np.int64)
+    cold_rows[:, cold_cols] = counts[:, cold_cols]
+    ar5 = np.arange(_K)
+    # Per-group constants: the bincount key of each server (its offset
+    # into the flat (n, K) allocation row) and the full-rounds
+    # dealing-order keys (all servers ascending, one pass per level).
+    groups = []
+    for base, m, totals, rows in ((0, hs, hot_tot, hot_rows),
+                                  (hs, n - hs, cold_tot, cold_rows)):
+        key_of_server = (base + np.arange(m, dtype=np.int64)) * _K
+        base_tile = np.tile(key_of_server, cores)
+        level, rem = np.divmod(totals, m)
+        groups.append((totals.tolist(), (level * m).tolist(),
+                       rem.tolist(), m, list(rows), base_tile,
+                       key_of_server))
+    (hot_tots, hot_lms, hot_rems, hot_m, hot_rows_l, hot_base,
+     hot_keys) = groups[0]
+    (cold_tots, cold_lms, cold_rems, cold_m, cold_rows_l, cold_base,
+     cold_keys) = groups[1]
+    # All ticks' allocations in one float block so the dynamic-power
+    # matmul runs once, batched (bitwise identical to per-tick matmuls).
+    alloc_block = np.zeros((T, n * _K))
+    alloc_rows = list(alloc_block)
+    key_buf = np.empty(n * cores, dtype=np.int64)
+    add = np.add
+    bincount = np.bincount
+    copyto = np.copyto
+    shuffle = rng.shuffle
+    repeat = np.repeat
+    width = n * _K
+    # Spill-tick scratch: the reference scheduler's own 4-pass spill
+    # placement runs against these, with ``sched._tick`` pinned to the
+    # tick so tie offsets and RNG draws match the reference loop.
+    spill_list = spill.tolist()
+    hot_ids = np.flatnonzero(sched.sizer.hot_mask())
+    cold_ids = np.flatnonzero(~sched.sizer.hot_mask())
+    free_buf = np.empty(n, dtype=np.int64)
+    alloc2d = np.zeros((n, _K), dtype=np.int64)
+    alloc2d_flat = alloc2d.reshape(-1)
+    place_group = sched._place_group
+    hot_rows_arr = hot_rows
+    cold_rows_arr = cold_rows
+    # Per-tick scratch stays a few KB, i.e. cache-resident: building
+    # each tick's type list fresh beats materializing tick blocks up
+    # front, which would stream tens of MB through memory instead.
+    # Each group's tick work: the exact unshuffled type list deal_types
+    # builds, shuffled in place (same stream consumption and bits as
+    # rng.permutation on a fresh copy), dealt against the waterfill
+    # closed form -- an even level plus a remainder rotated by the tick
+    # index, dealt all-servers-ascending per full round and then the
+    # remainder servers in ascending index order.
+    for t in range(T):
+        if spill_list[t]:
+            sched._tick = t
+            free_buf.fill(cores)
+            alloc2d.fill(0)
+            hot_d = hot_rows_arr[t].copy()
+            cold_d = cold_rows_arr[t].copy()
+            place_group(hot_d, hot_ids, free_buf, alloc2d)
+            place_group(cold_d, cold_ids, free_buf, alloc2d)
+            place_group(hot_d, cold_ids, free_buf, alloc2d)
+            place_group(cold_d, hot_ids, free_buf, alloc2d)
+            alloc_rows[t][:] = alloc2d_flat
+            continue
+        fill = tot = hot_tots[t]
+        if tot:
+            types = repeat(ar5, hot_rows_l[t])
+            shuffle(types)
+            seg = key_buf[:tot]
+            if hot_rems[t] == 0:
+                add(hot_base[:tot], types, out=seg)
+            else:
+                lm = hot_lms[t]
+                seg[:lm] = hot_base[:lm]
+                start = t % hot_m
+                end = start + hot_rems[t]
+                if end <= hot_m:
+                    seg[lm:] = hot_keys[start:end]
+                else:
+                    low = end - hot_m
+                    seg[lm:lm + low] = hot_keys[:low]
+                    seg[lm + low:] = hot_keys[start:]
+                add(seg, types, out=seg)
+        tot = cold_tots[t]
+        if tot:
+            types = repeat(ar5, cold_rows_l[t])
+            shuffle(types)
+            seg = key_buf[fill:fill + tot]
+            fill += tot
+            if cold_rems[t] == 0:
+                add(cold_base[:tot], types, out=seg)
+            else:
+                lm = cold_lms[t]
+                seg[:lm] = cold_base[:lm]
+                start = t % cold_m
+                end = start + cold_rems[t]
+                if end <= cold_m:
+                    seg[lm:] = cold_keys[start:end]
+                else:
+                    low = end - cold_m
+                    seg[lm:lm + low] = cold_keys[:low]
+                    seg[lm + low:] = cold_keys[start:]
+                add(seg, types, out=seg)
+        if fill:
+            copyto(alloc_rows[t], bincount(key_buf[:fill],
+                                           minlength=width))
+    dyn_block = np.matmul(alloc_block.reshape(T * n, _K),
+                          pcp).reshape(T, n)
+    plan_elapsed = clock() - plan_start
+
+    # ---- fused physics ---------------------------------------------------
+    step_start = clock()
+    power_block = cluster._power_model.server_power(dyn_block)
+    targets = power_block * r_air
+    targets += inlet
+
+    # Batched stream draws, identical values/state to per-tick draws.
+    sensor = cluster._sensor
+    if sensor._noise > 0:
+        # view() reads the air sensor every tick; VMT-TA never looks at
+        # the sensed values, so only the stream consumption matters.
+        sensor._rng.normal(0.0, sensor._noise, size=(T, n))
+    est_noise = None
+    if estimator._sensor_noise > 0:
+        est_noise = estimator._rng.normal(0.0, estimator._sensor_noise,
+                                          size=(T, n))
+
+    temp_block = np.empty((T, n))
+    h_store = np.empty((T + 1, n))
+    h_store[0] = pcm._h
+    h_block = h_store[1:]
+
+    from . import njit
+    if njit.fused_air_pcm is not None:
+        njit.fused_air_pcm(targets, air._temp.copy(), h_store[0].copy(),
+                           temp_block, h_block, alpha, ha, sub_dt,
+                           n_sub, mass, cp_s, cp_l, t_melt, h_sol,
+                           h_liq)
+    else:
+        _python_air_pcm(targets, air._temp, h_store, temp_block,
+                        h_block, alpha, ha, sub_dt, n_sub, mass, cp_s,
+                        cp_l, t_melt, h_sol, h_liq)
+
+    # Heat into wax: enthalpy delta per tick, same expression as
+    # PCMBank.step's return value.
+    q_block = (h_block - h_store[:-1]) * mass / dt
+
+    # Estimator: rate lookup is elementwise (batch it); the clipped
+    # integration + anchoring is a cheap per-tick recurrence.
+    truth_block = np.clip((h_block - h_sol) / pcm._latent, 0.0, 1.0)
+    anchored = (truth_block <= 0.0) | (truth_block >= 1.0)
+    anchored_any = anchored.any(axis=1).tolist()
+    sensed = temp_block if est_noise is None else temp_block + est_noise
+    delta = sensed - estimator._t_melt
+    bins = np.clip(np.digitize(delta, estimator._bin_edges) - 1,
+                   0, len(estimator._rate_table) - 1)
+    rates_dt = estimator._rate_table[bins]
+    rates_dt *= dt
+    est = estimator._estimate.copy()
+    add = np.add
+    clip = _clip_ufunc
+    copyto = np.copyto
+    anchored_rows = list(anchored)
+    truth_rows = list(truth_block)
+    for t, rates_row in enumerate(rates_dt):
+        add(est, rates_row, out=est)
+        clip(est, 0.0, 1.0, est)
+        if anchored_any[t]:
+            # Same values as where(mask, truth, est); clip of the
+            # already-clipped truth is bitwise idempotent.
+            copyto(est, truth_rows[t], where=anchored_rows[t])
+    step_elapsed = clock() - step_start
+
+    # ---- metrics ---------------------------------------------------------
+    metrics_start = clock()
+    times = np.empty(T)
+    t_acc = 0.0
+    for t in range(T):
+        t_acc += dt
+        times[t] = t_acc
+    it_power = power_block.sum(axis=1)
+    wax_abs = q_block.sum(axis=1)
+    junction = cluster._cpu_model.junction_temp_c(
+        inlet[None, :], dyn_block, config.server)
+    sim._metrics.fill_block(
+        times_s=times,
+        cooling_load_w=it_power - wax_abs,
+        it_power_w=it_power,
+        wax_absorption_w=wax_abs,
+        mean_temp_c=temp_block.mean(axis=1),
+        hot_group_mean_temp_c=temp_block[:, :hs].mean(axis=1),
+        cold_group_mean_temp_c=temp_block[:, hs:].mean(axis=1),
+        mean_melt_fraction=truth_block.mean(axis=1),
+        hot_group_size=hs,
+        jobs=counts.sum(axis=1),
+        max_cpu_temp_c=junction.max(axis=1),
+        temp_map=temp_block,
+        melt_map=truth_block,
+    )
+    metrics_elapsed = clock() - metrics_start
+
+    # ---- sync live state to the post-run reference values ----------------
+    air._temp = temp_block[T - 1].copy()
+    pcm._h = h_block[T - 1].copy()
+    estimator._estimate = est
+    cluster._dynamic_w = dyn_block[T - 1].copy()
+    cluster._power_w = power_block[T - 1].copy()
+    cluster._last_q_wax = q_block[T - 1].copy()
+    cluster._last_melt_fraction = truth_block[T - 1].copy()
+    cluster._time_s = t_acc
+    sched._tick = T
+    sim._step_index = T
+    sim._last_allocation = (alloc_block[T - 1]
+                            .reshape(n, _K).astype(np.int64))
+    engine._now = max(engine._now, T * dt - 1e-9)
+    engine._dispatched += T
+
+    if prof is not None:
+        prof.add("kernel_plan", plan_elapsed)
+        prof.add("kernel_fused_step", step_elapsed)
+        prof.add("kernel_metrics_write", metrics_elapsed)
+        prof.add("dispatch", clock() - setup_start - plan_elapsed
+                 - step_elapsed - metrics_elapsed)
+        prof.count_ticks(T)
+    profile = prof.snapshot() if prof is not None else None
+    return sim._metrics.finish(config, sched.name, profile=profile)
+
+
+def _python_air_pcm(targets, temp0, h_store, temp_block, h_block, alpha,
+                    ha, sub_dt, n_sub, mass, cp_s, cp_l, t_melt, h_sol,
+                    h_liq) -> None:
+    """Vectorized-per-tick spelling of the air + PCM recurrence.
+
+    Same IEEE-754 operation order per element as ``ServerAirModel.step``
+    and ``PCMBank.step`` (the commuted operand orders below are bitwise
+    exact: IEEE add/multiply are commutative).
+    """
+    T, n = targets.shape
+    t_melt_row = np.full(n, t_melt)
+    scratch_a = np.empty(n)
+    scratch_b = np.empty(n)
+    scratch_c = np.empty(n)
+    q_buf = np.empty(n)
+    subtract = np.subtract
+    multiply = np.multiply
+    divide = np.divide
+    npadd = np.add
+    where = np.where
+    target_rows = list(targets)
+    temp_rows = list(temp_block)
+    h_rows = list(h_block)
+    temp = temp0
+    h = h_store[0]
+    if n_sub == 1:
+        below = np.empty(n, dtype=bool)
+        twax_buf = np.empty(n)
+        less = np.less
+        copyto = np.copyto
+        arr_max = np.ndarray.max
+        for t in range(T):
+            trow = temp_rows[t]
+            subtract(target_rows[t], temp, out=trow)
+            multiply(trow, alpha, out=trow)
+            npadd(temp, trow, out=trow)
+            temp = trow
+            hrow = h_rows[t]
+            if arr_max(h) > h_liq:
+                # Rare: something fully molten.  Spell out the full
+                # three-branch selection exactly as PCMBank does.
+                divide(h, cp_s, out=scratch_a)
+                subtract(h, h_liq, out=scratch_b)
+                divide(scratch_b, cp_l, out=scratch_b)
+                npadd(scratch_b, t_melt, out=scratch_b)
+                t_wax = where(h < h_sol, scratch_a,
+                              where(h > h_liq, scratch_b, t_melt))
+            else:
+                # Nothing above liquidus: the inner where collapses to
+                # t_melt, and masked copyto picks the same bits the
+                # two-branch where would.
+                less(h, h_sol, out=below)
+                divide(h, cp_s, out=scratch_a)
+                copyto(twax_buf, t_melt_row)
+                copyto(twax_buf, scratch_a, where=below)
+                t_wax = twax_buf
+            subtract(temp, t_wax, out=q_buf)
+            multiply(q_buf, ha, out=q_buf)
+            multiply(q_buf, sub_dt, out=q_buf)
+            divide(q_buf, mass, out=q_buf)
+            npadd(h, q_buf, out=hrow)
+            h = hrow
+        return
+    npmin = np.min
+    npmax = np.max
+    for t in range(T):
+        trow = temp_rows[t]
+        subtract(target_rows[t], temp, out=trow)
+        multiply(trow, alpha, out=trow)
+        npadd(temp, trow, out=trow)
+        temp = trow
+        hrow = h_rows[t]
+        hcur = h
+        for sub in range(n_sub):
+            dest = hrow if sub == n_sub - 1 else scratch_c
+            if npmin(hcur) < h_sol or npmax(hcur) > h_liq:
+                divide(hcur, cp_s, out=scratch_a)
+                subtract(hcur, h_liq, out=scratch_b)
+                divide(scratch_b, cp_l, out=scratch_b)
+                npadd(scratch_b, t_melt, out=scratch_b)
+                t_wax = where(hcur < h_sol, scratch_a,
+                              where(hcur > h_liq, scratch_b, t_melt))
+            else:
+                # Everything in the melting band reads t_melt exactly.
+                t_wax = t_melt_row
+            subtract(temp, t_wax, out=q_buf)
+            multiply(q_buf, ha, out=q_buf)
+            multiply(q_buf, sub_dt, out=q_buf)
+            divide(q_buf, mass, out=q_buf)
+            npadd(hcur, q_buf, out=dest)
+            hcur = dest
+        h = hrow

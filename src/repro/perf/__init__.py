@@ -7,15 +7,21 @@ run them at hardware speed without changing a single simulated bit:
 
 * :class:`~repro.perf.runner.RunSpec` / :class:`~repro.perf.runner.ExperimentRunner`
   -- describe independent simulation jobs as picklable values and fan
-  them across a process pool (or run them serially in-process) with
-  deterministic, submission-ordered results and per-job error capture;
+  them across a process pool or a shared-memory thread pool
+  (``workers_mode="thread"``, pairing with ``backend="fast"``), or run
+  them serially in-process, with deterministic, submission-ordered
+  results and per-job error capture;
 * :class:`~repro.perf.cache.TraceCache` / :func:`~repro.perf.cache.shared_trace`
   -- build each distinct (trace config, cluster size, seed) demand trace
   exactly once per process and share it across sweep points;
 * :class:`~repro.perf.profiler.TickProfiler` -- per-subsystem wall-clock
   timing of the tick hot path (placement, air model, PCM, estimator,
-  metrics), surfaced on ``SimulationResult.profile`` and via the
-  ``repro-sim profile`` CLI subcommand.
+  metrics -- or the kernel stages under ``backend="fast"``), surfaced on
+  ``SimulationResult.profile`` and via the ``repro-sim profile`` CLI
+  subcommand;
+* :func:`~repro.perf.timing.interleaved_best` -- the warm-up +
+  interleaved best-of-N discipline every ``BENCH_perf.json`` entry is
+  measured under.
 
 Every path through this package is bit-identical to the plain serial
 simulation: same seeds, same fingerprints, for every policy.
@@ -24,6 +30,7 @@ simulation: same seeds, same fingerprints, for every policy.
 from .cache import TraceCache, clear_shared_cache, shared_trace
 from .profiler import SubsystemTiming, TickProfiler
 from .runner import ExperimentRunner, RunFailure, RunSpec, execute_spec
+from .timing import interleaved_best, time_call
 
 __all__ = [
     "ExperimentRunner",
@@ -34,5 +41,7 @@ __all__ = [
     "TraceCache",
     "clear_shared_cache",
     "execute_spec",
+    "interleaved_best",
     "shared_trace",
+    "time_call",
 ]

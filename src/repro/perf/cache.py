@@ -6,7 +6,9 @@ server, seed), none of which change across a GV or wax-threshold sweep.
 :class:`TraceCache` builds each distinct trace exactly once and hands
 the same :class:`~repro.workloads.trace.TraceMatrix` to every run --
 safe because a ``TraceMatrix`` is immutable from the simulation's point
-of view (all accessors return copies or fresh arrays).
+of view (the demand matrix is frozen read-only; accessors hand out
+read-only views or copies) -- which also makes sharing one cached trace
+across a thread-pool sweep free.
 
 The generation path is *identical* to what
 :class:`~repro.cluster.simulation.ClusterSimulation` does when no trace
@@ -22,6 +24,7 @@ cached base trace and cached themselves, keyed by the shift.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional, Tuple
 
 from ..config import SimulationConfig, TraceConfig
@@ -39,6 +42,11 @@ class TraceCache:
         self._traces: Dict[_Key, TraceMatrix] = {}
         self._hits = 0
         self._misses = 0
+        # Reentrant: the shifted-variant path recurses into get() for
+        # its base trace.  Without the lock, a thread-pool sweep's
+        # first wave would all miss the empty cache at once and each
+        # generate the same trace.
+        self._lock = threading.RLock()
 
     @property
     def hits(self) -> int:
@@ -69,18 +77,23 @@ class TraceCache:
         if cached is not None:
             self._hits += 1
             return cached
-        self._misses += 1
-        if shift_hours:
-            base = self.get(trace_config, num_servers, cores_per_server,
-                            seed)
-            trace = base.shifted(shift_hours)
-        else:
-            rng = (RngStreams(seed).stream("trace")
-                   if seed is not None else None)
-            trace = TwoDayTrace(trace_config).generate(
-                num_servers, cores_per_server, rng=rng)
-        self._traces[key] = trace
-        return trace
+        with self._lock:
+            cached = self._traces.get(key)
+            if cached is not None:
+                self._hits += 1
+                return cached
+            self._misses += 1
+            if shift_hours:
+                base = self.get(trace_config, num_servers,
+                                cores_per_server, seed)
+                trace = base.shifted(shift_hours)
+            else:
+                rng = (RngStreams(seed).stream("trace")
+                       if seed is not None else None)
+                trace = TwoDayTrace(trace_config).generate(
+                    num_servers, cores_per_server, rng=rng)
+            self._traces[key] = trace
+            return trace
 
     def get_for(self, config: SimulationConfig, *,
                 shift_hours: float = 0.0) -> TraceMatrix:
@@ -91,9 +104,10 @@ class TraceCache:
 
     def clear(self) -> None:
         """Drop every cached trace and reset the hit/miss counters."""
-        self._traces.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._traces.clear()
+            self._hits = 0
+            self._misses = 0
 
 
 #: The process-wide cache used by the experiment runner.  Worker

@@ -26,6 +26,23 @@ The timed sections, in tick order:
     The invariant sanitizer's per-tick audits
     (:class:`~repro.checks.sanitizer.SimulationSanitizer`), present only
     when a run enables ``checks="cheap"`` or ``"full"``.
+
+Fast-backend runs (``backend="fast"``) report kernel-stage sections
+instead of (or alongside) the per-tick ones:
+
+``kernel_plan``
+    The planned kernel's placement replay: per-tick dealing and the
+    allocation -> dynamic-power matmul.
+``kernel_fused_step``
+    The fused physics: batched power/air targets, the air + PCM
+    recurrence, and the estimator update.
+``kernel_metrics_write``
+    Computing the recorded series as whole columns and block-writing
+    them into the :class:`~repro.cluster.metrics.MetricsCollector`.
+``dispatch``
+    Driver overhead outside the kernels proper: eligibility checks,
+    buffer setup, and state sync (planned), or the tick-loop bookkeeping
+    the event heap used to do (stepped).
 """
 
 from __future__ import annotations
@@ -34,9 +51,18 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
-#: Canonical section names in tick order (for stable report layout).
-SECTIONS: Tuple[str, ...] = (
+#: Sections the reference per-tick loop reports ("checks" only when a
+#: sanitizer is attached).
+REFERENCE_SECTIONS: Tuple[str, ...] = (
     "placement", "air_model", "pcm", "estimator", "metrics", "checks")
+
+#: Sections the fast-backend kernels report instead.
+KERNEL_SECTIONS: Tuple[str, ...] = (
+    "kernel_plan", "kernel_fused_step", "kernel_metrics_write",
+    "dispatch")
+
+#: Canonical section names in tick order (for stable report layout).
+SECTIONS: Tuple[str, ...] = REFERENCE_SECTIONS + KERNEL_SECTIONS
 
 
 @dataclass(frozen=True)
@@ -88,6 +114,10 @@ class TickProfiler:
     def count_tick(self) -> None:
         """Count one completed simulation tick."""
         self._ticks += 1
+
+    def count_ticks(self, n: int) -> None:
+        """Count ``n`` completed ticks at once (batched kernels)."""
+        self._ticks += int(n)
 
     @property
     def ticks(self) -> int:

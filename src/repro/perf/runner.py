@@ -20,7 +20,7 @@ while guaranteeing:
 from __future__ import annotations
 
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Iterator, List, Optional, Sequence, Union
@@ -80,6 +80,11 @@ class RunSpec:
     #: row traces back to the exact scenario definition.
     scenario: Optional[str] = None
     scenario_sha256: Optional[str] = None
+    #: Tick-engine backend ("reference" | "fast"); ``None`` defers to
+    #: the ``REPRO_BACKEND`` environment variable.  The fast backend is
+    #: bit-identical to the reference, so sweeps may mix backends
+    #: freely without changing a single output.
+    backend: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -220,6 +225,7 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
                 from ..state import restore_simulation
                 sim = restore_simulation(
                     resumable, telemetry=telemetry, checks=spec.checks,
+                    backend=spec.backend,
                     checkpoint_every=spec.checkpoint_every,
                     checkpoint_dir=spec_checkpoint_dir)
                 return sim.run()
@@ -228,6 +234,7 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
                               profiler=profiler,
                               telemetry=telemetry,
                               checks=spec.checks,
+                              backend=spec.backend,
                               checkpoint_every=spec.checkpoint_every,
                               checkpoint_dir=spec_checkpoint_dir)
 
@@ -268,27 +275,50 @@ def _execute_captured(spec: RunSpec) -> Outcome:
                           traceback_text=traceback.format_exc())
 
 
+#: Valid :class:`ExperimentRunner` pool flavors.
+WORKERS_MODES = ("process", "thread")
+
+
 class ExperimentRunner:
     """Runs batches of :class:`RunSpec` jobs, parallel when it helps.
 
     Parameters
     ----------
     max_workers:
-        Upper bound on worker processes.  ``1`` forces in-process serial
+        Upper bound on workers.  ``1`` forces in-process serial
         execution; ``None`` uses every available core.  The pool is
         created per :meth:`run` call and sized to
         ``min(max_workers, len(specs))``.
+    workers_mode:
+        ``"process"`` (default) fans jobs across a process pool;
+        ``"thread"`` uses a thread pool instead.  Threads share the
+        parent's read-only trace cache (no per-worker regeneration, no
+        pickling) and suit the fast backend, whose whole-run numpy
+        kernels release the GIL for much of their work; pure-python
+        reference ticks serialize on the GIL and rarely benefit.
+        Results are bit-identical across all modes.
     """
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(self, max_workers: Optional[int] = None,
+                 workers_mode: str = "process") -> None:
         if max_workers is not None and max_workers < 1:
             raise SimulationError("max_workers must be >= 1 (or None)")
+        if workers_mode not in WORKERS_MODES:
+            raise SimulationError(
+                f"workers_mode must be one of {WORKERS_MODES}, "
+                f"got {workers_mode!r}")
         self._max_workers = max_workers
+        self._workers_mode = workers_mode
 
     @property
     def max_workers(self) -> Optional[int]:
         """The configured worker bound (``None`` = all cores)."""
         return self._max_workers
+
+    @property
+    def workers_mode(self) -> str:
+        """The configured pool flavor ("process" | "thread")."""
+        return self._workers_mode
 
     def _worker_count(self, num_jobs: int) -> int:
         import os
@@ -313,6 +343,8 @@ class ExperimentRunner:
         workers = self._worker_count(len(specs))
         if workers <= 1:
             outcomes = self._run_serial(specs)
+        elif self._workers_mode == "thread":
+            outcomes = self._run_threads(specs, workers)
         else:
             outcomes = self._run_pool(specs, workers)
         if raise_on_error:
@@ -330,6 +362,24 @@ class ExperimentRunner:
     @staticmethod
     def _run_serial(specs: Sequence[RunSpec]) -> List[Outcome]:
         return [_execute_captured(spec) for spec in specs]
+
+    @staticmethod
+    def _run_threads(specs: Sequence[RunSpec],
+                     workers: int) -> List[Outcome]:
+        """Thread-pool execution: shared memory, no pickling.
+
+        Every job still goes through :func:`_execute_captured`, so
+        failures come back as :class:`RunFailure` rows exactly like the
+        other modes.  Jobs share the process-wide trace cache, whose
+        demand matrices are read-only (``writeable=False``) zero-copy
+        views -- concurrent readers are safe by construction.  Threads
+        cannot die the way a SIGKILLed worker process can, so no retry
+        pass is needed.
+        """
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_execute_captured, spec)
+                       for spec in specs]
+            return [future.result() for future in futures]
 
     def _run_pool(self, specs: Sequence[RunSpec],
                   workers: int) -> List[Outcome]:

@@ -1,0 +1,56 @@
+"""Repeat-timing discipline for the perf benchmarks.
+
+Wall-clock numbers on shared or thermally-throttled hosts drift by tens
+of percent over seconds, which is enough to make a cheap code path
+*measure* slower than an expensive one (or report negative overheads)
+when the two are timed in separate blocks.  Every entry written to
+``BENCH_perf.json`` therefore follows the same protocol:
+
+* **warm-up** -- each case runs once untimed first, so lazy imports,
+  allocator growth, and cold caches are paid outside the measurement;
+* **interleaving** -- repeat rounds cycle through all cases round-robin
+  (A B C, A B C, ...), so slow machine phases hit every case alike
+  instead of biasing whichever case owned that block of seconds;
+* **best-of-N** -- the minimum over rounds is kept per case: wall-clock
+  noise on an otherwise idle host is strictly additive, so the minimum
+  is the least-contaminated observation of the true cost.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Mapping, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def time_call(fn: Callable[[], T]) -> Tuple[float, T]:
+    """Run ``fn`` once; return ``(elapsed_seconds, fn())``."""
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def interleaved_best(cases: Mapping[str, Callable[[], Dict]],
+                     *, repeats: int = 3, key: str,
+                     warmup: bool = True) -> Dict[str, Dict]:
+    """Best-of-``repeats`` per case, with rounds interleaved round-robin.
+
+    Each case is a zero-argument callable returning a dict that carries
+    its own timing under ``key`` (so callers control exactly what is
+    timed -- full wall, instrumented sections only, ...).  Returns the
+    minimum-``key`` dict per case name.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    names = list(cases)
+    if warmup:
+        for name in names:
+            cases[name]()
+    best: Dict[str, Dict] = {}
+    for _ in range(repeats):
+        for name in names:
+            run = cases[name]()
+            if name not in best or run[key] < best[name][key]:
+                best[name] = run
+    return best

@@ -50,6 +50,7 @@ def latest_checkpoint(directory: str) -> Optional[str]:
 
 def restore_simulation(source: Union[str, SimulationSnapshot], *,
                        telemetry=None, checks: Optional[str] = None,
+                       backend: Optional[str] = None,
                        checkpoint_every: Optional[int] = None,
                        checkpoint_dir: Optional[str] = None):
     """Rebuild a runnable simulation from a snapshot (path or object).
@@ -58,7 +59,10 @@ def restore_simulation(source: Union[str, SimulationSnapshot], *,
     rebuilt simulation is restored to the captured tick and its
     :meth:`~repro.cluster.simulation.ClusterSimulation.run` continues
     from there.  Pass ``checkpoint_every``/``checkpoint_dir`` to keep
-    checkpointing the resumed run.
+    checkpointing the resumed run.  ``backend`` selects the tick engine
+    for the continuation ("reference" | "fast"; ``None`` defers to
+    ``REPRO_BACKEND``) -- both continue bit-identically, so a run may be
+    checkpointed under one backend and resumed under the other.
     """
     # Imported lazily: this package must stay importable from the layers
     # it snapshots without a cycle.
@@ -73,6 +77,7 @@ def restore_simulation(source: Union[str, SimulationSnapshot], *,
     sim = ClusterSimulation(config, scheduler,
                             record_heatmaps=snapshot.record_heatmaps,
                             telemetry=telemetry, checks=checks,
+                            backend=backend,
                             checkpoint_every=checkpoint_every,
                             checkpoint_dir=checkpoint_dir)
     sim.restore(snapshot)
@@ -81,11 +86,12 @@ def restore_simulation(source: Union[str, SimulationSnapshot], *,
 
 def resume_run(source: Union[str, SimulationSnapshot], *,
                telemetry=None, checks: Optional[str] = None,
+               backend: Optional[str] = None,
                checkpoint_every: Optional[int] = None,
                checkpoint_dir: Optional[str] = None):
     """Restore from ``source`` and run to completion (the resume path)."""
     return restore_simulation(
-        source, telemetry=telemetry, checks=checks,
+        source, telemetry=telemetry, checks=checks, backend=backend,
         checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir).run()
 

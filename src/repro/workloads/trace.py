@@ -101,7 +101,11 @@ class TraceMatrix:
         totals = counts.sum(axis=1)
         if np.any(totals > total_cores):
             raise TraceError("trace demand exceeds cluster capacity")
-        self._counts = counts.astype(np.int64)
+        # One contiguous block so every demand_at row is a zero-copy
+        # view; read-only so nothing downstream can mutate the shared
+        # trace (thread-mode sweeps hand the same matrix to all runs).
+        self._counts = np.ascontiguousarray(counts.astype(np.int64))
+        self._counts.flags.writeable = False
         self._step_s = float(step_seconds)
         self._total_cores = int(total_cores)
 
@@ -131,7 +135,11 @@ class TraceMatrix:
         return np.arange(self.num_steps) * self._step_s / 3600.0
 
     def demand_at(self, step: int) -> np.ndarray:
-        """Per-workload job-core counts at an interval."""
+        """Per-workload job-core counts at an interval.
+
+        Returns a read-only zero-copy view into the trace's contiguous
+        demand matrix -- called every tick, so it must not allocate.
+        """
         return self._counts[step]
 
     def utilization(self) -> np.ndarray:

@@ -17,7 +17,7 @@ from repro.errors import SimulationError
 from repro.perf import (ExperimentRunner, RunFailure, RunSpec,
                         TickProfiler, TraceCache, clear_shared_cache,
                         execute_spec, shared_trace)
-from repro.perf.profiler import SECTIONS
+from repro.perf.profiler import REFERENCE_SECTIONS
 
 
 def tiny_config(seed=11, **overrides):
@@ -145,7 +145,7 @@ class TestProfiler:
                                       profile=True))
         assert result.profile is not None
         # "checks" only appears when a sanitizer is attached.
-        assert set(result.profile) == set(SECTIONS) - {"checks"}
+        assert set(result.profile) == set(REFERENCE_SECTIONS) - {"checks"}
         ticks = result.times_s.shape[0]
         for section, timing in result.profile.items():
             assert timing["calls"] == ticks, section
@@ -154,7 +154,7 @@ class TestProfiler:
     def test_checks_section_times_the_sanitizer(self):
         result = execute_spec(RunSpec(tiny_config(), "vmt-ta",
                                       profile=True, checks="cheap"))
-        assert set(result.profile) == set(SECTIONS)
+        assert set(result.profile) == set(REFERENCE_SECTIONS)
         ticks = result.times_s.shape[0]
         timing = result.profile["checks"]
         # Placement and state audits are timed separately each tick.
@@ -166,7 +166,7 @@ class TestProfiler:
                        checks="cheap")
         result = ExperimentRunner(2).run([spec])[0]
         assert result.profile is not None
-        assert set(result.profile) == set(SECTIONS)
+        assert set(result.profile) == set(REFERENCE_SECTIONS)
 
     def test_profiler_accumulates_and_resets(self):
         profiler = TickProfiler()

@@ -86,6 +86,22 @@ class TestTraceMatrix:
         trace = TraceMatrix(np.zeros((3, 5), dtype=int), 60.0, 64)
         assert np.all(trace.hot_fraction() == 0.0)
 
+    def test_demand_at_is_a_read_only_zero_copy_view(self):
+        """The hot path calls this every tick: it must return a view
+        into the one contiguous demand matrix, never a copy."""
+        trace = TwoDayTrace(TraceConfig(duration_hours=6)).generate(10)
+        row = trace.demand_at(3)
+        assert row.base is trace._counts
+        assert np.shares_memory(row, trace._counts)
+        assert not row.flags.writeable
+        with pytest.raises(ValueError):
+            row[0] = 1
+
+    def test_backing_matrix_is_contiguous_and_frozen(self):
+        trace = TwoDayTrace(TraceConfig(duration_hours=6)).generate(10)
+        assert trace._counts.flags.c_contiguous
+        assert not trace._counts.flags.writeable
+
     def test_scaled_to_preserves_utilization(self):
         generator = TwoDayTrace(TraceConfig(duration_hours=6))
         trace = generator.generate(10)
