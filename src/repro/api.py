@@ -49,8 +49,16 @@ from .obs.telemetry import TelemetryLike, telemetry_directory
 from .perf.runner import ExperimentRunner, RunSpec
 from .workloads.trace import TraceMatrix
 
-__all__ = ["Comparison", "run", "compare", "sweep", "stress",
-           "datacenter"]
+__all__ = ["API_VERSION", "Comparison", "run", "compare", "sweep",
+           "stress", "datacenter"]
+
+#: The frozen public-API version.  Everything exported here (and the
+#: ``to_json`` schemas of :class:`Comparison`,
+#: :class:`~repro.analysis.sweep.SweepResult`, and
+#: :class:`~repro.scenarios.suite.SuiteReport`) is stable within a
+#: major version: fields may be added, never renamed or removed.  The
+#: HTTP layer (:mod:`repro.serve`) serves this surface under ``/v1/``.
+API_VERSION = "1.0"
 
 
 def _build_config(config: Optional[SimulationConfig], *,
@@ -178,6 +186,35 @@ class Comparison:
                     f"(ran: {', '.join(self.results)})")
         return self.results[policy].peak_reduction_vs(
             self.results[baseline])
+
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-serializable dict that round-trips losslessly.
+
+        Policy order is preserved; each embedded result carries its full
+        series (see :meth:`SimulationResult.to_json`), so fingerprints
+        survive the round trip bit-identically.
+        """
+        return {
+            "schema": "repro.comparison/1",
+            "config": self.config.to_dict(),
+            "policies": list(self.results),
+            "results": {policy: result.to_json()
+                        for policy, result in self.results.items()},
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "Comparison":
+        """Rebuild a comparison from :meth:`to_json` output."""
+        from .errors import SimulationError
+        if payload.get("schema") != "repro.comparison/1":
+            raise SimulationError(
+                f"not a repro.comparison/1 payload "
+                f"(schema={payload.get('schema')!r})")
+        results = {policy: SimulationResult.from_json(
+                       payload["results"][policy])
+                   for policy in payload["policies"]}
+        return cls(config=SimulationConfig.from_dict(payload["config"]),
+                   results=results)
 
 
 def compare(*, policies: Sequence[str] = ("vmt-ta", "round-robin"),

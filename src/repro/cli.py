@@ -8,7 +8,11 @@ Installs as ``repro-sim`` (see pyproject) and also runs as
   ``--telemetry DIR`` writes a JSONL trace + metrics + run manifest;
   ``--checks LEVEL`` attaches the invariant sanitizer;
   ``--checkpoint-every N --checkpoint-dir D`` writes resumable
-  snapshots and ``--resume PATH`` continues from one bit-identically
+  snapshots and ``--resume PATH`` continues from one bit-identically;
+  ``--registry DIR`` consults the content-addressed run registry first
+  and reports provenance (``cached: true`` + manifest) on a hit
+* ``serve``    -- the HTTP job server: async submissions, SSE
+  streaming, the run registry, and the policy leaderboard under /v1/
 * ``scenario`` -- the stress-scenario engine: ``list`` the library,
   ``run`` one scenario against its matched baseline with metamorphic
   verification, or ``suite`` the whole scenarios x policies matrix
@@ -133,16 +137,50 @@ def _with_faults(config, args: argparse.Namespace):
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.checkpoint_every is not None and not args.checkpoint_dir:
         raise ReproError("--checkpoint-every requires --checkpoint-dir")
+    if args.registry and args.resume:
+        raise ReproError("--registry and --resume are mutually exclusive "
+                         "(a resumed run's partial history is not a "
+                         "registry-addressable result)")
     telemetry = None
     if args.telemetry:
         from .obs.telemetry import Telemetry
         telemetry = Telemetry(args.telemetry)
+    cached = None
+    registry_manifest = None
     if args.resume:
         from .state import resume_run
         result = resume_run(args.resume, telemetry=telemetry,
                             checks=args.checks, backend=args.backend,
                             checkpoint_every=args.checkpoint_every,
                             checkpoint_dir=args.checkpoint_dir)
+    elif args.registry:
+        import time as _time
+        from .serve.registry import RunRegistry, registry_key
+        config = _with_faults(_config_from(args), args)
+        registry = RunRegistry(args.registry)
+        key = registry_key(config, args.policy, args.backend)
+        entry = registry.lookup(key)
+        if entry is not None:
+            result = registry.load(entry)
+            cached = True
+        else:
+            scheduler = make_scheduler(args.policy, config)
+            start = _time.perf_counter()
+            # Heatmaps always on under --registry: they participate in
+            # the fingerprint, so one keyed entry must mean one exact
+            # result regardless of --save.
+            result = run_simulation(config, scheduler,
+                                    record_heatmaps=True,
+                                    telemetry=telemetry,
+                                    checks=args.checks,
+                                    backend=args.backend,
+                                    checkpoint_every=args.checkpoint_every,
+                                    checkpoint_dir=args.checkpoint_dir)
+            entry = registry.store(key, result,
+                                   wall_clock_s=_time.perf_counter() - start,
+                                   source="cli")
+            cached = False
+        registry_manifest = entry.manifest_path
     else:
         config = _with_faults(_config_from(args), args)
         scheduler = make_scheduler(args.policy, config)
@@ -156,11 +194,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     rows = [(key, value) for key, value in summary.items()]
     print(format_table(["metric", "value"], rows))
     print(f"\nfingerprint: {result.fingerprint()}")
+    if cached is not None:
+        # Provenance is part of the contract: a registry hit is never
+        # passed off as a fresh simulation.
+        print(f"cached: {'true' if cached else 'false'}")
+        print(f"registry manifest: {registry_manifest}")
+        if cached:
+            print("(served from the run registry: zero simulation ticks "
+                  "executed)")
     if args.save:
         path = save_result(result, args.save)
         print(f"saved result to {path}")
-    if telemetry is not None:
+    if telemetry is not None and (cached is None or not cached):
         print(f"telemetry: {telemetry.manifest_path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import Server
+    server = Server(args.data_dir, host=args.host, port=args.port,
+                    max_workers=args.max_workers)
+    print(f"repro-serve: listening on http://{args.host}:{args.port} "
+          f"(data: {args.data_dir})")
+    server.serve_forever()
     return 0
 
 
@@ -540,7 +596,28 @@ def build_parser() -> argparse.ArgumentParser:
                      help="resume from a checkpoint snapshot (config and "
                           "policy come from the snapshot; cluster/fault "
                           "flags are ignored)")
+    run.add_argument("--registry", metavar="DIR",
+                     help="consult the content-addressed run registry in "
+                          "DIR before simulating; a hit is served with "
+                          "'cached: true' and its ledger manifest, a "
+                          "miss runs then stores (heatmaps always on)")
     run.set_defaults(func=_cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP job server (async /v1 API, SSE, registry, "
+             "leaderboard)")
+    serve.add_argument("--data-dir", default="repro-serve-data",
+                       metavar="DIR",
+                       help="state root for jobs, registry, checkpoints, "
+                            "and the leaderboard cache "
+                            "(default: %(default)s)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--max-workers", type=int, default=2,
+                       help="concurrent job executor threads "
+                            "(default: %(default)s)")
+    serve.set_defaults(func=_cmd_serve)
 
     scenario = sub.add_parser(
         "scenario",

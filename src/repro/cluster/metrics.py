@@ -434,3 +434,60 @@ class SimulationResult:
             "min_availability": self.min_availability,
             "displaced_jobs": self.total_displaced_jobs,
         }
+
+    #: Array fields serialized by :meth:`to_json`, in schema order (the
+    #: required series first, the optional ones after).
+    JSON_ARRAY_FIELDS = (
+        "times_s", "cooling_load_w", "it_power_w", "wax_absorption_w",
+        "mean_temp_c", "hot_group_mean_temp_c", "cold_group_mean_temp_c",
+        "mean_melt_fraction", "hot_group_size", "jobs", "max_cpu_temp_c",
+        "availability", "displaced_jobs", "cooling_capacity_factor",
+        "recovery_times_s", "temp_heatmap", "melt_heatmap")
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-serializable dict that round-trips bit-identically.
+
+        ``from_json(result.to_json())`` reproduces every series (and
+        therefore :meth:`fingerprint`) exactly: dtypes are recorded next
+        to the values, and Python's float repr round-trips IEEE doubles.
+        This is the wire schema the serving layer returns for full
+        results; :mod:`repro.io` remains the compact binary format.
+        """
+        series: Dict[str, Any] = {}
+        for name in self.JSON_ARRAY_FIELDS:
+            arr = getattr(self, name)
+            if arr is None:
+                continue
+            series[name] = {"dtype": str(arr.dtype),
+                            "values": np.asarray(arr).tolist()}
+        return {
+            "schema": "repro.result/1",
+            "scheduler_name": self.scheduler_name,
+            "config": self.config.to_dict(),
+            "fingerprint": self.fingerprint(),
+            "summary": self.summary(),
+            "series": series,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        if payload.get("schema") != "repro.result/1":
+            raise SimulationError(
+                f"not a repro.result/1 payload "
+                f"(schema={payload.get('schema')!r})")
+        series = payload["series"]
+        kwargs: Dict[str, Any] = {}
+        for name in cls.JSON_ARRAY_FIELDS:
+            entry = series.get(name)
+            kwargs[name] = (None if entry is None else
+                            np.asarray(entry["values"],
+                                       dtype=np.dtype(entry["dtype"])))
+        result = cls(config=SimulationConfig.from_dict(payload["config"]),
+                     scheduler_name=payload["scheduler_name"], **kwargs)
+        recorded = payload.get("fingerprint")
+        if recorded is not None and recorded != result.fingerprint():
+            raise SimulationError(
+                f"result payload fingerprint mismatch: recorded "
+                f"{recorded}, rebuilt {result.fingerprint()}")
+        return result

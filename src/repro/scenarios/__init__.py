@@ -14,14 +14,16 @@ Public surface:
 
 from .library import SCENARIO_LIBRARY, get_scenario, scenario_names
 from .spec import ScenarioSpec
-from .suite import (PolicyRanking, ScenarioRunRecord, SuiteReport,
-                    build_suite_specs, run_suite)
+from .suite import (LeaderboardEntry, PolicyRanking, ScenarioRunRecord,
+                    SuiteReport, build_suite_specs, qos_ok_fraction,
+                    run_suite)
 from .verifier import (CHECK_REGISTRY, CheckOutcome, register_check,
                        verify_scenario)
 
 __all__ = [
     "CHECK_REGISTRY",
     "CheckOutcome",
+    "LeaderboardEntry",
     "PolicyRanking",
     "SCENARIO_LIBRARY",
     "ScenarioRunRecord",
@@ -29,6 +31,7 @@ __all__ = [
     "SuiteReport",
     "build_suite_specs",
     "get_scenario",
+    "qos_ok_fraction",
     "register_check",
     "run_suite",
     "scenario_names",

@@ -14,8 +14,11 @@ the report as a structured failure next to the runs that succeeded.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..cluster.metrics import SimulationResult
 from ..config import SimulationConfig
@@ -26,6 +29,27 @@ from ..perf.runner import ExperimentRunner, RunFailure, RunSpec
 from .library import SCENARIO_LIBRARY, get_scenario
 from .spec import ScenarioSpec
 from .verifier import CheckOutcome, verify_scenario
+
+#: CPU junction temperature above which jobs throttle and QoS suffers.
+QOS_THROTTLE_TEMP_C = 85.0
+
+
+def qos_ok_fraction(result: SimulationResult,
+                    throttle_temp_c: float = QOS_THROTTLE_TEMP_C) -> float:
+    """Fraction of ticks free of thermal throttling (the QoS proxy).
+
+    Latency SLOs in this model are violated exactly when a CPU crosses
+    the throttle point, so the throttle-free tick fraction is the
+    scheduler-comparable QoS number.  NaN when the run predates CPU
+    temperature tracking.
+    """
+    temps = result.max_cpu_temp_c
+    if temps is None or len(temps) == 0:
+        return float("nan")
+    finite = np.isfinite(np.asarray(temps))
+    if not finite.any():
+        return float("nan")
+    return float((np.asarray(temps)[finite] <= throttle_temp_c).mean())
 
 
 @dataclass(frozen=True)
@@ -41,6 +65,9 @@ class ScenarioRunRecord:
     #: (1.0 = stress did not move the peak; NaN when either run failed).
     peak_ratio_vs_baseline: float = float("nan")
     min_availability: float = float("nan")
+    #: Fraction of ticks free of thermal throttling (see
+    #: :func:`qos_ok_fraction`); NaN when the run failed.
+    qos_ok_fraction: float = float("nan")
     note: str = ""
 
     @property
@@ -72,6 +99,64 @@ class PolicyRanking:
         if ratio != ratio:  # NaN -> rank last on the tiebreak
             ratio = float("inf")
         return (float(self.failed), float(self.checks_failed), ratio)
+
+
+@dataclass(frozen=True)
+class LeaderboardEntry:
+    """One policy's standing across the suite, on every axis at once.
+
+    The four ranked dimensions the serving layer exposes: peak cooling
+    (the paper's headline), QoS (throttle-free tick fraction),
+    availability (worst fleet fraction alive), and TCO (net lifetime
+    savings of the policy's mean peak reduction vs the round-robin
+    cells of the same scenarios, through the Section V-E model).
+    """
+
+    rank: int
+    policy: str
+    scenarios: int
+    failed: int
+    check_violations: int
+    mean_peak_cooling_kw: float
+    mean_peak_ratio_vs_baseline: float
+    mean_qos_ok_fraction: float
+    min_availability: float
+    mean_peak_reduction_vs_round_robin: float
+    tco_net_savings_usd: float
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-serializable dict of this row (stable field names)."""
+        return dataclasses.asdict(self)
+
+
+def _spec_to_json(spec: RunSpec) -> Dict[str, Any]:
+    """Serialize a RunSpec: the config canonically, the rest verbatim."""
+    fields = {f.name: getattr(spec, f.name)
+              for f in dataclasses.fields(RunSpec) if f.name != "config"}
+    fields["config"] = spec.config.to_dict()
+    return fields
+
+
+def _spec_from_json(payload: Dict[str, Any]) -> RunSpec:
+    payload = dict(payload)
+    config = SimulationConfig.from_dict(payload.pop("config"))
+    return RunSpec(config=config, **payload)
+
+
+def _failure_to_json(failure: RunFailure) -> Dict[str, Any]:
+    return {"spec": _spec_to_json(failure.spec),
+            "error_type": failure.error_type,
+            "message": failure.message,
+            "traceback_text": failure.traceback_text,
+            "attempts": failure.attempts}
+
+
+def _failure_from_json(payload: Dict[str, Any]) -> RunFailure:
+    return RunFailure(spec=_spec_from_json(payload["spec"]),
+                      error_type=payload["error_type"],
+                      message=payload["message"],
+                      traceback_text=payload.get("traceback_text", ""),
+                      attempts=int(payload.get("attempts", 1)))
 
 
 @dataclass(frozen=True)
@@ -136,6 +221,130 @@ class SuiteReport:
             for outcome in violations:
                 lines.append(f"  - {outcome}")
         return "\n".join(lines)
+
+    def leaderboard(self, baseline_policy: str = "round-robin"
+                    ) -> Tuple[LeaderboardEntry, ...]:
+        """Rank every policy on peak cooling, QoS, availability, TCO.
+
+        Ordering: fewest failed runs, fewest check violations, lowest
+        mean peak cooling (all policies ran the identical scenario set,
+        so raw kilowatts compare fairly).  The TCO column prices each
+        policy's mean peak reduction against ``baseline_policy`` over
+        the scenarios where both completed; the baseline prices its own
+        (zero) reduction.
+        """
+        from ..cluster.datacenter import Datacenter
+        from ..config import WaxConfig
+        from ..tco.model import TCOModel
+
+        policies = [r.policy for r in self.rankings]
+        base_peaks = {r.scenario: r.peak_cooling_kw for r in self.records
+                      if r.policy == baseline_policy and r.completed}
+        datacenter = Datacenter()
+        tco = TCOModel()
+        wax = WaxConfig()
+
+        rows = []
+        for policy in policies:
+            cells = [r for r in self.records if r.policy == policy]
+            peaks = [r.peak_cooling_kw for r in cells
+                     if r.completed and np.isfinite(r.peak_cooling_kw)]
+            ratios = [r.peak_ratio_vs_baseline for r in cells
+                      if np.isfinite(r.peak_ratio_vs_baseline)]
+            qos = [r.qos_ok_fraction for r in cells
+                   if np.isfinite(r.qos_ok_fraction)]
+            avail = [r.min_availability for r in cells
+                     if np.isfinite(r.min_availability)]
+            reductions = [
+                1.0 - r.peak_cooling_kw / base_peaks[r.scenario]
+                for r in cells
+                if r.completed and r.scenario in base_peaks
+                and base_peaks[r.scenario] > 0]
+            mean_reduction = (float(np.mean(reductions)) if reductions
+                              else float("nan"))
+            # The TCO model prices reductions in [0, 1); a policy that
+            # *raises* the peak vs round-robin gets NaN, not a made-up
+            # negative bill.
+            if np.isfinite(mean_reduction) and 0.0 <= mean_reduction < 1.0:
+                savings = tco.vmt_savings(
+                    datacenter.critical_power_w, mean_reduction, wax,
+                    datacenter.num_servers)
+                net_savings = float(savings.net_savings_usd)
+            else:
+                net_savings = float("nan")
+            rows.append(LeaderboardEntry(
+                rank=0,  # assigned after sorting
+                policy=policy,
+                scenarios=len(cells),
+                failed=sum(1 for r in cells if not r.completed),
+                check_violations=sum(len(r.violations) for r in cells),
+                mean_peak_cooling_kw=(float(np.mean(peaks)) if peaks
+                                      else float("nan")),
+                mean_peak_ratio_vs_baseline=(
+                    float(np.mean(ratios)) if ratios else float("nan")),
+                mean_qos_ok_fraction=(float(np.mean(qos)) if qos
+                                      else float("nan")),
+                min_availability=(float(np.min(avail)) if avail
+                                  else float("nan")),
+                mean_peak_reduction_vs_round_robin=mean_reduction,
+                tco_net_savings_usd=net_savings,
+            ))
+
+        def sort_key(row: LeaderboardEntry):
+            peak = row.mean_peak_cooling_kw
+            return (row.failed, row.check_violations,
+                    peak if np.isfinite(peak) else float("inf"))
+
+        rows.sort(key=sort_key)
+        return tuple(dataclasses.replace(row, rank=place)
+                     for place, row in enumerate(rows, start=1))
+
+    def to_json(self) -> Dict[str, Any]:
+        """A JSON-serializable dict that round-trips losslessly.
+
+        This is the frozen v1 response schema for ``POST /v1/suites``
+        jobs; run failures keep their full spec (config included) so a
+        failed cell can be re-run from the payload alone.
+        """
+        return {
+            "schema": "repro.suite/1",
+            "records": [
+                {**{f.name: getattr(r, f.name)
+                    for f in dataclasses.fields(ScenarioRunRecord)
+                    if f.name not in ("failure", "checks")},
+                 "failure": (None if r.failure is None
+                             else _failure_to_json(r.failure)),
+                 "checks": [dataclasses.asdict(c) for c in r.checks]}
+                for r in self.records],
+            "rankings": [dataclasses.asdict(r) for r in self.rankings],
+            "baseline_failures": [_failure_to_json(f)
+                                  for f in self.baseline_failures],
+            "leaderboard": [row.to_json() for row in self.leaderboard()],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "SuiteReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        from ..errors import SimulationError
+        if payload.get("schema") != "repro.suite/1":
+            raise SimulationError(
+                f"not a repro.suite/1 payload "
+                f"(schema={payload.get('schema')!r})")
+        records = []
+        for entry in payload["records"]:
+            entry = dict(entry)
+            failure = entry.pop("failure", None)
+            checks = entry.pop("checks", [])
+            records.append(ScenarioRunRecord(
+                failure=(None if failure is None
+                         else _failure_from_json(failure)),
+                checks=tuple(CheckOutcome(**c) for c in checks),
+                **entry))
+        rankings = tuple(PolicyRanking(**r) for r in payload["rankings"])
+        return cls(records=tuple(records), rankings=rankings,
+                   baseline_failures=tuple(
+                       _failure_from_json(f)
+                       for f in payload["baseline_failures"]))
 
 
 def _resolve_scenarios(scenarios: Optional[Sequence] = None
@@ -265,6 +474,7 @@ def run_suite(scenarios: Optional[Sequence] = None,
                 scenario=scenario.name, policy=run_spec.policy,
                 peak_cooling_kw=outcome.peak_cooling_load_w / 1e3,
                 min_availability=outcome.min_availability,
+                qos_ok_fraction=qos_ok_fraction(outcome),
                 note="baseline run failed; checks skipped"))
             continue
         checks_run = verify_scenario(scenario, outcome, baseline,
@@ -277,7 +487,8 @@ def run_suite(scenarios: Optional[Sequence] = None,
             checks=tuple(checks_run),
             peak_cooling_kw=outcome.peak_cooling_load_w / 1e3,
             peak_ratio_vs_baseline=ratio,
-            min_availability=outcome.min_availability))
+            min_availability=outcome.min_availability,
+            qos_ok_fraction=qos_ok_fraction(outcome)))
 
     rankings = _rank_policies(records, policy_list)
     return SuiteReport(records=tuple(records), rankings=tuple(rankings),

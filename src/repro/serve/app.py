@@ -1,0 +1,221 @@
+"""The v1 HTTP application: routes over the job manager.
+
+Endpoint map (all JSON; one resource per request, ``Connection: close``):
+
+    GET  /                      service banner + endpoint index
+    GET  /v1/healthz            liveness probe
+    GET  /v1/meta               API version, policies, scenarios, backends
+    POST /v1/runs               enqueue one simulation        -> 202 + job
+    POST /v1/sweeps             enqueue a GV sweep            -> 202 + job
+    POST /v1/suites             enqueue the scenario suite    -> 202 + job
+    GET  /v1/jobs               every job record (no results)
+    GET  /v1/runs/{id}          one job's status + provenance
+    GET  /v1/runs/{id}/result   the finished payload (409 while running)
+    GET  /v1/runs/{id}/events   SSE: status -> span frames -> done/failed
+    GET  /v1/registry           every content-addressed registry entry
+    GET  /v1/leaderboard        cached board -> 200; else enqueue -> 202
+
+Job ids are uniform across kinds: a sweep submitted to ``/v1/sweeps``
+is still polled at ``/v1/runs/{id}`` -- "runs" is the job collection,
+not just single simulations.
+
+Every response that carries a result also carries its provenance:
+``cached`` says whether the registry served it, and ``manifest`` points
+at the run-ledger manifest that recorded the original execution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from typing import Any, AsyncIterator, Dict, Tuple
+
+from ..api import API_VERSION
+from ..core.policies import SCHEDULER_NAMES
+from ..kernel import BACKENDS
+from ..scenarios import scenario_names
+from .http import HttpError, Request, Router, SseResponse, json_response
+from .jobs import JobManager, validate_suite_request
+
+#: Seconds between SSE poll iterations; spans stream as they land.
+SSE_POLL_S = 0.05
+
+
+def _job_payload(record) -> Dict[str, Any]:
+    return {"job": record.to_json()}
+
+
+def build_router(manager: JobManager) -> Router:
+    """Wire the v1 routes onto one :class:`JobManager`."""
+    router = Router()
+
+    async def index(request: Request):
+        return {
+            "service": "repro-sim",
+            "api_version": API_VERSION,
+            "endpoints": [
+                "GET /v1/healthz", "GET /v1/meta", "POST /v1/runs",
+                "POST /v1/sweeps", "POST /v1/suites", "GET /v1/jobs",
+                "GET /v1/runs/{id}", "GET /v1/runs/{id}/result",
+                "GET /v1/runs/{id}/events", "GET /v1/registry",
+                "GET /v1/leaderboard",
+            ],
+        }
+
+    async def healthz(request: Request):
+        return {"status": "ok", "api_version": API_VERSION}
+
+    async def meta(request: Request):
+        from .. import __version__
+        return {
+            "api_version": API_VERSION,
+            "library_version": __version__,
+            "policies": list(SCHEDULER_NAMES),
+            "scenarios": scenario_names(),
+            "backends": list(BACKENDS),
+            "data_dir": manager.data_dir,
+        }
+
+    def _submit(kind: str):
+        async def handler(request: Request):
+            payload = request.json()
+            loop = asyncio.get_running_loop()
+            # submit() may generate a demand trace to compute the
+            # registry key -- cheap at test scale, but keep the event
+            # loop responsive regardless.
+            record = await loop.run_in_executor(
+                None, manager.submit, kind, payload)
+            return json_response(_job_payload(record), status=202)
+        return handler
+
+    async def list_jobs(request: Request):
+        return {"jobs": [record.to_json() for record in manager.list()]}
+
+    async def get_job(request: Request):
+        record = manager.get(request.params["id"])
+        return record.to_json()
+
+    async def get_result(request: Request):
+        record = manager.get(request.params["id"])
+        if record.status == "failed":
+            raise HttpError(409, f"job {record.job_id} failed: "
+                                 f"{record.error}")
+        if record.status != "done" or record.result is None:
+            raise HttpError(409, f"job {record.job_id} is "
+                                 f"{record.status}; result not ready")
+        return {
+            "id": record.job_id,
+            "kind": record.kind,
+            "cached": record.cached,
+            "fingerprint": record.fingerprint,
+            "registry_key": record.registry_key,
+            "manifest": record.manifest,
+            "sim_ticks_executed": record.sim_ticks_executed,
+            "result": record.result,
+        }
+
+    async def job_events(request: Request):
+        record = manager.get(request.params["id"])  # 404s early
+        return SseResponse(_event_stream(manager, record.job_id))
+
+    async def registry_entries(request: Request):
+        return {"registry_dir": manager.registry.directory,
+                "entries": manager.registry.entries()}
+
+    async def leaderboard(request: Request):
+        payload = _leaderboard_request(request.query)
+        cached = manager.leaderboard_lookup(payload)
+        if cached is not None:
+            return cached
+        for record in manager.list():
+            if (record.kind == "leaderboard"
+                    and record.request == payload
+                    and record.status in ("queued", "running")):
+                return json_response(_job_payload(record), status=202)
+        loop = asyncio.get_running_loop()
+        record = await loop.run_in_executor(
+            None, manager.submit, "leaderboard", payload)
+        return json_response(_job_payload(record), status=202)
+
+    router.add("GET", "/", index)
+    router.add("GET", "/v1/healthz", healthz)
+    router.add("GET", "/v1/meta", meta)
+    router.add("POST", "/v1/runs", _submit("run"))
+    router.add("POST", "/v1/sweeps", _submit("sweep"))
+    router.add("POST", "/v1/suites", _submit("suite"))
+    router.add("GET", "/v1/jobs", list_jobs)
+    router.add("GET", "/v1/runs/{id}", get_job)
+    router.add("GET", "/v1/runs/{id}/result", get_result)
+    router.add("GET", "/v1/runs/{id}/events", job_events)
+    router.add("GET", "/v1/registry", registry_entries)
+    router.add("GET", "/v1/leaderboard", leaderboard)
+    return router
+
+
+def _leaderboard_request(query: Dict[str, str]) -> Dict[str, Any]:
+    """Translate ``/v1/leaderboard`` query params into a suite request."""
+    payload: Dict[str, Any] = {}
+    if "scenarios" in query:
+        payload["scenarios"] = [s for s in query["scenarios"].split(",")
+                                if s]
+    if "policies" in query:
+        payload["policies"] = [p for p in query["policies"].split(",")
+                               if p]
+    for key in ("num_servers", "seed"):
+        if key in query:
+            try:
+                payload[key] = int(query[key])
+            except ValueError:
+                raise HttpError(400, f"{key} must be an integer, "
+                                     f"got {query[key]!r}")
+    if "duration_hours" in query:
+        try:
+            payload["duration_hours"] = float(query["duration_hours"])
+        except ValueError:
+            raise HttpError(400, f"duration_hours must be a number, "
+                                 f"got {query['duration_hours']!r}")
+    return validate_suite_request(payload)
+
+
+async def _event_stream(manager: JobManager, job_id: str
+                        ) -> AsyncIterator[Tuple[str, str]]:
+    """status -> span frames (tailing the JSONL trace) -> done/failed.
+
+    Registry hits settle without ever writing a trace file, so their
+    stream is just ``status`` followed by ``done`` -- zero span frames
+    is itself the "this cost no simulation" signal.
+    """
+    record = manager.get(job_id)
+    yield "status", json.dumps(record.to_json(), sort_keys=True)
+    trace_path = manager.trace_path(job_id)
+    offset = 0
+    while True:
+        record = manager.get(job_id)
+        settled = record.status in ("done", "failed")
+        offset, lines = _drain_trace(trace_path, offset)
+        for line in lines:
+            yield "span", line
+        if settled:
+            yield record.status, json.dumps(record.to_json(),
+                                            sort_keys=True)
+            return
+        await asyncio.sleep(SSE_POLL_S)
+
+
+def _drain_trace(path: str, offset: int) -> Tuple[int, list]:
+    """New complete JSONL lines past ``offset``; tolerates a live writer."""
+    if not os.path.exists(path):
+        return offset, []
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        chunk = handle.read()
+    # Only complete lines are emitted; a trailing fragment without its
+    # newline waits for the next poll -- the writer may be mid-line.
+    end = chunk.rfind(b"\n")
+    if end < 0:
+        return offset, []
+    complete = chunk[:end + 1]
+    lines = [raw.decode("utf-8", errors="replace")
+             for raw in complete.split(b"\n") if raw.strip()]
+    return offset + len(complete), lines

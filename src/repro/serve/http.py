@@ -1,0 +1,275 @@
+"""A minimal asyncio HTTP/1.1 substrate -- no third-party dependencies.
+
+The serving layer needs exactly four things from HTTP: parse a request,
+route it by method + path template, emit a JSON response, and stream
+Server-Sent Events.  The standard library's ``http.server`` is
+thread-per-connection and cannot interleave an SSE stream with other
+requests on one loop, so this module implements the 20% of HTTP/1.1
+the job server uses directly on ``asyncio`` streams:
+
+* :class:`Request` -- parsed request line, headers, query, JSON body;
+* :class:`Response` / :func:`json_response` -- byte responses;
+* :class:`SseResponse` -- an async-iterator-backed ``text/event-stream``;
+* :class:`Router` -- ``/v1/runs/{id}``-style template matching;
+* :func:`handle_connection` -- one connection, one request, close.
+
+Connections are deliberately ``Connection: close``: the server's
+clients are poll loops and SSE consumers, not byte-shaving browsers,
+and single-shot connections keep the state machine trivially correct.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import (Any, AsyncIterator, Awaitable, Callable, Dict, List,
+                    Optional, Tuple)
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Largest request body accepted, bytes.  Run/sweep/suite submissions
+#: are small JSON documents; anything bigger is a client bug.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+#: Largest request line / header line accepted, bytes.
+MAX_LINE_BYTES = 16 * 1024
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            409: "Conflict", 500: "Internal Server Error"}
+
+
+class HttpError(Exception):
+    """An error that maps directly to an HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+    #: Path-template parameters filled in by the router (``{id}`` etc.).
+    params: Dict[str, str] = field(default_factory=dict)
+
+    def json(self) -> Dict[str, Any]:
+        """The body parsed as a JSON object; 400 on anything else."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+
+@dataclass
+class Response:
+    """One complete response, ready to serialize."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+def json_response(payload: Any, status: int = 200) -> Response:
+    """Serialize ``payload`` as a JSON response."""
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+    return Response(status=status, body=body)
+
+
+@dataclass
+class SseResponse:
+    """A ``text/event-stream`` response backed by an async iterator.
+
+    ``events`` yields ``(event, data)`` string pairs; each is written as
+    one SSE frame and flushed immediately.  The iterator ending closes
+    the stream (and, per :func:`handle_connection`, the connection).
+    """
+
+    events: AsyncIterator[Tuple[str, str]]
+    status: int = 200
+
+
+Handler = Callable[[Request], Awaitable[Any]]
+
+
+class Router:
+    """Method + path-template dispatch (``/v1/runs/{id}/events``)."""
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, Tuple[str, ...], Handler]] = []
+
+    def add(self, method: str, template: str, handler: Handler) -> None:
+        """Register ``handler`` for ``method`` on ``template``."""
+        parts = tuple(p for p in template.split("/") if p != "")
+        self._routes.append((method.upper(), parts, handler))
+
+    def resolve(self, method: str, path: str
+                ) -> Tuple[Handler, Dict[str, str]]:
+        """The handler and path params for a request; raises 404/405."""
+        parts = tuple(p for p in path.split("/") if p != "")
+        saw_path = False
+        for route_method, template, handler in self._routes:
+            params = _match(template, parts)
+            if params is None:
+                continue
+            saw_path = True
+            if route_method == method.upper():
+                return handler, params
+        if saw_path:
+            raise HttpError(405, f"method {method} not allowed on {path}")
+        raise HttpError(404, f"no such endpoint: {path}")
+
+
+def _match(template: Tuple[str, ...], parts: Tuple[str, ...]
+           ) -> Optional[Dict[str, str]]:
+    if len(template) != len(parts):
+        return None
+    params: Dict[str, str] = {}
+    for expected, got in zip(template, parts):
+        if expected.startswith("{") and expected.endswith("}"):
+            params[expected[1:-1]] = unquote(got)
+        elif expected != got:
+            return None
+    return params
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        line = exc.partial
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "header line too long")
+    if len(line) > MAX_LINE_BYTES:
+        raise HttpError(400, "header line too long")
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on an empty connection."""
+    request_line = await _read_line(reader)
+    if not request_line:
+        return None
+    try:
+        method, target, _version = request_line.decode("latin-1").split()
+    except ValueError:
+        raise HttpError(400, f"malformed request line: {request_line!r}")
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if not line:
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length: {length_text!r}")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(400, f"request body over {MAX_BODY_BYTES} bytes")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "request body shorter than Content-Length")
+    return Request(method=method.upper(), path=unquote(split.path),
+                   query=query, headers=headers, body=body)
+
+
+def _head(status: int, content_type: str,
+          extra: Dict[str, str], *, length: Optional[int]) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             "Connection: close"]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    lines.extend(f"{name}: {value}" for name, value in extra.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def write_response(writer: asyncio.StreamWriter,
+                         response: Response) -> None:
+    """Serialize one complete response to the socket."""
+    writer.write(_head(response.status, response.content_type,
+                       response.headers, length=len(response.body)))
+    writer.write(response.body)
+    await writer.drain()
+
+
+def sse_frame(event: str, data: str) -> bytes:
+    """One SSE frame: multi-line data is split per the spec."""
+    lines = [f"event: {event}"]
+    lines.extend(f"data: {chunk}" for chunk in data.split("\n"))
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+async def write_sse(writer: asyncio.StreamWriter,
+                    response: SseResponse) -> None:
+    """Stream SSE frames until the event iterator is exhausted."""
+    writer.write(_head(response.status, "text/event-stream",
+                       {"Cache-Control": "no-store"}, length=None))
+    await writer.drain()
+    async for event, data in response.events:
+        writer.write(sse_frame(event, data))
+        await writer.drain()
+
+
+async def handle_connection(router: Router,
+                            reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+    """Serve one request on one connection, then close it.
+
+    Handler exceptions become structured JSON errors: ``HttpError``
+    keeps its status, anything else is a 500 with the exception text --
+    a traceback never leaks to the wire.
+    """
+    try:
+        try:
+            request = await read_request(reader)
+            if request is None:
+                return
+            handler, params = router.resolve(request.method, request.path)
+            request.params = params
+            result = await handler(request)
+            if isinstance(result, SseResponse):
+                await write_sse(writer, result)
+            elif isinstance(result, Response):
+                await write_response(writer, result)
+            else:
+                await write_response(writer, json_response(result))
+        except HttpError as exc:
+            await write_response(writer, json_response(
+                {"error": exc.message, "status": exc.status}, exc.status))
+        except Exception as exc:  # noqa: BLE001 -- boundary by design
+            await write_response(writer, json_response(
+                {"error": f"{type(exc).__name__}: {exc}", "status": 500},
+                500))
+    except (ConnectionError, asyncio.CancelledError):
+        pass  # client went away mid-write; nothing to salvage
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

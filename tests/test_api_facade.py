@@ -1,12 +1,13 @@
 """Tests for the stable ``repro.api`` facade and the unified signatures.
 
-The facade's contract: keyword-only entry points, config overrides
-accepted inline (mutually exclusive with ``config=``), results identical
-to hand-wiring the building blocks, and ``DeprecationWarning`` shims
-keeping the pre-facade positional forms alive for one cycle.
+The facade's contract (frozen at ``API_VERSION = "1.0"``): keyword-only
+entry points everywhere -- the pre-facade positional shims are gone --
+config overrides accepted inline (mutually exclusive with ``config=``),
+results identical to hand-wiring the building blocks, and lossless
+``to_json``/``from_json`` round trips on every result dataclass.
 """
 
-import warnings
+import json
 
 import numpy as np
 import pytest
@@ -106,32 +107,98 @@ class TestSweepAndDatacenter:
             api.datacenter(num_clusters=0, config=tiny_config())
 
 
-class TestDeprecationShims:
-    def test_gv_sweep_positional_policies_warns_and_works(self):
-        with pytest.warns(DeprecationWarning, match="policies"):
-            legacy = gv_sweep((20.0,), ("vmt-ta",), num_servers=6,
-                              seed=11)
-        clear_shared_cache()
-        modern = gv_sweep((20.0,), policies=("vmt-ta",), num_servers=6,
-                          seed=11)
-        np.testing.assert_array_equal(legacy.reductions["vmt-ta"],
-                                      modern.reductions["vmt-ta"])
+class TestFrozenV1Signatures:
+    """The v1 freeze removed the positional shims: keyword-only now."""
 
-    def test_gv_sweep_rejects_extra_positionals(self):
-        with pytest.raises(ConfigurationError):
-            gv_sweep((20.0,), ("vmt-ta",), 6)
+    def test_gv_sweep_rejects_positional_policies(self):
+        with pytest.raises(TypeError):
+            gv_sweep((20.0,), ("vmt-ta",))
 
-    def test_tco_analysis_positional_warns(self):
-        with pytest.warns(DeprecationWarning, match="peak_reduction"):
-            legacy = tco_analysis(0.128)
-        modern = tco_analysis(peak_reduction=0.128)
-        assert legacy == modern
+    def test_tco_analysis_rejects_positional_reduction(self):
+        with pytest.raises(TypeError):
+            tco_analysis(0.128)
 
-    def test_tco_analysis_double_specification_rejected(self):
-        with pytest.raises(ConfigurationError):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore")
-                tco_analysis(0.128, peak_reduction=0.2)
+    def test_api_version_exported(self):
+        import repro
+        assert api.API_VERSION == "1.0"
+        assert repro.API_VERSION is api.API_VERSION
+        assert "API_VERSION" in api.__all__
+
+    def test_top_level_all_importable_and_complete(self):
+        import repro
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+        # The documented facade surface is part of __all__.
+        for name in ("api", "API_VERSION", "Comparison", "SweepResult",
+                     "SuiteReport", "LeaderboardEntry"):
+            assert name in repro.__all__
+
+    def test_no_deprecation_shims_left_in_src(self):
+        import pathlib
+        import repro
+        src = pathlib.Path(repro.__file__).parent
+        offenders = [path for path in src.rglob("*.py")
+                     if "DeprecationWarning" in path.read_text()]
+        assert offenders == []
+
+
+class TestResultJsonRoundTrips:
+    """to_json/from_json are the frozen HTTP response schemas."""
+
+    def test_simulation_result_round_trip_is_bit_identical(self):
+        result = api.run(policy="vmt-ta", config=tiny_config())
+        payload = json.loads(json.dumps(result.to_json()))
+        from repro.cluster.metrics import SimulationResult
+        rebuilt = SimulationResult.from_json(payload)
+        assert rebuilt.fingerprint() == result.fingerprint()
+        assert rebuilt.config.to_dict() == result.config.to_dict()
+
+    def test_comparison_round_trip(self):
+        duel = api.compare(policies=("vmt-ta", "round-robin"),
+                           config=tiny_config())
+        payload = json.loads(json.dumps(duel.to_json()))
+        rebuilt = api.Comparison.from_json(payload)
+        assert rebuilt.policies == duel.policies
+        for policy in duel.policies:
+            assert rebuilt[policy].fingerprint() == \
+                duel[policy].fingerprint()
+        assert rebuilt.peak_reduction("vmt-ta") == \
+            pytest.approx(duel.peak_reduction("vmt-ta"))
+
+    def test_sweep_result_round_trip(self):
+        from repro.analysis.sweep import SweepResult
+        sweep = api.sweep(grouping_values=(20.0, 24.0),
+                          policies=("vmt-ta",), num_servers=6, seed=11)
+        payload = json.loads(json.dumps(sweep.to_json()))
+        rebuilt = SweepResult.from_json(payload)
+        assert rebuilt.parameter_name == sweep.parameter_name
+        np.testing.assert_array_equal(rebuilt.values, sweep.values)
+        np.testing.assert_array_equal(rebuilt.reductions["vmt-ta"],
+                                      sweep.reductions["vmt-ta"])
+
+    def test_suite_report_round_trip_and_leaderboard(self):
+        from repro.scenarios import SuiteReport
+        report = api.stress(scenarios=("heat-wave",),
+                            policies=("vmt-ta", "round-robin"),
+                            num_servers=8, duration_hours=6.0, seed=11)
+        payload = json.loads(json.dumps(report.to_json()))
+        rebuilt = SuiteReport.from_json(payload)
+        assert len(rebuilt.records) == len(report.records)
+        assert rebuilt.rankings == report.rankings
+        board = report.leaderboard()
+        assert [row.policy for row in board] == \
+            [row["policy"] for row in payload["leaderboard"]]
+        assert [row.rank for row in board] == \
+            list(range(1, len(board) + 1))
+        for row in board:
+            assert np.isfinite(row.mean_peak_cooling_kw)
+            assert np.isfinite(row.min_availability)
+
+    def test_result_from_json_rejects_wrong_schema(self):
+        from repro.cluster.metrics import SimulationResult
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError, match="repro.result/1"):
+            SimulationResult.from_json({"schema": "bogus/9"})
 
 
 class TestObserverAlias:
