@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""CI smoke test for the live streaming subsystem (``repro.live``).
+
+Exercises both public entry points end to end at reduced scale:
+
+1. **CLI.**  Run ``repro-sim live`` over a short seeded synthetic feed
+   with the last-value forecaster and assert a clean exit, a parseable
+   ``--report`` JSON, and the expected step count.
+2. **Serve.**  Spawn a real server subprocess, POST /v1/live, drain the
+   SSE stream while the run is in flight, and validate every span frame
+   against the trace-line schema (``repro.obs.schema``); the terminal
+   frame must be ``done`` with kind ``live``.
+3. **Timeout.**  POST /v1/live with an absurdly small ``timeout_s`` on
+   a long feed and assert the job fails *cleanly* with ``RunTimeout``
+   -- the cooperative deadline, not SIGALRM, so it must work inside the
+   server's worker threads.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/live_smoke.py [--servers N]
+        [--hours H]
+"""
+
+import argparse
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class Client:
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.base_url = f"http://{host}:{port}"
+
+    def get(self, path: str):
+        with urllib.request.urlopen(self.base_url + path,
+                                    timeout=60) as response:
+            return response.status, json.loads(response.read())
+
+    def post(self, path: str, payload: dict):
+        request = urllib.request.Request(
+            self.base_url + path, data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"})
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+
+    def wait_healthy(self, timeout_s: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            try:
+                status, _ = self.get("/v1/healthz")
+                if status == 200:
+                    return
+            except (urllib.error.URLError, ConnectionError):
+                time.sleep(0.1)
+        raise RuntimeError("server never became healthy")
+
+    def await_job(self, job_id: str, timeout_s: float = 300.0) -> dict:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            _, job = self.get(f"/v1/runs/{job_id}")
+            if job["status"] in ("done", "failed"):
+                return job
+            time.sleep(0.2)
+        raise RuntimeError(f"job {job_id} did not settle")
+
+    def drain_sse(self, path: str, timeout_s: float = 120.0) -> str:
+        conn = socket.create_connection((self.host, self.port),
+                                        timeout=timeout_s)
+        try:
+            conn.sendall(f"GET {path} HTTP/1.1\r\n"
+                         f"Host: {self.host}\r\n\r\n".encode())
+            chunks = []
+            deadline = time.monotonic() + timeout_s
+            while time.monotonic() < deadline:
+                chunk = conn.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        finally:
+            conn.close()
+        raw = b"".join(chunks)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"text/event-stream" in head, head
+        return body.decode("utf-8")
+
+
+def parse_sse(body: str):
+    """[(event_name, data), ...] from a drained SSE body."""
+    frames = []
+    name, data = None, []
+    for line in body.splitlines():
+        if line.startswith("event:"):
+            name = line.split(":", 1)[1].strip()
+        elif line.startswith("data:"):
+            data.append(line.split(":", 1)[1].strip())
+        elif not line.strip() and name is not None:
+            frames.append((name, "\n".join(data)))
+            name, data = None, []
+    return frames
+
+
+def start_server(data_dir: str, port: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--data-dir", data_dir,
+         "--port", str(port)],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+
+
+def cli_phase(servers: int, hours: float, tmp: str) -> int:
+    """Phase 1: ``repro-sim live`` over a synthetic feed."""
+    report_path = os.path.join(tmp, "live-report.json")
+    env = dict(os.environ)
+    env.setdefault("PYTHONPATH", "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "live", "vmt-ta",
+         "--servers", str(servers), "--hours", str(hours),
+         "--feed", "synthetic", "--feed-seed", "3",
+         "--forecaster", "last-value", "--decision-every", "10",
+         "--report", report_path],
+        env=env, capture_output=True, text=True, timeout=300)
+    steps = round(hours * 60)
+    ok = proc.returncode == 0 and os.path.exists(report_path)
+    if ok:
+        with open(report_path) as handle:
+            report = json.load(handle)
+        ok = (report.get("schema") == "repro.live/1"
+              and report.get("steps_ingested") == steps
+              and report.get("forecaster") == "last-value"
+              and report.get("result", {}).get("fingerprint"))
+    print(f"cli live: rc={proc.returncode} report={ok and 'valid' or 'BAD'} "
+          f"-> {'OK' if ok else 'FAIL'}")
+    if not ok:
+        sys.stdout.write(proc.stdout[-2000:] + proc.stderr[-2000:])
+    return not ok
+
+
+def serve_phase(client: Client, servers: int, hours: float) -> int:
+    """Phase 2: POST /v1/live, SSE span schema, done frame."""
+    from repro.obs.schema import validate_trace_line
+
+    payload = {"policy": "vmt-ta", "num_servers": servers,
+               "duration_hours": hours, "seed": 11,
+               "feed": "synthetic", "feed_seed": 3,
+               "forecaster": "last-value", "decision_every": 10}
+    status, body = client.post("/v1/live", payload)
+    assert status == 202, status
+    job_id = body["job"]["id"]
+    events = parse_sse(client.drain_sse(f"/v1/runs/{job_id}/events"))
+    names = [name for name, _ in events]
+    spans = [data for name, data in events if name == "span"]
+    failures = 0
+    for line in spans:
+        validate_trace_line(json.loads(line))
+    ok = (names and names[0] == "status" and names[-1] == "done"
+          and len(spans) > 0)
+    final = json.loads(events[-1][1]) if events else {}
+    ok = (ok and final.get("kind") == "live"
+          and final.get("status") == "done"
+          and final.get("fingerprint"))
+    print(f"serve live: {len(spans)} schema-valid spans, terminal "
+          f"{names[-1] if names else '?'} kind={final.get('kind')} "
+          f"-> {'OK' if ok else 'FAIL'}")
+    failures += not ok
+
+    job = client.await_job(job_id)
+    ok = (job["status"] == "done"
+          and job["sim_ticks_executed"] == round(hours * 60))
+    print(f"serve live job: status={job['status']} "
+          f"ticks={job['sim_ticks_executed']} -> {'OK' if ok else 'FAIL'}")
+    failures += not ok
+    return failures
+
+
+def timeout_phase(client: Client) -> int:
+    """Phase 3: the cooperative deadline fires inside a worker thread."""
+    payload = {"policy": "vmt-ta", "num_servers": 20,
+               "duration_hours": 240.0, "seed": 5,
+               "feed": "synthetic", "timeout_s": 0.05}
+    status, body = client.post("/v1/live", payload)
+    assert status == 202, status
+    job = client.await_job(body["job"]["id"])
+    ok = (job["status"] == "failed" and job["error"]
+          and job["error"].startswith("RunTimeout"))
+    print(f"timeout: status={job['status']} error={job['error']!r:.80} "
+          f"-> {'OK' if ok else 'FAIL'}")
+    return not ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--servers", type=int, default=6)
+    parser.add_argument("--hours", type=float, default=1.0)
+    args = parser.parse_args()
+
+    failures = 0
+    tmp = tempfile.mkdtemp(prefix="live-smoke-")
+    failures += cli_phase(args.servers, args.hours, tmp)
+
+    port = free_port()
+    server = start_server(os.path.join(tmp, "state"), port)
+    client = Client("127.0.0.1", port)
+    try:
+        client.wait_healthy()
+        failures += serve_phase(client, args.servers, args.hours)
+        failures += timeout_phase(client)
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+    print("live smoke:", "PASS" if failures == 0 else
+          f"FAIL ({failures})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,7 +50,7 @@ from .perf.runner import ExperimentRunner, RunSpec
 from .workloads.trace import TraceMatrix
 
 __all__ = ["API_VERSION", "Comparison", "run", "compare", "sweep",
-           "stress", "datacenter"]
+           "stress", "datacenter", "live_run"]
 
 #: The frozen public-API version.  Everything exported here (and the
 #: ``to_json`` schemas of :class:`Comparison`,
@@ -304,6 +304,100 @@ def stress(*, scenarios: Optional[Sequence] = None,
                      max_workers=max_workers, timeout_s=timeout_s,
                      telemetry_dir=telemetry_directory(telemetry),
                      checks=checks)
+
+
+def live_run(*, policy: Optional[str] = None,
+             config: Optional[SimulationConfig] = None,
+             num_servers: Optional[int] = None,
+             gv: Optional[float] = None, seed: Optional[int] = None,
+             inlet_stdev_c: Optional[float] = None,
+             wax_threshold: Optional[float] = None,
+             feed="replay", feed_seed: Optional[int] = None,
+             forecaster: str = "oracle",
+             decision_every: Optional[int] = None,
+             mpc: bool = False, mpc_horizon_steps: int = 60,
+             mpc_workers: int = 4,
+             speedup: Optional[float] = None,
+             record_heatmaps: bool = True,
+             telemetry: TelemetryLike = None,
+             checks: Optional[str] = None,
+             timeout_s: Optional[float] = None,
+             checkpoint_every: Optional[int] = None,
+             checkpoint_dir: Optional[str] = None,
+             resume_from: Optional[str] = None):
+    """Drive one policy from a streaming feed with no lookahead.
+
+    ``feed`` is a kind name (``"replay"`` replays the exact trace the
+    batch run would generate; ``"synthetic"`` is a seeded open-loop
+    arrival process) or any feed object from :mod:`repro.live`.
+    ``forecaster`` supplies the grouping-value estimate the scheduler is
+    retargeted with at each decision boundary (``"oracle"`` |
+    ``"last-value"``); ``mpc=True`` instead races candidate GVs through
+    fast-backend shadow simulations forked from the live snapshot.
+    ``speedup`` paces ingestion against the wall clock (e.g. ``60.0``
+    plays one simulated minute per real second); ``None`` runs
+    accelerated, as fast as rows can be consumed.
+
+    A live run with the oracle forecaster over a replay feed is
+    bit-identical to :func:`run` on the same config -- that differential
+    is this subsystem's honesty proof.  Returns a
+    :class:`~repro.live.runner.LiveRunReport` (``.result`` is the usual
+    :class:`~repro.cluster.metrics.SimulationResult`).
+    """
+    from .live import (DEFAULT_DECISION_EVERY, LiveRunner, MPCController,
+                       make_feed, resume_live)
+    from .perf.runner import Deadline
+
+    deadline = Deadline.of(timeout_s)
+    cadence = (DEFAULT_DECISION_EVERY if decision_every is None
+               else decision_every)
+    if resume_from is not None:
+        if config is not None or policy is not None:
+            raise ConfigurationError(
+                "resume_from= carries its own config and policy; do not "
+                "pass config= or policy= alongside it")
+        snapshot_config = None
+    else:
+        if policy is None:
+            raise ConfigurationError(
+                "policy= is required (optional only with resume_from=)")
+        _check_policy(policy)
+        snapshot_config = _build_config(
+            config, num_servers=num_servers, gv=gv, seed=seed,
+            inlet_stdev_c=inlet_stdev_c, wax_threshold=wax_threshold)
+
+    def _resolve_feed(cfg):
+        if isinstance(feed, str):
+            return make_feed(feed, cfg, seed=feed_seed)
+        return feed
+
+    def _controller(cfg):
+        if not mpc:
+            return None
+        return MPCController(cfg, horizon_steps=mpc_horizon_steps,
+                             max_workers=mpc_workers)
+
+    if resume_from is not None:
+        from .state import load_snapshot
+        snapshot = load_snapshot(resume_from)
+        cfg = SimulationConfig.from_dict(snapshot.config)
+        runner = resume_live(
+            snapshot, _resolve_feed(cfg), forecaster=forecaster,
+            decision_every=cadence, mpc=_controller(cfg),
+            telemetry=telemetry, checks=checks,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir, deadline=deadline)
+        return runner.run()
+
+    runner = LiveRunner(
+        snapshot_config, policy, _resolve_feed(snapshot_config),
+        forecaster=forecaster, decision_every=cadence,
+        mpc=_controller(snapshot_config), telemetry=telemetry,
+        checks=checks, record_heatmaps=record_heatmaps,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir, deadline=deadline,
+        speedup=speedup)
+    return runner.run()
 
 
 def datacenter(*, num_clusters: int, policy: str = "round-robin",

@@ -210,10 +210,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_live(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from . import api
+
+    if args.checkpoint_every is not None and not args.checkpoint_dir:
+        raise ReproError("--checkpoint-every requires --checkpoint-dir")
+    feed = args.feed
+    if feed == "jsonl":
+        from .live import JsonlFeed
+        source = (open(args.feed_file) if args.feed_file else sys.stdin)
+        feed = JsonlFeed(source)
+    kwargs = dict(feed=feed, feed_seed=args.feed_seed,
+                  forecaster=args.forecaster,
+                  decision_every=args.decision_every,
+                  mpc=args.mpc, mpc_horizon_steps=args.mpc_horizon,
+                  speedup=args.speedup, telemetry=args.telemetry,
+                  checks=args.checks, timeout_s=args.timeout,
+                  checkpoint_every=args.checkpoint_every,
+                  checkpoint_dir=args.checkpoint_dir)
+    if args.resume:
+        report = api.live_run(resume_from=args.resume, **kwargs)
+    else:
+        if args.policy is None:
+            raise ReproError("a policy is required unless --resume is "
+                             "given")
+        config = _config_from(args)
+        if args.hours is not None:
+            config = config.replace(trace=dataclasses.replace(
+                config.trace, duration_hours=args.hours))
+        report = api.live_run(policy=args.policy, config=config,
+                              **kwargs)
+    summary = report.result.summary()
+    rows = [(key, value) for key, value in summary.items()]
+    print(format_table(["metric", "value"], rows))
+    print(f"\nforecaster: {report.forecaster}  "
+          f"(decisions every {report.decision_every} steps, "
+          f"{report.steps_ingested} steps ingested)")
+    print(f"fingerprint: {report.result.fingerprint()}")
+    if report.mpc_decisions:
+        last = report.mpc_decisions[-1]
+        print(f"mpc: {len(report.mpc_decisions)} decisions, last chose "
+              f"gv={last['chosen_gv']:g} at step {last['step']}")
+    if args.report:
+        with open(args.report, "w") as fh:
+            _json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report: {args.report}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import Server
     server = Server(args.data_dir, host=args.host, port=args.port,
-                    max_workers=args.max_workers)
+                    max_workers=args.max_workers,
+                    default_timeout_s=args.job_timeout)
     print(f"repro-serve: listening on http://{args.host}:{args.port} "
           f"(data: {args.data_dir})")
     server.serve_forever()
@@ -617,7 +669,65 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-workers", type=int, default=2,
                        help="concurrent job executor threads "
                             "(default: %(default)s)")
+    serve.add_argument("--job-timeout", type=float, default=3600.0,
+                       metavar="SECONDS",
+                       help="default wall-clock budget per job; 0 "
+                            "disables (default: %(default)s)")
     serve.set_defaults(func=_cmd_serve)
+
+    live = sub.add_parser(
+        "live",
+        help="drive a policy from a streaming feed (no lookahead)")
+    live.add_argument("policy", nargs="?", choices=SCHEDULER_NAMES,
+                      help="scheduling policy (omit with --resume)")
+    _add_cluster_args(live)
+    live.add_argument("--hours", type=float, default=None,
+                      help="trace duration in hours "
+                           "(default: the paper's 48)")
+    live.add_argument("--feed", default="replay",
+                      choices=("replay", "synthetic", "jsonl"),
+                      help="arrival source: replay the batch trace, a "
+                           "seeded synthetic arrival process, or "
+                           "line-delimited JSON (default: %(default)s)")
+    live.add_argument("--feed-file", metavar="PATH",
+                      help="jsonl feed source (default: stdin)")
+    live.add_argument("--feed-seed", type=int, default=None,
+                      help="synthetic feed seed (default: --seed)")
+    live.add_argument("--forecaster", default="oracle",
+                      choices=("oracle", "last-value"),
+                      help="GV forecaster (default: %(default)s; "
+                           "oracle reproduces the offline run exactly)")
+    live.add_argument("--decision-every", type=int, default=60,
+                      metavar="STEPS",
+                      help="retarget cadence in scheduling intervals "
+                           "(default: %(default)s)")
+    live.add_argument("--mpc", action="store_true",
+                      help="race candidate GVs through shadow "
+                           "simulations at each decision boundary")
+    live.add_argument("--mpc-horizon", type=int, default=60,
+                      metavar="STEPS",
+                      help="MPC forecast window (default: %(default)s)")
+    live.add_argument("--speedup", type=float, default=None,
+                      metavar="X",
+                      help="wall-clock pacing: X simulated seconds per "
+                           "real second (default: fully accelerated)")
+    live.add_argument("--timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="cooperative wall-clock budget for the run")
+    live.add_argument("--telemetry", metavar="DIR",
+                      help="write JSONL trace + metrics + manifest")
+    live.add_argument("--checks", choices=("off", "cheap", "full"),
+                      default=None, help="invariant sanitizer level")
+    live.add_argument("--checkpoint-every", type=int, default=None,
+                      metavar="N", help="snapshot every N ticks")
+    live.add_argument("--checkpoint-dir", metavar="DIR",
+                      help="where snapshots land")
+    live.add_argument("--resume", metavar="SNAPSHOT",
+                      help="continue a live run from a mid-stream "
+                           "snapshot (state migration)")
+    live.add_argument("--report", metavar="PATH",
+                      help="write the full live-run report as JSON")
+    live.set_defaults(func=_cmd_live)
 
     scenario = sub.add_parser(
         "scenario",

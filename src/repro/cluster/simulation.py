@@ -37,6 +37,7 @@ from .metrics import MetricsCollector, SimulationResult
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.registry import MetricRegistry
     from ..perf.profiler import TickProfiler
+    from ..perf.runner import Deadline
 
 #: Observer signature: (time_s, demand_vector, placement, cluster).
 Observer = Callable[[float, np.ndarray, Placement, Cluster], None]
@@ -59,8 +60,10 @@ class ClusterSimulation:
                  checks: Optional[str] = None,
                  backend: Optional[str] = None,
                  checkpoint_every: Optional[int] = None,
-                 checkpoint_dir: Optional[str] = None) -> None:
+                 checkpoint_dir: Optional[str] = None,
+                 deadline: Optional["Deadline"] = None) -> None:
         config.validate()
+        self._deadline = deadline
         self._backend = resolve_backend(backend)
         self._kernel_path = "reference"
         if checkpoint_every is not None and checkpoint_every <= 0:
@@ -113,6 +116,8 @@ class ClusterSimulation:
                                          capacity=trace.num_steps)
         self._engine = Engine()
         self._step_index = 0
+        self._stream_process: Optional[PeriodicProcess] = None
+        self._stream_wall_start = 0.0
         self._observers: List[Observer] = []
         self._last_allocation: Optional[np.ndarray] = None
         # Event-edge state for the tracer (previous-tick values).
@@ -256,6 +261,11 @@ class ClusterSimulation:
     def _tick(self, now_s: float) -> None:
         if self._step_index >= self._trace.num_steps:
             return
+        if self._deadline is not None:
+            # Cooperative wall-clock budget: raises RunTimeout from inside
+            # the tick, unwinding through the engine -- works on any
+            # thread, unlike the SIGALRM scheme this replaced.
+            self._deadline.check()
         prof = self._profiler
         tick_start = (time.perf_counter()
                       if self._obs_tracer is not None
@@ -362,6 +372,11 @@ class ClusterSimulation:
                 "prev_degraded": self._prev_degraded,
             },
         }
+        if getattr(self._trace, "is_live", False):
+            # Live runs carry the ingested demand prefix so a restored
+            # process can treat the checkpoint as a state migration: the
+            # buffer resumes exactly where ingestion left off.
+            state["live"] = self._trace.state_dict()
         return SimulationSnapshot(
             schema=SNAPSHOT_SCHEMA_VERSION,
             tick=self._step_index,
@@ -375,7 +390,8 @@ class ClusterSimulation:
             state=state,
         )
 
-    def restore(self, snapshot: "SimulationSnapshot") -> None:
+    def restore(self, snapshot: "SimulationSnapshot", *,
+                trace_check: bool = True) -> None:
         """Load a snapshot into this freshly constructed simulation.
 
         The simulation must have been built from the *same* experiment:
@@ -384,6 +400,11 @@ class ClusterSimulation:
         touched, so a stale checkpoint directory fails loudly instead of
         resuming the wrong run.  After a successful restore,
         :meth:`run` continues from the captured tick.
+
+        ``trace_check=False`` skips the trace-fingerprint guard -- the
+        escape hatch for MPC shadow simulations, which deliberately fork
+        a live snapshot onto a *forecast* trace that diverges from the
+        observed history beyond the fork point.
         """
         from ..errors import CheckpointError
         from ..obs.ledger import config_sha256
@@ -401,7 +422,14 @@ class ClusterSimulation:
             raise CheckpointError(
                 f"snapshot holds policy {snapshot.scheduler_name!r}, "
                 f"this simulation runs {self._scheduler.name!r}")
-        if snapshot.trace_sha256 != self._trace.fingerprint():
+        if (getattr(self._trace, "is_live", False)
+                and "live" in snapshot.state):
+            # Replaying the ingested prefix must happen before the
+            # fingerprint guard: a live buffer's fingerprint covers its
+            # filled rows, so a fresh (empty) buffer can only match the
+            # snapshot after the captured prefix is loaded back.
+            self._trace.load_state_dict(snapshot.state["live"])
+        if trace_check and snapshot.trace_sha256 != self._trace.fingerprint():
             raise CheckpointError(
                 "snapshot was taken against a different demand trace")
         if snapshot.record_heatmaps != self._metrics.record_heatmaps:
@@ -520,6 +548,90 @@ class ClusterSimulation:
                 checkpoints=(self._checkpoint_records or None))
         return result
 
+    # -- streaming (live) mode ---------------------------------------------
+
+    def begin_streaming(self) -> None:
+        """Arm the tick process for incremental, no-lookahead driving.
+
+        The streaming spelling of :meth:`run`'s prologue: the caller (a
+        :class:`~repro.live.LiveRunner`) feeds demand rows into the live
+        trace buffer and calls :meth:`advance_stream` once per arrival,
+        so the engine only ever advances to times whose demand has
+        actually been observed.  Tick events fire at exactly the same
+        simulation times as a batch run -- ``k * step_seconds`` -- which
+        is what keeps a live run with a perfect forecaster bit-identical
+        to the offline batch fingerprint.
+
+        Fault injection is not supported live yet: scripted fault events
+        are scheduled against the full run span up front, which would be
+        lookahead.
+        """
+        if self._injector is not None:
+            raise SimulationError(
+                "live streaming does not support fault injection")
+        if getattr(self, "_stream_process", None) is not None:
+            raise SimulationError("begin_streaming called twice")
+        self._stream_wall_start = time.perf_counter()
+        step_s = self._trace.step_seconds
+        if not self._restored:
+            self._scheduler.reset()
+        if self._obs_tracer is not None and self._obs_tracer.enabled:
+            self._obs_tracer.event(
+                "run-start", self._engine.now,
+                run_id=self._telemetry.run_id,
+                scheduler=self._scheduler.name,
+                servers=self._config.num_servers,
+                ticks=self._trace.num_steps,
+                live=True)
+        self._stream_process = PeriodicProcess(
+            self._engine, step_s, self._tick,
+            start_at=(self._step_index * step_s if self._restored
+                      else None),
+            name="scheduler-tick")
+
+    def advance_stream(self, step_index: int) -> None:
+        """Fire the tick for ``step_index`` (its demand row must be fed).
+
+        Delegates to :meth:`Engine.advance_to` at ``step_index *
+        step_seconds`` -- the exact time the batch tick process would
+        have fired this tick.
+        """
+        if getattr(self, "_stream_process", None) is None:
+            raise SimulationError(
+                "advance_stream requires begin_streaming first")
+        self._engine.advance_to(step_index * self._trace.step_seconds)
+
+    def finish_streaming(self) -> SimulationResult:
+        """Tear down the stream and return the collected result.
+
+        The streaming spelling of :meth:`run`'s epilogue; safe to call
+        after any number of ticks (an early-closed feed simply yields a
+        shorter result).
+        """
+        if getattr(self, "_stream_process", None) is None:
+            raise SimulationError(
+                "finish_streaming requires begin_streaming first")
+        self._stream_process.stop()
+        self._stream_process = None
+        profile = (self._profiler.snapshot()
+                   if self._profiler is not None else None)
+        result = self._metrics.finish(self._config,
+                                      self._scheduler.name,
+                                      profile=profile)
+        if self._telemetry is not None:
+            if self._obs_tracer.enabled:
+                self._obs_tracer.event("run-end", self._cluster.time_s,
+                                       fingerprint=result.fingerprint())
+            self._telemetry.finish(
+                config=self._config,
+                scheduler_name=self._scheduler.name,
+                result=result,
+                trace_sha256=self._trace.fingerprint(),
+                wall_clock_s=(time.perf_counter()
+                              - self._stream_wall_start),
+                checkpoints=(self._checkpoint_records or None))
+        return result
+
 
 def run_simulation(config: SimulationConfig, scheduler: Scheduler, *,
                    trace: Optional[TraceMatrix] = None,
@@ -530,7 +642,8 @@ def run_simulation(config: SimulationConfig, scheduler: Scheduler, *,
                    checks: Optional[str] = None,
                    backend: Optional[str] = None,
                    checkpoint_every: Optional[int] = None,
-                   checkpoint_dir: Optional[str] = None) -> SimulationResult:
+                   checkpoint_dir: Optional[str] = None,
+                   deadline: Optional["Deadline"] = None) -> SimulationResult:
     """Convenience one-call experiment runner."""
     return ClusterSimulation(config, scheduler, trace=trace,
                              record_heatmaps=record_heatmaps,
@@ -540,4 +653,5 @@ def run_simulation(config: SimulationConfig, scheduler: Scheduler, *,
                              checks=checks,
                              backend=backend,
                              checkpoint_every=checkpoint_every,
-                             checkpoint_dir=checkpoint_dir).run()
+                             checkpoint_dir=checkpoint_dir,
+                             deadline=deadline).run()

@@ -106,6 +106,19 @@ class Scheduler(abc.ABC):
         """Clear per-run policy state (group extensions, tick counters)."""
         self._tick = 0
 
+    def retarget_grouping(self, grouping_value: float) -> None:
+        """Adopt a new grouping-value estimate mid-run (live control).
+
+        The live engine's forecaster (or MPC controller) calls this at
+        decision boundaries with its current GV estimate.  Policies
+        without Eq. 1/2 grouping ignore it; VMT policies rebuild their
+        group sizing.  The override never touches the configuration or
+        the policy :attr:`name` (both encode the *configured* GV, which
+        seeds the policy's RNG stream and keys snapshots), and calling
+        with the configured GV is an exact no-op -- that is what makes a
+        perfect forecaster bit-identical to the offline batch run.
+        """
+
     def state_dict(self) -> dict:
         """Serializable mid-run state; subclasses extend via ``super()``.
 

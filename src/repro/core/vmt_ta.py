@@ -48,6 +48,7 @@ class VMTThermalAwareScheduler(Scheduler):
             melt_temp_c=config.wax.melt_temp_c,
             num_servers=config.num_servers,
         )
+        self._gv_override: float = config.scheduler.grouping_value
 
     @property
     def name(self) -> str:
@@ -57,6 +58,34 @@ class VMTThermalAwareScheduler(Scheduler):
     def sizer(self) -> GroupSizer:
         """The Eq. 1/2 group sizing in force."""
         return self._sizer
+
+    def retarget_grouping(self, grouping_value: float) -> None:
+        grouping_value = float(grouping_value)
+        if grouping_value == self._gv_override:
+            return
+        self._gv_override = grouping_value
+        self._sizer = GroupSizer(
+            grouping_value=grouping_value,
+            melt_temp_c=self._config.wax.melt_temp_c,
+            num_servers=self._config.num_servers,
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self.retarget_grouping(self._config.scheduler.grouping_value)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["gv_override"] = self._gv_override
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        # .get(): snapshots written before live retargeting existed
+        # carry no override and restore to the configured GV.
+        self.retarget_grouping(
+            state.get("gv_override",
+                      self._config.scheduler.grouping_value))
 
     def _place_group(self, demand_part: np.ndarray,
                      member_ids: np.ndarray, free: np.ndarray,

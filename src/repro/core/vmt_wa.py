@@ -124,6 +124,7 @@ class VMTWaxAwareScheduler(Scheduler):
         self._prev_estimate: Optional[np.ndarray] = None
         self._suspect_ticks: Optional[np.ndarray] = None
         self._divergence_checked_tick = -1
+        self._gv_override: float = config.scheduler.grouping_value
 
     @property
     def name(self) -> str:
@@ -133,6 +134,19 @@ class VMTWaxAwareScheduler(Scheduler):
     def base_sizer(self) -> GroupSizer:
         """The Eq. 1/2 minimum group sizing."""
         return self._base_sizer
+
+    def retarget_grouping(self, grouping_value: float) -> None:
+        grouping_value = float(grouping_value)
+        if grouping_value == self._gv_override:
+            return
+        self._gv_override = grouping_value
+        self._base_sizer = GroupSizer(
+            grouping_value=grouping_value,
+            melt_temp_c=self._config.wax.melt_temp_c,
+            num_servers=self._config.num_servers,
+        )
+        # _hot_size is re-derived from the new base on the next tick's
+        # _update_group_size; no other cached state depends on the GV.
 
     @property
     def hot_group_size(self) -> int:
@@ -174,6 +188,7 @@ class VMTWaxAwareScheduler(Scheduler):
 
     def reset(self) -> None:
         super().reset()
+        self.retarget_grouping(self._config.scheduler.grouping_value)
         self._hot_size = self._base_sizer.hot_size
         self._degraded = False
         self._prev_estimate = None
@@ -196,6 +211,7 @@ class VMTWaxAwareScheduler(Scheduler):
             prev_estimate=opt(self._prev_estimate),
             suspect_ticks=opt(self._suspect_ticks),
             divergence_checked_tick=self._divergence_checked_tick,
+            gv_override=self._gv_override,
         )
         return state
 
@@ -204,6 +220,10 @@ class VMTWaxAwareScheduler(Scheduler):
             return (None if value is None
                     else np.asarray(value, dtype=dtype).copy())
         super().load_state_dict(state)
+        # .get(): pre-live snapshots carry no override.
+        self.retarget_grouping(
+            state.get("gv_override",
+                      self._config.scheduler.grouping_value))
         self._kept_warm = np.asarray(state["kept_warm"], dtype=bool).copy()
         self._prev_power_w = opt(state["prev_power_w"], np.float64)
         self._inlet_est = opt(state["inlet_est"], np.float64)

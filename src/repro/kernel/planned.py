@@ -120,6 +120,12 @@ def _run(sim, hot_tot: np.ndarray, cold_tot: np.ndarray,
     prof = sim._profiler
     clock = time.perf_counter
     setup_start = clock()
+    # The planned kernel bypasses ClusterSimulation._tick (where the
+    # cooperative deadline is normally polled), so it checks the budget
+    # itself: every 256 plan-loop ticks and once after the fused physics.
+    deadline = sim._deadline
+    if deadline is not None:
+        deadline.check()
 
     config = sim._config
     cluster = sim._cluster
@@ -215,6 +221,8 @@ def _run(sim, hot_tot: np.ndarray, cold_tot: np.ndarray,
     # index, dealt all-servers-ascending per full round and then the
     # remainder servers in ascending index order.
     for t in range(T):
+        if deadline is not None and not (t & 255):
+            deadline.check()
         if spill_list[t]:
             sched._tick = t
             free_buf.fill(cores)
@@ -335,6 +343,8 @@ def _run(sim, hot_tot: np.ndarray, cold_tot: np.ndarray,
             # already-clipped truth is bitwise idempotent.
             copyto(est, truth_rows[t], where=anchored_rows[t])
     step_elapsed = clock() - step_start
+    if deadline is not None:
+        deadline.check()
 
     # ---- metrics ---------------------------------------------------------
     metrics_start = clock()

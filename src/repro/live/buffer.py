@@ -1,0 +1,177 @@
+"""The no-lookahead demand buffer behind a live run.
+
+A :class:`LiveTraceBuffer` is the streaming stand-in for a
+:class:`~repro.workloads.trace.TraceMatrix`: it presents the same
+read-side interface the simulation loop uses (``num_steps``,
+``step_seconds``, ``total_cores``, ``demand_at``, ``fingerprint``), but
+its rows arrive one at a time via :meth:`append` and reading a row that
+has not arrived yet raises -- the structural guarantee that no
+scheduler, forecaster, or controller ever sees the future.
+
+The buffer also carries the live run's migration state: its filled
+prefix serializes into a snapshot (``state["live"]``) so a checkpoint
+taken mid-stream restores into a fresh process with ingestion resuming
+exactly where it left off.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+import numpy as np
+
+from ..errors import TraceError
+from ..workloads.trace import TraceMatrix
+from ..workloads.workload import WORKLOAD_LIST
+
+NUM_WORKLOADS = len(WORKLOAD_LIST)
+
+
+class LiveTraceBuffer:
+    """An append-only demand matrix with a hard no-lookahead boundary."""
+
+    #: Marks this trace as live for the simulation's snapshot/restore
+    #: machinery (duck-typed so the workloads layer never imports live).
+    is_live = True
+
+    def __init__(self, num_steps: int, step_seconds: float,
+                 total_cores: int) -> None:
+        if num_steps <= 0:
+            raise TraceError("live buffer needs a positive capacity")
+        if step_seconds <= 0:
+            raise TraceError("step_seconds must be positive")
+        if total_cores <= 0:
+            raise TraceError("total_cores must be positive")
+        self._counts = np.zeros((num_steps, NUM_WORKLOADS),
+                                dtype=np.int64)
+        self._filled = 0
+        self._step_s = float(step_seconds)
+        self._total_cores = int(total_cores)
+
+    # -- TraceMatrix-compatible read side ----------------------------------
+
+    @property
+    def num_steps(self) -> int:
+        """Capacity in scheduling intervals (the feed's declared length)."""
+        return self._counts.shape[0]
+
+    @property
+    def step_seconds(self) -> float:
+        """Interval length in seconds."""
+        return self._step_s
+
+    @property
+    def total_cores(self) -> int:
+        """Cluster core capacity the stream was produced for."""
+        return self._total_cores
+
+    @property
+    def filled(self) -> int:
+        """Rows ingested so far; rows at or past this index are future."""
+        return self._filled
+
+    @property
+    def counts(self) -> np.ndarray:
+        """The ingested prefix (copy)."""
+        return self._counts[:self._filled].copy()
+
+    def demand_at(self, step: int) -> np.ndarray:
+        """The demand row for ``step``; raises on any lookahead."""
+        if step >= self._filled:
+            raise TraceError(
+                f"no lookahead: step {step} has not arrived yet "
+                f"({self._filled} rows ingested)")
+        return self._counts[step]
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the *ingested prefix* plus framing parameters.
+
+        Covers only observed rows, so two buffers at the same fill level
+        fed the same stream match -- which is exactly what the snapshot
+        restore guard needs for live state migration.
+        """
+        digest = hashlib.sha256()
+        digest.update(np.ascontiguousarray(
+            self._counts[:self._filled]).tobytes())
+        digest.update(repr((self._filled, self._counts.shape,
+                            self._step_s, self._total_cores,
+                            "live")).encode("ascii"))
+        return digest.hexdigest()
+
+    # -- write side --------------------------------------------------------
+
+    def append(self, row) -> int:
+        """Ingest the next demand row; returns its step index."""
+        if self._filled >= self.num_steps:
+            raise TraceError("live buffer is full")
+        row = np.asarray(row, dtype=np.int64)
+        if row.shape != (NUM_WORKLOADS,):
+            raise TraceError(
+                f"demand row must have {NUM_WORKLOADS} entries, "
+                f"got shape {row.shape}")
+        if np.any(row < 0):
+            raise TraceError("demand row must be non-negative")
+        if int(row.sum()) > self._total_cores:
+            raise TraceError(
+                f"demand {int(row.sum())} exceeds cluster capacity "
+                f"{self._total_cores}")
+        index = self._filled
+        self._counts[index] = row
+        self._filled = index + 1
+        return index
+
+    # -- forecasting / migration -------------------------------------------
+
+    def with_forecast(self, forecast_rows: np.ndarray) -> TraceMatrix:
+        """The ingested history plus a forecast horizon, as a real trace.
+
+        This is what an MPC shadow simulation runs against: everything
+        observed so far, verbatim, followed by the forecaster's guess.
+        Forecast rows are clipped into capacity so a wild forecast can
+        never construct an invalid trace.
+        """
+        forecast_rows = np.asarray(forecast_rows, dtype=np.int64)
+        if forecast_rows.ndim != 2 \
+                or forecast_rows.shape[1] != NUM_WORKLOADS:
+            raise TraceError(
+                f"forecast must be (horizon, {NUM_WORKLOADS})")
+        forecast_rows = np.maximum(forecast_rows, 0)
+        totals = forecast_rows.sum(axis=1, keepdims=True)
+        over = totals > self._total_cores
+        if np.any(over):
+            # Scale offending rows down proportionally, preserving mix.
+            scale = np.where(over, self._total_cores
+                             / np.maximum(totals, 1), 1.0)
+            forecast_rows = (forecast_rows * scale).astype(np.int64)
+        counts = np.concatenate([self._counts[:self._filled],
+                                 forecast_rows], axis=0)
+        return TraceMatrix(counts, self._step_s, self._total_cores)
+
+    def state_dict(self) -> dict:
+        """Migration state: the ingested prefix and framing."""
+        return {
+            "filled": self._filled,
+            "counts": self._counts[:self._filled].copy(),
+            "step_seconds": self._step_s,
+            "total_cores": self._total_cores,
+            "capacity": self.num_steps,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the ingested prefix captured by :meth:`state_dict`."""
+        if (int(state["capacity"]) != self.num_steps
+                or float(state["step_seconds"]) != self._step_s
+                or int(state["total_cores"]) != self._total_cores):
+            raise TraceError(
+                "live buffer framing does not match the snapshot "
+                f"(capacity {self.num_steps} vs {state['capacity']}, "
+                f"step {self._step_s} vs {state['step_seconds']}, "
+                f"cores {self._total_cores} vs {state['total_cores']})")
+        filled = int(state["filled"])
+        counts = np.asarray(state["counts"], dtype=np.int64)
+        if counts.shape != (filled, NUM_WORKLOADS):
+            raise TraceError("live snapshot counts shape mismatch")
+        self._counts[:filled] = counts
+        self._counts[filled:] = 0
+        self._filled = filled

@@ -1,0 +1,126 @@
+"""Pluggable GV forecasters for the live engine.
+
+Offline runs enjoy the paper's oracle assumption: the grouping value is
+tuned against the *full* trace before the run starts.  A live run has no
+future, so the GV estimate must come from a forecaster observing
+arrivals as they happen.  Two reference implementations bracket the
+spectrum:
+
+* :class:`OracleForecaster` -- returns the configured GV exactly and
+  forecasts the true future rows.  This is deliberately cheating (it
+  holds the full trace), and exists to prove the harness honest: a live
+  run driven by it must be bit-identical to the offline batch run.
+* :class:`LastValueForecaster` -- the naive no-model baseline: the next
+  interval looks like the last one.  Its GV estimate inverts Eq. 1 from
+  the hot demand it just saw, so it under-sizes the hot group on the
+  way into the peak and over-sizes it on the way out -- the measurable
+  cost of losing the oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..config import SimulationConfig
+from ..errors import SimulationError
+from ..workloads.trace import TraceMatrix
+from ..workloads.workload import HOT_INDICES, WORKLOAD_LIST
+
+NUM_WORKLOADS = len(WORKLOAD_LIST)
+
+#: Forecaster names accepted by :func:`make_forecaster`.
+FORECASTER_NAMES = ("oracle", "last-value")
+
+
+def invert_grouping_value(hot_cores: float,
+                          config: SimulationConfig) -> float:
+    """The GV whose Eq. 1 hot group just fits ``hot_cores`` of demand.
+
+    Inverts ``hot_size = floor(gv / pmt * n + 0.5)``: size the hot group
+    to carry the forecast hot load at full per-server core occupancy,
+    clipped to ``[1, n - 1]`` so the grouping never degenerates.
+    """
+    servers = int(np.ceil(hot_cores / config.server.cores)) \
+        if hot_cores > 0 else 1
+    servers = max(1, min(config.num_servers - 1, servers))
+    return servers * config.wax.melt_temp_c / config.num_servers
+
+
+class OracleForecaster:
+    """Perfect foresight: the configured GV and the true future rows."""
+
+    name = "oracle"
+
+    def __init__(self, config: SimulationConfig,
+                 trace: Optional[TraceMatrix] = None) -> None:
+        self._config = config
+        self._trace = trace
+
+    def observe(self, step: int, row: np.ndarray) -> None:
+        """Oracles have nothing to learn."""
+
+    def grouping_value(self, step: int) -> float:
+        """The configured (offline-tuned) GV, exactly.
+
+        Returning it bit-for-bit is the point: retargeting with the
+        configured value is a no-op, so the differential test can demand
+        byte-identical results against the batch run.
+        """
+        return self._config.scheduler.grouping_value
+
+    def forecast(self, start: int, horizon: int) -> np.ndarray:
+        """The true future demand rows (zero-padded past the end)."""
+        if self._trace is None:
+            raise SimulationError(
+                "oracle forecast requires the full trace "
+                "(construct with trace=...)")
+        counts = self._trace.counts
+        end = min(start + horizon, counts.shape[0])
+        rows = counts[start:end]
+        if rows.shape[0] < horizon:
+            rows = np.concatenate(
+                [rows, np.zeros((horizon - rows.shape[0],
+                                 NUM_WORKLOADS), dtype=np.int64)])
+        return rows
+
+
+class LastValueForecaster:
+    """Naive persistence: tomorrow looks exactly like right now."""
+
+    name = "last-value"
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self._config = config
+        self._last: Optional[np.ndarray] = None
+
+    def observe(self, step: int, row: np.ndarray) -> None:
+        self._last = np.asarray(row, dtype=np.int64).copy()
+
+    def grouping_value(self, step: int) -> float:
+        """Invert Eq. 1 from the hot demand just observed.
+
+        Before any observation, fall back to the configured GV (the
+        operator's prior).
+        """
+        if self._last is None:
+            return self._config.scheduler.grouping_value
+        hot_cores = float(self._last[list(HOT_INDICES)].sum())
+        return invert_grouping_value(hot_cores, self._config)
+
+    def forecast(self, start: int, horizon: int) -> np.ndarray:
+        row = (np.zeros(NUM_WORKLOADS, dtype=np.int64)
+               if self._last is None else self._last)
+        return np.tile(row, (horizon, 1))
+
+
+def make_forecaster(name: str, config: SimulationConfig, *,
+                    trace: Optional[TraceMatrix] = None):
+    """Build a named forecaster."""
+    if name == "oracle":
+        return OracleForecaster(config, trace=trace)
+    if name == "last-value":
+        return LastValueForecaster(config)
+    raise SimulationError(
+        f"unknown forecaster {name!r}; choose from {FORECASTER_NAMES}")

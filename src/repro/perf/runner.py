@@ -19,11 +19,11 @@ while guaranteeing:
 
 from __future__ import annotations
 
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Iterator, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from ..cluster.metrics import SimulationResult
 from ..config import SimulationConfig
@@ -70,9 +70,11 @@ class RunSpec:
     checkpoint_every: Optional[int] = None
     #: Root directory for per-spec checkpoint subdirectories.
     checkpoint_dir: Optional[str] = None
-    #: Wall-clock budget for this one run, seconds.  A run that exceeds
-    #: it is aborted (via SIGALRM, so only on a main thread) and comes
-    #: back as a :class:`RunFailure` instead of hanging the sweep.
+    #: Wall-clock budget for this one run, seconds.  Enforced by a
+    #: cooperative :class:`Deadline` checked at every tick boundary, so
+    #: it fires identically on main threads, worker threads, and worker
+    #: processes; a run over budget aborts with :class:`RunTimeout` and
+    #: comes back as a :class:`RunFailure` instead of hanging the sweep.
     timeout_s: Optional[float] = None
     #: Scenario provenance: when the spec was compiled from a
     #: :class:`~repro.scenarios.spec.ScenarioSpec`, its name and
@@ -125,33 +127,54 @@ class RunTimeout(SimulationError):
     """A run exceeded its :attr:`RunSpec.timeout_s` wall-clock budget."""
 
 
-@contextmanager
-def _deadline(seconds: Optional[float]) -> Iterator[None]:
-    """Abort the enclosed block with :class:`RunTimeout` after ``seconds``.
+class Deadline:
+    """A cooperative wall-clock budget, checked at tick boundaries.
 
-    Implemented with ``SIGALRM``, which only fires on a process's main
-    thread; off the main thread (or with no budget) this is a no-op so
-    callers embedding the runner in threads lose the timeout, not the
-    run.  Worker processes always execute jobs on their main thread, so
-    pool runs are always covered.
+    The previous implementation rode on ``SIGALRM``, which only fires on
+    a process's *main* thread -- so every run executed by a thread pool
+    (the serve layer, ``workers_mode="thread"`` sweeps) silently had no
+    budget at all.  A deadline object instead starts a monotonic timer
+    at construction and raises :class:`RunTimeout` from :meth:`check`,
+    which the simulation calls at the top of every tick (and the batched
+    kernels call between stages).  That makes the budget thread-agnostic
+    and leaves the run in a clean, resumable state: the abort propagates
+    out of the tick like any simulation error, with the engine clock at
+    the aborted tick and every checkpoint written so far intact.
     """
-    import signal
-    import threading
-    if (not seconds or seconds <= 0
-            or threading.current_thread() is not threading.main_thread()):
-        yield
-        return
 
-    def _expired(signum, frame):
-        raise RunTimeout(f"exceeded {seconds:g}s wall-clock budget")
+    __slots__ = ("_budget_s", "_started_at")
 
-    previous = signal.signal(signal.SIGALRM, _expired)
-    signal.setitimer(signal.ITIMER_REAL, seconds)
-    try:
-        yield
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
+    def __init__(self, budget_s: float) -> None:
+        if budget_s <= 0:
+            raise SimulationError("deadline budget must be positive")
+        self._budget_s = float(budget_s)
+        self._started_at = time.monotonic()
+
+    @property
+    def budget_s(self) -> float:
+        """The wall-clock budget, seconds."""
+        return self._budget_s
+
+    def remaining_s(self) -> float:
+        """Seconds left before expiry (negative once overdue)."""
+        return self._budget_s - (time.monotonic() - self._started_at)
+
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self.remaining_s() <= 0.0
+
+    def check(self) -> None:
+        """Raise :class:`RunTimeout` once the budget is spent."""
+        if self.expired():
+            raise RunTimeout(
+                f"exceeded {self._budget_s:g}s wall-clock budget")
+
+    @classmethod
+    def of(cls, budget_s: Optional[float]) -> Optional["Deadline"]:
+        """A started deadline, or ``None`` for no budget."""
+        if budget_s is None or budget_s <= 0:
+            return None
+        return cls(budget_s)
 
 
 def _maybe_die_for_test(spec: RunSpec) -> None:
@@ -218,25 +241,27 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
                                scenario_sha256=spec.scenario_sha256)
         if profiler is None:
             profiler = telemetry.profiler
-    with _deadline(spec.timeout_s):
-        if spec_checkpoint_dir is not None:
-            resumable = _compatible_checkpoint(spec, spec_checkpoint_dir)
-            if resumable is not None:
-                from ..state import restore_simulation
-                sim = restore_simulation(
-                    resumable, telemetry=telemetry, checks=spec.checks,
-                    backend=spec.backend,
-                    checkpoint_every=spec.checkpoint_every,
-                    checkpoint_dir=spec_checkpoint_dir)
-                return sim.run()
-        return run_simulation(spec.config, scheduler, trace=trace,
-                              record_heatmaps=spec.record_heatmaps,
-                              profiler=profiler,
-                              telemetry=telemetry,
-                              checks=spec.checks,
-                              backend=spec.backend,
-                              checkpoint_every=spec.checkpoint_every,
-                              checkpoint_dir=spec_checkpoint_dir)
+    deadline = Deadline.of(spec.timeout_s)
+    if spec_checkpoint_dir is not None:
+        resumable = _compatible_checkpoint(spec, spec_checkpoint_dir)
+        if resumable is not None:
+            from ..state import restore_simulation
+            sim = restore_simulation(
+                resumable, telemetry=telemetry, checks=spec.checks,
+                backend=spec.backend,
+                checkpoint_every=spec.checkpoint_every,
+                checkpoint_dir=spec_checkpoint_dir,
+                deadline=deadline)
+            return sim.run()
+    return run_simulation(spec.config, scheduler, trace=trace,
+                          record_heatmaps=spec.record_heatmaps,
+                          profiler=profiler,
+                          telemetry=telemetry,
+                          checks=spec.checks,
+                          backend=spec.backend,
+                          checkpoint_every=spec.checkpoint_every,
+                          checkpoint_dir=spec_checkpoint_dir,
+                          deadline=deadline)
 
 
 def _compatible_checkpoint(spec: RunSpec, directory: str):

@@ -58,10 +58,13 @@ class Server:
     """
 
     def __init__(self, data_dir, *, host: str = "127.0.0.1",
-                 port: int = 8765, max_workers: int = 2) -> None:
+                 port: int = 8765, max_workers: int = 2,
+                 default_timeout_s: Optional[float] =
+                 JobManager.DEFAULT_TIMEOUT_S) -> None:
         self.host = host
         self.port = port
-        self.manager = JobManager(data_dir, max_workers=max_workers)
+        self.manager = JobManager(data_dir, max_workers=max_workers,
+                                  default_timeout_s=default_timeout_s)
         self._router = build_router(self.manager)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -157,9 +160,15 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--max-workers", type=int, default=2,
                         help="concurrent job executor threads "
                              "(default: %(default)s)")
+    parser.add_argument("--job-timeout", type=float,
+                        default=JobManager.DEFAULT_TIMEOUT_S,
+                        metavar="SECONDS",
+                        help="default wall-clock budget per job; 0 "
+                             "disables (default: %(default)s)")
     args = parser.parse_args(argv)
     server = Server(args.data_dir, host=args.host, port=args.port,
-                    max_workers=args.max_workers)
+                    max_workers=args.max_workers,
+                    default_timeout_s=args.job_timeout)
     print(f"repro-serve: listening on http://{args.host}:{args.port} "
           f"(data: {args.data_dir})")
     server.serve_forever()

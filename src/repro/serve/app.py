@@ -8,6 +8,7 @@ Endpoint map (all JSON; one resource per request, ``Connection: close``):
     POST /v1/runs               enqueue one simulation        -> 202 + job
     POST /v1/sweeps             enqueue a GV sweep            -> 202 + job
     POST /v1/suites             enqueue the scenario suite    -> 202 + job
+    POST /v1/live               enqueue a streaming live run  -> 202 + job
     GET  /v1/jobs               every job record (no results)
     GET  /v1/runs/{id}          one job's status + provenance
     GET  /v1/runs/{id}/result   the finished payload (409 while running)
@@ -56,10 +57,10 @@ def build_router(manager: JobManager) -> Router:
             "api_version": API_VERSION,
             "endpoints": [
                 "GET /v1/healthz", "GET /v1/meta", "POST /v1/runs",
-                "POST /v1/sweeps", "POST /v1/suites", "GET /v1/jobs",
-                "GET /v1/runs/{id}", "GET /v1/runs/{id}/result",
-                "GET /v1/runs/{id}/events", "GET /v1/registry",
-                "GET /v1/leaderboard",
+                "POST /v1/sweeps", "POST /v1/suites", "POST /v1/live",
+                "GET /v1/jobs", "GET /v1/runs/{id}",
+                "GET /v1/runs/{id}/result", "GET /v1/runs/{id}/events",
+                "GET /v1/registry", "GET /v1/leaderboard",
             ],
         }
 
@@ -144,6 +145,7 @@ def build_router(manager: JobManager) -> Router:
     router.add("POST", "/v1/runs", _submit("run"))
     router.add("POST", "/v1/sweeps", _submit("sweep"))
     router.add("POST", "/v1/suites", _submit("suite"))
+    router.add("POST", "/v1/live", _submit("live"))
     router.add("GET", "/v1/jobs", list_jobs)
     router.add("GET", "/v1/runs/{id}", get_job)
     router.add("GET", "/v1/runs/{id}/result", get_result)
@@ -182,9 +184,11 @@ async def _event_stream(manager: JobManager, job_id: str
                         ) -> AsyncIterator[Tuple[str, str]]:
     """status -> span frames (tailing the JSONL trace) -> done/failed.
 
-    Registry hits settle without ever writing a trace file, so their
-    stream is just ``status`` followed by ``done`` -- zero span frames
-    is itself the "this cost no simulation" signal.
+    Registry hits never write their own trace file; their stream
+    replays the *originating* run's persisted spans (located through
+    the registry manifest's ``source``) behind a typed ``cached-replay``
+    frame, so a subscriber still sees the span history -- labeled as
+    provenance, never as fresh execution.
     """
     record = manager.get(job_id)
     yield "status", json.dumps(record.to_json(), sort_keys=True)
@@ -197,10 +201,43 @@ async def _event_stream(manager: JobManager, job_id: str
         for line in lines:
             yield "span", line
         if settled:
+            if record.cached and offset == 0:
+                async for frame in _cached_replay(manager, record):
+                    yield frame
             yield record.status, json.dumps(record.to_json(),
                                             sort_keys=True)
             return
         await asyncio.sleep(SSE_POLL_S)
+
+
+async def _cached_replay(manager: JobManager, record
+                         ) -> AsyncIterator[Tuple[str, str]]:
+    """Replay the originating run's spans for a registry-hit job."""
+    source = _cached_source(record.manifest)
+    replay_path = (manager.trace_path(source)
+                   if source not in (None, "cli") else None)
+    if replay_path is None or not os.path.exists(replay_path):
+        yield "cached-replay", json.dumps(
+            {"source": source, "spans": 0,
+             "note": "no persisted trace for the originating run"},
+            sort_keys=True)
+        return
+    _, lines = _drain_trace(replay_path, 0)
+    yield "cached-replay", json.dumps(
+        {"source": source, "spans": len(lines)}, sort_keys=True)
+    for line in lines:
+        yield "span", line
+
+
+def _cached_source(manifest_path) -> Any:
+    """The ``source`` provenance recorded in a registry manifest."""
+    if not manifest_path or not os.path.exists(manifest_path):
+        return None
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            return json.load(handle).get("source")
+    except (OSError, json.JSONDecodeError):
+        return None
 
 
 def _drain_trace(path: str, offset: int) -> Tuple[int, list]:

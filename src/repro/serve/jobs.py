@@ -24,10 +24,12 @@ Three properties the manager guarantees:
   its own config/spec; shared state (the record map, the registry
   entry files) is mutated only under the manager lock or via atomic
   renames.
-
-Wall-clock timeouts are a documented casualty of thread execution:
-``RunSpec.timeout_s`` rides on ``SIGALRM``, which never fires off the
-main thread, so server-side jobs have no per-run deadline.
+* **Bounded.**  Every run job carries a wall-clock budget -- the
+  request's ``timeout_s`` or the manager's ``default_timeout_s`` --
+  enforced by the cooperative :class:`~repro.perf.runner.Deadline`
+  checked at tick boundaries, which fires on worker threads (the old
+  SIGALRM scheme never did).  A timed-out job fails with a
+  ``RunTimeout`` error instead of occupying its worker forever.
 """
 
 from __future__ import annotations
@@ -55,7 +57,7 @@ from .registry import RunRegistry, registry_key
 #: Job lifecycle states, in order.
 JOB_STATUSES = ("queued", "running", "done", "failed")
 #: Job kinds the server accepts.
-JOB_KINDS = ("run", "sweep", "suite", "leaderboard")
+JOB_KINDS = ("run", "sweep", "suite", "leaderboard", "live")
 
 _CHECK_LEVELS = ("off", "cheap", "full")
 
@@ -142,7 +144,7 @@ def validate_run_request(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Normalize a ``POST /v1/runs`` body; 400 on anything off-schema."""
     allowed = ("policy", "num_servers", "gv", "seed", "inlet_stdev_c",
                "wax_threshold", "duration_hours", "backend", "checks",
-               "checkpoint_every")
+               "checkpoint_every", "timeout_s")
     _reject_unknown(payload, allowed, "run")
     if "policy" not in payload:
         raise _bad("run request requires a policy")
@@ -160,6 +162,7 @@ def validate_run_request(payload: Dict[str, Any]) -> Dict[str, Any]:
         "backend": _check_backend(payload),
         "checks": _check_checks(payload),
         "checkpoint_every": _opt_int(payload, "checkpoint_every"),
+        "timeout_s": _opt_number(payload, "timeout_s", minimum=1e-9),
     }
 
 
@@ -219,6 +222,52 @@ def validate_suite_request(payload: Dict[str, Any]) -> Dict[str, Any]:
                                       minimum=1e-9),
         "seed": _opt_int(payload, "seed", minimum=0),
         "checks": _check_checks(payload),
+    }
+
+
+def validate_live_request(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalize a ``POST /v1/live`` body."""
+    from ..live import FEED_KINDS
+    from ..live.forecast import FORECASTER_NAMES
+    allowed = ("policy", "num_servers", "gv", "seed", "inlet_stdev_c",
+               "wax_threshold", "duration_hours", "feed", "feed_seed",
+               "forecaster", "decision_every", "mpc",
+               "mpc_horizon_steps", "checks", "timeout_s")
+    _reject_unknown(payload, allowed, "live")
+    if "policy" not in payload:
+        raise _bad("live request requires a policy")
+    feed = payload.get("feed", "replay")
+    if feed not in FEED_KINDS:
+        raise _bad(f"feed must be one of {', '.join(FEED_KINDS)}, "
+                   f"got {feed!r}")
+    forecaster = payload.get("forecaster", "oracle")
+    if forecaster not in FORECASTER_NAMES:
+        raise _bad(f"forecaster must be one of "
+                   f"{', '.join(FORECASTER_NAMES)}, got {forecaster!r}")
+    mpc = payload.get("mpc", False)
+    if not isinstance(mpc, bool):
+        raise _bad(f"mpc must be a boolean, got {mpc!r}")
+    return {
+        "policy": _check_policy(payload["policy"]),
+        "num_servers": _opt_int(payload, "num_servers", default=100),
+        "gv": _opt_number(payload, "gv", default=22.0),
+        "seed": _opt_int(payload, "seed", default=7, minimum=0),
+        "inlet_stdev_c": _opt_number(payload, "inlet_stdev_c",
+                                     default=0.0, minimum=0.0),
+        "wax_threshold": _opt_number(payload, "wax_threshold",
+                                     default=0.98, minimum=0.0),
+        "duration_hours": _opt_number(payload, "duration_hours",
+                                      minimum=1e-9),
+        "feed": feed,
+        "feed_seed": _opt_int(payload, "feed_seed", minimum=0),
+        "forecaster": forecaster,
+        "decision_every": _opt_int(payload, "decision_every",
+                                   default=60),
+        "mpc": mpc,
+        "mpc_horizon_steps": _opt_int(payload, "mpc_horizon_steps",
+                                      default=60),
+        "checks": _check_checks(payload),
+        "timeout_s": _opt_number(payload, "timeout_s", minimum=1e-9),
     }
 
 
@@ -288,14 +337,25 @@ _VALIDATORS = {
     "sweep": validate_sweep_request,
     "suite": validate_suite_request,
     "leaderboard": validate_suite_request,
+    "live": validate_live_request,
 }
 
 
 class JobManager:
     """Validates, persists, executes, and recovers server jobs."""
 
-    def __init__(self, data_dir, *, max_workers: int = 2) -> None:
+    #: Default per-job wall-clock budget (seconds).  Generous enough for
+    #: paper-scale runs on the reference backend, but finite: a wedged
+    #: job must release its worker thread eventually.
+    DEFAULT_TIMEOUT_S = 3600.0
+
+    def __init__(self, data_dir, *, max_workers: int = 2,
+                 default_timeout_s: Optional[float] = DEFAULT_TIMEOUT_S
+                 ) -> None:
         self._data_dir = str(data_dir)
+        self._default_timeout_s = (
+            None if default_timeout_s is None or default_timeout_s <= 0
+            else float(default_timeout_s))
         self._jobs_dir = os.path.join(self._data_dir, "jobs")
         self._checkpoint_dir = os.path.join(self._data_dir, "checkpoints")
         self._leaderboard_dir = os.path.join(self._data_dir, "leaderboard")
@@ -480,13 +540,17 @@ class JobManager:
         # record_heatmaps matches the api.run default: the heatmap
         # series participate in the fingerprint, and the acceptance
         # contract is bit-identity with a direct api.run call.
+        timeout_s = request.get("timeout_s")
+        if timeout_s is None:
+            timeout_s = self._default_timeout_s
         spec = RunSpec(
             config, request["policy"], label=record.job_id,
             record_heatmaps=True, telemetry_dir=job_dir,
             checks=request.get("checks"), backend=request.get("backend"),
             checkpoint_every=checkpoint_every,
             checkpoint_dir=self._checkpoint_dir
-            if checkpoint_every is not None else None)
+            if checkpoint_every is not None else None,
+            timeout_s=timeout_s)
         start = time.perf_counter()
         result = execute_spec(spec)
         wall_clock_s = time.perf_counter() - start
@@ -500,6 +564,39 @@ class JobManager:
             record.manifest = os.path.join(
                 job_dir, sanitize_run_id(record.job_id) + ".manifest.json")
             record.result = result.to_json()
+            self._persist(record)
+
+    def _execute_live(self, record: JobRecord) -> None:
+        """Stream a live run; SSE tails its telemetry trace as it goes.
+
+        Live results are not registry-backed: they depend on the feed
+        and forecaster, not just (config, policy, backend), so caching
+        under the batch registry key would conflate the two.
+        """
+        from ..obs.telemetry import Telemetry
+        request = record.request
+        config = self._run_config(request)
+        job_dir = self._job_dir(record.job_id)
+        os.makedirs(job_dir, exist_ok=True)
+        telemetry = Telemetry(job_dir, run_id=record.job_id)
+        timeout_s = request.get("timeout_s")
+        if timeout_s is None:
+            timeout_s = self._default_timeout_s
+        report = api.live_run(
+            policy=request["policy"], config=config,
+            feed=request["feed"], feed_seed=request.get("feed_seed"),
+            forecaster=request["forecaster"],
+            decision_every=request["decision_every"],
+            mpc=request["mpc"],
+            mpc_horizon_steps=request["mpc_horizon_steps"],
+            telemetry=telemetry, checks=request.get("checks"),
+            timeout_s=timeout_s)
+        with self._lock:
+            record.cached = False
+            record.sim_ticks_executed = report.steps_ingested
+            record.fingerprint = report.result.fingerprint()
+            record.manifest = telemetry.manifest_path
+            record.result = report.to_json()
             self._persist(record)
 
     def _execute_sweep(self, record: JobRecord) -> None:

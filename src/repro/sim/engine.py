@@ -73,6 +73,9 @@ class Engine:
         """
         if end_time < self._now:
             raise SimulationError("end_time is in the past")
+        if self._running:
+            raise SimulationError(
+                "run_until called re-entrantly from inside an event")
         self._running = True
         stopped_early = False
         try:
@@ -91,6 +94,22 @@ class Engine:
             self._running = False
         if not stopped_early:
             self._now = max(self._now, end_time)
+
+    def advance_to(self, end_time: float) -> None:
+        """Incrementally advance the clock to ``end_time``.
+
+        The re-entrant spelling of :meth:`run_until` for live/streaming
+        drivers that feed the engine one slice of time per arrival.  Each
+        call dispatches exactly the events one big ``run_until`` over the
+        same span would have, and the stop()/clock-jump contract holds
+        *per call*: a :meth:`stop` inside a callback leaves the clock at
+        the last dispatched event (undispatched events before
+        ``end_time`` stay queued), and the next ``advance_to`` resumes
+        from there -- including re-advancing to the same ``end_time`` to
+        drain what the stop left behind.  ``end_time == now`` is legal
+        and dispatches any events scheduled exactly at ``now``.
+        """
+        self.run_until(end_time)
 
     def run(self) -> None:
         """Dispatch every queued event (the queue must be finite)."""

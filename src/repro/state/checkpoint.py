@@ -52,7 +52,8 @@ def restore_simulation(source: Union[str, SimulationSnapshot], *,
                        telemetry=None, checks: Optional[str] = None,
                        backend: Optional[str] = None,
                        checkpoint_every: Optional[int] = None,
-                       checkpoint_dir: Optional[str] = None):
+                       checkpoint_dir: Optional[str] = None,
+                       deadline=None):
     """Rebuild a runnable simulation from a snapshot (path or object).
 
     The configuration, policy, and trace all come from the snapshot; the
@@ -79,7 +80,8 @@ def restore_simulation(source: Union[str, SimulationSnapshot], *,
                             telemetry=telemetry, checks=checks,
                             backend=backend,
                             checkpoint_every=checkpoint_every,
-                            checkpoint_dir=checkpoint_dir)
+                            checkpoint_dir=checkpoint_dir,
+                            deadline=deadline)
     sim.restore(snapshot)
     return sim
 
@@ -88,12 +90,13 @@ def resume_run(source: Union[str, SimulationSnapshot], *,
                telemetry=None, checks: Optional[str] = None,
                backend: Optional[str] = None,
                checkpoint_every: Optional[int] = None,
-               checkpoint_dir: Optional[str] = None):
+               checkpoint_dir: Optional[str] = None,
+               deadline=None):
     """Restore from ``source`` and run to completion (the resume path)."""
     return restore_simulation(
         source, telemetry=telemetry, checks=checks, backend=backend,
         checkpoint_every=checkpoint_every,
-        checkpoint_dir=checkpoint_dir).run()
+        checkpoint_dir=checkpoint_dir, deadline=deadline).run()
 
 
 def verify_roundtrip(straight, resumed) -> None:

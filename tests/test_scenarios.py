@@ -436,12 +436,25 @@ class TestSuiteExecution:
         assert outcome.error_type == "RunTimeout"
         assert outcome.attempts == 1
 
-    def test_deadline_restores_signal_state(self):
+    def test_deadline_is_cooperative_not_signal_based(self):
+        # The old SIGALRM scheme only fired on the main thread; the
+        # cooperative Deadline must work anywhere and leave signal
+        # handlers untouched.
         import signal
+        import time as _time
+        from repro.perf.runner import Deadline
         before = signal.getsignal(signal.SIGALRM)
-        from repro.perf.runner import _deadline
-        with _deadline(30.0):
-            pass
+        deadline = Deadline.of(30.0)
+        assert deadline is not None
+        deadline.check()  # within budget: no-op
+        assert deadline.remaining_s() > 0 and not deadline.expired()
+        assert Deadline.of(None) is None
+        assert Deadline.of(0) is None
+        expired = Deadline(1e-9)
+        _time.sleep(0.002)
+        assert expired.expired()
+        with pytest.raises(RunTimeout):
+            expired.check()
         assert signal.getsignal(signal.SIGALRM) == before
         assert signal.getitimer(signal.ITIMER_REAL)[0] == 0.0
 

@@ -293,14 +293,27 @@ class TestSse:
         assert final["status"] == "done"
         assert final["cached"] is False
 
-    def test_cached_job_streams_no_spans(self, server):
-        _submit_and_await(server, "/v1/runs", TINY)
+    def test_cached_job_replays_source_spans(self, server):
+        """A registry hit replays the originating run's persisted spans
+        behind a typed ``cached-replay`` frame -- never zero history,
+        never passed off as fresh execution."""
+        first = _submit_and_await(server, "/v1/runs", TINY)
         _, body = _post(server, "/v1/runs", TINY)
         job_id = body["job"]["id"]
         events = _parse_sse(
             self._drain_sse(server, f"/v1/runs/{job_id}/events"))
-        assert [name for name, _ in events
-                if name == "span"] == []
+        names = [name for name, _ in events]
+        assert "cached-replay" in names
+        marker = json.loads(
+            next(data for name, data in events
+                 if name == "cached-replay"))
+        assert marker["source"] == first["id"]
+        spans = [data for name, data in events if name == "span"]
+        assert len(spans) == marker["spans"] > 0
+        for line in spans[:5]:
+            json.loads(line)
+        # The replay marker precedes every span: provenance up front.
+        assert names.index("cached-replay") < names.index("span")
         assert events[-1][0] == "done"
         assert json.loads(events[-1][1])["cached"] is True
 

@@ -42,10 +42,8 @@ class EngineMachine(RuleBasedStateMachine):
             if record[2] == ident:
                 record[3] = True
 
-    @rule(advance=st.floats(min_value=0.0, max_value=50.0))
-    def run_until(self, advance):
-        deadline = self.engine.now + advance
-        self.engine.run_until(deadline)
+    def _advance(self, deadline, method):
+        method(deadline)
         due = sorted((r for r in self.expected
                       if r[0] <= deadline and not r[3]),
                      key=lambda r: (r[0], r[1]))
@@ -57,6 +55,16 @@ class EngineMachine(RuleBasedStateMachine):
         assert self.fired[already:] == expected_ids
         assert self.engine.now == deadline
 
+    @rule(advance=st.floats(min_value=0.0, max_value=50.0))
+    def run_until(self, advance):
+        self._advance(self.engine.now + advance, self.engine.run_until)
+
+    @rule(advance=st.floats(min_value=0.0, max_value=50.0))
+    def advance_to(self, advance):
+        # The live-streaming spelling must honor the identical contract
+        # under arbitrary interleaving with run_until.
+        self._advance(self.engine.now + advance, self.engine.advance_to)
+
     @invariant()
     def clock_never_runs_backwards(self):
         assert self.engine.now >= 0.0
@@ -65,3 +73,69 @@ class EngineMachine(RuleBasedStateMachine):
 TestEngineStateful = EngineMachine.TestCase
 TestEngineStateful.settings = __import__("hypothesis").settings(
     max_examples=30, stateful_step_count=30, deadline=None)
+
+
+class TestAdvanceStopSnapshotInterleave:
+    """Regression: the PR 5 stop()/clock-jump contract must hold across
+    many ``advance_to`` re-entries, interleaved with snapshot/resume."""
+
+    def test_stop_holds_clock_per_call_across_reentries(self):
+        engine = Engine()
+        fired = []
+        # One stopper and one bystander per 10s slice, for 10 slices.
+        for k in range(10):
+            t = 10.0 * k + 1.0
+            engine.schedule_at(
+                t, lambda ev, k=k: (fired.append(("stop", k)),
+                                    engine.stop()))
+            engine.schedule_at(
+                t + 1.0, lambda ev, k=k: fired.append(("after", k)))
+        for k in range(10):
+            end = 10.0 * (k + 1)
+            engine.advance_to(end)
+            # The stopper halted this slice: the clock must sit at the
+            # stop event, never jump past the undispatched bystander.
+            assert engine.now == 10.0 * k + 1.0
+            assert fired[-1] == ("stop", k)
+            # Re-advancing to the same end drains what the stop left.
+            engine.advance_to(end)
+            assert engine.now == end
+            assert fired[-1] == ("after", k)
+        assert len(fired) == 20
+
+    def test_snapshot_resume_interleaved_with_advance_and_stop(self):
+        def build(record):
+            engine = Engine()
+            for k in range(6):
+                t = 5.0 * k + 0.5
+                engine.schedule_at(
+                    t, lambda ev, k=k: record.append(k))
+            return engine
+
+        straight_fired = []
+        straight = build(straight_fired)
+        straight.advance_to(30.0)
+
+        fired = []
+        engine = build(fired)
+        engine.advance_to(7.0)
+        engine.stop()  # no-op outside the loop; must not corrupt state
+        engine.advance_to(12.0)
+        state = engine.state_dict()
+        assert state["now_s"] == 12.0
+
+        resumed_fired = list(fired)
+        resumed = Engine()
+        resumed.load_state_dict(state)
+        # Snapshots are only taken at quiescent boundaries: the owner
+        # re-schedules its pending events, exactly like the tick process.
+        for k in range(6):
+            t = 5.0 * k + 0.5
+            if t > resumed.now:
+                resumed.schedule_at(
+                    t, lambda ev, k=k: resumed_fired.append(k))
+        resumed.advance_to(21.0)
+        resumed.advance_to(21.0)  # re-entry at the same boundary: no-op
+        resumed.advance_to(30.0)
+        assert resumed_fired == straight_fired
+        assert resumed.now == straight.now == 30.0
