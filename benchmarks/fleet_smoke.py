@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""CI smoke test for the heterogeneous fleet subsystem.
+
+Three gates, each a hard exit-1 failure:
+
+1. **Homogeneous identity** -- a homogeneous fleet under the
+   ``"independent"`` policy must be *fingerprint-identical* to
+   ``run_datacenter`` for the same config, site count, and stagger,
+   even while one pool worker is SIGKILLed mid-run (the
+   ``REPRO_KILL_RUN`` crash-injection hook): the bounded serial retry
+   must recover the lost site without changing a single bit.
+2. **Heterogeneous demo** -- the documented 3-site reference fleet
+   (CPU+GPU hardware classes, a wrapped overnight-peak tariff, one
+   battery site) must run end to end under every fleet policy with
+   invariant checks on, producing finite, non-negative cost and
+   carbon accounts.
+3. **Economics sanity** -- market-aware policies must not *increase*
+   the fleet bill relative to independent sites (they only ever move
+   load toward cheaper power or discharge stored off-peak energy).
+
+Usage::
+
+    REPRO_CHECKS=cheap python benchmarks/fleet_smoke.py \
+        [--servers N] [--hours H] [--kill-site LABEL]
+"""
+
+import argparse
+import os
+import sys
+
+from repro import api
+from repro.cluster.multi import run_datacenter
+from repro.config import SimulationConfig, TraceConfig
+from repro.fleet import FLEET_POLICIES, FleetSpec, run_fleet
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--servers", type=int, default=10)
+    parser.add_argument("--hours", type=float, default=8.0)
+    parser.add_argument("--sites", type=int, default=3)
+    parser.add_argument("--stagger", type=float, default=4.0)
+    parser.add_argument("--kill-site", default="site-site-1[vmt-ta]",
+                        help="RunSpec label whose worker is SIGKILLed "
+                             "('' disables the crash injection)")
+    args = parser.parse_args()
+
+    config = SimulationConfig(
+        num_servers=args.servers, seed=7,
+        trace=TraceConfig(duration_hours=args.hours))
+    failures = 0
+
+    # Gate 1: homogeneous identity, with a worker killed mid-fleet.
+    golden = run_datacenter(config, args.sites, policy="vmt-ta",
+                            stagger_hours=args.stagger)
+    if args.kill_site:
+        os.environ["REPRO_KILL_RUN"] = args.kill_site
+        print(f"crash injection armed: worker running "
+              f"{args.kill_site!r} will be SIGKILLed")
+    fleet = run_fleet(
+        FleetSpec.homogeneous(config, args.sites, policy="vmt-ta",
+                              stagger_hours=args.stagger),
+        max_workers=2, checks="cheap")
+    os.environ.pop("REPRO_KILL_RUN", None)
+    golden_fp = [r.fingerprint() for r in golden.cluster_results]
+    fleet_fp = [r.fingerprint() for r in fleet.cluster_results]
+    if fleet_fp != golden_fp:
+        print(f"FAIL: homogeneous fleet diverged from run_datacenter:\n"
+              f"  fleet:  {fleet_fp}\n  golden: {golden_fp}")
+        failures += 1
+    else:
+        print(f"homogeneous identity OK: {fleet_fp} "
+              f"(worker kill recovered bit-identically)")
+
+    # Gates 2+3: the heterogeneous demo under every fleet policy.
+    baseline_cost = None
+    for policy in sorted(FLEET_POLICIES):
+        result = api.fleet_run(demo=True, config=config, policy=policy,
+                               checks="cheap")
+        cost = result.total_energy_cost_usd
+        carbon = result.total_carbon_kg
+        if not (cost >= 0 and carbon >= 0
+                and cost == cost and carbon == carbon):  # NaN guard
+            print(f"FAIL: {policy} produced bad accounts "
+                  f"(cost={cost!r}, carbon={carbon!r})")
+            failures += 1
+            continue
+        print(f"{policy:<22s} bill ${cost:>8.2f}  carbon "
+              f"{carbon:>8.1f} kg  routed "
+              f"{result.moved_job_cores:>6d} job-cores")
+        if policy == "independent":
+            baseline_cost = cost
+    if baseline_cost is not None:
+        for policy in ("price-arbitrage", "battery-co-schedule"):
+            result = api.fleet_run(demo=True, config=config,
+                                   policy=policy, checks="cheap")
+            if result.total_energy_cost_usd > baseline_cost * 1.001:
+                print(f"FAIL: {policy} bill "
+                      f"${result.total_energy_cost_usd:.2f} exceeds "
+                      f"independent ${baseline_cost:.2f}")
+                failures += 1
+
+    if failures:
+        print(f"\nFAILED: {failures} fleet smoke gate(s) failed")
+        return 1
+    print("\nfleet smoke OK: homogeneous identity held under a "
+          "SIGKILLed worker and every fleet policy priced cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,11 +27,12 @@ The building blocks behind the facade stay public::
                          telemetry="runs/")  # JSONL trace + manifest
 """
 
-from .config import (AmbientConfig, AmbientEventSpec, CoolingFaultSpec,
-                     DemandEventSpec, FaultConfig, SchedulerConfig,
+from .config import (AmbientConfig, AmbientEventSpec, BatteryConfig,
+                     CoolingFaultSpec, DemandEventSpec, FaultConfig,
+                     HARDWARE_CLASSES, HardwareClass, SchedulerConfig,
                      SensorFaultSpec, ServerConfig, ServerFaultSpec,
                      SimulationConfig, ThermalConfig, TraceConfig,
-                     WaxConfig, paper_cluster_config)
+                     WaxConfig, hardware_class, paper_cluster_config)
 from .errors import (CapacityError, ConfigurationError, FaultInjectionError,
                      InvariantViolation, ReproError, SchedulingError,
                      SensorError, SimulationError, TelemetryError,
@@ -61,8 +62,9 @@ from .scenarios import (LeaderboardEntry, SCENARIO_LIBRARY, ScenarioSpec,
                         SuiteReport, get_scenario, qos_ok_fraction,
                         run_suite, scenario_names, verify_scenario)
 from .io import load_result, save_result
-from .tco import (ElectricityTariff, TCOModel, VMTSavings,
-                  compare_cooling_bills, n_paraffin_alternative_cost_usd,
+from .tco import (CarbonIntensityCurve, ElectricityTariff, EnergyBill,
+                  TCOModel, VMTSavings, compare_cooling_bills,
+                  n_paraffin_alternative_cost_usd,
                   wax_deployment_cost_usd)
 from .thermal import (ChillerPlant, CoolingLoadTracker, CoolingSystem,
                       MaterialProperties, PCMBank, SensibleStorageBank,
@@ -70,6 +72,10 @@ from .thermal import (ChillerPlant, CoolingLoadTracker, CoolingSystem,
 from .workloads import (TwoDayTrace, WORKLOADS, WORKLOAD_LIST, Workload,
                         WorkloadMix, classify_suite, get_workload,
                         paper_mix)
+# Imported last: the fleet layer composes cluster, tco, and thermal.
+from .fleet import (FLEET_POLICIES, FleetPolicy, FleetResult,
+                    FleetSimulation, FleetSpec, SiteResult, SiteSpec,
+                    demo_fleet, run_fleet)
 
 __version__ = "1.0.0"
 
@@ -79,6 +85,7 @@ __all__ = [
     "DemandEventSpec", "FaultConfig", "SchedulerConfig", "SensorFaultSpec",
     "ServerConfig", "ServerFaultSpec", "SimulationConfig", "ThermalConfig",
     "TraceConfig", "WaxConfig", "paper_cluster_config",
+    "BatteryConfig", "HARDWARE_CLASSES", "HardwareClass", "hardware_class",
     # errors
     "CapacityError", "ConfigurationError", "FaultInjectionError",
     "InvariantViolation", "ReproError", "SchedulingError", "SensorError",
@@ -110,9 +117,12 @@ __all__ = [
     # persistence
     "load_result", "save_result",
     # cost models
-    "ElectricityTariff", "TCOModel", "VMTSavings",
-    "compare_cooling_bills", "n_paraffin_alternative_cost_usd",
-    "wax_deployment_cost_usd",
+    "CarbonIntensityCurve", "ElectricityTariff", "EnergyBill", "TCOModel",
+    "VMTSavings", "compare_cooling_bills",
+    "n_paraffin_alternative_cost_usd", "wax_deployment_cost_usd",
+    # fleet subsystem
+    "FLEET_POLICIES", "FleetPolicy", "FleetResult", "FleetSimulation",
+    "FleetSpec", "SiteResult", "SiteSpec", "demo_fleet", "run_fleet",
     # thermal substrate
     "ChillerPlant", "CoolingLoadTracker", "CoolingSystem",
     "MaterialProperties", "PCMBank", "SensibleStorageBank",

@@ -50,7 +50,7 @@ from .perf.runner import ExperimentRunner, RunSpec
 from .workloads.trace import TraceMatrix
 
 __all__ = ["API_VERSION", "Comparison", "run", "compare", "sweep",
-           "stress", "datacenter", "live_run"]
+           "stress", "datacenter", "live_run", "fleet_run"]
 
 #: The frozen public-API version.  Everything exported here (and the
 #: ``to_json`` schemas of :class:`Comparison`,
@@ -398,6 +398,75 @@ def live_run(*, policy: Optional[str] = None,
         checkpoint_dir=checkpoint_dir, deadline=deadline,
         speedup=speedup)
     return runner.run()
+
+
+def fleet_run(*, fleet=None, num_sites: Optional[int] = None,
+              policy: str = "independent",
+              scheduler: str = "round-robin",
+              config: Optional[SimulationConfig] = None,
+              num_servers: Optional[int] = None,
+              gv: Optional[float] = None, seed: Optional[int] = None,
+              stagger_hours: float = 0.0, demo: bool = False,
+              max_workers: Optional[int] = 1,
+              record_heatmaps: bool = False,
+              telemetry: TelemetryLike = None,
+              checks: Optional[str] = None):
+    """Simulate a (possibly heterogeneous) multi-datacenter fleet.
+
+    Three entry shapes, in precedence order:
+
+    * ``fleet=`` -- a full :class:`~repro.fleet.FleetSpec` (site table,
+      hardware classes, tariffs, batteries), the escape hatch;
+    * ``demo=True`` -- the documented 3-site heterogeneous reference
+      fleet (CPU+GPU classes, two tariffs including a wrapped
+      overnight-peak one, a battery site) on the resolved base config;
+    * ``num_sites=N`` -- a homogeneous fleet, whose per-site results
+      are *fingerprint-identical* to :func:`datacenter` with
+      ``num_clusters=N``.
+
+    ``policy`` is the fleet-level strategy (a
+    :data:`~repro.fleet.FLEET_POLICIES` key: ``"independent"``,
+    ``"price-arbitrage"``, ``"battery-co-schedule"``,
+    ``"thermal-placement"``, ``"latency-spill"``); ``scheduler`` is the
+    per-site VMT scheduler name.  Returns a
+    :class:`~repro.fleet.FleetResult` with per-site cost and carbon
+    accounts next to the usual physics series.
+    """
+    from .fleet import FleetSpec, demo_fleet, run_fleet
+    _check_policy(scheduler)
+    if fleet is not None:
+        if num_sites is not None or demo:
+            raise ConfigurationError(
+                "pass either fleet= or num_sites=/demo=, not both")
+        spec = fleet
+    else:
+        resolved = _build_config(config, num_servers=num_servers,
+                                 gv=gv, seed=seed, inlet_stdev_c=None,
+                                 wax_threshold=None)
+        if demo:
+            if num_sites is not None:
+                raise ConfigurationError(
+                    "demo=True builds its own 3 sites; do not pass "
+                    "num_sites= alongside it")
+            spec = demo_fleet(resolved, policies=(scheduler,),
+                              fleet_policy_name=policy,
+                              stagger_hours=stagger_hours)
+        else:
+            if num_sites is None:
+                raise ConfigurationError(
+                    "pass fleet=, demo=True, or num_sites=")
+            spec = FleetSpec.homogeneous(resolved, num_sites,
+                                         policy=scheduler,
+                                         stagger_hours=stagger_hours)
+            if policy != "independent":
+                spec = FleetSpec(sites=spec.sites,
+                                 base_config=spec.base_config,
+                                 policies=spec.policies,
+                                 policy=policy,
+                                 stagger_hours=stagger_hours)
+    return run_fleet(spec, max_workers=max_workers,
+                     record_heatmaps=record_heatmaps,
+                     telemetry=telemetry, checks=checks)
 
 
 def datacenter(*, num_clusters: int, policy: str = "round-robin",

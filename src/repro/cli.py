@@ -28,6 +28,9 @@ Installs as ``repro-sim`` (see pyproject) and also runs as
 * ``trace``    -- the two-day trace and its landmarks
 * ``heatmap``  -- ASCII temperature / wax heatmaps for a policy
 * ``tco``      -- datacenter-scale TCO what-if
+* ``fleet``    -- multi-datacenter fleet: heterogeneous sites,
+  tariffs (wrapped overnight peaks included), carbon curves, batteries,
+  and cross-site routing; ``--demo`` runs the documented 3-site fleet
 * ``info``     -- workload table and calibration constants
 """
 
@@ -611,6 +614,31 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from . import api
+
+    config = _config_from(args)
+    if args.hours is not None:
+        config = dataclasses.replace(
+            config, trace=dataclasses.replace(
+                config.trace, duration_hours=args.hours))
+    kwargs = dict(policy=args.fleet_policy, scheduler=args.policy,
+                  config=config, stagger_hours=args.stagger,
+                  max_workers=args.max_workers,
+                  telemetry=args.telemetry, checks=args.checks)
+    if args.demo:
+        result = api.fleet_run(demo=True, **kwargs)
+    else:
+        result = api.fleet_run(num_sites=args.sites, **kwargs)
+    print(result.to_text())
+    if args.json:
+        import json
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.summary(), handle, indent=2)
+        print(f"summary written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -881,6 +909,44 @@ def build_parser() -> argparse.ArgumentParser:
     tco.add_argument("--reduction", type=float, default=None,
                      help="skip simulation; use this fraction (e.g. 0.128)")
     tco.set_defaults(func=_cmd_tco)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate a multi-datacenter fleet (sites, tariffs, "
+             "carbon, batteries, cross-site routing)")
+    _add_cluster_args(fleet)
+    fleet.add_argument("--sites", type=int, default=3,
+                       help="homogeneous site count (default: "
+                            "%(default)s); ignored with --demo")
+    fleet.add_argument("--demo", action="store_true",
+                       help="run the documented 3-site heterogeneous "
+                            "fleet (CPU+GPU classes, two tariffs, a "
+                            "battery site)")
+    from .fleet.spec import FLEET_POLICIES
+    fleet.add_argument("--fleet-policy", default="independent",
+                       choices=sorted(FLEET_POLICIES),
+                       help="fleet-level strategy (default: %(default)s)")
+    fleet.add_argument("--policy", choices=SCHEDULER_NAMES,
+                       default="round-robin",
+                       help="per-site VMT scheduler "
+                            "(default: %(default)s)")
+    fleet.add_argument("--stagger", type=float, default=0.0,
+                       metavar="HOURS",
+                       help="trace stagger between sites (wrapping)")
+    fleet.add_argument("--hours", type=float, default=None,
+                       help="trace duration in hours "
+                            "(default: the paper's 48)")
+    fleet.add_argument("--max-workers", type=int, default=1,
+                       metavar="N",
+                       help="worker processes for unrouted fleets")
+    fleet.add_argument("--telemetry", metavar="DIR",
+                       help="write per-site telemetry bundles here")
+    fleet.add_argument("--checks", choices=("off", "cheap", "full"),
+                       default=None,
+                       help="invariant sanitizer + fleet verifier level")
+    fleet.add_argument("--json", metavar="PATH",
+                       help="write the fleet summary as JSON")
+    fleet.set_defaults(func=_cmd_fleet)
 
     ledger = sub.add_parser(
         "ledger", help="list or verify run manifests in a telemetry dir")

@@ -133,6 +133,101 @@ class ThermalConfig:
             raise ConfigurationError("sensor noise must be >= 0")
 
 
+@dataclass(frozen=True)
+class HardwareClass:
+    """One server hardware class a fleet site can deploy.
+
+    The paper's cluster is 1,000 *identical* CPU servers; real fleets
+    mix generations and accelerators.  A hardware class bundles the two
+    per-server knobs the physics consumes -- the power curve
+    (:class:`ServerConfig`, feeding ``LinearPowerModel``) and the PCM
+    loadout (:class:`WaxConfig`, feeding ``PCMBank``) -- under a stable
+    name, so heterogeneous sites stay declarative data.
+    """
+
+    name: str
+    server: ServerConfig = field(default_factory=ServerConfig)
+    wax: WaxConfig = field(default_factory=WaxConfig)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if not self.name:
+            raise ConfigurationError("hardware class needs a name")
+        self.server.validate()
+        self.wax.validate()
+
+    def apply_to(self, config: "SimulationConfig") -> "SimulationConfig":
+        """A copy of ``config`` running on this hardware class."""
+        return config.replace(server=self.server, wax=self.wax)
+
+
+#: Built-in hardware classes.  ``cpu`` is exactly the paper's 2U Xeon
+#: box (identical to a default :class:`ServerConfig`/:class:`WaxConfig`,
+#: so selecting it never changes a result); ``gpu`` is an
+#: accelerator-dense chassis: fewer, hotter sockets, a wider
+#: idle-to-peak dynamic range, and a proportionally larger wax loadout
+#: behind the heat sinks.
+HARDWARE_CLASSES: Dict[str, HardwareClass] = {
+    "cpu": HardwareClass(name="cpu"),
+    "gpu": HardwareClass(
+        name="gpu",
+        server=ServerConfig(sockets=2, cores_per_socket=8,
+                            idle_power_w=250.0, peak_power_w=1100.0),
+        wax=WaxConfig(volume_liters=6.0)),
+}
+
+
+def hardware_class(name: str) -> HardwareClass:
+    """Look up a built-in hardware class by name."""
+    try:
+        return HARDWARE_CLASSES[name]
+    except KeyError:
+        known = ", ".join(sorted(HARDWARE_CLASSES))
+        raise ConfigurationError(
+            f"unknown hardware class {name!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class BatteryConfig:
+    """Site battery storage: a second time-shifting medium beside wax.
+
+    The wax shifts *thermal* load inside the server; a battery shifts
+    the cooling plant's *electrical* draw on the grid side.  The model
+    is a rate- and capacity-limited energy store with a round-trip
+    efficiency split evenly between charge and discharge legs; dispatch
+    policy lives in :mod:`repro.fleet.battery`.
+    """
+
+    capacity_kwh: float = 0.0
+    max_charge_kw: float = 0.0
+    max_discharge_kw: float = 0.0
+    round_trip_efficiency: float = 0.90
+    initial_soc: float = 0.5
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this battery can ever move any energy."""
+        return (self.capacity_kwh > 0 and self.max_charge_kw > 0
+                and self.max_discharge_kw > 0)
+
+    @property
+    def one_way_efficiency(self) -> float:
+        """Per-leg efficiency (round trip split evenly)."""
+        return math.sqrt(self.round_trip_efficiency)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if self.capacity_kwh < 0:
+            raise ConfigurationError("battery capacity must be >= 0")
+        if self.max_charge_kw < 0 or self.max_discharge_kw < 0:
+            raise ConfigurationError("battery rates must be >= 0")
+        if not 0.0 < self.round_trip_efficiency <= 1.0:
+            raise ConfigurationError(
+                "round-trip efficiency must be in (0, 1]")
+        if not 0.0 <= self.initial_soc <= 1.0:
+            raise ConfigurationError("initial SOC must be in [0, 1]")
+
+
 #: Demand-event kinds a trace overlay supports.
 DEMAND_EVENT_KINDS = ("surge", "curtail")
 

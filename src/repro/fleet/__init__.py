@@ -1,0 +1,43 @@
+"""Heterogeneous multi-datacenter fleet with energy-market coupling.
+
+The generalization of the paper's single identical-server room: named
+sites with their own hardware class, weather, chiller plant, tariff,
+carbon mix, and battery; cross-site demand routing; and fleet-level
+policies that compose VMT's thermal time-shifting with electrical
+(battery) time-shifting and market/thermal-aware placement.
+
+A homogeneous fleet under the ``"independent"`` policy is bit-identical
+to :func:`repro.cluster.multi.run_datacenter` -- fingerprint for
+fingerprint -- so everything the golden harness proves about the
+single-datacenter study carries over unchanged.
+"""
+
+from .battery import BatteryDispatch, dispatch_battery
+from .result import FleetResult, SiteResult
+from .router import RoutingPlan, route_traces, routing_scores
+from .run import FleetSimulation, run_fleet
+from .spec import (BATTERY_MODES, FLEET_POLICIES, ROUTING_MODES,
+                   FleetPolicy, FleetSpec, SiteSpec, demo_fleet,
+                   fleet_policy)
+from .verify import verify_fleet_result
+
+__all__ = [
+    "BATTERY_MODES",
+    "BatteryDispatch",
+    "FLEET_POLICIES",
+    "FleetPolicy",
+    "FleetResult",
+    "FleetSimulation",
+    "FleetSpec",
+    "ROUTING_MODES",
+    "RoutingPlan",
+    "SiteResult",
+    "SiteSpec",
+    "demo_fleet",
+    "dispatch_battery",
+    "fleet_policy",
+    "route_traces",
+    "routing_scores",
+    "run_fleet",
+    "verify_fleet_result",
+]

@@ -1,0 +1,142 @@
+"""Site battery storage: the electrical twin of the wax buffer.
+
+The paper's PCM shifts the *thermal* peak in time; a battery shifts the
+*electrical* one.  The two compose: VMT flattens the cooling load the
+chiller must remove, and the battery then moves the remaining grid draw
+(IT + chiller) into cheap or clean hours.  Dispatch is greedy and
+deterministic -- no solver, no randomness -- so a fleet run stays
+reproducible tick for tick.
+
+Sign conventions: ``charge_kw`` and ``discharge_kw`` are both
+non-negative; grid draw = load + charge - discharge and is floored at
+zero by construction (the battery never discharges more than the site
+is drawing -- this model does not export to the grid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..config import BatteryConfig
+from ..errors import ConfigurationError
+from ..tco.energy import ElectricityTariff
+
+
+@dataclass(frozen=True)
+class BatteryDispatch:
+    """One site's battery behaviour over a run."""
+
+    #: Grid draw after battery action, kW (>= 0 everywhere).
+    grid_kw: np.ndarray
+    #: State of charge after each tick, kWh (within [0, capacity]).
+    soc_kwh: np.ndarray
+    #: Total energy pushed into the cell (after charge losses), kWh.
+    charged_kwh: float
+    #: Total energy delivered to the site bus, kWh.
+    discharged_kwh: float
+
+    @property
+    def shifted_kwh(self) -> float:
+        """Energy the battery time-shifted (delivered side)."""
+        return self.discharged_kwh
+
+    @property
+    def active(self) -> bool:
+        """Whether the battery did anything at all."""
+        return self.charged_kwh > 0.0 or self.discharged_kwh > 0.0
+
+
+def idle_dispatch(load_kw: np.ndarray,
+                  battery: BatteryConfig) -> BatteryDispatch:
+    """The no-op dispatch: grid follows the load, SOC never moves."""
+    load = np.asarray(load_kw, dtype=np.float64)
+    soc = np.full(load.shape,
+                  battery.capacity_kwh * battery.initial_soc)
+    return BatteryDispatch(grid_kw=load.copy(), soc_kwh=soc,
+                           charged_kwh=0.0, discharged_kwh=0.0)
+
+
+def dispatch_battery(load_kw: Sequence[float],
+                     times_h: Sequence[float],
+                     dt_s: float,
+                     battery: BatteryConfig,
+                     tariff: ElectricityTariff,
+                     mode: str = "idle") -> BatteryDispatch:
+    """Greedily dispatch a site battery against a load series.
+
+    * ``idle`` -- do nothing (also the path for absent batteries).
+    * ``arbitrage`` -- charge flat-out off-peak, discharge into the
+      tariff's peak window: the battery buys cheap energy and burns it
+      when power is expensive.  Wrapped overnight-peak windows work
+      exactly like daytime ones.
+    * ``peak-shave`` -- discharge whenever the load is above its own
+      mean, recharge below it: flattens the site's grid draw the way
+      the wax flattens its thermal load.
+
+    Charging pays the one-way efficiency on the way in; discharging
+    pays it on the way out, so a full cycle loses exactly
+    ``1 - round_trip_efficiency``.
+    """
+    if dt_s <= 0:
+        raise ConfigurationError("dt must be positive")
+    if mode not in ("idle", "arbitrage", "peak-shave"):
+        raise ConfigurationError(f"unknown battery mode {mode!r}")
+    load = np.asarray(load_kw, dtype=np.float64)
+    times = np.asarray(times_h, dtype=np.float64)
+    if load.shape != times.shape:
+        raise ConfigurationError("load and time series must align")
+    if (load < 0).any():
+        raise ConfigurationError("site load must be non-negative")
+    if mode == "idle" or not battery.enabled or load.size == 0:
+        return idle_dispatch(load, battery)
+
+    dt_h = dt_s / 3600.0
+    eff = battery.one_way_efficiency
+    capacity = battery.capacity_kwh
+    soc = capacity * battery.initial_soc
+    peak = tariff.is_peak(times)
+    mean_kw = float(load.mean())
+
+    grid = np.empty_like(load)
+    soc_series = np.empty_like(load)
+    charged = 0.0
+    discharged = 0.0
+    for tick in range(load.size):
+        if mode == "arbitrage":
+            want_discharge = bool(peak[tick])
+            charge_target_kw = battery.max_charge_kw
+            discharge_target_kw = battery.max_discharge_kw
+        else:  # peak-shave
+            excess = load[tick] - mean_kw
+            want_discharge = excess > 0.0
+            # Never shave below / recharge above the mean line.
+            discharge_target_kw = min(battery.max_discharge_kw,
+                                      max(excess, 0.0))
+            charge_target_kw = min(battery.max_charge_kw,
+                                   max(-excess, 0.0))
+        if want_discharge:
+            # Delivered power is bounded by the rate, the load itself
+            # (no grid export), and the energy left in the cell.
+            deliver_kw = min(discharge_target_kw, float(load[tick]),
+                             soc * eff / dt_h if dt_h > 0 else 0.0)
+            deliver_kw = max(deliver_kw, 0.0)
+            soc -= deliver_kw * dt_h / eff
+            discharged += deliver_kw * dt_h
+            grid[tick] = load[tick] - deliver_kw
+        else:
+            # Stored power is bounded by the rate and the headroom.
+            draw_kw = min(charge_target_kw,
+                          (capacity - soc) / (eff * dt_h)
+                          if dt_h > 0 else 0.0)
+            draw_kw = max(draw_kw, 0.0)
+            soc += draw_kw * eff * dt_h
+            charged += draw_kw * eff * dt_h
+            grid[tick] = load[tick] + draw_kw
+        soc = min(max(soc, 0.0), capacity)
+        soc_series[tick] = soc
+    return BatteryDispatch(grid_kw=grid, soc_kwh=soc_series,
+                           charged_kwh=charged,
+                           discharged_kwh=discharged)

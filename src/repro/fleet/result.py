@@ -1,0 +1,217 @@
+"""Fleet run products: per-site accounts and the fleet aggregate.
+
+A :class:`SiteResult` pairs a site's physics run
+(:class:`~repro.cluster.metrics.SimulationResult`, fingerprint and
+all) with its market outcome: the chiller's electrical draw under the
+site's ambient, the battery's dispatch, and the resulting cost and
+carbon.  :class:`FleetResult` aggregates the sites the same way
+:class:`~repro.cluster.multi.DatacenterResult` aggregates clusters --
+and can project itself down to one, so every existing analysis tool
+keeps working on fleet output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.metrics import SimulationResult
+from ..cluster.multi import DatacenterResult
+from ..errors import SimulationError
+from ..tco.energy import CoolingEnergyAccount
+from ..thermal.plant import ChillerPlant
+from .battery import BatteryDispatch
+from .spec import SiteSpec
+
+
+@dataclass(frozen=True)
+class SiteResult:
+    """Everything one site produced: physics, power, money, carbon."""
+
+    site: SiteSpec
+    result: SimulationResult
+    #: The plant that actually priced this site (auto-sized when the
+    #: spec left it ``None``).
+    plant: ChillerPlant
+    #: Cooling-only account (the chiller's share of the bill).
+    cooling: CoolingEnergyAccount
+    #: Site grid draw after battery action, kW (IT + chiller).
+    grid_kw: np.ndarray
+    #: Condenser ambient the plant saw, deg C.
+    ambient_c: np.ndarray
+    battery: BatteryDispatch
+    #: Whole-site bill (IT + cooling, after the battery), USD.
+    energy_cost_usd: float
+    #: Whole-site emissions (IT + cooling, after the battery), kg CO2e.
+    carbon_kg: float
+    #: Net job-cores routed into (+) or out of (-) this site.
+    net_routed_job_cores: int = 0
+
+    @property
+    def name(self) -> str:
+        """The site's name."""
+        return self.site.name
+
+    @property
+    def peak_cooling_load_w(self) -> float:
+        """Peak thermal cooling load of this site."""
+        return float(self.result.cooling_load_w.max())
+
+    @property
+    def energy_kwh(self) -> float:
+        """Total grid energy the site drew, kWh."""
+        dt_h = self.result.config.trace.step_seconds / 3600.0
+        return float(self.grid_kw.sum() * dt_h)
+
+    def summary(self) -> Dict[str, Any]:
+        """Scalar site summary for reports and the CLI table."""
+        return {
+            "site": self.name,
+            "hardware": self.site.hardware or "base",
+            "policy": self.result.scheduler_name,
+            "peak_cooling_kw": self.peak_cooling_load_w / 1e3,
+            "energy_kwh": self.energy_kwh,
+            "energy_cost_usd": self.energy_cost_usd,
+            "carbon_kg": self.carbon_kg,
+            "overloaded_tick_fraction":
+                self.cooling.overloaded_tick_fraction,
+            "battery_shifted_kwh": self.battery.shifted_kwh,
+            "net_routed_job_cores": self.net_routed_job_cores,
+            "fingerprint": self.result.fingerprint(),
+        }
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Aggregated outcome of a fleet run."""
+
+    site_results: Tuple[SiteResult, ...]
+    times_s: np.ndarray
+    total_cooling_load_w: np.ndarray
+    #: Fleet policy the run executed (a FLEET_POLICIES key).
+    policy: str
+    #: Job-cores the router moved across sites (0 = independent sites).
+    moved_job_cores: int = 0
+
+    @property
+    def num_sites(self) -> int:
+        """How many sites the fleet ran."""
+        return len(self.site_results)
+
+    @property
+    def sites(self) -> Tuple[str, ...]:
+        """Site names, in fleet order."""
+        return tuple(s.name for s in self.site_results)
+
+    @property
+    def cluster_results(self) -> List[SimulationResult]:
+        """Per-site physics results (DatacenterResult-compatible)."""
+        return [s.result for s in self.site_results]
+
+    @property
+    def peak_cooling_load_w(self) -> float:
+        """Peak of the fleet-wide cooling load."""
+        return float(self.total_cooling_load_w.max())
+
+    @property
+    def total_energy_cost_usd(self) -> float:
+        """Fleet electricity bill (IT + cooling, after batteries)."""
+        return float(sum(s.energy_cost_usd for s in self.site_results))
+
+    @property
+    def total_carbon_kg(self) -> float:
+        """Fleet emissions (IT + cooling, after batteries)."""
+        return float(sum(s.carbon_kg for s in self.site_results))
+
+    @property
+    def total_energy_kwh(self) -> float:
+        """Fleet grid energy, kWh."""
+        return float(sum(s.energy_kwh for s in self.site_results))
+
+    def site(self, name: str) -> SiteResult:
+        """Look up one site's result by name."""
+        for entry in self.site_results:
+            if entry.name == name:
+                return entry
+        raise SimulationError(
+            f"no site named {name!r} in fleet result "
+            f"(sites: {', '.join(self.sites)})")
+
+    def to_datacenter_result(self) -> DatacenterResult:
+        """Project down to the multi-cluster result shape.
+
+        Every analysis/plotting tool written against
+        :class:`DatacenterResult` works on fleet output through this --
+        and for a homogeneous fleet the projection is *bit-identical*
+        to what ``run_datacenter`` returns.
+        """
+        return DatacenterResult(
+            cluster_results=self.cluster_results,
+            times_s=self.times_s,
+            total_cooling_load_w=self.total_cooling_load_w)
+
+    def summary(self) -> Dict[str, Any]:
+        """Scalar fleet summary plus one row per site."""
+        return {
+            "policy": self.policy,
+            "num_sites": self.num_sites,
+            "peak_cooling_kw": self.peak_cooling_load_w / 1e3,
+            "energy_kwh": self.total_energy_kwh,
+            "energy_cost_usd": self.total_energy_cost_usd,
+            "carbon_kg": self.total_carbon_kg,
+            "moved_job_cores": self.moved_job_cores,
+            "sites": [s.summary() for s in self.site_results],
+        }
+
+    def to_text(self) -> str:
+        """Human-readable fleet report for the CLI."""
+        lines = [f"fleet run ({self.policy}): {self.num_sites} sites, "
+                 f"peak cooling {self.peak_cooling_load_w / 1e3:.1f} kW, "
+                 f"bill ${self.total_energy_cost_usd:,.2f}, "
+                 f"carbon {self.total_carbon_kg:,.1f} kg"]
+        if self.moved_job_cores:
+            lines.append(f"  routed {self.moved_job_cores} job-cores "
+                         f"across sites")
+        header = (f"  {'site':<12s} {'hw':<5s} {'peak kW':>9s} "
+                  f"{'kWh':>11s} {'cost $':>10s} {'kg CO2e':>10s} "
+                  f"{'batt kWh':>9s} {'routed':>7s}")
+        lines.append(header)
+        for entry in self.site_results:
+            row = entry.summary()
+            lines.append(
+                f"  {row['site']:<12.12s} {row['hardware']:<5.5s} "
+                f"{row['peak_cooling_kw']:>9.1f} "
+                f"{row['energy_kwh']:>11.1f} "
+                f"{row['energy_cost_usd']:>10.2f} "
+                f"{row['carbon_kg']:>10.1f} "
+                f"{row['battery_shifted_kwh']:>9.1f} "
+                f"{row['net_routed_job_cores']:>7d}")
+        saturated = [s.name for s in self.site_results
+                     if s.cooling.overloaded_tick_fraction > 0]
+        if saturated:
+            lines.append(f"  WARNING: plant saturated at: "
+                         f"{', '.join(saturated)}")
+        return "\n".join(lines)
+
+
+def aggregate_sites(site_results: Tuple[SiteResult, ...], *,
+                    policy: str, moved_job_cores: int) -> FleetResult:
+    """Fold per-site results into a :class:`FleetResult`.
+
+    Sums cooling loads on the shared time base (all sites run the same
+    trace horizon, which the fleet spec guarantees).
+    """
+    if not site_results:
+        raise SimulationError("fleet produced no site results")
+    total: Optional[np.ndarray] = None
+    for entry in site_results:
+        load = entry.result.cooling_load_w
+        total = load.copy() if total is None else total + load
+    assert total is not None
+    return FleetResult(site_results=tuple(site_results),
+                       times_s=site_results[0].result.times_s,
+                       total_cooling_load_w=total,
+                       policy=policy,
+                       moved_job_cores=moved_job_cores)

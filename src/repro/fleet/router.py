@@ -1,0 +1,229 @@
+"""Cross-site demand routing with network-latency-aware load spill.
+
+Routing happens *before* simulation, on the per-site demand traces:
+moving a job between sites is a front-end placement decision, so the
+fleet router rewrites the (steps x workloads) demand matrices and each
+site then simulates its routed trace with its own scheduler.  That
+keeps the per-site physics engine untouched and the routed run exactly
+as deterministic as an unrouted one.
+
+The router is deliberately greedy and integral: at each tick it picks
+the worst donor and the best receiver by the policy's score, respects
+the round-trip latency budget (source + destination backbone latency),
+moves at most ``spill_fraction`` of the donor's demand, and never
+overfills a receiver past its core capacity.  Per-tick, per-workload
+job conservation is an invariant the fleet verifier re-checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..workloads.trace import TraceMatrix
+
+#: Scores closer than this are not worth a cross-site move.
+SCORE_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class RoutingPlan:
+    """What the router did: routed traces plus an audit trail."""
+
+    traces: Tuple[TraceMatrix, ...]
+    #: Total job-cores moved across all ticks (0 = routing was a no-op).
+    moved_job_cores: int
+    #: Per-site net job-cores received (negative = net donor), summed
+    #: over the whole horizon.  Always sums to zero.
+    net_received: Tuple[int, ...]
+    #: Fraction of ticks where at least one move happened.
+    active_tick_fraction: float
+
+
+def pair_latency_ms(sites_latency_ms: Sequence[float],
+                    src: int, dst: int) -> float:
+    """Round-trip cost of routing a job from ``src`` to ``dst``.
+
+    Both sites sit on a shared backbone, so the path pays each end's
+    access latency once.
+    """
+    return float(sites_latency_ms[src] + sites_latency_ms[dst])
+
+
+def route_traces(traces: Sequence[TraceMatrix],
+                 scores: np.ndarray, *,
+                 sites_latency_ms: Sequence[float],
+                 latency_budget_ms: float,
+                 spill_fraction: float,
+                 capacities: Optional[Sequence[int]] = None
+                 ) -> RoutingPlan:
+    """Shift demand between sites, tick by tick, along a score field.
+
+    ``scores`` is a (steps x sites) array where *higher* means "shed
+    load" (price in peak, hot ambient, high utilization); at each tick
+    the router moves jobs from the highest-scoring site with demand to
+    the lowest-scoring site with headroom, if the pair's round-trip
+    latency fits the budget and the score gap is material.
+
+    Returns a :class:`RoutingPlan`; the input traces are never
+    mutated (they are read-only by construction).
+    """
+    num_sites = len(traces)
+    if num_sites == 0:
+        raise ConfigurationError("need at least one trace to route")
+    steps = traces[0].num_steps
+    step_s = traces[0].step_seconds
+    for trace in traces:
+        if trace.num_steps != steps:
+            raise ConfigurationError(
+                "all site traces must share the same horizon")
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.shape != (steps, num_sites):
+        raise ConfigurationError(
+            f"scores must be (steps, sites) = ({steps}, {num_sites}); "
+            f"got {scores.shape}")
+    if capacities is None:
+        capacities = [trace.total_cores for trace in traces]
+
+    counts = [trace.counts for trace in traces]  # writable copies
+    moved_total = 0
+    net = [0] * num_sites
+    active_ticks = 0
+
+    order = np.argsort(scores, axis=1)  # ascending: receivers first
+    for tick in range(steps):
+        tick_order = order[tick]
+        donor = int(tick_order[-1])
+        donor_total = int(counts[donor][tick].sum())
+        if donor_total == 0:
+            continue
+        budget = int(np.floor(spill_fraction * donor_total))
+        if budget == 0:
+            continue
+        moved_this_tick = 0
+        for receiver in tick_order[:-1]:
+            receiver = int(receiver)
+            if budget <= 0:
+                break
+            gap = scores[tick, donor] - scores[tick, receiver]
+            if gap <= SCORE_EPSILON:
+                break  # order is sorted; no better receiver follows
+            if pair_latency_ms(sites_latency_ms, donor, receiver) \
+                    > latency_budget_ms:
+                continue
+            headroom = capacities[receiver] \
+                - int(counts[receiver][tick].sum())
+            if headroom <= 0:
+                continue
+            movable = min(budget, headroom)
+            # Take from the donor's largest workload columns first so a
+            # single move stays integral and deterministic.
+            columns = np.argsort(counts[donor][tick])[::-1]
+            for col in columns:
+                if movable <= 0:
+                    break
+                take = min(int(counts[donor][tick][col]), movable)
+                if take <= 0:
+                    continue
+                counts[donor][tick][col] -= take
+                counts[receiver][tick][col] += take
+                movable -= take
+                budget -= take
+                moved_this_tick += take
+                net[donor] -= take
+                net[receiver] += take
+        if moved_this_tick:
+            moved_total += moved_this_tick
+            active_ticks += 1
+
+    routed = tuple(
+        TraceMatrix(counts[index], step_s, traces[index].total_cores)
+        for index in range(num_sites))
+    return RoutingPlan(
+        traces=routed, moved_job_cores=moved_total,
+        net_received=tuple(net),
+        active_tick_fraction=active_ticks / steps if steps else 0.0)
+
+
+def routing_scores(mode: str, traces: Sequence[TraceMatrix], *,
+                   tariffs: Sequence,
+                   ambients_c: Sequence[np.ndarray]) -> np.ndarray:
+    """The (steps x sites) score field a routing mode ranks sites by.
+
+    * ``latency`` -- utilization: spill away from the busiest site (the
+      latency budget then decides who may absorb it).
+    * ``thermal`` -- site condenser ambient: hot sites shed, cool sites
+      absorb, so the fleet's aggregate chiller COP improves.
+    * ``price`` -- the site's *current* tariff rate: in-peak sites shed
+      toward off-peak sites (timezone stagger and wrapped overnight
+      windows make this a real arbitrage).
+    """
+    steps = traces[0].num_steps
+    num_sites = len(traces)
+    scores = np.zeros((steps, num_sites), dtype=np.float64)
+    if mode == "latency":
+        for index, trace in enumerate(traces):
+            scores[:, index] = trace.utilization()
+    elif mode == "thermal":
+        for index in range(num_sites):
+            scores[:, index] = np.asarray(ambients_c[index],
+                                          dtype=np.float64)
+    elif mode == "price":
+        times_h = traces[0].times_hours
+        for index in range(num_sites):
+            scores[:, index] = tariffs[index].rate_usd_per_kwh(times_h)
+    else:
+        raise ConfigurationError(
+            f"no score field for routing mode {mode!r}")
+    return scores
+
+
+def conservation_violation(before: Sequence[TraceMatrix],
+                           after: Sequence[TraceMatrix]) -> Optional[str]:
+    """Check per-tick, per-workload job conservation across the fleet.
+
+    Returns ``None`` when the routed traces redistribute exactly the
+    demand the input traces carried, or a description of the first
+    violation -- the fleet verifier turns that into an
+    :class:`~repro.errors.InvariantViolation`.
+    """
+    total_before = sum(trace.counts for trace in before)
+    total_after = sum(trace.counts for trace in after)
+    if not np.array_equal(total_before, total_after):
+        bad = np.argwhere(total_before != total_after)
+        tick, workload = (int(bad[0][0]), int(bad[0][1])) if len(bad) \
+            else (0, 0)
+        return (f"routing broke job conservation at tick {tick}, "
+                f"workload column {workload}: "
+                f"{int(total_before[tick, workload])} job-cores in, "
+                f"{int(total_after[tick, workload])} out")
+    for index, trace in enumerate(after):
+        counts = trace.counts
+        if (counts < 0).any():
+            return f"site {index} routed trace went negative"
+        if (counts.sum(axis=1) > trace.total_cores).any():
+            return (f"site {index} routed trace exceeds its "
+                    f"{trace.total_cores}-core capacity")
+    return None
+
+
+def routed_site_traces(mode: str, traces: List[TraceMatrix], *,
+                       tariffs: Sequence,
+                       ambients_c: Sequence[np.ndarray],
+                       sites_latency_ms: Sequence[float],
+                       latency_budget_ms: float,
+                       spill_fraction: float) -> RoutingPlan:
+    """Route a fleet's traces under a named mode (``"none"`` = no-op)."""
+    if mode == "none":
+        return RoutingPlan(traces=tuple(traces), moved_job_cores=0,
+                           net_received=tuple(0 for _ in traces),
+                           active_tick_fraction=0.0)
+    scores = routing_scores(mode, traces, tariffs=tariffs,
+                            ambients_c=ambients_c)
+    return route_traces(traces, scores,
+                        sites_latency_ms=sites_latency_ms,
+                        latency_budget_ms=latency_budget_ms,
+                        spill_fraction=spill_fraction)

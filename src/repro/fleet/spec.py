@@ -1,0 +1,314 @@
+"""Fleet topology: named sites, hardware classes, markets, batteries.
+
+The paper evaluates 1,000 *identical* CPU servers in one room and
+scales the result "multiplied linearly" (Section IV-E).  A real
+operator runs a *fleet*: heterogeneous sites, each with its own
+hardware class, weather, chiller plant, electricity tariff, grid
+carbon mix, and (sometimes) battery storage.  :class:`FleetSpec`
+describes that topology declaratively; :mod:`repro.fleet.run`
+executes it.
+
+The crucial backwards-compatibility contract: a *homogeneous* fleet
+(no per-site overrides, fleet policy ``"independent"``) must be
+bit-identical to :func:`repro.cluster.multi.run_datacenter` -- same
+derived seeds, same stagger, same traces, same fingerprints.  The
+golden harness therefore remains the oracle for the fleet layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..config import (AmbientConfig, BatteryConfig, SimulationConfig,
+                      hardware_class)
+from ..errors import ConfigurationError
+from ..tco.energy import CarbonIntensityCurve, ElectricityTariff
+from ..thermal.plant import ChillerPlant
+
+#: Cross-site demand routing modes (see :mod:`repro.fleet.router`).
+ROUTING_MODES = ("none", "latency", "thermal", "price")
+
+#: Battery dispatch modes (see :mod:`repro.fleet.battery`).
+BATTERY_MODES = ("idle", "arbitrage", "peak-shave")
+
+
+@dataclass(frozen=True)
+class FleetPolicy:
+    """One named fleet-level strategy: a routing mode x a battery mode.
+
+    Site-local VMT scheduling (the paper's contribution) is orthogonal
+    and configured per site; the fleet policy decides what the *fleet*
+    does on top of it.
+    """
+
+    routing: str
+    battery_mode: str
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on unknown modes."""
+        if self.routing not in ROUTING_MODES:
+            raise ConfigurationError(
+                f"routing must be one of {ROUTING_MODES}, "
+                f"got {self.routing!r}")
+        if self.battery_mode not in BATTERY_MODES:
+            raise ConfigurationError(
+                f"battery mode must be one of {BATTERY_MODES}, "
+                f"got {self.battery_mode!r}")
+
+
+#: The fleet-level policy table.  ``independent`` is the homogeneous
+#: default (no routing, batteries idle) and stays bit-identical to
+#: ``run_datacenter``; the other entries are the strategies the issue
+#: names: price arbitrage (route work toward cheap power and trade the
+#: battery against the tariff), battery co-scheduling (wax shifts the
+#: thermal peak while the battery shifts the electrical one), and
+#: thermal-aware heterogeneous placement (route work toward cool sites
+#: where the chiller COP is best).
+FLEET_POLICIES: Dict[str, FleetPolicy] = {
+    "independent": FleetPolicy(routing="none", battery_mode="idle"),
+    "latency-spill": FleetPolicy(routing="latency", battery_mode="idle"),
+    "price-arbitrage": FleetPolicy(routing="price",
+                                   battery_mode="arbitrage"),
+    "battery-co-schedule": FleetPolicy(routing="none",
+                                       battery_mode="arbitrage"),
+    "thermal-placement": FleetPolicy(routing="thermal",
+                                     battery_mode="idle"),
+}
+
+
+def fleet_policy(name: str) -> FleetPolicy:
+    """Look up a fleet policy, with a helpful error on a miss."""
+    try:
+        return FLEET_POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(FLEET_POLICIES))
+        raise ConfigurationError(
+            f"unknown fleet policy {name!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """One datacenter site in the fleet.
+
+    Every override defaults to "inherit the fleet's base": a site built
+    as ``SiteSpec(name="x")`` changes nothing about the simulation, so
+    a fleet of such sites reproduces the homogeneous datacenter
+    exactly.  ``hardware`` names a row of the
+    :data:`~repro.config.HARDWARE_CLASSES` table and swaps the site's
+    server power curve / core count and PCM loadout; ``config`` swaps
+    the entire simulation configuration; ``ambient`` the weather
+    profile.  Market coupling (``tariff``, ``carbon``), the cooling
+    plant, and battery storage are per-site by nature.
+    """
+
+    name: str
+    #: Hardware class name from the table; ``None`` inherits the base
+    #: config's server/wax untouched (a named default like ``"cpu"``
+    #: would silently clobber a custom base config).
+    hardware: Optional[str] = None
+    #: Full per-site :class:`SimulationConfig`; ``None`` = fleet base.
+    config: Optional[SimulationConfig] = None
+    #: Weather override; ``None`` = whatever the site's config carries.
+    ambient: Optional[AmbientConfig] = None
+    #: Cooling plant; ``None`` sizes a plant at the site's own peak
+    #: cooling load after simulation (never saturated by construction).
+    plant: Optional[ChillerPlant] = None
+    tariff: ElectricityTariff = field(default_factory=ElectricityTariff)
+    carbon: CarbonIntensityCurve = field(
+        default_factory=CarbonIntensityCurve)
+    battery: BatteryConfig = field(default_factory=BatteryConfig)
+    #: One-way network latency from this site to the fleet backbone,
+    #: milliseconds; a routed job pays source + destination latency.
+    latency_ms: float = 0.0
+    #: Mean outdoor (condenser) ambient; the site's weather profile
+    #: swings around this base for the chiller COP derate.
+    outdoor_base_c: float = 25.0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if not self.name:
+            raise ConfigurationError("site needs a non-empty name")
+        if self.hardware is not None:
+            hardware_class(self.hardware)  # raises on unknown name
+        if self.config is not None:
+            self.config.validate()
+        if self.ambient is not None:
+            self.ambient.validate()
+        self.battery.validate()
+        if self.latency_ms < 0:
+            raise ConfigurationError("site latency must be >= 0")
+        if not -60.0 <= self.outdoor_base_c <= 60.0:
+            raise ConfigurationError(
+                "outdoor ambient base must be within +-60 deg C")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A fleet of sites plus the fleet-level strategy knobs.
+
+    ``policies`` mirrors :class:`MultiClusterSimulation`: one VMT
+    scheduler name for the whole fleet or one per site.  ``policy``
+    (the *fleet* policy) picks a row of :data:`FLEET_POLICIES`.
+    ``stagger_hours`` shifts site ``k``'s trace by ``k * stagger``
+    (wrapping), exactly as the multi-cluster study does.
+    """
+
+    sites: Tuple[SiteSpec, ...]
+    base_config: SimulationConfig = field(
+        default_factory=SimulationConfig)
+    policies: Tuple[str, ...] = ("round-robin",)
+    policy: str = "independent"
+    stagger_hours: float = 0.0
+    #: Round-trip latency budget a routed job tolerates, milliseconds.
+    latency_budget_ms: float = 50.0
+    #: Largest fraction of a donor site's demand the router may move
+    #: away in one tick.
+    spill_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sites", tuple(self.sites))
+        object.__setattr__(self, "policies", tuple(self.policies))
+
+    @property
+    def num_sites(self) -> int:
+        """How many sites the fleet runs."""
+        return len(self.sites)
+
+    @property
+    def fleet_policy(self) -> FleetPolicy:
+        """The resolved fleet-level strategy."""
+        return fleet_policy(self.policy)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if not self.sites:
+            raise ConfigurationError("fleet needs at least one site")
+        names = [site.name for site in self.sites]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"site names must be unique, got {names}")
+        for site in self.sites:
+            site.validate()
+        self.base_config.validate()
+        if len(self.policies) not in (1, len(self.sites)):
+            raise ConfigurationError(
+                "pass one scheduler policy or one per site")
+        self.fleet_policy.validate()
+        if self.latency_budget_ms < 0:
+            raise ConfigurationError("latency budget must be >= 0")
+        if not 0.0 <= self.spill_fraction <= 1.0:
+            raise ConfigurationError(
+                "spill fraction must be in [0, 1]")
+
+    def scheduler_for(self, index: int) -> str:
+        """The VMT scheduler name site ``index`` runs."""
+        if len(self.policies) == 1:
+            return self.policies[0]
+        return self.policies[index]
+
+    def site_config(self, index: int) -> SimulationConfig:
+        """Site ``index``'s fully resolved simulation configuration.
+
+        Override order: site config (or fleet base), then hardware
+        class, then ambient profile, then the index-derived seed.  The
+        seed derivation (``base seed + index``) matches
+        :class:`~repro.cluster.multi.MultiClusterSimulation` exactly --
+        it is what keeps the homogeneous fleet bit-identical to
+        ``run_datacenter``.
+        """
+        site = self.sites[index]
+        config = site.config if site.config is not None \
+            else self.base_config
+        if site.hardware is not None:
+            config = hardware_class(site.hardware).apply_to(config)
+        if site.ambient is not None:
+            config = config.replace(ambient=site.ambient)
+        return config.replace(seed=config.seed + index)
+
+    def trace_shift_hours(self, index: int) -> float:
+        """Trace stagger for site ``index`` (wrapping, as documented)."""
+        return index * self.stagger_hours
+
+    @classmethod
+    def homogeneous(cls, config: SimulationConfig, num_sites: int, *,
+                    policy: str = "round-robin",
+                    stagger_hours: float = 0.0) -> "FleetSpec":
+        """The fleet equivalent of ``run_datacenter``'s argument list.
+
+        ``num_sites`` identical sites, no market/battery/routing
+        coupling -- the configuration whose results are fingerprint-
+        identical to the multi-cluster datacenter study.
+        """
+        if num_sites <= 0:
+            raise ConfigurationError("need at least one site")
+        sites = tuple(SiteSpec(name=f"site-{index}")
+                      for index in range(num_sites))
+        return cls(sites=sites, base_config=config,
+                   policies=(policy,), policy="independent",
+                   stagger_hours=stagger_hours)
+
+
+def demo_fleet(base_config: Optional[SimulationConfig] = None, *,
+               policies: Sequence[str] = ("round-robin",),
+               fleet_policy_name: str = "price-arbitrage",
+               stagger_hours: float = 6.0) -> FleetSpec:
+    """The 3-site heterogeneous reference fleet the docs and CI run.
+
+    Three sites spanning the interesting axes:
+
+    * ``ashburn`` -- CPU class, US afternoon-peak tariff, warm summer
+      ambient, no battery: the paper's cluster dropped into a market.
+    * ``reykjavik`` -- GPU class (hotter servers, more wax), *wrapped*
+      overnight-peak tariff (the bugfix this PR lands), cool ambient,
+      clean grid, and the fleet's battery: the arbitrage play.
+    * ``phoenix`` -- CPU class, desert heat wave ambient driving the
+      chiller COP derate, dirty evening grid: the site work should
+      route *away from*.
+    """
+    base = base_config if base_config is not None else SimulationConfig()
+    sites = (
+        SiteSpec(
+            name="ashburn",
+            hardware="cpu",
+            tariff=ElectricityTariff(peak_rate_usd_per_kwh=0.16,
+                                     off_peak_rate_usd_per_kwh=0.08,
+                                     peak_window_h=(12.0, 22.0)),
+            carbon=CarbonIntensityCurve(base_g_per_kwh=380.0,
+                                        amplitude_g_per_kwh=60.0),
+            ambient=AmbientConfig(diurnal_amplitude_c=2.0),
+            latency_ms=5.0,
+            outdoor_base_c=28.0,
+        ),
+        SiteSpec(
+            name="reykjavik",
+            hardware="gpu",
+            tariff=ElectricityTariff(peak_rate_usd_per_kwh=0.14,
+                                     off_peak_rate_usd_per_kwh=0.05,
+                                     peak_window_h=(22.0, 8.0)),
+            carbon=CarbonIntensityCurve(base_g_per_kwh=30.0),
+            battery=BatteryConfig(capacity_kwh=500.0,
+                                  max_charge_kw=150.0,
+                                  max_discharge_kw=150.0),
+            ambient=AmbientConfig(diurnal_amplitude_c=1.0),
+            latency_ms=20.0,
+            outdoor_base_c=10.0,
+        ),
+        SiteSpec(
+            name="phoenix",
+            hardware="cpu",
+            tariff=ElectricityTariff(peak_rate_usd_per_kwh=0.22,
+                                     off_peak_rate_usd_per_kwh=0.09,
+                                     peak_window_h=(14.0, 20.0)),
+            carbon=CarbonIntensityCurve(base_g_per_kwh=520.0,
+                                        amplitude_g_per_kwh=80.0),
+            ambient=AmbientConfig(diurnal_amplitude_c=4.0,
+                                  diurnal_peak_hour=16.0),
+            latency_ms=12.0,
+            outdoor_base_c=38.0,
+        ),
+    )
+    return FleetSpec(sites=sites, base_config=base,
+                     policies=tuple(policies),
+                     policy=fleet_policy_name,
+                     stagger_hours=stagger_hours)

@@ -1,0 +1,115 @@
+"""Fleet-level invariant checks, in the spirit of the run sanitizer.
+
+The per-run sanitizer (PR 4) audits within-run physics; the scenario
+verifier (PR 5) audits between-run metamorphic properties.  This layer
+audits the *fleet composition*: routing must conserve demand, batteries
+must respect their physical envelope, and the aggregate must equal the
+sum of its sites.  Checks run automatically whenever the run's check
+level resolves to anything but ``"off"`` (the ``REPRO_CHECKS``
+contract), and raise :class:`~repro.errors.InvariantViolation` with the
+site named.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import InvariantViolation
+from .result import FleetResult
+from .router import RoutingPlan
+from .spec import FleetSpec
+
+#: Absolute slack for floating-point aggregation comparisons, watts.
+AGG_TOL_W = 1e-6
+#: Relative slack for battery energy-balance comparisons.
+REL_TOL = 1e-9
+
+
+def check_aggregation(result: FleetResult) -> Optional[str]:
+    """The fleet cooling load must equal the sum over its sites."""
+    total = sum(s.result.cooling_load_w for s in result.site_results)
+    if not np.allclose(result.total_cooling_load_w, total,
+                       rtol=0.0, atol=AGG_TOL_W):
+        worst = float(np.abs(result.total_cooling_load_w - total).max())
+        return (f"fleet cooling load disagrees with the site sum "
+                f"(max error {worst:.3e} W)")
+    for entry in result.site_results:
+        if entry.result.times_s.shape \
+                != result.times_s.shape \
+                or not np.array_equal(entry.result.times_s,
+                                      result.times_s):
+            return (f"site {entry.name!r} time base disagrees with "
+                    f"the fleet's")
+    return None
+
+
+def check_routing(spec: FleetSpec,
+                  plan: Optional[RoutingPlan]) -> Optional[str]:
+    """Routing must conserve demand and stay within net bookkeeping."""
+    if plan is None:
+        return None
+    if sum(plan.net_received) != 0:
+        return (f"routing net flows do not sum to zero: "
+                f"{plan.net_received}")
+    if plan.moved_job_cores < 0:
+        return "routing reported negative moved job-cores"
+    for index, trace in enumerate(plan.traces):
+        counts = trace.counts
+        if (counts < 0).any():
+            return f"site {index} routed trace went negative"
+        if (counts.sum(axis=1) > trace.total_cores).any():
+            return (f"site {index} routed trace exceeds its "
+                    f"{trace.total_cores}-core capacity")
+    return None
+
+
+def check_batteries(result: FleetResult) -> Optional[str]:
+    """Battery SOC and grid draws must stay in their envelopes."""
+    for entry in result.site_results:
+        battery = entry.site.battery
+        soc = entry.battery.soc_kwh
+        if soc.size and (soc.min() < -REL_TOL
+                         or soc.max() > battery.capacity_kwh
+                         * (1.0 + REL_TOL) + REL_TOL):
+            return (f"site {entry.name!r} battery SOC escaped "
+                    f"[0, {battery.capacity_kwh}] kWh: "
+                    f"[{soc.min():.3f}, {soc.max():.3f}]")
+        if entry.grid_kw.size and entry.grid_kw.min() < -REL_TOL:
+            return (f"site {entry.name!r} grid draw went negative "
+                    f"({entry.grid_kw.min():.3f} kW)")
+        if not battery.enabled and entry.battery.active:
+            return (f"site {entry.name!r} has no battery but "
+                    f"dispatched energy")
+    return None
+
+
+def check_accounts(result: FleetResult) -> Optional[str]:
+    """Money and carbon must be finite and non-negative."""
+    for entry in result.site_results:
+        for label, value in (("cost", entry.energy_cost_usd),
+                             ("carbon", entry.carbon_kg),
+                             ("cooling cost", entry.cooling.cost_usd),
+                             ("cooling energy",
+                              entry.cooling.energy_kwh)):
+            if not np.isfinite(value) or value < 0:
+                return (f"site {entry.name!r} {label} is "
+                        f"non-finite or negative: {value!r}")
+    return None
+
+
+def verify_fleet_result(spec: FleetSpec, result: FleetResult, *,
+                        plan: Optional[RoutingPlan] = None) -> None:
+    """Run every fleet invariant; raise on the first violation."""
+    violations: List[str] = []
+    for check in (lambda: check_aggregation(result),
+                  lambda: check_routing(spec, plan),
+                  lambda: check_batteries(result),
+                  lambda: check_accounts(result)):
+        detail = check()
+        if detail is not None:
+            violations.append(detail)
+    if violations:
+        raise InvariantViolation(
+            "fleet invariant violation: " + "; ".join(violations))

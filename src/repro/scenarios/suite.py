@@ -68,6 +68,14 @@ class ScenarioRunRecord:
     #: Fraction of ticks free of thermal throttling (see
     #: :func:`qos_ok_fraction`); NaN when the run failed.
     qos_ok_fraction: float = float("nan")
+    #: Cooling electricity bill of this cell under the default
+    #: time-of-use tariff, with the plant sized at the scenario's worst
+    #: policy peak so costs compare across policies; NaN when the run
+    #: failed.
+    energy_cost_usd: float = float("nan")
+    #: Cooling emissions of this cell under the default grid carbon
+    #: curve; NaN when the run failed.
+    carbon_kg: float = float("nan")
     note: str = ""
 
     @property
@@ -123,6 +131,11 @@ class LeaderboardEntry:
     min_availability: float
     mean_peak_reduction_vs_round_robin: float
     tco_net_savings_usd: float
+    #: Mean per-scenario cooling electricity bill (default tariff,
+    #: scenario-sized plant); the fleet/market axis on the leaderboard.
+    mean_energy_cost_usd: float = float("nan")
+    #: Mean per-scenario cooling emissions (default carbon curve).
+    mean_carbon_kg: float = float("nan")
 
     def to_json(self) -> Dict[str, Any]:
         """A JSON-serializable dict of this row (stable field names)."""
@@ -255,6 +268,10 @@ class SuiteReport:
                    if np.isfinite(r.qos_ok_fraction)]
             avail = [r.min_availability for r in cells
                      if np.isfinite(r.min_availability)]
+            costs = [r.energy_cost_usd for r in cells
+                     if np.isfinite(r.energy_cost_usd)]
+            carbon = [r.carbon_kg for r in cells
+                      if np.isfinite(r.carbon_kg)]
             reductions = [
                 1.0 - r.peak_cooling_kw / base_peaks[r.scenario]
                 for r in cells
@@ -288,6 +305,10 @@ class SuiteReport:
                                   else float("nan")),
                 mean_peak_reduction_vs_round_robin=mean_reduction,
                 tco_net_savings_usd=net_savings,
+                mean_energy_cost_usd=(float(np.mean(costs)) if costs
+                                      else float("nan")),
+                mean_carbon_kg=(float(np.mean(carbon)) if carbon
+                                else float("nan")),
             ))
 
         def sort_key(row: LeaderboardEntry):
@@ -458,6 +479,30 @@ def run_suite(scenarios: Optional[Sequence] = None,
             continue
         baselines[(config_sha256(spec.config), spec.policy)] = outcome
 
+    # Cost/carbon accounting: one plant per scenario, sized at the
+    # scenario's worst completed policy peak, so (a) no policy's bill
+    # is silently clipped by an overloaded plant and (b) the dollars
+    # compare across policies of the same scenario.
+    scenario_peak_w: Dict[str, float] = {}
+    for run_spec, outcome in zip(run_specs, run_outcomes):
+        if not isinstance(outcome, RunFailure):
+            scenario_peak_w[run_spec.scenario] = max(
+                scenario_peak_w.get(run_spec.scenario, 0.0),
+                float(outcome.peak_cooling_load_w))
+
+    def _cost_carbon(scenario_name: str, outcome: SimulationResult
+                     ) -> Tuple[float, float]:
+        from ..tco.energy import (CarbonIntensityCurve, ElectricityTariff,
+                                  cooling_energy_account)
+        from ..thermal.plant import ChillerPlant
+        plant = ChillerPlant(capacity_w=max(
+            scenario_peak_w.get(scenario_name, 0.0), 1.0))
+        account = cooling_energy_account(
+            plant, outcome.cooling_load_w, outcome.times_s / 3600.0,
+            ElectricityTariff(), outcome.config.trace.step_seconds,
+            carbon=CarbonIntensityCurve(), warn_on_overload=False)
+        return account.cost_usd, account.carbon_kg
+
     spec_by_name = {s.name: s for s in resolved}
     records: List[ScenarioRunRecord] = []
     for run_spec, outcome in zip(run_specs, run_outcomes):
@@ -467,6 +512,7 @@ def run_suite(scenarios: Optional[Sequence] = None,
                 scenario=scenario.name, policy=run_spec.policy,
                 failure=outcome))
             continue
+        cost_usd, carbon_kg = _cost_carbon(scenario.name, outcome)
         baseline = baselines.get(
             (baseline_keys[scenario.name], run_spec.policy))
         if baseline is None:
@@ -475,6 +521,7 @@ def run_suite(scenarios: Optional[Sequence] = None,
                 peak_cooling_kw=outcome.peak_cooling_load_w / 1e3,
                 min_availability=outcome.min_availability,
                 qos_ok_fraction=qos_ok_fraction(outcome),
+                energy_cost_usd=cost_usd, carbon_kg=carbon_kg,
                 note="baseline run failed; checks skipped"))
             continue
         checks_run = verify_scenario(scenario, outcome, baseline,
@@ -488,7 +535,8 @@ def run_suite(scenarios: Optional[Sequence] = None,
             peak_cooling_kw=outcome.peak_cooling_load_w / 1e3,
             peak_ratio_vs_baseline=ratio,
             min_availability=outcome.min_availability,
-            qos_ok_fraction=qos_ok_fraction(outcome)))
+            qos_ok_fraction=qos_ok_fraction(outcome),
+            energy_cost_usd=cost_usd, carbon_kg=carbon_kg))
 
     rankings = _rank_policies(records, policy_list)
     return SuiteReport(records=tuple(records), rankings=tuple(rankings),

@@ -7,7 +7,9 @@ carries a $21M lifetime cooling cost and a 12.8% peak reduction is worth
 ~$2.69M.  Wax deployment costs come from the materials database.
 """
 
-from .energy import (ElectricityTariff, EnergyBill, compare_cooling_bills,
+from .energy import (CarbonIntensityCurve, CoolingEnergyAccount,
+                     ElectricityTariff, EnergyBill, PlantOverloadWarning,
+                     compare_cooling_bills, cooling_energy_account,
                      cooling_energy_cost_usd)
 from .model import TCOModel, VMTSavings
 from .wax_cost import (n_paraffin_alternative_cost_usd,
@@ -18,4 +20,6 @@ __all__ = [
     "n_paraffin_alternative_cost_usd", "wax_cost_fraction_of_server",
     "ElectricityTariff", "EnergyBill", "compare_cooling_bills",
     "cooling_energy_cost_usd",
+    "CarbonIntensityCurve", "CoolingEnergyAccount",
+    "PlantOverloadWarning", "cooling_energy_account",
 ]

@@ -1,17 +1,19 @@
-"""Electricity tariffs and cooling energy costs.
+"""Electricity tariffs, carbon intensity, and cooling energy costs.
 
 Section V-E: "There may be additional benefits offered by the ability to
 control the melting temperature day-to-day, such as leveraging less
 expensive off-peak power or green power when cooling energy can be
 temporally shifted as well."  This module prices that: a time-of-use
-tariff, the cooling plant's electrical energy under a load series, and
-the bill comparison between scheduling policies.
+tariff (wrapped overnight windows included), a diurnal grid
+carbon-intensity curve, the cooling plant's electrical energy under a
+load series, and the bill comparison between scheduling policies.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,13 +21,26 @@ from ..errors import ConfigurationError
 from ..thermal.plant import ChillerPlant
 
 
+class PlantOverloadWarning(UserWarning):
+    """A cooling bill was priced with the plant above capacity.
+
+    The part-load model clips PLR to 1.0, so overloaded ticks are
+    billed as if the plant kept up -- the bill under-counts exactly
+    when an undersized plant is being evaluated.  Callers comparing
+    resized plants must check the recorded overloaded tick fraction.
+    """
+
+
 @dataclass(frozen=True)
 class ElectricityTariff:
     """A two-rate time-of-use tariff.
 
     ``peak_window_h`` is the daily interval (start, end) billed at the
-    peak rate; everything else is off-peak.  Defaults reflect a typical
-    US commercial TOU spread.
+    peak rate; everything else is off-peak.  ``start > end`` means the
+    peak window *wraps midnight* (e.g. ``(22, 8)`` is 10 pm to 8 am,
+    the overnight-peak shape common outside the US and exactly what
+    battery arbitrage wants to trade against).  Defaults reflect a
+    typical US commercial TOU spread.
     """
 
     peak_rate_usd_per_kwh: float = 0.16
@@ -37,14 +52,26 @@ class ElectricityTariff:
                 or self.off_peak_rate_usd_per_kwh < 0:
             raise ConfigurationError("rates must be non-negative")
         start, end = self.peak_window_h
-        if not 0.0 <= start < end <= 24.0:
+        if not (0.0 <= start <= 24.0 and 0.0 <= end <= 24.0):
             raise ConfigurationError(
-                "peak window must satisfy 0 <= start < end <= 24")
+                "peak window hours must lie within [0, 24]")
+        if start == end:
+            raise ConfigurationError(
+                "peak window must not be empty (start == end); widen it "
+                "or set both rates equal for a flat tariff")
+
+    @property
+    def wraps_midnight(self) -> bool:
+        """Whether the peak window crosses midnight (``start > end``)."""
+        start, end = self.peak_window_h
+        return start > end
 
     def is_peak(self, times_h: np.ndarray) -> np.ndarray:
         """Mask of samples falling in the daily peak-rate window."""
         hour_of_day = np.mod(np.asarray(times_h, dtype=np.float64), 24.0)
         start, end = self.peak_window_h
+        if self.wraps_midnight:
+            return (hour_of_day >= start) | (hour_of_day < end)
         return (hour_of_day >= start) & (hour_of_day < end)
 
     def rate_usd_per_kwh(self, times_h: np.ndarray) -> np.ndarray:
@@ -52,6 +79,55 @@ class ElectricityTariff:
         return np.where(self.is_peak(times_h),
                         self.peak_rate_usd_per_kwh,
                         self.off_peak_rate_usd_per_kwh)
+
+
+@dataclass(frozen=True)
+class CarbonIntensityCurve:
+    """Diurnal grid carbon intensity (gCO2e per kWh drawn).
+
+    A flat base plus an optional cosine swing peaking at
+    ``peak_hour`` -- evening peaker plants make most grids dirtiest
+    when demand peaks, which is exactly when VMT has already shifted
+    the cooling work away.  Defaults are a typical mixed grid; a
+    hydro-heavy region might use ``base=60``, a coal-heavy one
+    ``base=700``.
+    """
+
+    base_g_per_kwh: float = 400.0
+    amplitude_g_per_kwh: float = 0.0
+    peak_hour: float = 19.0
+
+    def __post_init__(self) -> None:
+        if self.base_g_per_kwh < 0:
+            raise ConfigurationError("carbon base must be >= 0")
+        if not 0.0 <= self.amplitude_g_per_kwh <= self.base_g_per_kwh:
+            raise ConfigurationError(
+                "carbon amplitude must be in [0, base] (intensity can "
+                "never go negative)")
+        if not 0.0 <= self.peak_hour < 24.0:
+            raise ConfigurationError("carbon peak hour must be in [0, 24)")
+
+    def intensity_g_per_kwh(self, times_h: np.ndarray) -> np.ndarray:
+        """Per-sample grid carbon intensity."""
+        hours = np.asarray(times_h, dtype=np.float64)
+        if self.amplitude_g_per_kwh == 0.0:
+            return np.full(hours.shape, self.base_g_per_kwh)
+        angle = 2.0 * np.pi * (hours - self.peak_hour) / 24.0
+        return self.base_g_per_kwh \
+            + self.amplitude_g_per_kwh * np.cos(angle)
+
+    def carbon_kg(self, electrical_kw: Sequence[float],
+                  times_h: Sequence[float], dt_s: float) -> float:
+        """Total emissions (kg CO2e) of an electrical draw series."""
+        if dt_s <= 0:
+            raise ConfigurationError("dt must be positive")
+        power = np.asarray(electrical_kw, dtype=np.float64)
+        times = np.asarray(times_h, dtype=np.float64)
+        if power.shape != times.shape:
+            raise ConfigurationError("power and time series must align")
+        grams = (power * self.intensity_g_per_kwh(times)).sum() \
+            * dt_s / 3600.0
+        return float(grams / 1e3)
 
 
 def cooling_energy_cost_usd(plant: ChillerPlant,
@@ -62,6 +138,9 @@ def cooling_energy_cost_usd(plant: ChillerPlant,
     """Electricity bill to remove a thermal load series.
 
     Integrates the plant's electrical draw against the time-of-use rate.
+    Emits :class:`PlantOverloadWarning` when any sample exceeds the
+    plant's capacity: those ticks are billed at the full-load draw,
+    which *under-counts* the true cost of an undersized plant.
     """
     if dt_s <= 0:
         raise ConfigurationError("dt must be positive")
@@ -69,9 +148,66 @@ def cooling_energy_cost_usd(plant: ChillerPlant,
     times = np.asarray(times_h, dtype=np.float64)
     if load.shape != times.shape:
         raise ConfigurationError("load and time series must align")
+    overloaded = plant.overloaded_tick_fraction(load)
+    if overloaded > 0.0:
+        warnings.warn(
+            f"plant ({plant.capacity_w / 1e3:.1f} kW thermal) is over "
+            f"capacity for {overloaded:.1%} of ticks; the bill "
+            f"under-counts those ticks (PLR clipped to 1.0)",
+            PlantOverloadWarning, stacklevel=2)
     electrical_kw = plant.electrical_power_w(load) / 1e3
     rates = tariff.rate_usd_per_kwh(times)
     return float((electrical_kw * rates).sum() * dt_s / 3600.0)
+
+
+@dataclass(frozen=True)
+class CoolingEnergyAccount:
+    """Energy, cost, carbon, and saturation of one cooling load series."""
+
+    energy_kwh: float
+    cost_usd: float
+    carbon_kg: float
+    overloaded_tick_fraction: float
+
+
+def cooling_energy_account(plant: ChillerPlant,
+                           thermal_load_w: Sequence[float],
+                           times_h: Sequence[float],
+                           tariff: ElectricityTariff,
+                           dt_s: float, *,
+                           carbon: Optional[CarbonIntensityCurve] = None,
+                           ambient_c=None,
+                           warn_on_overload: bool = True
+                           ) -> CoolingEnergyAccount:
+    """Full account of a cooling load: kWh, dollars, kg CO2e, saturation.
+
+    The one-stop costing path the fleet layer uses: the plant's
+    electrical draw (optionally ambient-derated) is integrated against
+    the tariff and the carbon curve, and the overloaded tick fraction
+    is recorded instead of silently clipped.
+    """
+    if dt_s <= 0:
+        raise ConfigurationError("dt must be positive")
+    load = np.asarray(thermal_load_w, dtype=np.float64)
+    times = np.asarray(times_h, dtype=np.float64)
+    if load.shape != times.shape:
+        raise ConfigurationError("load and time series must align")
+    overloaded = plant.overloaded_tick_fraction(load)
+    if overloaded > 0.0 and warn_on_overload:
+        warnings.warn(
+            f"plant ({plant.capacity_w / 1e3:.1f} kW thermal) is over "
+            f"capacity for {overloaded:.1%} of ticks; the account "
+            f"under-counts those ticks (PLR clipped to 1.0)",
+            PlantOverloadWarning, stacklevel=2)
+    electrical_kw = plant.electrical_power_w(load, ambient_c) / 1e3
+    rates = tariff.rate_usd_per_kwh(times)
+    cost = float((electrical_kw * rates).sum() * dt_s / 3600.0)
+    energy = float(electrical_kw.sum() * dt_s / 3600.0)
+    curve = carbon if carbon is not None else CarbonIntensityCurve()
+    emitted = curve.carbon_kg(electrical_kw, times, dt_s)
+    return CoolingEnergyAccount(energy_kwh=energy, cost_usd=cost,
+                                carbon_kg=emitted,
+                                overloaded_tick_fraction=overloaded)
 
 
 @dataclass(frozen=True)
@@ -82,6 +218,23 @@ class EnergyBill:
     vmt_cost_usd: float
     baseline_energy_kwh: float
     vmt_energy_kwh: float
+    #: Fraction of ticks each load series spent above plant capacity.
+    #: Nonzero fractions mean the corresponding cost is an
+    #: *under-count* -- exactly the failure mode that makes an
+    #: undersized "smaller plant" look cheaper than it is.
+    baseline_overloaded_tick_fraction: float = 0.0
+    vmt_overloaded_tick_fraction: float = 0.0
+
+    @property
+    def overloaded_tick_fraction(self) -> float:
+        """Worst saturation across the two priced series."""
+        return max(self.baseline_overloaded_tick_fraction,
+                   self.vmt_overloaded_tick_fraction)
+
+    @property
+    def saturated(self) -> bool:
+        """Whether either series ever exceeded plant capacity."""
+        return self.overloaded_tick_fraction > 0.0
 
     @property
     def cost_savings_usd(self) -> float:
@@ -107,7 +260,13 @@ def compare_cooling_bills(plant: ChillerPlant,
                           times_h: Sequence[float],
                           tariff: ElectricityTariff,
                           dt_s: float) -> EnergyBill:
-    """Price two cooling load series under the same plant and tariff."""
+    """Price two cooling load series under the same plant and tariff.
+
+    When either series exceeds the plant's capacity the bill records
+    the overloaded tick fraction (and the cost path warns): a resized
+    plant that saturates is not actually delivering the cheaper bill
+    it reports.
+    """
     return EnergyBill(
         baseline_cost_usd=cooling_energy_cost_usd(
             plant, baseline_load_w, times_h, tariff, dt_s),
@@ -115,4 +274,8 @@ def compare_cooling_bills(plant: ChillerPlant,
             plant, vmt_load_w, times_h, tariff, dt_s),
         baseline_energy_kwh=plant.energy_kwh(baseline_load_w, dt_s),
         vmt_energy_kwh=plant.energy_kwh(vmt_load_w, dt_s),
+        baseline_overloaded_tick_fraction=plant.overloaded_tick_fraction(
+            baseline_load_w),
+        vmt_overloaded_tick_fraction=plant.overloaded_tick_fraction(
+            vmt_load_w),
     )

@@ -9,23 +9,36 @@ of the chiller's electrical draw.
 We use the standard DOE-2-style part-load curve: a chiller rated at
 ``capacity_w`` thermal with nominal COP ``cop_nominal`` draws
 
-    P_el(PLR) = (capacity_w / cop_nominal) * (c0 + c1*PLR + c2*PLR^2)
+    P_el(PLR) = (capacity_w / cop_effective) * (c0 + c1*PLR + c2*PLR^2)
 
 where ``PLR`` is the part-load ratio (thermal load / capacity).  With
 the default coefficients the machine is most efficient near ~70% load
 and pays a constant-term penalty for idling -- which is exactly why a
 smaller, better-utilized plant (what VMT enables) also saves energy,
 not just capital.
+
+``cop_effective`` is the nominal COP derated with condenser ambient:
+every degree above ``reference_ambient_c`` costs
+``cop_derate_per_c`` (fractional) of the nominal COP, the standard
+linearized condenser-approach model.  The default derate is zero, so
+plants built without an ambient model behave exactly as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..errors import ConfigurationError
+
+#: Floor on the ambient-derated COP as a fraction of nominal: a plant
+#: never degrades below this, keeping the electrical model finite under
+#: absurd heat-wave inputs.
+MIN_COP_FRACTION = 0.2
+
+AmbientLike = Union[None, float, Sequence[float], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -35,6 +48,12 @@ class ChillerPlant:
     capacity_w: float
     cop_nominal: float = 4.5
     part_load_coefficients: Tuple[float, float, float] = (0.20, 0.50, 0.30)
+    #: Fraction of nominal COP lost per degree of condenser ambient
+    #: above :attr:`reference_ambient_c` (and regained below it).  Zero
+    #: disables ambient coupling entirely.
+    cop_derate_per_c: float = 0.0
+    #: Ambient at which the plant delivers its nominal COP.
+    reference_ambient_c: float = 25.0
 
     def __post_init__(self) -> None:
         if self.capacity_w <= 0:
@@ -45,33 +64,58 @@ class ChillerPlant:
         if abs(c0 + c1 + c2 - 1.0) > 1e-9:
             raise ConfigurationError(
                 "part-load coefficients must sum to 1 (full-load anchor)")
+        if self.cop_derate_per_c < 0:
+            raise ConfigurationError("COP derate must be >= 0")
 
     @property
     def rated_electrical_w(self) -> float:
-        """Electrical draw at full thermal load."""
+        """Electrical draw at full thermal load and reference ambient."""
         return self.capacity_w / self.cop_nominal
+
+    def cop_at_ambient(self, ambient_c: AmbientLike) -> np.ndarray:
+        """Nominal COP derated with condenser ambient (series ok).
+
+        ``None`` means reference conditions.  The derate is linear and
+        floored at ``MIN_COP_FRACTION`` of nominal so the model stays
+        finite under extreme inputs.
+        """
+        if ambient_c is None:
+            ambient_c = self.reference_ambient_c
+        ambient = np.asarray(ambient_c, dtype=np.float64)
+        factor = 1.0 - self.cop_derate_per_c * (
+            ambient - self.reference_ambient_c)
+        return self.cop_nominal * np.clip(factor, MIN_COP_FRACTION, None)
 
     def part_load_ratio(self, thermal_load_w: np.ndarray) -> np.ndarray:
         """Thermal load as a fraction of capacity, clipped to [0, 1].
 
         Loads above capacity mean the plant is undersized; callers should
-        check :meth:`overloaded` -- the energy model saturates.
+        check :meth:`overloaded` / :meth:`overloaded_tick_fraction` --
+        the energy model saturates.
         """
         load = np.asarray(thermal_load_w, dtype=np.float64)
         if np.any(load < 0):
             raise ConfigurationError("thermal load must be non-negative")
         return np.clip(load / self.capacity_w, 0.0, 1.0)
 
-    def electrical_power_w(self, thermal_load_w: np.ndarray) -> np.ndarray:
-        """Instantaneous electrical draw for a thermal load (series ok)."""
+    def electrical_power_w(self, thermal_load_w: np.ndarray,
+                           ambient_c: AmbientLike = None) -> np.ndarray:
+        """Instantaneous electrical draw for a thermal load (series ok).
+
+        ``ambient_c`` (scalar or per-sample series) applies the
+        condenser derate; ``None`` prices at reference ambient, which is
+        bit-identical to the pre-ambient model.
+        """
         plr = self.part_load_ratio(thermal_load_w)
         c0, c1, c2 = self.part_load_coefficients
-        return self.rated_electrical_w * (c0 + c1 * plr + c2 * plr ** 2)
+        curve = c0 + c1 * plr + c2 * plr ** 2
+        return self.capacity_w / self.cop_at_ambient(ambient_c) * curve
 
-    def effective_cop(self, thermal_load_w: np.ndarray) -> np.ndarray:
+    def effective_cop(self, thermal_load_w: np.ndarray,
+                      ambient_c: AmbientLike = None) -> np.ndarray:
         """Delivered COP at a given load (degrades at low part load)."""
         load = np.asarray(thermal_load_w, dtype=np.float64)
-        power = self.electrical_power_w(load)
+        power = self.electrical_power_w(load, ambient_c)
         return np.divide(load, power, out=np.zeros_like(power),
                          where=power > 0)
 
@@ -79,12 +123,27 @@ class ChillerPlant:
         """True when any sample exceeds the plant's thermal capacity."""
         return bool(np.any(np.asarray(thermal_load_w) > self.capacity_w))
 
+    def overloaded_tick_fraction(self,
+                                 thermal_load_w: Sequence[float]) -> float:
+        """Fraction of samples above capacity (0.0 for a sized plant).
+
+        Above capacity the part-load model clips PLR to 1.0, so every
+        overloaded tick is billed as if the plant kept up -- the bill
+        under-counts and, physically, the room heats up.  Cost paths
+        must surface this fraction instead of silently clipping.
+        """
+        load = np.asarray(thermal_load_w, dtype=np.float64)
+        if load.size == 0:
+            return 0.0
+        return float((load > self.capacity_w).mean())
+
     def energy_kwh(self, thermal_load_w: Sequence[float],
-                   dt_s: float) -> float:
+                   dt_s: float, ambient_c: AmbientLike = None) -> float:
         """Total electrical energy (kWh) to serve a load series."""
         if dt_s <= 0:
             raise ConfigurationError("dt must be positive")
-        power = self.electrical_power_w(np.asarray(thermal_load_w))
+        power = self.electrical_power_w(np.asarray(thermal_load_w),
+                                        ambient_c)
         return float(power.sum() * dt_s / 3.6e6)
 
     def resized(self, reduction_fraction: float) -> "ChillerPlant":
@@ -94,4 +153,6 @@ class ChillerPlant:
         return ChillerPlant(
             capacity_w=self.capacity_w * (1.0 - reduction_fraction),
             cop_nominal=self.cop_nominal,
-            part_load_coefficients=self.part_load_coefficients)
+            part_load_coefficients=self.part_load_coefficients,
+            cop_derate_per_c=self.cop_derate_per_c,
+            reference_ambient_c=self.reference_ambient_c)

@@ -6,7 +6,7 @@ import pytest
 from repro.cluster.multi import MultiClusterSimulation, run_datacenter
 from repro.cli import build_parser, main
 from repro.config import SimulationConfig, TraceConfig
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, ReproError, SimulationError
 from repro.io import load_result, save_result
 from repro.cluster.simulation import run_simulation
 from repro.core import RoundRobinScheduler
@@ -55,6 +55,69 @@ class TestMultiCluster:
         with pytest.raises(ConfigurationError):
             MultiClusterSimulation(tiny_config(), 3,
                                    policies=("a", "b"))
+
+    def test_run_failure_surfaces_as_simulation_error(self, monkeypatch):
+        # Regression: a RunFailure row must become a SimulationError
+        # naming the cluster, its policy, and the captured traceback --
+        # not a bare AttributeError off the failure object.
+        from repro.perf import runner as runner_mod
+
+        def boom(spec):
+            raise ValueError("injected cluster failure")
+
+        monkeypatch.setattr(runner_mod, "execute_spec", boom)
+        sim = MultiClusterSimulation(tiny_config(), 2,
+                                     policies=("round-robin", "vmt-ta"))
+        with pytest.raises(SimulationError) as excinfo:
+            sim.run()
+        message = str(excinfo.value)
+        assert "cluster 0" in message
+        assert "cluster 1" in message
+        assert "round-robin" in message
+        assert "vmt-ta" in message
+        assert "ValueError: injected cluster failure" in message
+        assert "Traceback" in message
+
+    def test_killed_worker_recovers_bit_identically(self, monkeypatch):
+        # A SIGKILLed pool worker must not change results: the bounded
+        # serial retry reruns the lost job in the parent (where the
+        # kill hook is inert) and fingerprints stay identical.
+        config = tiny_config()
+        serial = run_datacenter(config, 2, max_workers=1)
+        monkeypatch.setenv("REPRO_KILL_RUN", "cluster-0[round-robin]")
+        recovered = run_datacenter(config, 2, max_workers=2)
+        assert ([r.fingerprint() for r in recovered.cluster_results]
+                == [r.fingerprint() for r in serial.cluster_results])
+        assert np.array_equal(recovered.total_cooling_load_w,
+                              serial.total_cooling_load_w)
+
+    def test_stagger_full_trace_length_is_identity(self):
+        # np.roll wraps: shifting by the whole trace length is a no-op,
+        # so stagger == duration reproduces the unstaggered fingerprints.
+        config = tiny_config()
+        duration = config.trace.duration_hours
+        plain = run_datacenter(config, 2, stagger_hours=0.0)
+        wrapped = run_datacenter(config, 2, stagger_hours=duration)
+        assert ([r.fingerprint() for r in wrapped.cluster_results]
+                == [r.fingerprint() for r in plain.cluster_results])
+
+    def test_negative_stagger_wraps_backwards(self):
+        # Rolling back one hour is the same as rolling forward
+        # duration - 1 hours.
+        config = tiny_config()
+        duration = config.trace.duration_hours
+        back = run_datacenter(config, 2, stagger_hours=-1.0)
+        forward = run_datacenter(config, 2, stagger_hours=duration - 1.0)
+        assert ([r.fingerprint() for r in back.cluster_results]
+                == [r.fingerprint() for r in forward.cluster_results])
+
+    def test_staggered_clusters_share_time_axis(self):
+        # Staggering shifts the *trace contents*, not the clock: every
+        # cluster reports the same times_s and the aggregate rides on it.
+        result = run_datacenter(tiny_config(), 3, stagger_hours=2.0)
+        for cluster in result.cluster_results:
+            assert np.array_equal(cluster.times_s, result.times_s)
+        assert len(result.total_cooling_load_w) == len(result.times_s)
 
 
 class TestResultIO:

@@ -1,12 +1,16 @@
 """Unit tests for the chiller plant and electricity tariff models."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.tco.energy import (ElectricityTariff, compare_cooling_bills,
+from repro.tco.energy import (CarbonIntensityCurve, ElectricityTariff,
+                              PlantOverloadWarning, compare_cooling_bills,
+                              cooling_energy_account,
                               cooling_energy_cost_usd)
-from repro.thermal.plant import ChillerPlant
+from repro.thermal.plant import MIN_COP_FRACTION, ChillerPlant
 
 PLANT = ChillerPlant(capacity_w=100e3)
 
@@ -57,6 +61,45 @@ class TestChillerPlant:
             PLANT.part_load_ratio(np.array([-1.0]))
         with pytest.raises(ConfigurationError):
             PLANT.energy_kwh([1.0], 0.0)
+        with pytest.raises(ConfigurationError):
+            ChillerPlant(capacity_w=1.0, cop_derate_per_c=-0.1)
+
+    def test_overloaded_tick_fraction(self):
+        load = np.array([50e3, 120e3, 99e3, 101e3])
+        assert PLANT.overloaded_tick_fraction(load) == pytest.approx(0.5)
+        assert PLANT.overloaded_tick_fraction([]) == 0.0
+        assert PLANT.overloaded_tick_fraction(np.full(10, 50e3)) == 0.0
+
+    def test_ambient_derate_reduces_cop(self):
+        derated = ChillerPlant(capacity_w=100e3, cop_derate_per_c=0.02)
+        cool = derated.cop_at_ambient(derated.reference_ambient_c)
+        hot = derated.cop_at_ambient(derated.reference_ambient_c + 10.0)
+        assert cool == pytest.approx(derated.cop_nominal)
+        assert hot == pytest.approx(derated.cop_nominal * 0.8)
+        # Power draw at the same load rises in the heat.
+        assert (derated.electrical_power_w(80e3, ambient_c=40.0)
+                > derated.electrical_power_w(80e3, ambient_c=20.0))
+
+    def test_ambient_derate_floored(self):
+        derated = ChillerPlant(capacity_w=100e3, cop_derate_per_c=0.02)
+        cop = derated.cop_at_ambient(1e6)
+        assert cop == pytest.approx(derated.cop_nominal * MIN_COP_FRACTION)
+
+    def test_no_derate_is_bit_identical_to_nominal(self):
+        load = np.linspace(0.0, 100e3, 17)
+        base = PLANT.electrical_power_w(load)
+        assert np.array_equal(PLANT.electrical_power_w(load, ambient_c=45.0),
+                              base)
+        derated = ChillerPlant(capacity_w=100e3, cop_derate_per_c=0.02)
+        assert np.array_equal(derated.electrical_power_w(load, ambient_c=None),
+                              base)
+
+    def test_resized_keeps_derate(self):
+        derated = ChillerPlant(capacity_w=100e3, cop_derate_per_c=0.02,
+                               reference_ambient_c=20.0)
+        smaller = derated.resized(0.25)
+        assert smaller.cop_derate_per_c == derated.cop_derate_per_c
+        assert smaller.reference_ambient_c == derated.reference_ambient_c
 
 
 class TestElectricityTariff:
@@ -72,9 +115,42 @@ class TestElectricityTariff:
         assert rates[0] == tariff.off_peak_rate_usd_per_kwh
         assert rates[1] == tariff.peak_rate_usd_per_kwh
 
+    def test_wrapped_window_spans_midnight(self):
+        # A window with start > end wraps through midnight: peak covers
+        # [22, 24) plus [0, 8).
+        tariff = ElectricityTariff(peak_window_h=(22.0, 8.0))
+        assert tariff.wraps_midnight
+        times = np.array([21.9, 22.0, 23.5, 0.0, 7.9, 8.0, 12.0])
+        assert list(tariff.is_peak(times)) == [False, True, True, True,
+                                               True, False, False]
+
+    def test_wrapped_and_unwrapped_windows_partition_the_day(self):
+        # (8, 22) and (22, 8) are complements: every hour is peak in
+        # exactly one of the two orientations.
+        day = ElectricityTariff(peak_window_h=(8.0, 22.0))
+        night = ElectricityTariff(peak_window_h=(22.0, 8.0))
+        hours = np.linspace(0.0, 48.0, 481, endpoint=False)
+        assert np.array_equal(day.is_peak(hours), ~night.is_peak(hours))
+
+    def test_24_boundary(self):
+        # 24.0 as a window edge is the same instant as 0.0.
+        tariff = ElectricityTariff(peak_window_h=(12.0, 24.0))
+        assert not tariff.wraps_midnight
+        assert list(tariff.is_peak(np.array([23.9, 24.0, 0.0, 12.0]))) == [
+            True, False, False, True]
+        wrapped = ElectricityTariff(peak_window_h=(24.0, 12.0))
+        assert wrapped.wraps_midnight
+        assert list(wrapped.is_peak(np.array([0.0, 11.9, 12.0, 23.9]))) == [
+            True, True, False, False]
+
     def test_rejects_bad_window(self):
+        # Zero-width windows are ambiguous (always-peak vs never-peak).
         with pytest.raises(ConfigurationError):
-            ElectricityTariff(peak_window_h=(22.0, 12.0))
+            ElectricityTariff(peak_window_h=(12.0, 12.0))
+        with pytest.raises(ConfigurationError):
+            ElectricityTariff(peak_window_h=(-1.0, 12.0))
+        with pytest.raises(ConfigurationError):
+            ElectricityTariff(peak_window_h=(12.0, 25.0))
         with pytest.raises(ConfigurationError):
             ElectricityTariff(peak_rate_usd_per_kwh=-1.0)
 
@@ -119,3 +195,80 @@ class TestEnergyBill:
         bill = compare_cooling_bills(PLANT, baseline, inflated, hours,
                                      tariff, 3600.0)
         assert not bill.peak_energy_shifted
+
+    def test_resized_plant_bill_flags_saturation(self):
+        # A plant resized below the baseline peak saturates: the bill
+        # records which fraction of ticks exceeded capacity and warns.
+        tariff = ElectricityTariff()
+        hours = np.linspace(0.0, 24.0, 24, endpoint=False)
+        baseline = np.where(hours >= 12.0, 90e3, 40e3)
+        vmt = np.full(24, 60e3)
+        small = PLANT.resized(0.4)  # 60 kW capacity
+        with pytest.warns(PlantOverloadWarning):
+            bill = compare_cooling_bills(small, baseline, vmt, hours,
+                                         tariff, 3600.0)
+        assert bill.saturated
+        assert bill.baseline_overloaded_tick_fraction == pytest.approx(0.5)
+        assert bill.vmt_overloaded_tick_fraction == 0.0
+        assert bill.overloaded_tick_fraction == pytest.approx(0.5)
+
+    def test_healthy_bill_is_not_saturated(self):
+        tariff = ElectricityTariff()
+        hours = np.linspace(0.0, 24.0, 24, endpoint=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PlantOverloadWarning)
+            bill = compare_cooling_bills(PLANT, np.full(24, 80e3),
+                                         np.full(24, 60e3), hours,
+                                         tariff, 3600.0)
+        assert not bill.saturated
+        assert bill.overloaded_tick_fraction == 0.0
+
+
+class TestCoolingEnergyAccount:
+    def test_account_matches_cost_helper(self):
+        tariff = ElectricityTariff()
+        hours = np.linspace(0.0, 24.0, 24, endpoint=False)
+        load = np.full(24, 50e3)
+        account = cooling_energy_account(PLANT, load, hours, tariff, 3600.0)
+        assert account.cost_usd == pytest.approx(
+            cooling_energy_cost_usd(PLANT, load, hours, tariff, 3600.0))
+        assert account.energy_kwh == pytest.approx(
+            PLANT.energy_kwh(load, 3600.0))
+        assert account.overloaded_tick_fraction == 0.0
+
+    def test_flat_carbon_curve(self):
+        curve = CarbonIntensityCurve(base_g_per_kwh=500.0)
+        hours = np.linspace(0.0, 24.0, 24, endpoint=False)
+        # 1 kW for 24 h at 500 g/kWh -> 12 kg.
+        assert curve.carbon_kg(np.full(24, 1.0), hours,
+                               3600.0) == pytest.approx(12.0)
+
+    def test_diurnal_carbon_curve_peaks_at_peak_hour(self):
+        curve = CarbonIntensityCurve(base_g_per_kwh=400.0,
+                                     amplitude_g_per_kwh=100.0,
+                                     peak_hour=19.0)
+        intensity = curve.intensity_g_per_kwh(np.linspace(0, 24, 241))
+        assert intensity.max() == pytest.approx(500.0)
+        assert intensity.min() == pytest.approx(300.0)
+        peak_at = np.linspace(0, 24, 241)[int(np.argmax(intensity))]
+        assert peak_at == pytest.approx(19.0, abs=0.1)
+
+    def test_overload_warning_from_cost_path(self):
+        tariff = ElectricityTariff()
+        hours = np.linspace(0.0, 24.0, 24, endpoint=False)
+        hot = np.full(24, 150e3)
+        with pytest.warns(PlantOverloadWarning):
+            account = cooling_energy_account(PLANT, hot, hours, tariff,
+                                             3600.0)
+        assert account.overloaded_tick_fraction == 1.0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", PlantOverloadWarning)
+            cooling_energy_account(PLANT, hot, hours, tariff, 3600.0,
+                                   warn_on_overload=False)
+
+    def test_rejects_bad_carbon_curve(self):
+        with pytest.raises(ConfigurationError):
+            CarbonIntensityCurve(base_g_per_kwh=-1.0)
+        with pytest.raises(ConfigurationError):
+            CarbonIntensityCurve(amplitude_g_per_kwh=500.0,
+                                 base_g_per_kwh=400.0)
